@@ -1,0 +1,48 @@
+//! Bench for §5: bulk-parallel priority queue — insertion throughput and
+//! deleteMin* cost for exact and flexible batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk::BulkParallelQueue;
+
+fn bench_bulk_pq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_pq");
+    group.sample_size(10);
+    let per_pe = 1usize << 14;
+
+    for &p in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("insert_only", p), &p, |b, &p| {
+            b.iter(|| {
+                commsim::run_spmd(p, move |comm| {
+                    let mut q = BulkParallelQueue::new(comm);
+                    let rank = comm.rank() as u64;
+                    q.insert_bulk((0..per_pe as u64).map(|i| i * 31 + rank));
+                    q.local_len()
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("delete_min_exact", p), &p, |b, &p| {
+            b.iter(|| {
+                commsim::run_spmd(p, move |comm| {
+                    let mut q = BulkParallelQueue::new(comm);
+                    let rank = comm.rank() as u64;
+                    q.insert_bulk((0..per_pe as u64).map(|i| i * 31 + rank));
+                    q.delete_min(comm, 512, 3).len()
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("delete_min_flexible", p), &p, |b, &p| {
+            b.iter(|| {
+                commsim::run_spmd(p, move |comm| {
+                    let mut q = BulkParallelQueue::new(comm);
+                    let rank = comm.rank() as u64;
+                    q.insert_bulk((0..per_pe as u64).map(|i| i * 31 + rank));
+                    q.delete_min_flexible(comm, 512, 1024, 3).len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_pq);
+criterion_main!(benches);

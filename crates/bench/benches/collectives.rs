@@ -1,0 +1,54 @@
+//! Ablation: tree-based collectives vs their flat counterparts (the §2 model
+//! assumes O(α log p) collectives; the Naive baseline is what flat delivery
+//! costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    let payload = 256usize;
+
+    for &p in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("tree_broadcast", p), &p, |b, &p| {
+            b.iter(|| {
+                commsim::run_spmd(p, move |comm| {
+                    let v = if comm.is_root() { Some(vec![1u64; payload]) } else { None };
+                    comm.broadcast(0, v).len()
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat_broadcast", p), &p, |b, &p| {
+            b.iter(|| {
+                commsim::run_spmd(p, move |comm| {
+                    // Flat: the root sends to every PE individually.
+                    if comm.is_root() {
+                        for dst in 1..comm.size() {
+                            comm.send(dst, 1, vec![1u64; payload]);
+                        }
+                        payload
+                    } else {
+                        let v: Vec<u64> = comm.recv(0, 1);
+                        v.len()
+                    }
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allreduce_sum", p), &p, |b, &p| {
+            b.iter(|| {
+                commsim::run_spmd(p, move |comm| comm.allreduce_sum(comm.rank() as u64))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alltoall_indirect", p), &p, |b, &p| {
+            b.iter(|| {
+                commsim::run_spmd(p, move |comm| {
+                    comm.alltoall_indirect(vec![7u64; comm.size()]).len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

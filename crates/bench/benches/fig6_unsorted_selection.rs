@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 6: unsorted selection, weak scaling over the
+//! number of PEs at fixed n/p, on the skewed per-PE Zipf inputs of §10.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::SkewedSelectionInput;
+use topk::unsorted::select_k_smallest;
+
+fn bench_unsorted_selection(c: &mut Criterion) {
+    let per_pe = 1usize << 15;
+    let mut group = c.benchmark_group("fig6_unsorted_selection");
+    group.sample_size(10);
+
+    for &p in &[1usize, 2, 4, 8] {
+        for &k in &[64usize, 1024, per_pe / 4] {
+            // Pre-generate the input outside the measured region.
+            let generator = SkewedSelectionInput::default();
+            let parts: Vec<Vec<u64>> = generator.generate_all(p, per_pe);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), p),
+                &p,
+                |b, &_p| {
+                    b.iter(|| {
+                        let parts = &parts;
+                        commsim::run_spmd(p, move |comm| {
+                            select_k_smallest(comm, &parts[comm.rank()], k, 7).threshold
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unsorted_selection);
+criterion_main!(benches);

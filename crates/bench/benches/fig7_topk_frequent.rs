@@ -1,0 +1,57 @@
+//! Criterion bench for Figure 7: top-k most frequent objects at moderate
+//! accuracy, comparing PAC, EC and the two centralized baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topk::frequent::{ec::ec_top_k, naive::naive_top_k, naive::naive_tree_top_k, pac::pac_top_k};
+use topk::FrequentParams;
+
+fn inputs(p: usize, per_pe: usize) -> Vec<Vec<u64>> {
+    let zipf = Zipf::new(1 << 16, 1.0);
+    (0..p)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(0x717 + r as u64);
+            zipf.sample_many(per_pe, &mut rng)
+        })
+        .collect()
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let per_pe = 1usize << 15;
+    let params = FrequentParams::new(32, 5e-3, 1e-4, 3);
+    let mut group = c.benchmark_group("fig7_topk_frequent");
+    group.sample_size(10);
+
+    for &p in &[2usize, 4, 8] {
+        let parts = inputs(p, per_pe);
+        let algos: Vec<(&str, Box<dyn Fn(&commsim::Comm, &[u64]) + Send + Sync>)> = vec![
+            ("pac", Box::new(move |comm, d| {
+                pac_top_k(comm, d, &params);
+            })),
+            ("ec", Box::new(move |comm, d| {
+                ec_top_k(comm, d, &params);
+            })),
+            ("naive", Box::new(move |comm, d| {
+                naive_top_k(comm, d, &params);
+            })),
+            ("naive_tree", Box::new(move |comm, d| {
+                naive_tree_top_k(comm, d, &params);
+            })),
+        ];
+        for (name, algo) in &algos {
+            group.bench_with_input(BenchmarkId::new(*name, p), &p, |b, &_p| {
+                b.iter(|| {
+                    let parts = &parts;
+                    let algo = &algo;
+                    commsim::run_spmd(p, move |comm| algo(comm, &parts[comm.rank()]))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench for §9: adaptive data redistribution, comparing a perfectly balanced
+//! input (nothing should move), a mildly unbalanced one, and the worst case
+//! where everything sits on a single PE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk::redistribute;
+
+const P: usize = 8;
+const TOTAL: usize = 1 << 16;
+
+fn sizes_for(case: &str) -> Vec<usize> {
+    match case {
+        "balanced" => vec![TOTAL / P; P],
+        "mild_skew" => {
+            let mut v = vec![TOTAL / P; P];
+            v[0] += TOTAL / 4;
+            v[1] -= TOTAL / 8;
+            v[2] -= TOTAL / 8;
+            v
+        }
+        "all_on_one" => {
+            let mut v = vec![0; P];
+            v[0] = TOTAL;
+            v
+        }
+        other => panic!("unknown case {other}"),
+    }
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redistribution");
+    group.sample_size(10);
+    for case in ["balanced", "mild_skew", "all_on_one"] {
+        let sizes = sizes_for(case);
+        group.bench_with_input(BenchmarkId::from_parameter(case), &sizes, |b, sizes| {
+            b.iter(|| {
+                let sizes = sizes.clone();
+                commsim::run_spmd(P, move |comm| {
+                    let local: Vec<u64> = (0..sizes[comm.rank()] as u64).collect();
+                    let (data, report) = redistribute(comm, local);
+                    (data.len(), report.sent_elements)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redistribution);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: Bernoulli sampling with geometric skips vs per-element coin
+//! flips (the §2 trick that makes the sampling step O(ρn) instead of O(n)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqkit::sampling::bernoulli_sample;
+
+fn naive_bernoulli<T: Clone, R: Rng>(data: &[T], rho: f64, rng: &mut R) -> Vec<T> {
+    data.iter().filter(|_| rng.gen_bool(rho)).cloned().collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let n = 1usize << 18;
+    let data: Vec<u64> = (0..n as u64).collect();
+    let mut group = c.benchmark_group("bernoulli_sampling");
+    group.sample_size(20);
+
+    for &rho in &[0.001f64, 0.01, 0.1] {
+        group.bench_with_input(BenchmarkId::new("geometric_skips", rho), &rho, |b, &rho| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| bernoulli_sample(&data, rho, &mut rng).len())
+        });
+        group.bench_with_input(BenchmarkId::new("per_element_coins", rho), &rho, |b, &rho| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| naive_bernoulli(&data, rho, &mut rng).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation: number of communication rounds of the sorted-selection variants
+//! (§4.2's O(log² kp) vs §4.3's O(log kp), and the batched Theorem-4 variant).
+//!
+//! Criterion measures time; the round counts themselves are printed once at
+//! the start so the latency separation is visible without a cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::UniformInput;
+use topk::{
+    approx_multisequence_select, approx_multisequence_select_batched, multisequence_select,
+};
+
+const PER_PE: usize = 1 << 14;
+const K: usize = 1 << 10;
+
+fn parts(p: usize) -> Vec<Vec<u64>> {
+    let generator = UniformInput::new(1 << 30, 11);
+    (0..p).map(|r| generator.generate_sorted(r, PER_PE)).collect()
+}
+
+fn print_round_counts() {
+    for p in [4usize, 16] {
+        let data = parts(p);
+        let data2 = data.clone();
+        let data3 = data.clone();
+        let exact = commsim::run_spmd(p, move |comm| {
+            multisequence_select(comm, &data[comm.rank()], K, 1).rounds
+        });
+        let flexible = commsim::run_spmd(p, move |comm| {
+            approx_multisequence_select(comm, &data2[comm.rank()], K as u64, 2 * K as u64, 1).rounds
+        });
+        let batched = commsim::run_spmd(p, move |comm| {
+            approx_multisequence_select_batched(
+                comm,
+                &data3[comm.rank()],
+                K as u64,
+                K as u64 + K as u64 / 8,
+                16,
+                1,
+            )
+            .rounds
+        });
+        println!(
+            "p = {p:>3}: exact rounds = {:>3}, flexible rounds = {:>2}, batched (narrow band) rounds = {:>2}",
+            exact.results[0], flexible.results[0], batched.results[0]
+        );
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    print_round_counts();
+    let mut group = c.benchmark_group("sorted_selection_rounds");
+    group.sample_size(10);
+    for &p in &[4usize, 8] {
+        let data = parts(p);
+        group.bench_with_input(BenchmarkId::new("exact", p), &p, |b, &_p| {
+            b.iter(|| {
+                let data = &data;
+                commsim::run_spmd(p, move |comm| {
+                    multisequence_select(comm, &data[comm.rank()], K, 1).threshold
+                })
+            })
+        });
+        let data = parts(p);
+        group.bench_with_input(BenchmarkId::new("flexible", p), &p, |b, &_p| {
+            b.iter(|| {
+                let data = &data;
+                commsim::run_spmd(p, move |comm| {
+                    approx_multisequence_select(comm, &data[comm.rank()], K as u64, 2 * K as u64, 1)
+                        .selected
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion bench behind Table 1: wall-clock cost of each algorithm vs. its
+//! baseline at a fixed machine size (the `table1` binary reports the
+//! communication counters; this bench tracks the time component).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{SkewedSelectionInput, UniformInput, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topk::frequent::{naive::naive_top_k, pac::pac_top_k};
+use topk::{approx_multisequence_select, multisequence_select, select_k_smallest, FrequentParams};
+
+const P: usize = 8;
+const PER_PE: usize = 1 << 14;
+const K: usize = 256;
+
+fn bench_selection_old_vs_new(c: &mut Criterion) {
+    let generator = SkewedSelectionInput::default();
+    let parts = generator.generate_all(P, PER_PE);
+    let mut group = c.benchmark_group("table1_unsorted_selection");
+    group.sample_size(10);
+
+    group.bench_function("new_algorithm1", |b| {
+        b.iter(|| {
+            let parts = &parts;
+            commsim::run_spmd(P, move |comm| {
+                select_k_smallest(comm, &parts[comm.rank()], K, 5).threshold
+            })
+        })
+    });
+    group.bench_function("old_gather_to_root", |b| {
+        b.iter(|| {
+            let parts = &parts;
+            commsim::run_spmd(P, move |comm| {
+                let gathered = comm.gather(0, parts[comm.rank()].clone());
+                gathered.map(|all| {
+                    let mut all: Vec<u64> = all.into_iter().flatten().collect();
+                    let mut rng = StdRng::seed_from_u64(5);
+                    seqkit::select::quickselect(&mut all, K - 1, &mut rng)
+                })
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_sorted_selection(c: &mut Criterion) {
+    let generator = UniformInput::new(1 << 30, 3);
+    let parts: Vec<Vec<u64>> = (0..P).map(|r| generator.generate_sorted(r, PER_PE)).collect();
+    let mut group = c.benchmark_group("table1_sorted_selection");
+    group.sample_size(10);
+
+    group.bench_function("exact_k", |b| {
+        b.iter(|| {
+            let parts = &parts;
+            commsim::run_spmd(P, move |comm| {
+                multisequence_select(comm, &parts[comm.rank()], K, 7).threshold
+            })
+        })
+    });
+    group.bench_function("flexible_k", |b| {
+        b.iter(|| {
+            let parts = &parts;
+            commsim::run_spmd(P, move |comm| {
+                approx_multisequence_select(comm, &parts[comm.rank()], K as u64, 2 * K as u64, 7)
+                    .selected
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_frequent_old_vs_new(c: &mut Criterion) {
+    let zipf = Zipf::new(1 << 14, 1.0);
+    let parts: Vec<Vec<u64>> = (0..P)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(0xBEEF + r as u64);
+            zipf.sample_many(PER_PE, &mut rng)
+        })
+        .collect();
+    let params = FrequentParams::new(16, 5e-3, 1e-3, 1);
+    let mut group = c.benchmark_group("table1_topk_frequent");
+    group.sample_size(10);
+
+    group.bench_function("new_pac", |b| {
+        b.iter(|| {
+            let parts = &parts;
+            commsim::run_spmd(P, move |comm| pac_top_k(comm, &parts[comm.rank()], &params))
+        })
+    });
+    group.bench_function("old_naive", |b| {
+        b.iter(|| {
+            let parts = &parts;
+            commsim::run_spmd(P, move |comm| naive_top_k(comm, &parts[comm.rank()], &params))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_old_vs_new, bench_sorted_selection, bench_frequent_old_vs_new);
+criterion_main!(benches);

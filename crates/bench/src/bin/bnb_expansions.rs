@@ -1,0 +1,85 @@
+//! The §5 branch-and-bound claim: the parallel best-first search expands
+//! `K = m + O(h·p)` nodes, where `m` is the sequential expansion count and
+//! `h` the depth of the optimal solution.
+//!
+//! ```bash
+//! cargo run -p bench --release --bin bnb_expansions -- [--items 28] [--instances 5]
+//! ```
+
+use bench::Table;
+use commsim::run_spmd;
+use topk::{knapsack_branch_bound_parallel, knapsack_branch_bound_sequential, KnapsackInstance};
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Branch-and-bound expansion overhead (K = m + O(hp)), {} random knapsack instances with {} items\n",
+        args.instances, args.items
+    );
+
+    let mut table = Table::new(
+        "Parallel vs sequential node expansions",
+        &["instance", "PEs", "optimum", "m (seq.)", "K (par.)", "K − m", "h·p"],
+    );
+
+    for seed in 0..args.instances as u64 {
+        let instance = KnapsackInstance::random(args.items, 50, 100, seed);
+        let dp = instance.optimum_by_dp();
+        let sequential = knapsack_branch_bound_sequential(&instance);
+        assert_eq!(sequential.optimum, dp);
+        let h = instance.len() as u64;
+
+        for p in [2usize, 4, 8] {
+            let instance_ref = instance.clone();
+            let out = run_spmd(p, move |comm| {
+                knapsack_branch_bound_parallel(comm, &instance_ref, 1, seed)
+            });
+            let parallel = out.results[0];
+            assert_eq!(parallel.optimum, dp);
+            table.add_row(vec![
+                seed.to_string(),
+                p.to_string(),
+                dp.to_string(),
+                sequential.expanded.to_string(),
+                parallel.expanded.to_string(),
+                (parallel.expanded as i64 - sequential.expanded as i64).to_string(),
+                (h * p as u64).to_string(),
+            ]);
+        }
+    }
+
+    table.print();
+    println!("{}", table.to_markdown());
+    println!(
+        "Expected shape: K − m stays within a small constant times h·p — the price of\n\
+         expanding p-sized batches speculatively — while the communication volume is\n\
+         independent of the number of inserted nodes (see the bulk_pq bench)."
+    );
+}
+
+struct Args {
+    items: usize,
+    instances: usize,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args { items: 28, instances: 5 };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--items" => {
+                    args.items = argv[i + 1].parse().expect("--items takes a number");
+                    i += 2;
+                }
+                "--instances" => {
+                    args.instances = argv[i + 1].parse().expect("--instances takes a number");
+                    i += 2;
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,27 @@
+//! # bench — experiment harness for the paper's evaluation
+//!
+//! This crate regenerates every table and figure of the paper's Section 10
+//! (plus the cost comparison of Table 1) on the simulated machine:
+//!
+//! * binaries (`cargo run -p bench --release --bin <name>`):
+//!   * `table1` — modeled α/β cost and bottleneck volume of every algorithm
+//!     vs. its baseline,
+//!   * `fig6`   — weak scaling of unsorted selection (Figure 6),
+//!   * `fig7`   — weak scaling of the top-k most frequent objects algorithms
+//!     (Figures 7a/7b),
+//!   * `fig8`   — the strict-accuracy variant (Figure 8),
+//!   * `bnb_expansions` — the `K = m + O(hp)` branch-and-bound claim of §5;
+//! * Criterion benches (`cargo bench -p bench`) covering the same experiments
+//!   at reduced sizes plus ablations (collectives, sampling strategies,
+//!   sorted-selection round counts, redistribution, bulk queue batches).
+//!
+//! Absolute times are not comparable with the paper's Infiniband cluster —
+//! see DESIGN.md for the substitution argument — but the *shape* of every
+//! curve (who wins, where the crossovers are, what scales and what does not)
+//! is, and EXPERIMENTS.md records both.
+
+pub mod report;
+pub mod scaling;
+
+pub use report::Table;
+pub use scaling::{measure_spmd, pe_sweep, Measurement};

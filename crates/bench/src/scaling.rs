@@ -1,0 +1,121 @@
+//! Weak-scaling measurement helpers shared by the experiment binaries and the
+//! Criterion benches.
+
+use std::time::Duration;
+
+use commsim::{run_spmd, Comm, CostModel, WorldStats};
+
+/// One measured configuration of a weak-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Number of simulated PEs.
+    pub num_pes: usize,
+    /// Wall-clock time of the SPMD region.
+    pub wall_time: Duration,
+    /// Bottleneck communication volume (max over PEs of max(sent, received)
+    /// words).
+    pub bottleneck_words: u64,
+    /// Bottleneck number of message start-ups.
+    pub bottleneck_messages: u64,
+    /// Total words moved across the whole machine.
+    pub total_words: u64,
+    /// Modeled communication time under the default α/β cost model.
+    pub modeled_comm_time: f64,
+    /// Raw per-PE statistics for further analysis.
+    pub stats: WorldStats,
+}
+
+impl Measurement {
+    /// Build a measurement from an SPMD run's statistics.
+    pub fn from_stats(num_pes: usize, wall_time: Duration, stats: WorldStats) -> Self {
+        let model = CostModel::default();
+        Measurement {
+            num_pes,
+            wall_time,
+            bottleneck_words: stats.bottleneck_words(),
+            bottleneck_messages: stats.bottleneck_messages(),
+            total_words: stats.total_words(),
+            modeled_comm_time: model.world_cost(&stats),
+            stats,
+        }
+    }
+}
+
+/// Run `body` as an SPMD region on `p` PEs and collect a [`Measurement`].
+///
+/// The body receives the communicator and is responsible for generating its
+/// own local input (deterministically from `comm.rank()`), exactly like the
+/// experiment binaries do.
+pub fn measure_spmd<F>(p: usize, body: F) -> Measurement
+where
+    F: Fn(&Comm) + Send + Sync,
+{
+    let out = run_spmd(p, |comm| body(comm));
+    Measurement::from_stats(p, out.elapsed, out.stats)
+}
+
+/// The PE counts of a weak-scaling sweep: powers of two from 1 to `max`
+/// (inclusive if `max` itself is a power of two, else the largest power of
+/// two below it is the last step).
+pub fn pe_sweep(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 1;
+    while p <= max {
+        out.push(p);
+        p *= 2;
+    }
+    out
+}
+
+/// Average of several repetitions of the same measurement (reduces noise for
+/// the short-running configurations).
+pub fn measure_repeated<F>(p: usize, repetitions: usize, body: F) -> Measurement
+where
+    F: Fn(&Comm) + Send + Sync,
+{
+    assert!(repetitions >= 1);
+    let mut measurements: Vec<Measurement> =
+        (0..repetitions).map(|_| measure_spmd(p, &body)).collect();
+    // Wall time: average; communication counters are identical across
+    // repetitions up to sampling randomness, so report the last.
+    let avg_nanos =
+        measurements.iter().map(|m| m.wall_time.as_nanos()).sum::<u128>() / repetitions as u128;
+    let mut last = measurements.pop().expect("at least one repetition");
+    last.wall_time = Duration::from_nanos(avg_nanos as u64);
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_sweep_is_powers_of_two() {
+        assert_eq!(pe_sweep(1), vec![1]);
+        assert_eq!(pe_sweep(8), vec![1, 2, 4, 8]);
+        assert_eq!(pe_sweep(10), vec![1, 2, 4, 8]);
+        assert_eq!(pe_sweep(16), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn measurement_captures_communication() {
+        let m = measure_spmd(4, |comm| {
+            let _ = comm.allreduce_sum(comm.rank() as u64);
+        });
+        assert_eq!(m.num_pes, 4);
+        assert!(m.bottleneck_words > 0);
+        assert!(m.total_words > 0);
+        assert!(m.modeled_comm_time > 0.0);
+        assert!(m.bottleneck_messages > 0);
+    }
+
+    #[test]
+    fn repeated_measurement_averages_wall_time() {
+        let m = measure_repeated(2, 3, |comm| {
+            comm.barrier();
+        });
+        assert_eq!(m.num_pes, 2);
+        // A barrier moves no payload.
+        assert_eq!(m.bottleneck_words, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! All-to-all personalized communication.
+//!
+//! Each PE has one item destined for every other PE.  With direct
+//! point-to-point delivery this costs `O(βmp + αp)` (the paper's "direct
+//! delivery" bound); an indirect, hypercube-routed variant trades volume for
+//! latency, costing `O(βmp·log p + α log p)`, and is what the paper's
+//! distributed hash table uses to keep the latency term logarithmic.
+
+use crate::comm::Comm;
+use crate::message::CommData;
+
+impl Comm {
+    /// Direct all-to-all: `items[i]` is delivered to PE `i`; the return value
+    /// holds, at index `j`, the item PE `j` sent to this PE.
+    ///
+    /// Cost: every PE sends and receives `p − 1` messages, i.e. `O(αp)`
+    /// latency and `O(β·Σ m_i)` volume.
+    pub fn alltoall<T: CommData>(&self, items: Vec<T>) -> Vec<T> {
+        let p = self.size();
+        let rank = self.rank();
+        assert_eq!(items.len(), p, "alltoall needs exactly one item per destination PE");
+        let tag = self.next_collective_tag();
+
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        for (dst, item) in items.into_iter().enumerate() {
+            if dst == rank {
+                out[dst] = Some(item);
+            } else {
+                self.send_raw(dst, tag, item);
+            }
+        }
+        for src in 0..p {
+            if src != rank {
+                out[src] = Some(self.recv_raw::<T>(src, tag));
+            }
+        }
+        out.into_iter().map(|v| v.expect("alltoall missed a source")).collect()
+    }
+
+    /// Indirect all-to-all over a hypercube-like dissemination pattern:
+    /// messages are routed through `ceil(log2 p)` rounds, so each PE pays
+    /// only `O(log p)` start-ups at the price of forwarding volume
+    /// (`O(β·V·log p)` where `V` is the direct volume).
+    ///
+    /// This is the routing the paper assumes for "indirect delivery"
+    /// ([Leighton 92, Theorem 3.24]) and is what keeps the distributed hash
+    /// table's latency logarithmic.
+    pub fn alltoall_indirect<T: CommData>(&self, items: Vec<T>) -> Vec<T> {
+        let p = self.size();
+        let rank = self.rank();
+        assert_eq!(items.len(), p, "alltoall needs exactly one item per destination PE");
+        let tag = self.next_collective_tag();
+
+        // Every in-flight item is a (final destination, origin, payload)
+        // triple.  In round r (step = 2^r) an item moves from its current
+        // holder to holder + step (mod p) iff the r-th bit of the remaining
+        // forward distance is set.  After ceil(log2 p) rounds everything is
+        // at its destination.  This is the standard store-and-forward
+        // hypercube routing adapted to arbitrary p.
+        let mut in_flight: Vec<(u64, u64, T)> = items
+            .into_iter()
+            .enumerate()
+            .map(|(dst, item)| (dst as u64, rank as u64, item))
+            .collect();
+
+        let mut step = 1usize;
+        while step < p {
+            let (stay, forward): (Vec<_>, Vec<_>) = in_flight.drain(..).partition(|(dst, _, _)| {
+                let distance = (*dst as usize + p - rank) % p;
+                distance & step == 0
+            });
+            in_flight = stay;
+            let to = (rank + step) % p;
+            let from = (rank + p - step % p) % p;
+            self.send_raw(to, tag, forward);
+            let mut received = self.recv_raw::<Vec<(u64, u64, T)>>(from, tag);
+            in_flight.append(&mut received);
+            step <<= 1;
+        }
+
+        debug_assert!(in_flight.iter().all(|(dst, _, _)| *dst as usize == rank));
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        for (_, origin, item) in in_flight {
+            out[origin as usize] = Some(item);
+        }
+        out.into_iter().map(|v| v.expect("indirect alltoall missed a source")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::run_spmd;
+    use crate::topology::dissemination_rounds;
+
+    fn expected_matrix(p: usize) -> Vec<Vec<u64>> {
+        // PE r sends to PE d the value r * 100 + d; PE d therefore receives
+        // from PE s the value s * 100 + d.
+        (0..p).map(|d| (0..p as u64).map(|s| s * 100 + d as u64).collect()).collect()
+    }
+
+    #[test]
+    fn direct_alltoall_permutes_correctly() {
+        for p in [1, 2, 3, 5, 8] {
+            let out = run_spmd(p, |comm| {
+                let items: Vec<u64> =
+                    (0..p as u64).map(|d| comm.rank() as u64 * 100 + d).collect();
+                comm.alltoall(items)
+            });
+            assert_eq!(out.results, expected_matrix(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn indirect_alltoall_permutes_correctly() {
+        for p in [1, 2, 3, 5, 8, 13, 16] {
+            let out = run_spmd(p, |comm| {
+                let items: Vec<u64> =
+                    (0..p as u64).map(|d| comm.rank() as u64 * 100 + d).collect();
+                comm.alltoall_indirect(items)
+            });
+            assert_eq!(out.results, expected_matrix(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn direct_alltoall_latency_is_linear_in_p() {
+        let p = 16;
+        let out = run_spmd(p, |comm| {
+            comm.alltoall(vec![1u64; p]);
+        });
+        assert_eq!(out.stats.bottleneck_messages(), (p - 1) as u64);
+    }
+
+    #[test]
+    fn indirect_alltoall_latency_is_logarithmic() {
+        let p = 16;
+        let out = run_spmd(p, |comm| {
+            comm.alltoall_indirect(vec![1u64; p]);
+        });
+        assert_eq!(out.stats.bottleneck_messages(), dissemination_rounds(p) as u64);
+    }
+
+    #[test]
+    fn alltoall_of_vectors_moves_variable_payloads() {
+        let out = run_spmd(3, |comm| {
+            let items: Vec<Vec<u64>> =
+                (0..3).map(|d| vec![comm.rank() as u64; d]).collect();
+            comm.alltoall(items)
+        });
+        // PE d receives from PE s a vector of d copies of s.
+        for (d, received) in out.results.iter().enumerate() {
+            for (s, v) in received.iter().enumerate() {
+                assert_eq!(v, &vec![s as u64; d]);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Binomial-tree broadcast: `O(βm + α log p)`.
+
+use crate::comm::Comm;
+use crate::message::CommData;
+use crate::topology::{binomial_children, binomial_parent};
+use crate::Rank;
+
+impl Comm {
+    /// Broadcast a value from `root` to all PEs.
+    ///
+    /// The root passes `Some(value)`, every other PE passes `None`; every PE
+    /// (including the root) receives the value as the return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root passes `None` or a non-root passes `Some` (which
+    /// would indicate divergent SPMD control flow).
+    pub fn broadcast<T: CommData + Clone>(&self, root: Rank, value: Option<T>) -> T {
+        let p = self.size();
+        let rank = self.rank();
+        assert!(root < p, "broadcast root {root} out of range for {p} PEs");
+        let tag = self.next_collective_tag();
+
+        let value = if rank == root {
+            value.expect("broadcast: the root PE must supply Some(value)")
+        } else {
+            assert!(
+                value.is_none(),
+                "broadcast: non-root PE {rank} supplied a value (SPMD divergence?)"
+            );
+            let parent = binomial_parent(rank, root, p).expect("non-root must have a parent");
+            self.recv_raw::<T>(parent, tag)
+        };
+
+        for child in binomial_children(rank, root, p) {
+            self.send_raw(child, tag, value.clone());
+        }
+        value
+    }
+
+    /// Convenience wrapper: broadcast from rank 0.
+    pub fn broadcast_from_root<T: CommData + Clone>(&self, value: Option<T>) -> T {
+        self.broadcast(0, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::run_spmd;
+    use crate::topology::dissemination_rounds;
+
+    #[test]
+    fn all_pes_receive_the_root_value() {
+        for p in [1, 2, 3, 4, 7, 8, 13] {
+            let out = run_spmd(p, |comm| {
+                let v = if comm.rank() == 0 { Some(vec![1u64, 2, 3]) } else { None };
+                comm.broadcast(0, v)
+            });
+            assert!(out.results.iter().all(|v| *v == vec![1, 2, 3]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = run_spmd(6, |comm| {
+            let v = if comm.rank() == 4 { Some(99u64) } else { None };
+            comm.broadcast(4, v)
+        });
+        assert!(out.results.iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn broadcast_volume_is_linear_in_p_not_quadratic() {
+        // Each of the p-1 non-roots receives the message exactly once, so the
+        // total volume is (p-1) * m words and the per-PE bottleneck is at
+        // most ceil(log2 p) * m (the root sends to its log p children).
+        let p = 16;
+        let m = 101usize; // 100 elements + length word
+        let out = run_spmd(p, |comm| {
+            let v = if comm.rank() == 0 { Some(vec![7u64; 100]) } else { None };
+            comm.broadcast(0, v);
+        });
+        assert_eq!(out.stats.total_words(), ((p - 1) * m) as u64);
+        assert!(out.stats.bottleneck_words() <= (dissemination_rounds(p) as usize * m) as u64);
+    }
+
+    #[test]
+    fn broadcast_latency_is_logarithmic() {
+        let p = 32;
+        let out = run_spmd(p, |comm| {
+            let v = if comm.rank() == 0 { Some(1u64) } else { None };
+            comm.broadcast(0, v);
+        });
+        assert!(out.stats.bottleneck_messages() <= dissemination_rounds(p) as u64);
+    }
+
+    #[test]
+    fn convenience_wrapper_uses_rank_zero() {
+        let out = run_spmd(3, |comm| {
+            let v = if comm.is_root() { Some("hello".to_string()) } else { None };
+            comm.broadcast_from_root(v)
+        });
+        assert!(out.results.iter().all(|v| v == "hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must supply Some")]
+    fn root_without_value_panics() {
+        run_spmd(2, |comm| {
+            let _ = comm.broadcast::<u64>(0, None);
+        });
+    }
+}

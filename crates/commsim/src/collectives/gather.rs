@@ -1,0 +1,129 @@
+//! Binomial-tree gather and all-gather (gossiping).
+
+use crate::comm::Comm;
+use crate::message::CommData;
+use crate::topology::{binomial_children, binomial_parent, virtual_rank};
+use crate::Rank;
+
+impl Comm {
+    /// Gather one value per PE onto `root`.
+    ///
+    /// The root receives `Some(values)` with `values[i]` being the
+    /// contribution of PE `i`; every other PE receives `None`.
+    ///
+    /// The gather runs up a binomial tree, so the latency is `O(α log p)`
+    /// and the volume at the root is `O(p·m)` for per-PE contributions of
+    /// `m` words (which is unavoidable — the root ends up holding all data).
+    pub fn gather<T: CommData>(&self, root: Rank, value: T) -> Option<Vec<T>> {
+        let p = self.size();
+        let rank = self.rank();
+        assert!(root < p, "gather root {root} out of range for {p} PEs");
+        let tag = self.next_collective_tag();
+
+        // Each node accumulates (virtual rank, value) pairs for its whole
+        // subtree, then forwards them to its parent.
+        let mut bucket: Vec<(u64, T)> = vec![(virtual_rank(rank, root, p) as u64, value)];
+        // Children must be drained in reverse order of how the broadcast
+        // visits them; any fixed order works because pairs carry their rank.
+        for child in binomial_children(rank, root, p) {
+            let mut partial = self.recv_raw::<Vec<(u64, T)>>(child, tag);
+            bucket.append(&mut partial);
+        }
+        match binomial_parent(rank, root, p) {
+            Some(parent) => {
+                self.send_raw(parent, tag, bucket);
+                None
+            }
+            None => {
+                bucket.sort_by_key(|(vr, _)| *vr);
+                let mut out: Vec<Option<T>> = bucket.into_iter().map(|(_, v)| Some(v)).collect();
+                // Map virtual ranks back to physical order.
+                let mut result: Vec<Option<T>> = (0..p).map(|_| None).collect();
+                for (v_rank, slot) in out.iter_mut().enumerate() {
+                    let phys = (v_rank + root) % p;
+                    result[phys] = slot.take();
+                }
+                Some(result.into_iter().map(|v| v.expect("gather missed a PE")).collect())
+            }
+        }
+    }
+
+    /// All-gather (the paper's "all-to-all broadcast" / gossiping): every PE
+    /// contributes one value and every PE receives the vector of all
+    /// contributions, indexed by rank.
+    ///
+    /// Implemented as a gather to rank 0 followed by a broadcast:
+    /// `O(βmp + α log p)`, matching the paper's stated bound.
+    pub fn allgather<T: CommData + Clone>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runner::run_spmd;
+    use crate::topology::dissemination_rounds;
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        for p in [1, 2, 3, 6, 8, 12] {
+            let out = run_spmd(p, |comm| comm.gather(0, (comm.rank() as u64) * 2));
+            let expected: Vec<u64> = (0..p as u64).map(|r| r * 2).collect();
+            assert_eq!(out.results[0], Some(expected), "p={p}");
+            assert!(out.results[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn gather_to_nonzero_root() {
+        let out = run_spmd(5, |comm| comm.gather(2, comm.rank() as u64 + 100));
+        assert_eq!(out.results[2], Some(vec![100, 101, 102, 103, 104]));
+        assert!(out.results[0].is_none());
+    }
+
+    #[test]
+    fn gather_of_variable_size_payloads() {
+        let out = run_spmd(4, |comm| {
+            let v: Vec<u64> = (0..comm.rank() as u64).collect();
+            comm.gather(0, v)
+        });
+        assert_eq!(
+            out.results[0],
+            Some(vec![vec![], vec![0], vec![0, 1], vec![0, 1, 2]])
+        );
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        for p in [1, 2, 5, 8, 9] {
+            let out = run_spmd(p, |comm| comm.allgather(comm.rank() as u64));
+            let expected: Vec<u64> = (0..p as u64).collect();
+            assert!(out.results.iter().all(|v| *v == expected), "p={p}");
+        }
+    }
+
+    #[test]
+    fn gather_latency_is_logarithmic() {
+        let p = 32;
+        let out = run_spmd(p, |comm| {
+            comm.gather(0, 1u64);
+        });
+        // Each PE sends at most one (aggregated) message and receives at most
+        // ceil(log2 p) child messages.
+        assert!(out.stats.bottleneck_messages() <= dissemination_rounds(p) as u64);
+    }
+
+    #[test]
+    fn allgather_volume_is_linear_in_p_per_pe() {
+        let p = 16u64;
+        let out = run_spmd(p as usize, |comm| {
+            comm.allgather(comm.rank() as u64);
+        });
+        // The root both receives ~p pairs and broadcasts the p-vector to its
+        // children, so the bottleneck is Θ(p) with a small constant.
+        let bottleneck = out.stats.bottleneck_words();
+        assert!(bottleneck >= p, "bottleneck {bottleneck} < p {p}");
+        assert!(bottleneck <= 16 * p, "bottleneck {bottleneck} too large");
+    }
+}

@@ -1,0 +1,159 @@
+//! Prefix sums (scan): `O(βm + α log p)` via a dissemination
+//! (Hillis–Steele) pattern.
+
+use super::ReduceOp;
+use crate::comm::Comm;
+use crate::message::CommData;
+
+impl Comm {
+    /// Inclusive prefix combine: PE `j` receives `op(x@0, x@1, …, x@j)`.
+    ///
+    /// The operation must be associative (commutativity is *not* required:
+    /// operands are always combined in rank order).
+    pub fn scan_inclusive<T: CommData + Clone>(&self, value: T, op: &ReduceOp<T>) -> T {
+        let p = self.size();
+        let rank = self.rank();
+        let tag = self.next_collective_tag();
+        let mut acc = value;
+        let mut step = 1usize;
+        while step < p {
+            if rank + step < p {
+                self.send_raw(rank + step, tag, acc.clone());
+            }
+            if rank >= step {
+                let left = self.recv_raw::<T>(rank - step, tag);
+                // Left operand comes from smaller ranks: preserve rank order.
+                acc = op.apply(&left, &acc);
+            }
+            step <<= 1;
+        }
+        acc
+    }
+
+    /// Exclusive prefix combine: PE `j` receives `op(x@0, …, x@{j-1})`, and
+    /// PE 0 receives `identity`.
+    pub fn scan_exclusive<T: CommData + Clone>(
+        &self,
+        value: T,
+        identity: T,
+        op: &ReduceOp<T>,
+    ) -> T {
+        // Inclusive scan of the shifted sequence: send the *previous* rank's
+        // value through the same dissemination pattern by computing the
+        // inclusive scan and subtracting is not possible for general ops, so
+        // we scan the value but combine starting from the identity on each
+        // PE, i.e. scan the pair (prefix up to predecessor).
+        let p = self.size();
+        let rank = self.rank();
+        let tag = self.next_collective_tag();
+        // acc = combination of values from ranks [start, rank], initially own.
+        let mut acc = value;
+        // excl = combination of values from ranks [start, rank), i.e. what we
+        // will return once start reaches 0.
+        let mut excl: Option<T> = None;
+        let mut step = 1usize;
+        while step < p {
+            if rank + step < p {
+                self.send_raw(rank + step, tag, acc.clone());
+            }
+            if rank >= step {
+                let left = self.recv_raw::<T>(rank - step, tag);
+                excl = Some(match excl {
+                    None => left.clone(),
+                    Some(e) => op.apply(&left, &e),
+                });
+                acc = op.apply(&left, &acc);
+            }
+            step <<= 1;
+        }
+        excl.unwrap_or(identity)
+    }
+
+    /// Exclusive prefix sum of a scalar count — used for data redistribution
+    /// and global element numbering.
+    pub fn prefix_sum_exclusive(&self, value: u64) -> u64 {
+        self.scan_exclusive(value, 0, &ReduceOp::sum())
+    }
+
+    /// Inclusive prefix sum of a scalar count.
+    pub fn prefix_sum_inclusive(&self, value: u64) -> u64 {
+        self.scan_inclusive(value, &ReduceOp::sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collectives::ReduceOp;
+    use crate::runner::run_spmd;
+    use crate::topology::dissemination_rounds;
+
+    #[test]
+    fn inclusive_prefix_sum_matches_reference() {
+        for p in [1, 2, 3, 5, 8, 13, 16] {
+            let values: Vec<u64> = (0..p as u64).map(|r| r * r + 1).collect();
+            let vals = values.clone();
+            let out = run_spmd(p, move |comm| comm.prefix_sum_inclusive(vals[comm.rank()]));
+            let mut expected = Vec::new();
+            let mut acc = 0;
+            for v in &values {
+                acc += v;
+                expected.push(acc);
+            }
+            assert_eq!(out.results, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_matches_reference() {
+        for p in [1, 2, 4, 7, 9] {
+            let values: Vec<u64> = (0..p as u64).map(|r| 10 + r).collect();
+            let vals = values.clone();
+            let out = run_spmd(p, move |comm| comm.prefix_sum_exclusive(vals[comm.rank()]));
+            let mut expected = Vec::new();
+            let mut acc = 0;
+            for v in &values {
+                expected.push(acc);
+                acc += v;
+            }
+            assert_eq!(out.results, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn scan_respects_rank_order_for_noncommutative_ops() {
+        // String concatenation is associative but not commutative.
+        let out = run_spmd(4, |comm| {
+            let s = format!("{}", comm.rank());
+            comm.scan_inclusive(s, &ReduceOp::custom(|a: &String, b: &String| format!("{a}{b}")))
+        });
+        assert_eq!(out.results, vec!["0", "01", "012", "0123"]);
+    }
+
+    #[test]
+    fn exclusive_scan_with_noncommutative_op() {
+        let out = run_spmd(4, |comm| {
+            let s = format!("{}", comm.rank());
+            comm.scan_exclusive(
+                s,
+                String::new(),
+                &ReduceOp::custom(|a: &String, b: &String| format!("{a}{b}")),
+            )
+        });
+        assert_eq!(out.results, vec!["", "0", "01", "012"]);
+    }
+
+    #[test]
+    fn scan_latency_is_logarithmic() {
+        let p = 64;
+        let out = run_spmd(p, |comm| comm.prefix_sum_inclusive(1));
+        assert!(out.stats.bottleneck_messages() <= dissemination_rounds(p) as u64);
+    }
+
+    #[test]
+    fn scan_on_single_pe_returns_identity_or_value() {
+        let out = run_spmd(1, |comm| {
+            (comm.prefix_sum_inclusive(5), comm.prefix_sum_exclusive(5))
+        });
+        assert_eq!(out.results[0], (5, 0));
+    }
+}

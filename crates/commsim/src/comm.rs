@@ -1,0 +1,237 @@
+//! The per-PE communicator handle.
+//!
+//! A [`Comm`] is the only window a PE has onto the rest of the machine.  It
+//! offers MPI-like point-to-point messaging plus the collective operations of
+//! the paper's model (implemented in [`crate::collectives`] as inherent
+//! methods on `Comm`).  All traffic is metered into the per-PE counters of
+//! the run's [`crate::metrics::StatsRegistry`].
+
+use std::cell::Cell;
+
+use crate::error::CommError;
+use crate::message::CommData;
+use crate::metrics::{StatsRegistry, StatsSnapshot};
+use crate::transport::{Envelope, Mailbox};
+use crate::{Rank, Tag};
+
+/// First tag reserved for internal use by collective operations.  User tags
+/// passed to [`Comm::send`] / [`Comm::recv`] must be below this value.
+pub const COLLECTIVE_TAG_BASE: Tag = 1 << 32;
+
+/// Communicator handle owned by one PE for the duration of an SPMD region.
+pub struct Comm {
+    mailbox: Mailbox,
+    stats: StatsRegistry,
+    /// Sequence number of collective operations issued so far.  Because all
+    /// PEs execute the same program, the counters stay in sync across PEs and
+    /// provide a fresh internal tag per collective, which catches divergence
+    /// bugs (a mismatch manifests as a tag error instead of silent data
+    /// corruption).
+    collective_seq: Cell<u64>,
+}
+
+impl Comm {
+    /// Create a communicator from its transport endpoint and the shared
+    /// statistics registry.  Normally called by [`crate::runner::run_spmd`].
+    pub fn new(mailbox: Mailbox, stats: StatsRegistry) -> Self {
+        Comm { mailbox, stats, collective_seq: Cell::new(0) }
+    }
+
+    /// Rank of this PE (`0..p`).
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.mailbox.rank()
+    }
+
+    /// Number of PEs in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.mailbox.size()
+    }
+
+    /// `true` iff this PE is rank 0.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.rank() == 0
+    }
+
+    /// Send `value` to PE `dst` with a user tag (`tag < 2^32`).
+    ///
+    /// Sends never block: the simulated network has unbounded buffering.
+    pub fn send<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^32, got {tag}");
+        self.send_raw(dst, tag, value);
+    }
+
+    /// Receive a value of type `T` from PE `src` carrying user tag `tag`.
+    ///
+    /// Blocks until the message arrives.  Panics if the next message from
+    /// `src` has a different tag or payload type — in an SPMD program that is
+    /// a bug, not a runtime condition.
+    pub fn recv<T: CommData>(&self, src: Rank, tag: Tag) -> T {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^32, got {tag}");
+        self.recv_raw(src, tag)
+    }
+
+    /// Receive the next message from `src` regardless of tag, returning the
+    /// tag alongside the payload.
+    pub fn recv_any_tag<T: CommData>(&self, src: Rank) -> (Tag, T) {
+        let env = self.mailbox.recv(src).unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        self.stats.pe(self.rank()).record_recv(env.words);
+        let (tag, _words, value) =
+            env.open::<T>().unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        (tag, value)
+    }
+
+    /// Non-blocking probe-and-receive from `src`; returns `None` if no
+    /// message is currently queued.
+    pub fn try_recv<T: CommData>(&self, src: Rank) -> Option<(Tag, T)> {
+        match self.mailbox.try_recv(src) {
+            Ok(Some(env)) => {
+                self.stats.pe(self.rank()).record_recv(env.words);
+                let (tag, _words, value) =
+                    env.open::<T>().unwrap_or_else(|e| panic!("try_recv from {src}: {e}"));
+                Some((tag, value))
+            }
+            Ok(None) => None,
+            Err(e) => panic!("try_recv from {src}: {e}"),
+        }
+    }
+
+    /// Snapshot of this PE's communication counters (words/messages sent and
+    /// received so far).  Take one before and one after a phase and subtract
+    /// to meter the phase.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.pe(self.rank()).snapshot()
+    }
+
+    // ----- internal plumbing shared with the collectives module -----
+
+    /// Allocate the internal tag for the next collective operation.
+    pub(crate) fn next_collective_tag(&self) -> Tag {
+        let seq = self.collective_seq.get();
+        self.collective_seq.set(seq + 1);
+        COLLECTIVE_TAG_BASE + seq
+    }
+
+    /// Untyped send used by both the public API and the collectives.
+    pub(crate) fn send_raw<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
+        let env = Envelope::new(tag, self.rank(), value);
+        self.stats.pe(self.rank()).record_send(env.words);
+        if let Err(e) = self.mailbox.send(dst, env) {
+            panic!("send to {dst}: {e}");
+        }
+    }
+
+    /// Untyped tag-checked receive used by both the public API and the
+    /// collectives.
+    pub(crate) fn recv_raw<T: CommData>(&self, src: Rank, expected_tag: Tag) -> T {
+        let env = self.mailbox.recv(src).unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        self.stats.pe(self.rank()).record_recv(env.words);
+        if env.tag != expected_tag {
+            let err = CommError::TagMismatch { expected: expected_tag, got: env.tag, from: src };
+            panic!("recv from {src}: {err}");
+        }
+        let (_tag, _words, value) =
+            env.open::<T>().unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_spmd;
+
+    #[test]
+    fn rank_and_size_are_exposed() {
+        let out = run_spmd(3, |comm| (comm.rank(), comm.size(), comm.is_root()));
+        assert_eq!(out.results, vec![(0, 3, true), (1, 3, false), (2, 3, false)]);
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1u64, 2, 3]);
+                0
+            } else {
+                let v: Vec<u64> = comm.recv(0, 7);
+                v.iter().sum::<u64>()
+            }
+        });
+        assert_eq!(out.results[1], 6);
+    }
+
+    #[test]
+    fn stats_meter_both_sides() {
+        let out = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0u64; 9]);
+            } else {
+                let _: Vec<u64> = comm.recv(0, 1);
+            }
+            comm.stats_snapshot()
+        });
+        // Vec of 9 elements = 10 words (length + payload).
+        assert_eq!(out.results[0].sent_words, 10);
+        assert_eq!(out.results[0].sent_messages, 1);
+        assert_eq!(out.results[1].received_words, 10);
+        assert_eq!(out.results[1].received_messages, 1);
+        assert_eq!(out.stats.total_words(), 10);
+        assert_eq!(out.stats.bottleneck_words(), 10);
+    }
+
+    #[test]
+    fn recv_any_tag_returns_the_tag() {
+        let out = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 42, 5u64);
+                (0, 0)
+            } else {
+                let (tag, v): (Tag, u64) = comm.recv_any_tag(0);
+                (tag, v)
+            }
+        });
+        assert_eq!(out.results[1], (42, 5));
+    }
+
+    #[test]
+    fn try_recv_sees_nothing_then_something() {
+        let out = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                // Nothing was sent to PE 0.
+                let nothing: Option<(Tag, u64)> = comm.try_recv(1);
+                comm.send(1, 3, 1u64);
+                nothing.is_none()
+            } else {
+                // Blocking receive guarantees the message is there.
+                let _: u64 = comm.recv(0, 3);
+                true
+            }
+        });
+        assert!(out.results.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "user tags")]
+    fn reserved_tags_are_rejected() {
+        run_spmd(1, |comm| comm.send(0, COLLECTIVE_TAG_BASE, 1u64));
+    }
+
+    #[test]
+    fn phase_metering_via_snapshots() {
+        let out = run_spmd(2, |comm| {
+            let before = comm.stats_snapshot();
+            if comm.rank() == 0 {
+                comm.send(1, 1, 1u64);
+            } else {
+                let _: u64 = comm.recv(0, 1);
+            }
+            let after = comm.stats_snapshot();
+            after.since(&before)
+        });
+        assert_eq!(out.results[0].sent_messages, 1);
+        assert_eq!(out.results[1].received_messages, 1);
+    }
+}

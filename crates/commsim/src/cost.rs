@@ -1,0 +1,131 @@
+//! The α/β communication cost model.
+//!
+//! Following the paper's Section 2, sending a message of `m` machine words
+//! takes time `α + mβ` where `α` is the start-up overhead and `β` the time
+//! per word.  A running time of `O(x + βy + αz)` therefore separates internal
+//! work `x`, communication volume `y` and latency `z`.  [`CostModel`] turns
+//! the metered counters of a run ([`crate::WorldStats`]) into such a modeled
+//! cost, which is what the Table 1 experiments report alongside wall time.
+
+use crate::metrics::{StatsSnapshot, WorldStats};
+
+/// Machine parameters of the modeled network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Start-up overhead per message (seconds, or any consistent unit).
+    pub alpha: f64,
+    /// Transfer time per machine word (same unit as `alpha`).
+    pub beta: f64,
+}
+
+impl Default for CostModel {
+    /// Defaults loosely modeled on the paper's InfiniBand 4X QDR testbed:
+    /// ~1.5 µs start-up latency and ~2.5 ns per 8-byte word
+    /// (≈ 3.2 GB/s effective per-port bandwidth).
+    fn default() -> Self {
+        CostModel { alpha: 1.5e-6, beta: 2.5e-9 }
+    }
+}
+
+impl CostModel {
+    /// Create a model with explicit parameters.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        Self { alpha, beta }
+    }
+
+    /// A model in which only start-ups matter (β = 0) — useful to isolate the
+    /// latency term of an algorithm.
+    pub fn latency_only(alpha: f64) -> Self {
+        Self { alpha, beta: 0.0 }
+    }
+
+    /// A model in which only volume matters (α = 0) — useful to isolate the
+    /// bandwidth term of an algorithm.
+    pub fn bandwidth_only(beta: f64) -> Self {
+        Self { alpha: 0.0, beta }
+    }
+
+    /// Modeled cost of a single message of `words` machine words.
+    pub fn message(&self, words: usize) -> f64 {
+        self.alpha + self.beta * words as f64
+    }
+
+    /// Modeled communication time of one PE given its counters: the PE pays
+    /// α per start-up and β per word on its busier direction.
+    pub fn pe_cost(&self, s: &StatsSnapshot) -> f64 {
+        self.alpha * s.bottleneck_messages() as f64 + self.beta * s.bottleneck_words() as f64
+    }
+
+    /// Modeled communication time of a whole run: the bottleneck PE
+    /// determines the cost (all PEs run concurrently).
+    pub fn world_cost(&self, w: &WorldStats) -> f64 {
+        w.per_pe().iter().map(|s| self.pe_cost(s)).fold(0.0, f64::max)
+    }
+
+    /// Decompose the modeled world cost into its latency (α) and bandwidth
+    /// (β) contributions, each taken at the respective bottleneck PE.
+    pub fn world_cost_split(&self, w: &WorldStats) -> (f64, f64) {
+        let latency = self.alpha * w.bottleneck_messages() as f64;
+        let bandwidth = self.beta * w.bottleneck_words() as f64;
+        (latency, bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StatsSnapshot;
+
+    fn snap(msgs: u64, words: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            sent_messages: msgs,
+            sent_words: words,
+            received_messages: msgs,
+            received_words: words,
+        }
+    }
+
+    #[test]
+    fn message_cost_is_affine() {
+        let m = CostModel::new(2.0, 0.5);
+        assert_eq!(m.message(0), 2.0);
+        assert_eq!(m.message(10), 7.0);
+    }
+
+    #[test]
+    fn pe_cost_uses_bottleneck_direction() {
+        let m = CostModel::new(1.0, 1.0);
+        let s = StatsSnapshot { sent_messages: 2, sent_words: 10, received_messages: 5, received_words: 3 };
+        // 5 start-ups (receive side dominates) + 10 words (send side dominates)
+        assert_eq!(m.pe_cost(&s), 15.0);
+    }
+
+    #[test]
+    fn world_cost_is_max_over_pes() {
+        let m = CostModel::new(1.0, 1.0);
+        let w = WorldStats::from_snapshots(vec![snap(1, 100), snap(50, 2), snap(3, 3)]);
+        assert_eq!(m.world_cost(&w), 101.0);
+    }
+
+    #[test]
+    fn split_reports_both_terms() {
+        let m = CostModel::new(2.0, 3.0);
+        let w = WorldStats::from_snapshots(vec![snap(4, 7), snap(5, 1)]);
+        let (lat, bw) = m.world_cost_split(&w);
+        assert_eq!(lat, 10.0);
+        assert_eq!(bw, 21.0);
+    }
+
+    #[test]
+    fn special_models_zero_out_a_term() {
+        let w = WorldStats::from_snapshots(vec![snap(4, 7)]);
+        assert_eq!(CostModel::latency_only(1.0).world_cost(&w), 4.0);
+        assert_eq!(CostModel::bandwidth_only(1.0).world_cost(&w), 7.0);
+    }
+
+    #[test]
+    fn default_is_infiniband_like() {
+        let m = CostModel::default();
+        assert!(m.alpha > m.beta);
+    }
+}

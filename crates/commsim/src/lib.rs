@@ -1,0 +1,74 @@
+//! # commsim — a simulated distributed-memory machine
+//!
+//! This crate provides the substrate on which the communication-efficient
+//! top-k selection algorithms of Hübschle-Schneider, Sanders & Müller
+//! (IPDPS 2016) are implemented.  It models the machine the paper assumes in
+//! its Section 2 ("Preliminaries"):
+//!
+//! * `p` processing elements (PEs), numbered `0..p`, each holding **private
+//!   local data** — there is no shared memory between PEs,
+//! * full-duplex, single-ported point-to-point communication where sending a
+//!   message of `m` machine words costs `α + mβ`,
+//! * collective operations (broadcast, reduction, all-reduction, prefix sums,
+//!   gather, scatter, all-gather, all-to-all) that run in
+//!   `O(βm + α log p)` (or `O(βmp + α log p)` where the output is inherently
+//!   of size `mp`).
+//!
+//! PEs are realised as OS threads running the *same* program (SPMD style);
+//! the only way for them to exchange information is through the [`Comm`]
+//! handle.  Every message that crosses the "network" is metered: the number
+//! of machine words, the number of message start-ups, and per-PE send/receive
+//! totals are recorded so that algorithms can be evaluated in the α/β cost
+//! model the paper uses — independently of wall-clock time.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use commsim::{run_spmd, ReduceOp};
+//!
+//! // Four PEs each contribute their rank; the sum 0+1+2+3 = 6 is computed
+//! // with a tree all-reduction and is available on every PE.
+//! let out = run_spmd(4, |comm| {
+//!     let local = comm.rank() as u64;
+//!     comm.allreduce(local, ReduceOp::sum())
+//! });
+//! assert!(out.results.iter().all(|&s| s == 6));
+//! // The communication volume is logged per PE:
+//! assert!(out.stats.bottleneck_words() > 0);
+//! ```
+//!
+//! ## What is (deliberately) simulated
+//!
+//! The paper's evaluation ran on an Infiniband cluster with MPI.  Absolute
+//! transfer speed is irrelevant to the paper's claims, which are about
+//! *communication volume* and *latency (start-ups)*.  The simulator preserves
+//! exactly those quantities and exposes them through [`WorldStats`] and
+//! [`CostModel`], so experiments report both measured wall-time shape and the
+//! modeled `α·startups + β·words` cost.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod error;
+pub mod message;
+pub mod metrics;
+pub mod runner;
+pub mod topology;
+pub mod transport;
+
+pub use comm::Comm;
+pub use cost::CostModel;
+pub use error::{CommError, CommResult};
+pub use message::CommData;
+pub use metrics::{PeStats, StatsSnapshot, WorldStats};
+pub use runner::{run_spmd, run_spmd_with, SpmdConfig, SpmdOutput};
+pub use collectives::ReduceOp;
+
+/// Rank of a processing element, `0..p`.
+pub type Rank = usize;
+
+/// Message tag used to match point-to-point sends and receives.
+pub type Tag = u64;

@@ -1,0 +1,181 @@
+//! Message payloads and word-count accounting.
+//!
+//! The paper's cost model charges `α + mβ` for a message of `m` *machine
+//! words*.  Every payload that crosses the simulated network therefore has to
+//! report how many machine words it occupies; the [`CommData`] trait does
+//! that.  A machine word is 64 bits; smaller scalars still count as one word
+//! (as they would occupy one word in an MPI message of that type for the
+//! purposes of an asymptotic analysis), and aggregate types sum the words of
+//! their parts.
+
+/// A value that can be sent over the simulated network.
+///
+/// Implementors must be `Send + 'static` (the payload moves between PE
+/// threads) and must be able to report their size in machine words, which is
+/// what the α/β cost model meters.
+pub trait CommData: Send + 'static {
+    /// Number of 64-bit machine words this value occupies on the wire.
+    fn word_count(&self) -> usize;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl CommData for $t {
+                #[inline]
+                fn word_count(&self) -> usize {
+                    1
+                }
+            }
+        )*
+    };
+}
+
+impl_scalar!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl CommData for u128 {
+    #[inline]
+    fn word_count(&self) -> usize {
+        2
+    }
+}
+
+impl CommData for i128 {
+    #[inline]
+    fn word_count(&self) -> usize {
+        2
+    }
+}
+
+impl CommData for () {
+    /// The empty message still costs a start-up, but carries zero payload
+    /// words (used by barriers and pure synchronisation messages).
+    #[inline]
+    fn word_count(&self) -> usize {
+        0
+    }
+}
+
+impl CommData for String {
+    fn word_count(&self) -> usize {
+        // 8 bytes per word, rounded up, plus one word for the length.
+        1 + self.len().div_ceil(8)
+    }
+}
+
+impl<T: CommData> CommData for Option<T> {
+    fn word_count(&self) -> usize {
+        // One word for the discriminant.
+        1 + self.as_ref().map_or(0, CommData::word_count)
+    }
+}
+
+impl<T: CommData> CommData for Vec<T> {
+    fn word_count(&self) -> usize {
+        // One word for the length plus the payload.
+        1 + self.iter().map(CommData::word_count).sum::<usize>()
+    }
+}
+
+impl<T: CommData> CommData for Box<T> {
+    fn word_count(&self) -> usize {
+        self.as_ref().word_count()
+    }
+}
+
+impl<T: CommData> CommData for std::cmp::Reverse<T> {
+    fn word_count(&self) -> usize {
+        self.0.word_count()
+    }
+}
+
+impl<A: CommData, B: CommData> CommData for (A, B) {
+    fn word_count(&self) -> usize {
+        self.0.word_count() + self.1.word_count()
+    }
+}
+
+impl<A: CommData, B: CommData, C: CommData> CommData for (A, B, C) {
+    fn word_count(&self) -> usize {
+        self.0.word_count() + self.1.word_count() + self.2.word_count()
+    }
+}
+
+impl<A: CommData, B: CommData, C: CommData, D: CommData> CommData for (A, B, C, D) {
+    fn word_count(&self) -> usize {
+        self.0.word_count() + self.1.word_count() + self.2.word_count() + self.3.word_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_one_word() {
+        assert_eq!(0u64.word_count(), 1);
+        assert_eq!(0u8.word_count(), 1);
+        assert_eq!(true.word_count(), 1);
+        assert_eq!(1.5f64.word_count(), 1);
+        assert_eq!('x'.word_count(), 1);
+    }
+
+    #[test]
+    fn wide_scalars_are_two_words() {
+        assert_eq!(0u128.word_count(), 2);
+        assert_eq!((-1i128).word_count(), 2);
+    }
+
+    #[test]
+    fn unit_is_zero_words() {
+        assert_eq!(().word_count(), 0);
+    }
+
+    #[test]
+    fn vectors_charge_length_plus_payload() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.word_count(), 4);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(empty.word_count(), 1);
+    }
+
+    #[test]
+    fn nested_vectors_sum_recursively() {
+        let v: Vec<Vec<u64>> = vec![vec![1, 2], vec![3]];
+        // outer length word + (inner: 1+2) + (inner: 1+1)
+        assert_eq!(v.word_count(), 1 + 3 + 2);
+    }
+
+    #[test]
+    fn tuples_sum_their_parts() {
+        assert_eq!((1u64, 2u64).word_count(), 2);
+        assert_eq!((1u64, 2u64, 3u64).word_count(), 3);
+        assert_eq!((1u64, 2u64, 3u64, 4u64).word_count(), 4);
+        assert_eq!((1u64, vec![1u64, 2u64]).word_count(), 1 + 3);
+    }
+
+    #[test]
+    fn option_charges_discriminant() {
+        assert_eq!(Some(1u64).word_count(), 2);
+        assert_eq!(None::<u64>.word_count(), 1);
+    }
+
+    #[test]
+    fn strings_round_up_to_words() {
+        assert_eq!(String::new().word_count(), 1);
+        assert_eq!("12345678".to_string().word_count(), 2);
+        assert_eq!("123456789".to_string().word_count(), 3);
+    }
+
+    #[test]
+    fn boxed_values_delegate() {
+        assert_eq!(Box::new(7u64).word_count(), 1);
+        assert_eq!(Box::new(vec![1u64, 2]).word_count(), 3);
+    }
+
+    #[test]
+    fn reverse_wrapper_delegates() {
+        assert_eq!(std::cmp::Reverse(7u64).word_count(), 1);
+        assert_eq!(std::cmp::Reverse(vec![1u64, 2]).word_count(), 3);
+    }
+}

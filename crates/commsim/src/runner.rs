@@ -1,0 +1,197 @@
+//! The SPMD executor.
+//!
+//! [`run_spmd`] spawns one thread per simulated PE, hands each a [`Comm`]
+//! handle wired into the full-mesh transport, runs the user closure on every
+//! PE, and collects the per-PE return values together with the aggregated
+//! communication statistics and the wall-clock time of the region.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::comm::Comm;
+use crate::metrics::{StatsRegistry, WorldStats};
+use crate::transport::Mailbox;
+
+/// Configuration of an SPMD run.
+#[derive(Debug, Clone)]
+pub struct SpmdConfig {
+    /// Number of simulated PEs (threads).
+    pub num_pes: usize,
+    /// Stack size per PE thread in bytes.  The default (8 MiB) is plenty for
+    /// all algorithms in this repository; deep recursions on huge local
+    /// inputs may want more.
+    pub stack_size: usize,
+}
+
+impl SpmdConfig {
+    /// Configuration with `num_pes` PEs and default stack size.
+    pub fn new(num_pes: usize) -> Self {
+        SpmdConfig { num_pes, stack_size: 8 * 1024 * 1024 }
+    }
+
+    /// Override the per-PE stack size.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+}
+
+/// Result of an SPMD region.
+#[derive(Debug)]
+pub struct SpmdOutput<T> {
+    /// Per-PE return values, indexed by rank.
+    pub results: Vec<T>,
+    /// Aggregated communication statistics of the whole region.
+    pub stats: WorldStats,
+    /// Wall-clock time of the region (from just before the first PE starts to
+    /// just after the last PE finishes).
+    pub elapsed: Duration,
+}
+
+impl<T> SpmdOutput<T> {
+    /// The result of the root PE (rank 0).
+    pub fn root(&self) -> &T {
+        &self.results[0]
+    }
+
+    /// Consume the output, keeping only the per-PE results.
+    pub fn into_results(self) -> Vec<T> {
+        self.results
+    }
+}
+
+/// Run `f` on `p` simulated PEs and collect the results.
+///
+/// `f` is invoked once per PE with that PE's [`Comm`] handle; it must treat
+/// its captured environment as *read-only shared state* (captured references
+/// model data that was replicated before the algorithm starts, not the
+/// distributed input — distributed input is whatever each PE derives from
+/// `comm.rank()` or generates locally).
+///
+/// # Panics
+///
+/// Panics if `p == 0` or if any PE panics (the panic is propagated with the
+/// rank of the offending PE).
+pub fn run_spmd<T, F>(p: usize, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Send + Sync,
+{
+    run_spmd_with(SpmdConfig::new(p), f)
+}
+
+/// Like [`run_spmd`] but with explicit configuration.
+pub fn run_spmd_with<T, F>(config: SpmdConfig, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Send + Sync,
+{
+    let p = config.num_pes;
+    assert!(p > 0, "an SPMD region needs at least one PE");
+    let registry = StatsRegistry::new(p);
+    let mailboxes = Mailbox::full_mesh(p);
+    let f = &f;
+
+    let start = Instant::now();
+    let results: Vec<T> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, mailbox) in mailboxes.into_iter().enumerate() {
+            let registry = registry.clone();
+            let builder = thread::Builder::new()
+                .name(format!("pe-{rank}"))
+                .stack_size(config.stack_size);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let comm = Comm::new(mailbox, registry);
+                    f(&comm)
+                })
+                .expect("failed to spawn PE thread");
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(v) => v,
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic payload>");
+                    panic!("PE {rank} panicked: {msg}");
+                }
+            })
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    SpmdOutput { results, stats: registry.world(), elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let out = run_spmd(5, |comm| comm.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(*out.root(), 0);
+    }
+
+    #[test]
+    fn single_pe_world_works() {
+        let out = run_spmd(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            "ok"
+        });
+        assert_eq!(out.into_results(), vec!["ok"]);
+    }
+
+    #[test]
+    fn no_communication_means_zero_stats() {
+        let out = run_spmd(4, |comm| comm.rank());
+        assert_eq!(out.stats.total_words(), 0);
+        assert_eq!(out.stats.total_messages(), 0);
+        assert_eq!(out.stats.bottleneck_words(), 0);
+    }
+
+    #[test]
+    fn elapsed_time_is_positive() {
+        let out = run_spmd(2, |_comm| std::thread::sleep(Duration::from_millis(1)));
+        assert!(out.elapsed >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn config_builder_sets_fields() {
+        let cfg = SpmdConfig::new(3).with_stack_size(1 << 20);
+        assert_eq!(cfg.num_pes, 3);
+        assert_eq!(cfg.stack_size, 1 << 20);
+        let out = run_spmd_with(cfg, |comm| comm.size());
+        assert_eq!(out.results, vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_is_rejected() {
+        let _ = run_spmd(0, |_comm| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "PE 1 panicked")]
+    fn pe_panics_are_propagated_with_rank() {
+        let _ = run_spmd(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn captured_environment_is_shared_read_only() {
+        let shared = vec![1u64, 2, 3, 4];
+        let out = run_spmd(4, |comm| shared[comm.rank()]);
+        assert_eq!(out.results, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Point-to-point transport between simulated PEs.
+//!
+//! The transport is a full mesh of FIFO channels: one unbounded channel per
+//! ordered PE pair `(src, dst)`.  FIFO order per pair plus the SPMD structure
+//! of all algorithms in this repository (every PE executes the same sequence
+//! of communication operations) is what makes tag-checked in-order receives
+//! sufficient — there is no need for out-of-order message matching.
+
+use std::any::Any;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::{CommError, CommResult};
+use crate::message::CommData;
+use crate::{Rank, Tag};
+
+/// A type-erased message travelling between two PEs.
+pub struct Envelope {
+    /// Tag used for matching; collectives use an internal tag space.
+    pub tag: Tag,
+    /// Rank of the sender.
+    pub from: Rank,
+    /// Number of machine words of the payload (metered on send).
+    pub words: usize,
+    /// The payload itself.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("tag", &self.tag)
+            .field("from", &self.from)
+            .field("words", &self.words)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Envelope {
+    /// Wrap a typed payload.
+    pub fn new<T: CommData>(tag: Tag, from: Rank, value: T) -> Self {
+        let words = value.word_count();
+        Envelope { tag, from, words, payload: Box::new(value) }
+    }
+
+    /// Recover the typed payload, failing if the stored type differs.
+    pub fn open<T: CommData>(self) -> CommResult<(Tag, usize, T)> {
+        let Envelope { tag, words, payload, .. } = self;
+        match payload.downcast::<T>() {
+            Ok(v) => Ok((tag, words, *v)),
+            Err(_) => Err(CommError::TypeMismatch { tag, expected: std::any::type_name::<T>() }),
+        }
+    }
+}
+
+/// The per-PE endpoint of the full-mesh transport.
+///
+/// `senders[d]` transmits to PE `d`; `receivers[s]` yields messages sent by
+/// PE `s`, in FIFO order.
+pub struct Mailbox {
+    rank: Rank,
+    senders: Vec<Sender<Envelope>>,
+    receivers: Vec<Receiver<Envelope>>,
+}
+
+impl Mailbox {
+    /// Build the full mesh for `p` PEs and return one mailbox per PE.
+    pub fn full_mesh(p: usize) -> Vec<Mailbox> {
+        assert!(p > 0, "need at least one PE");
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Sender<Envelope>>> = vec![Vec::with_capacity(p); p];
+        let mut receivers: Vec<Vec<Receiver<Envelope>>> = vec![Vec::with_capacity(p); p];
+        for src in 0..p {
+            for _dst in 0..p {
+                let (tx, rx) = unbounded();
+                senders[src].push(tx);
+                receivers[src].push(rx);
+            }
+        }
+        // receivers[src][dst] is the receiving end that PE `dst` must own for
+        // messages from `src`; transpose.
+        let mut boxes = Vec::with_capacity(p);
+        for rank in 0..p {
+            let my_senders = senders[rank].clone();
+            let my_receivers: Vec<Receiver<Envelope>> =
+                (0..p).map(|src| receivers[src][rank].clone()).collect();
+            boxes.push(Mailbox { rank, senders: my_senders, receivers: my_receivers });
+        }
+        boxes
+    }
+
+    /// Rank of the owning PE.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of PEs in the mesh.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send an envelope to `dst` (never blocks; channels are unbounded).
+    pub fn send(&self, dst: Rank, env: Envelope) -> CommResult<()> {
+        let size = self.size();
+        let sender = self.senders.get(dst).ok_or(CommError::InvalidRank { rank: dst, size })?;
+        sender.send(env).map_err(|_| CommError::Disconnected { from: dst })
+    }
+
+    /// Blocking receive of the next message from `src` (FIFO per pair).
+    pub fn recv(&self, src: Rank) -> CommResult<Envelope> {
+        let size = self.size();
+        let receiver =
+            self.receivers.get(src).ok_or(CommError::InvalidRank { rank: src, size })?;
+        receiver.recv().map_err(|_| CommError::Disconnected { from: src })
+    }
+
+    /// Non-blocking receive of the next message from `src`, if one is queued.
+    pub fn try_recv(&self, src: Rank) -> CommResult<Option<Envelope>> {
+        let size = self.size();
+        let receiver =
+            self.receivers.get(src).ok_or(CommError::InvalidRank { rank: src, size })?;
+        match receiver.try_recv() {
+            Ok(env) => Ok(Some(env)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(CommError::Disconnected { from: src })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = Envelope::new(7, 3, vec![1u64, 2, 3]);
+        assert_eq!(env.words, 4);
+        assert_eq!(env.from, 3);
+        let (tag, words, v): (Tag, usize, Vec<u64>) = env.open().unwrap();
+        assert_eq!(tag, 7);
+        assert_eq!(words, 4);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn envelope_type_mismatch_is_detected() {
+        let env = Envelope::new(1, 0, 42u64);
+        let err = env.open::<String>().unwrap_err();
+        assert!(matches!(err, CommError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn mesh_send_recv_between_two_pes() {
+        let mut boxes = Mailbox::full_mesh(2);
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        b0.send(1, Envelope::new(0, 0, 99u64)).unwrap();
+        let env = b1.recv(0).unwrap();
+        let (_, _, v): (_, _, u64) = env.open().unwrap();
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        let boxes = Mailbox::full_mesh(1);
+        let b = &boxes[0];
+        b.send(0, Envelope::new(5, 0, 1u64)).unwrap();
+        let env = b.recv(0).unwrap();
+        assert_eq!(env.tag, 5);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_per_pair() {
+        let mut boxes = Mailbox::full_mesh(2);
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        for i in 0..10u64 {
+            b0.send(1, Envelope::new(i, 0, i)).unwrap();
+        }
+        for i in 0..10u64 {
+            let env = b1.recv(0).unwrap();
+            assert_eq!(env.tag, i);
+        }
+    }
+
+    #[test]
+    fn invalid_rank_is_reported() {
+        let boxes = Mailbox::full_mesh(2);
+        let err = boxes[0].send(5, Envelope::new(0, 0, 1u64)).unwrap_err();
+        assert!(matches!(err, CommError::InvalidRank { rank: 5, size: 2 }));
+        let err = boxes[0].recv(9).unwrap_err();
+        assert!(matches!(err, CommError::InvalidRank { rank: 9, size: 2 }));
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let boxes = Mailbox::full_mesh(2);
+        assert!(boxes[0].try_recv(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn cross_thread_messaging_works() {
+        let mut boxes = Mailbox::full_mesh(2);
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        let t = thread::spawn(move || {
+            let env = b1.recv(0).unwrap();
+            let (_, _, v): (_, _, u64) = env.open().unwrap();
+            v * 2
+        });
+        b0.send(1, Envelope::new(0, 0, 21u64)).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

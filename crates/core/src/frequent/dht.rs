@@ -1,0 +1,164 @@
+//! Distributed hash table for sample counting (paper §7.1).
+//!
+//! Sampled objects are counted by hashing: a local count with key `x` is sent
+//! to PE `h(x)`, where `h` behaves like a random function, so the counting
+//! load spreads evenly over the PEs.  The paper routes these messages with
+//! *indirect delivery* to keep the latency at `O(log p)` start-ups per PE and
+//! merges counts inside the routing tree so that "each PE receives at most
+//! one message per object assigned to it by the hash function"; this module
+//! does the same: local aggregation before sending, hypercube-routed
+//! all-to-all, and aggregation on arrival.
+
+use std::collections::HashMap;
+
+use commsim::Comm;
+
+use crate::util::owner_of;
+
+/// Route locally aggregated `key → count` pairs to their owner PEs and return
+/// this PE's share of the global (sampled) counts.
+///
+/// Every key appears in the result of exactly one PE, with the global sum of
+/// all PEs' local counts for it.
+pub fn aggregate_counts(comm: &Comm, local_counts: HashMap<u64, u64>) -> HashMap<u64, u64> {
+    let p = comm.size();
+    // Partition the local aggregate by owner.
+    let mut per_dest: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    for (key, count) in local_counts {
+        per_dest[owner_of(key, p)].push((key, count));
+    }
+    // Indirect (hypercube-routed) all-to-all keeps the start-up count
+    // logarithmic even when every PE has something for every other PE.
+    let received = comm.alltoall_indirect(per_dest);
+    let mut owned: HashMap<u64, u64> = HashMap::new();
+    for chunk in received {
+        for (key, count) in chunk {
+            debug_assert_eq!(owner_of(key, p), comm.rank(), "key routed to the wrong owner");
+            *owned.entry(key).or_insert(0) += count;
+        }
+    }
+    owned
+}
+
+/// Like [`aggregate_counts`] but for weighted sums (used by the top-k sum
+/// aggregation of Section 8).  Values are transported as `f64` bit patterns.
+pub fn aggregate_sums(comm: &Comm, local_sums: HashMap<u64, f64>) -> HashMap<u64, f64> {
+    let p = comm.size();
+    let mut per_dest: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
+    for (key, sum) in local_sums {
+        per_dest[owner_of(key, p)].push((key, sum.to_bits()));
+    }
+    let received = comm.alltoall_indirect(per_dest);
+    let mut owned: HashMap<u64, f64> = HashMap::new();
+    for chunk in received {
+        for (key, bits) in chunk {
+            *owned.entry(key).or_insert(0.0) += f64::from_bits(bits);
+        }
+    }
+    owned
+}
+
+/// Broadcast a small set of candidate keys from their owners to every PE
+/// (the all-gather step of the exact-counting algorithms): each PE passes the
+/// candidate keys it owns, every PE receives the union.
+pub fn allgather_candidates(comm: &Comm, local_candidates: Vec<u64>) -> Vec<u64> {
+    let mut all: Vec<u64> = comm.allgather(local_candidates).into_iter().flatten().collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::run_spmd;
+    use seqkit::hashagg::count_keys;
+
+    #[test]
+    fn counts_are_summed_across_pes_and_partitioned_by_owner() {
+        let p = 4;
+        let out = run_spmd(p, |comm| {
+            // Every PE counts the same three keys once.
+            let local: HashMap<u64, u64> = count_keys(vec![1u64, 2, 3]);
+            aggregate_counts(comm, local)
+        });
+        // Each key must live on exactly one PE with total count p.
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        for owned in &out.results {
+            for (&key, &count) in owned {
+                assert_eq!(count, p as u64, "key {key}");
+                *seen.entry(key).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(seen.values().all(|&occurrences| occurrences == 1));
+    }
+
+    #[test]
+    fn keys_land_on_their_hash_owner() {
+        let p = 5;
+        let out = run_spmd(p, |comm| {
+            let local: HashMap<u64, u64> =
+                (0..50u64).map(|k| (k, 1 + comm.rank() as u64)).collect();
+            aggregate_counts(comm, local)
+        });
+        for (rank, owned) in out.results.iter().enumerate() {
+            for &key in owned.keys() {
+                assert_eq!(owner_of(key, p), rank);
+            }
+        }
+        // Counts: key k receives 1+2+3+4+5 = 15.
+        let total: u64 = out.results.iter().flat_map(|m| m.values()).sum();
+        assert_eq!(total, 50 * 15);
+    }
+
+    #[test]
+    fn empty_local_maps_are_fine() {
+        let out = run_spmd(3, |comm| {
+            let local: HashMap<u64, u64> =
+                if comm.rank() == 1 { [(9, 3)].into_iter().collect() } else { HashMap::new() };
+            aggregate_counts(comm, local)
+        });
+        let total: u64 = out.results.iter().flat_map(|m| m.values()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn sums_aggregate_floating_point_values() {
+        let out = run_spmd(4, |comm| {
+            let local: HashMap<u64, f64> = [(7u64, 0.25), (8, comm.rank() as f64)].into_iter().collect();
+            aggregate_sums(comm, local)
+        });
+        let mut merged: HashMap<u64, f64> = HashMap::new();
+        for owned in &out.results {
+            for (&k, &v) in owned {
+                *merged.entry(k).or_insert(0.0) += v;
+            }
+        }
+        assert!((merged[&7] - 1.0).abs() < 1e-12);
+        assert!((merged[&8] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_allgather_deduplicates() {
+        let out = run_spmd(3, |comm| {
+            allgather_candidates(comm, vec![5, 7, comm.rank() as u64])
+        });
+        for c in &out.results {
+            assert_eq!(c, &vec![0, 1, 2, 5, 7]);
+        }
+    }
+
+    #[test]
+    fn latency_stays_logarithmic_for_the_routing() {
+        let p = 16;
+        let out = run_spmd(p, |comm| {
+            let local: HashMap<u64, u64> = (0..100u64).map(|k| (k, 1)).collect();
+            let before = comm.stats_snapshot();
+            let _ = aggregate_counts(comm, local);
+            comm.stats_snapshot().since(&before).bottleneck_messages()
+        });
+        // Indirect routing: ceil(log2 16) = 4 rounds of messages per PE.
+        assert!(out.results.iter().all(|&m| m <= 8), "messages: {:?}", out.results);
+    }
+}

@@ -1,0 +1,268 @@
+//! Top-k most frequent objects (paper §7).
+//!
+//! Given a multiset of `n` objects distributed over `p` PEs, find the `k`
+//! objects that occur most often.  This is hard in a distributed setting
+//! because a globally frequent object need not be locally frequent anywhere;
+//! the paper's algorithms get around it by communicating only a small random
+//! sample plus, in the refined variants, a short list of candidates that are
+//! then counted exactly:
+//!
+//! * [`pac`] — the basic probably-approximately-correct algorithm
+//!   (Section 7.1): Bernoulli sample, distributed hash-table counting,
+//!   unsorted selection of the k most frequently *sampled* objects.
+//!   Sample size `Θ(ε⁻² log(k/δ))`.
+//! * [`ec`] — exact counting (Section 7.2): much smaller sample
+//!   (`Θ(ε⁻¹ …)`), select the `k* ≥ k` most frequently sampled objects, then
+//!   count exactly those candidates in a second pass over the local input.
+//! * [`pec`] — probably exactly correct (Section 7.3): a first sample
+//!   estimates how large `k*` has to be for the true top-k to be among the
+//!   top-`k*` sampled objects; a Zipf-specialised variant (Theorem 14)
+//!   computes `k*` and the sample size in closed form.
+//! * [`naive`] — the two centralized baselines of the evaluation
+//!   (Section 10.2): `Naive` ships every PE's aggregated sample directly to a
+//!   coordinator, `Naive Tree` does the same through a merging reduction
+//!   tree.
+//!
+//! All algorithms share the distributed hash table of [`dht`] for sample
+//! counting and the result/parameter types defined here.
+
+pub mod dht;
+pub mod ec;
+pub mod naive;
+pub mod pac;
+pub mod pec;
+
+use std::collections::HashMap;
+
+use commsim::Comm;
+
+use crate::unsorted::select_k_largest;
+
+/// Parameters shared by all top-k most-frequent-objects algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct FrequentParams {
+    /// Number of most frequent objects to report.
+    pub k: usize,
+    /// Relative error bound ε (relative to the total input size `n`, as the
+    /// paper argues in Section 7).
+    pub epsilon: f64,
+    /// Failure probability δ: with probability at least `1 − δ` the reported
+    /// error is at most `εn`.
+    pub delta: f64,
+    /// Seed for all randomness (sampling, selection pivots).
+    pub seed: u64,
+}
+
+impl FrequentParams {
+    /// Convenience constructor.
+    pub fn new(k: usize, epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        FrequentParams { k, epsilon, delta, seed }
+    }
+
+    /// The accuracy setting of the paper's Figure 7 (`ε = 3·10⁻⁴`,
+    /// `δ = 10⁻⁴`, `k = 32`).
+    pub fn figure7(seed: u64) -> Self {
+        Self::new(32, 3e-4, 1e-4, seed)
+    }
+
+    /// The strict accuracy setting of the paper's Figure 8 (`ε = 10⁻⁶`,
+    /// `δ = 10⁻⁸`, `k = 32`).
+    pub fn figure8(seed: u64) -> Self {
+        Self::new(32, 1e-6, 1e-8, seed)
+    }
+}
+
+/// Result of a top-k most-frequent-objects query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKFrequentResult {
+    /// The reported objects with their (estimated or exact) counts, sorted by
+    /// decreasing count.  Identical on every PE.
+    pub items: Vec<(u64, u64)>,
+    /// Global number of sampled elements the algorithm communicated about.
+    pub sample_size: u64,
+    /// `true` if the reported counts are exact (EC/PEC after exact counting).
+    pub exact_counts: bool,
+}
+
+impl TopKFrequentResult {
+    /// Just the reported keys, most frequent first.
+    pub fn keys(&self) -> Vec<u64> {
+        self.items.iter().map(|&(k, _)| k).collect()
+    }
+}
+
+/// The paper's error measure (Section 7): the count of the most frequent
+/// object that was *not* output minus the count of the least frequent object
+/// that *was* output, clamped at zero; the relative error divides by `n`.
+///
+/// `exact_counts` are the true global counts, `reported` the keys the
+/// algorithm returned (at most `k`).
+pub fn absolute_error(exact_counts: &HashMap<u64, u64>, reported: &[u64], k: usize) -> u64 {
+    if exact_counts.is_empty() || reported.is_empty() {
+        return 0;
+    }
+    let mut counts: Vec<u64> = exact_counts.values().copied().collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let k = k.min(counts.len());
+    // Count of the least frequent reported object.
+    let worst_reported = reported
+        .iter()
+        .map(|key| exact_counts.get(key).copied().unwrap_or(0))
+        .min()
+        .unwrap_or(0);
+    // The best count that a correct answer would have included is the k-th
+    // largest; if our worst reported object is at least that, the answer is
+    // perfect.
+    let kth_best = counts[k - 1];
+    kth_best.saturating_sub(worst_reported)
+}
+
+/// Relative version of [`absolute_error`] (the paper's ε̃).
+pub fn relative_error(
+    exact_counts: &HashMap<u64, u64>,
+    reported: &[u64],
+    k: usize,
+    n: u64,
+) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    absolute_error(exact_counts, reported, k) as f64 / n as f64
+}
+
+/// Exact global counts of every key (the correctness oracle used by tests and
+/// experiments; `O(n/p)` local work plus one hash-table aggregation).
+pub fn exact_global_counts(comm: &Comm, local_data: &[u64]) -> HashMap<u64, u64> {
+    let local = seqkit::hashagg::count_keys(local_data.iter().copied());
+    let owned = dht::aggregate_counts(comm, local);
+    // Gather all owned aggregates everywhere (oracle only — not part of the
+    // communication-efficient algorithms).
+    let pairs: Vec<(u64, u64)> = owned.into_iter().collect();
+    let all: Vec<(u64, u64)> = comm.allgather(pairs).into_iter().flatten().collect();
+    all.into_iter().collect()
+}
+
+/// Shared final step of the sampling algorithms: given this PE's share of a
+/// distributed hash table mapping key → (sampled or exact) count, return the
+/// global top-`k` entries by count, identical on every PE.
+///
+/// Uses the unsorted selection algorithm of Section 4.1 on `(count, key)`
+/// pairs, then gathers only the `k` winners (`O(βk + α log p)`).
+pub fn select_top_counts(
+    comm: &Comm,
+    owned: &HashMap<u64, u64>,
+    k: usize,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    let items: Vec<(u64, u64)> = owned.iter().map(|(&key, &count)| (count, key)).collect();
+    let distinct = comm.allreduce_sum(items.len() as u64);
+    let k = k.min(distinct as usize);
+    if k == 0 {
+        return Vec::new();
+    }
+    let selection = select_k_largest(comm, &items, k, seed);
+    let local_top: Vec<(u64, u64)> =
+        selection.local_selected.into_iter().map(|r| r.0).collect();
+    let mut all: Vec<(u64, u64)> = comm.allgather(local_top).into_iter().flatten().collect();
+    all.sort_unstable_by(|a, b| b.cmp(a));
+    all.into_iter().map(|(count, key)| (key, count)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::run_spmd;
+
+    #[test]
+    fn params_validate_inputs() {
+        let p = FrequentParams::new(8, 0.01, 0.001, 1);
+        assert_eq!(p.k, 8);
+        assert_eq!(FrequentParams::figure7(0).k, 32);
+        assert!(FrequentParams::figure8(0).epsilon < FrequentParams::figure7(0).epsilon);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_is_rejected() {
+        let _ = FrequentParams::new(1, 1.5, 0.1, 0);
+    }
+
+    #[test]
+    fn absolute_error_is_zero_for_correct_answers() {
+        let counts: HashMap<u64, u64> = [(1, 100), (2, 50), (3, 10)].into_iter().collect();
+        assert_eq!(absolute_error(&counts, &[1, 2], 2), 0);
+        // Order inside the answer does not matter.
+        assert_eq!(absolute_error(&counts, &[2, 1], 2), 0);
+    }
+
+    #[test]
+    fn absolute_error_matches_the_papers_example() {
+        // Figure 4: exact counts E:16 A:10 T:10 I:9 D:8, O:7; the algorithm
+        // returned {E, A, T, I, O}, missing D — error 8 − 7 = 1.
+        let counts: HashMap<u64, u64> =
+            [(0, 16), (1, 10), (2, 10), (3, 9), (4, 8), (5, 7)].into_iter().collect();
+        assert_eq!(absolute_error(&counts, &[0, 1, 2, 3, 5], 5), 1);
+    }
+
+    #[test]
+    fn relative_error_divides_by_n() {
+        let counts: HashMap<u64, u64> = [(1, 10), (2, 6), (3, 2)].into_iter().collect();
+        let err = relative_error(&counts, &[1, 3], 2, 100);
+        assert!((err - 0.04).abs() < 1e-12);
+        assert_eq!(relative_error(&counts, &[1, 2], 2, 0), 0.0);
+    }
+
+    #[test]
+    fn result_keys_helper() {
+        let r = TopKFrequentResult {
+            items: vec![(7, 100), (3, 50)],
+            sample_size: 10,
+            exact_counts: false,
+        };
+        assert_eq!(r.keys(), vec![7, 3]);
+    }
+
+    #[test]
+    fn exact_global_counts_aggregates_across_pes() {
+        let out = run_spmd(4, |comm| {
+            // Every PE contributes `rank + 1` copies of key 9 and one unique key.
+            let mut local = vec![9u64; comm.rank() + 1];
+            local.push(100 + comm.rank() as u64);
+            exact_global_counts(comm, &local)
+        });
+        for counts in &out.results {
+            assert_eq!(counts[&9], 1 + 2 + 3 + 4);
+            assert_eq!(counts[&100], 1);
+            assert_eq!(counts.len(), 5);
+        }
+    }
+
+    #[test]
+    fn select_top_counts_returns_global_winners_everywhere() {
+        let out = run_spmd(3, |comm| {
+            // PE r owns keys {r, r+10} with counts r*10+5 and 1.
+            let mut owned = HashMap::new();
+            owned.insert(comm.rank() as u64, comm.rank() as u64 * 10 + 5);
+            owned.insert(comm.rank() as u64 + 10, 1);
+            select_top_counts(comm, &owned, 2, 3)
+        });
+        for items in &out.results {
+            assert_eq!(items.len(), 2);
+            assert_eq!(items[0], (2, 25));
+            assert_eq!(items[1], (1, 15));
+        }
+    }
+
+    #[test]
+    fn select_top_counts_handles_fewer_than_k_keys() {
+        let out = run_spmd(2, |comm| {
+            let owned: HashMap<u64, u64> =
+                if comm.is_root() { [(5, 9)].into_iter().collect() } else { HashMap::new() };
+            select_top_counts(comm, &owned, 10, 1)
+        });
+        assert!(out.results.iter().all(|items| items == &vec![(5, 9)]));
+    }
+}

@@ -1,0 +1,228 @@
+//! Centralized baselines Naive and Naive Tree (paper §10.2).
+//!
+//! The paper could not find distributed competitors to compare against, so
+//! its evaluation uses two centralized baselines built on the same sampling
+//! rate as Algorithm PAC:
+//!
+//! * **Naive** — every PE sends its aggregated local sample directly to a
+//!   coordinator (PE 0), which merges the `p − 1` hash maps and selects the
+//!   top-k with a sequential quickselect.  The coordinator receives `p − 1`
+//!   messages, so the running time grows linearly with `p` — "completely
+//!   unscalable" in the paper's words.
+//! * **Naive Tree** — the same data flows through a binomial reduction tree
+//!   that merges the hash maps at every step, which fixes the latency but
+//!   still concentrates the whole aggregated sample at the coordinator.
+//!
+//! Both return their answer on every PE (one broadcast of `k` pairs), so
+//! results are directly comparable with the distributed algorithms.
+
+use std::collections::HashMap;
+
+use commsim::Comm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqkit::hashagg::{count_keys, merge_counts, top_k_by_count};
+use seqkit::sampling::bernoulli_sample;
+
+use super::{pac::sampling_probability, FrequentParams, TopKFrequentResult};
+
+/// Tag for the Naive baseline's direct sends to the coordinator.
+const NAIVE_TAG: u64 = 0x7A1;
+
+/// Draw the PAC-rate sample and aggregate it locally.
+fn local_sample_counts(
+    comm: &Comm,
+    local_data: &[u64],
+    params: &FrequentParams,
+    n: u64,
+) -> (HashMap<u64, u64>, u64) {
+    let rho = sampling_probability(n, params);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x0A1 ^ (comm.rank() as u64) << 8);
+    let sample = bernoulli_sample(local_data, rho, &mut rng);
+    let size = sample.len() as u64;
+    (count_keys(sample.iter().copied()), size)
+}
+
+/// Scale sampled counts back to estimates of true counts.
+fn scale_counts(items: Vec<(u64, u64)>, rho: f64) -> Vec<(u64, u64)> {
+    items
+        .into_iter()
+        .map(|(key, count)| (key, ((count as f64) / rho).round() as u64))
+        .collect()
+}
+
+/// The Naive baseline: direct point-to-point delivery of every PE's
+/// aggregated sample to the coordinator.
+pub fn naive_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> TopKFrequentResult {
+    let n = comm.allreduce_sum(local_data.len() as u64);
+    if n == 0 {
+        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: false };
+    }
+    let rho = sampling_probability(n, params);
+    let (local_counts, local_size) = local_sample_counts(comm, local_data, params, n);
+    let sample_size = comm.allreduce_sum(local_size);
+
+    let items: Option<Vec<(u64, u64)>> = if comm.is_root() {
+        let mut merged = local_counts;
+        // The coordinator receives p − 1 separate messages — the scalability
+        // bottleneck the experiment is designed to show.
+        for src in 1..comm.size() {
+            let incoming: Vec<(u64, u64)> = comm.recv(src, NAIVE_TAG);
+            merge_counts(&mut merged, incoming.into_iter().collect());
+        }
+        Some(top_k_by_count(&merged, params.k))
+    } else {
+        let outgoing: Vec<(u64, u64)> = local_counts.into_iter().collect();
+        comm.send(0, NAIVE_TAG, outgoing);
+        None
+    };
+    let items = comm.broadcast(0, items);
+
+    TopKFrequentResult { items: scale_counts(items, rho), sample_size, exact_counts: false }
+}
+
+/// The Naive Tree baseline: the aggregated samples flow up a binomial
+/// reduction tree, merging hash maps at every level (implemented with the
+/// generic tree reduction of the communication layer).
+pub fn naive_tree_top_k(
+    comm: &Comm,
+    local_data: &[u64],
+    params: &FrequentParams,
+) -> TopKFrequentResult {
+    let n = comm.allreduce_sum(local_data.len() as u64);
+    if n == 0 {
+        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: false };
+    }
+    let rho = sampling_probability(n, params);
+    let (local_counts, local_size) = local_sample_counts(comm, local_data, params, n);
+    let sample_size = comm.allreduce_sum(local_size);
+
+    // Merge hash maps (as sorted pair lists) up the reduction tree.
+    let local_pairs: Vec<(u64, u64)> = local_counts.into_iter().collect();
+    let merged = comm.reduce(
+        0,
+        local_pairs,
+        &commsim::ReduceOp::custom(|a: &Vec<(u64, u64)>, b: &Vec<(u64, u64)>| {
+            let mut map: HashMap<u64, u64> = a.iter().copied().collect();
+            for &(k, c) in b {
+                *map.entry(k).or_insert(0) += c;
+            }
+            map.into_iter().collect()
+        }),
+    );
+    let items = merged.map(|pairs| {
+        let map: HashMap<u64, u64> = pairs.into_iter().collect();
+        top_k_by_count(&map, params.k)
+    });
+    let items = comm.broadcast(0, items);
+
+    TopKFrequentResult { items: scale_counts(items, rho), sample_size, exact_counts: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::run_spmd;
+    use datagen::Zipf;
+
+    use crate::frequent::pac::pac_top_k;
+
+    fn zipf_parts(p: usize, per_pe: usize, values: usize, seed: u64) -> Vec<Vec<u64>> {
+        let zipf = Zipf::new(values, 1.0);
+        (0..p)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(seed + r as u64);
+                zipf.sample_many(per_pe, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn naive_and_tree_agree_with_pac_on_the_heavy_hitters() {
+        let p = 4;
+        let parts = zipf_parts(p, 20_000, 1 << 10, 3);
+        let parts_ref = parts.clone();
+        let params = FrequentParams::new(4, 3e-3, 1e-3, 7);
+        let out = run_spmd(p, move |comm| {
+            let local = &parts_ref[comm.rank()];
+            (
+                naive_top_k(comm, local, &params),
+                naive_tree_top_k(comm, local, &params),
+                pac_top_k(comm, local, &params),
+            )
+        });
+        let (naive, tree, pac) = &out.results[0];
+        // All three use the same sampling rate; the unambiguous rank-1 and
+        // rank-2 objects of a Zipf input must agree.
+        assert_eq!(naive.items[0].0, 1);
+        assert_eq!(tree.items[0].0, 1);
+        assert_eq!(pac.items[0].0, 1);
+        assert_eq!(naive.items[1].0, 2);
+        assert_eq!(tree.items[1].0, 2);
+    }
+
+    #[test]
+    fn all_pes_receive_the_answer() {
+        let p = 3;
+        let parts = zipf_parts(p, 5_000, 256, 11);
+        let parts_ref = parts.clone();
+        let params = FrequentParams::new(5, 5e-3, 1e-2, 13);
+        let out = run_spmd(p, move |comm| {
+            let local = &parts_ref[comm.rank()];
+            (naive_top_k(comm, local, &params), naive_tree_top_k(comm, local, &params))
+        });
+        for (naive, tree) in &out.results {
+            assert_eq!(naive.items, out.results[0].0.items);
+            assert_eq!(tree.items, out.results[0].1.items);
+        }
+    }
+
+    #[test]
+    fn naive_concentrates_traffic_at_the_coordinator() {
+        let p = 8;
+        let parts = zipf_parts(p, 20_000, 1 << 12, 17);
+        let parts_ref = parts.clone();
+        let params = FrequentParams::new(8, 2e-3, 1e-2, 19);
+        let out = run_spmd(p, move |comm| {
+            let before = comm.stats_snapshot();
+            let _ = naive_top_k(comm, &parts_ref[comm.rank()], &params);
+            comm.stats_snapshot().since(&before)
+        });
+        let coordinator = out.results[0].received_words;
+        let worker_max =
+            out.results[1..].iter().map(|s| s.received_words).max().unwrap();
+        // The coordinator receives all p−1 aggregated samples; the workers
+        // receive only the broadcast answer.
+        assert!(
+            coordinator > worker_max * 3,
+            "coordinator {coordinator} vs worker max {worker_max}"
+        );
+        // And it pays p−1 message start-ups (plus a few collectives).
+        assert!(out.results[0].received_messages >= (p - 1) as u64);
+    }
+
+    #[test]
+    fn naive_tree_spreads_the_startup_cost() {
+        let p = 8;
+        let parts = zipf_parts(p, 10_000, 1 << 12, 23);
+        let parts_ref = parts.clone();
+        let params = FrequentParams::new(8, 2e-3, 1e-2, 29);
+        let out = run_spmd(p, move |comm| {
+            let before = comm.stats_snapshot();
+            let _ = naive_tree_top_k(comm, &parts_ref[comm.rank()], &params);
+            comm.stats_snapshot().since(&before).received_messages
+        });
+        // No PE — including the root — receives more than O(log p) messages
+        // for the reduction plus a constant number of collective rounds.
+        assert!(out.results.iter().all(|&m| m <= 12), "messages: {:?}", out.results);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let params = FrequentParams::new(4, 1e-2, 1e-2, 0);
+        let out = run_spmd(2, move |comm| {
+            (naive_top_k(comm, &[], &params), naive_tree_top_k(comm, &[], &params))
+        });
+        assert!(out.results.iter().all(|(a, b)| a.items.is_empty() && b.items.is_empty()));
+    }
+}

@@ -1,0 +1,69 @@
+//! # topk — communication-efficient distributed top-k selection
+//!
+//! A from-scratch Rust implementation of the algorithm family of
+//! *"Communication Efficient Algorithms for Top-k Selection Problems"*
+//! (Hübschle-Schneider, Sanders & Müller, IPDPS 2016).  All algorithms are
+//! written in SPMD style against the simulated distributed-memory machine of
+//! the [`commsim`] crate: every PE holds private local data, communicates
+//! only through metered point-to-point messages and collective operations,
+//! and the headline property — **sublinear per-PE communication volume and
+//! (poly)logarithmic latency** — can be verified directly from the metered
+//! counters.
+//!
+//! | Paper section | Problem | Entry point |
+//! |---|---|---|
+//! | §4.1 | Selection from unsorted input | [`unsorted::select_k_smallest`] |
+//! | §4.2 / App. A | Selection from locally sorted input | [`msselect::multisequence_select`] |
+//! | §4.3 | Flexible-`k` selection | [`amsselect::approx_multisequence_select`] |
+//! | §5 | Bulk-parallel priority queue | [`bulk_pq::BulkParallelQueue`] |
+//! | §5 | Branch-and-bound application | [`branch_bound::knapsack_branch_bound_parallel`] |
+//! | §6 | Multicriteria top-k (threshold algorithm) | [`multicriteria::dta_top_k`], [`multicriteria::rdta_top_k`] |
+//! | §7 | Top-k most frequent objects | [`frequent::pac::pac_top_k`], [`frequent::ec::ec_top_k`], [`frequent::pec::pec_top_k`] |
+//! | §8 | Top-k sum aggregation | [`sum_agg::sum_top_k`], [`sum_agg::sum_top_k_exact`] |
+//! | §9 | Adaptive data redistribution | [`redistribute::redistribute`] |
+//! | §10 | Baselines of the evaluation | [`frequent::naive`] |
+//!
+//! ## Example
+//!
+//! ```
+//! use commsim::run_spmd;
+//! use topk::unsorted::select_k_smallest;
+//!
+//! // Four PEs, each holding 1000 local values; find the 10 globally smallest.
+//! let out = run_spmd(4, |comm| {
+//!     let local: Vec<u64> = (0..1000u64).map(|i| i * 4 + comm.rank() as u64).collect();
+//!     select_k_smallest(comm, &local, 10, 42)
+//! });
+//! let total_selected: usize = out.results.iter().map(|r| r.local_selected.len()).sum();
+//! assert_eq!(total_selected, 10);
+//! assert!(out.results.iter().all(|r| r.threshold == 9));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod amsselect;
+pub mod branch_bound;
+pub mod bulk_pq;
+pub mod frequent;
+pub mod msselect;
+pub mod multicriteria;
+pub mod redistribute;
+pub mod sum_agg;
+pub mod unsorted;
+pub mod util;
+
+pub use amsselect::{
+    approx_multisequence_select, approx_multisequence_select_batched, AmsSelectResult,
+};
+pub use branch_bound::{
+    knapsack_branch_bound_parallel, knapsack_branch_bound_sequential, BnbResult, KnapsackInstance,
+};
+pub use bulk_pq::BulkParallelQueue;
+pub use frequent::{FrequentParams, TopKFrequentResult};
+pub use msselect::{multisequence_select, MsSelectResult};
+pub use multicriteria::{dta_top_k, rdta_top_k, LocalMulticriteria, MulticriteriaResult};
+pub use redistribute::{redistribute, RedistributionReport};
+pub use sum_agg::{sum_top_k, sum_top_k_exact, TopKSumResult};
+pub use unsorted::{select_k_largest, select_k_smallest, select_threshold, UnsortedSelectionResult};
+pub use util::OrderedF64;

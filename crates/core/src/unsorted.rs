@@ -1,0 +1,432 @@
+//! Communication-efficient selection from unsorted input (paper §4.1).
+//!
+//! This is the paper's Algorithm 1 — a distributed Floyd–Rivest-style
+//! selection.  Each level of recursion takes a Bernoulli sample of the
+//! remaining elements (expected size `O(√p)` in total), picks two pivots
+//! bracketing the target rank from the sorted sample, partitions the local
+//! data into the three ranges `a < ℓ`, `ℓ ≤ b ≤ r`, `c > r`, counts the
+//! ranges with a vector all-reduction and recurses into the range containing
+//! the target rank.  Theorem 1 shows the algorithm needs neither randomly
+//! distributed input nor any data redistribution: expected time
+//! `O(n/p + β·min(√p·log_p n, n/p) + α log n)`.
+//!
+//! The public entry points return both the *threshold* (the element of global
+//! rank `k` under a tie-broken total order) and each PE's local part of the
+//! selected set, whose sizes sum to exactly `k` across all PEs.
+
+use commsim::{Comm, CommData, ReduceOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqkit::sampling::bernoulli_sample;
+use seqkit::select::partition_three_way;
+
+use crate::util::tag_unique;
+
+/// Result of a distributed unsorted selection.
+#[derive(Debug, Clone)]
+pub struct UnsortedSelectionResult<T> {
+    /// The element of global rank `k` (1-based) under the tie-broken order —
+    /// the selection "threshold".
+    pub threshold: T,
+    /// This PE's elements among the `k` globally smallest.  The lengths of
+    /// these vectors over all PEs sum to exactly `k`.
+    pub local_selected: Vec<T>,
+    /// Number of recursion levels the algorithm used (the paper's analysis
+    /// predicts `O(log_p n)` levels).
+    pub recursion_levels: usize,
+}
+
+/// Tuning knobs of the selection algorithm.  The defaults follow the paper's
+/// analysis; they are exposed for the ablation benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct UnsortedSelectionConfig {
+    /// Once the remaining problem is at most this many elements in total, it
+    /// is gathered to every PE and solved locally.
+    pub base_case_size: usize,
+    /// Expected total sample size as a multiple of `√p`.
+    pub sample_factor: f64,
+    /// Exponent `e` of the pivot bracket `Δ = |S|^e` (the paper uses
+    /// `Δ = p^{1/4+δ}`, i.e. `e ≈ 5/6` relative to `|S| ≈ √p`).
+    pub bracket_exponent: f64,
+    /// Hard cap on recursion levels before falling back to the base case
+    /// (safety net; never reached for sane inputs).
+    pub max_levels: usize,
+}
+
+impl Default for UnsortedSelectionConfig {
+    fn default() -> Self {
+        UnsortedSelectionConfig {
+            base_case_size: 1024,
+            sample_factor: 1.0,
+            bracket_exponent: 5.0 / 6.0,
+            max_levels: 64,
+        }
+    }
+}
+
+/// Select the `k` globally smallest elements of the distributed input.
+///
+/// `local` is this PE's part of the input; `k` counts over the union of all
+/// PEs' parts and must satisfy `1 ≤ k ≤ Σ|local|`.  Ties are broken by a
+/// global index, so exactly `k` elements are selected in total.
+pub fn select_k_smallest<T>(
+    comm: &Comm,
+    local: &[T],
+    k: usize,
+    seed: u64,
+) -> UnsortedSelectionResult<T>
+where
+    T: Ord + Clone + CommData,
+{
+    select_k_smallest_with(comm, local, k, seed, UnsortedSelectionConfig::default())
+}
+
+/// [`select_k_smallest`] with explicit tuning parameters.
+pub fn select_k_smallest_with<T>(
+    comm: &Comm,
+    local: &[T],
+    k: usize,
+    seed: u64,
+    config: UnsortedSelectionConfig,
+) -> UnsortedSelectionResult<T>
+where
+    T: Ord + Clone + CommData,
+{
+    let total = comm.allreduce_sum(local.len() as u64) as usize;
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k <= total, "k = {k} exceeds the global input size {total}");
+
+    // Make the order unique: (value, global index).
+    let offset = comm.prefix_sum_exclusive(local.len() as u64);
+    let tagged = tag_unique(local, offset);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ (comm.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut levels = 0usize;
+    let threshold_tagged = select_recursive(comm, tagged.clone(), k, &mut rng, &mut levels, &config);
+
+    let local_selected: Vec<T> =
+        tagged.into_iter().filter(|x| *x <= threshold_tagged).map(|(v, _)| v).collect();
+    UnsortedSelectionResult { threshold: threshold_tagged.0, local_selected, recursion_levels: levels }
+}
+
+/// Select only the threshold (the element of global rank `k`), without
+/// materialising the selected set.
+pub fn select_threshold<T>(comm: &Comm, local: &[T], k: usize, seed: u64) -> T
+where
+    T: Ord + Clone + CommData,
+{
+    select_k_smallest(comm, local, k, seed).threshold
+}
+
+/// Select the `k` globally **largest** elements (dual problem, used by the
+/// frequent-objects algorithms which want the largest counts).
+pub fn select_k_largest<T>(
+    comm: &Comm,
+    local: &[T],
+    k: usize,
+    seed: u64,
+) -> UnsortedSelectionResult<std::cmp::Reverse<T>>
+where
+    T: Ord + Clone + CommData,
+    std::cmp::Reverse<T>: CommData,
+{
+    let reversed: Vec<std::cmp::Reverse<T>> =
+        local.iter().cloned().map(std::cmp::Reverse).collect();
+    select_k_smallest(comm, &reversed, k, seed)
+}
+
+/// Global minimum over per-PE optional values (`None` = "this PE has no
+/// elements left").
+fn global_min<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Option<K> {
+    comm.allreduce(
+        value,
+        ReduceOp::custom(|a: &Option<K>, b: &Option<K>| match (a, b) {
+            (None, x) | (x, None) => x.clone(),
+            (Some(x), Some(y)) => Some(x.clone().min(y.clone())),
+        }),
+    )
+}
+
+/// Global maximum over per-PE optional values.
+fn global_max<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Option<K> {
+    comm.allreduce(
+        value,
+        ReduceOp::custom(|a: &Option<K>, b: &Option<K>| match (a, b) {
+            (None, x) | (x, None) => x.clone(),
+            (Some(x), Some(y)) => Some(x.clone().max(y.clone())),
+        }),
+    )
+}
+
+/// Core recursion of Algorithm 1 on tie-broken keys.
+fn select_recursive<K>(
+    comm: &Comm,
+    mut s: Vec<K>,
+    mut k: usize,
+    rng: &mut StdRng,
+    levels: &mut usize,
+    config: &UnsortedSelectionConfig,
+) -> K
+where
+    K: Ord + Clone + CommData,
+{
+    let p = comm.size();
+    loop {
+        *levels += 1;
+        let total = comm.allreduce_sum(s.len() as u64) as usize;
+        debug_assert!(k >= 1 && k <= total);
+
+        // Cheap base cases: the extremes need only a single reduction.
+        if k == 1 {
+            return global_min(comm, s.iter().min().cloned())
+                .expect("k = 1 requires a non-empty input");
+        }
+        if k == total {
+            return global_max(comm, s.iter().max().cloned())
+                .expect("k = total requires a non-empty input");
+        }
+        // Small remainder or runaway recursion: gather everything and solve
+        // locally (volume O(base_case_size), latency O(log p)).
+        if total <= config.base_case_size || *levels >= config.max_levels {
+            let mut all: Vec<K> = comm.allgather(s).into_iter().flatten().collect();
+            all.sort();
+            return all[k - 1].clone();
+        }
+
+        // Bernoulli sample with expected total size `sample_factor · √p`.
+        let mut rho =
+            (config.sample_factor * (p as f64).sqrt() / total as f64).clamp(0.0, 1.0);
+        let sample = loop {
+            let local_sample = bernoulli_sample(&s, rho, rng);
+            let mut sample: Vec<K> = comm.allgather(local_sample).into_iter().flatten().collect();
+            if !sample.is_empty() {
+                sample.sort();
+                break sample;
+            }
+            // Extremely unlikely unless the remaining input is tiny; retry
+            // with a doubled rate (all PEs take the same branch because the
+            // emptiness test is on the gathered sample).
+            rho = (rho * 2.0).clamp(f64::MIN_POSITIVE, 1.0);
+        };
+
+        // Pivot positions: the sample ranks matching k, bracketed by Δ.
+        let m = sample.len();
+        let pos = (k as f64 / total as f64) * m as f64;
+        let delta = (m as f64).powf(config.bracket_exponent).max(1.0);
+        let lo_idx = ((pos - delta).floor().max(0.0) as usize).min(m - 1);
+        let hi_idx = ((pos + delta).ceil().max(0.0) as usize).min(m - 1);
+        let lo_pivot = sample[lo_idx].clone();
+        let hi_pivot = sample[hi_idx].clone();
+
+        // Local three-way partition and global range sizes.
+        let (a, b, c) = partition_three_way(&s, &lo_pivot, &hi_pivot);
+        let counts =
+            comm.allreduce_vec_sum(vec![a.len() as u64, b.len() as u64, c.len() as u64]);
+        let (na, nb) = (counts[0] as usize, counts[1] as usize);
+
+        if k <= na {
+            s = a;
+        } else if k <= na + nb {
+            if nb == total {
+                // The pivots span the whole remaining input (tiny sample on a
+                // highly concentrated distribution): no progress this round.
+                // The middle range always contains both pivots, so narrowing
+                // to it is never wrong — but to guarantee progress we solve
+                // directly once the allowance for such rounds is used up,
+                // which the `max_levels` cap above takes care of.
+                s = b;
+            } else {
+                s = b;
+                k -= na;
+            }
+        } else {
+            s = c;
+            k -= na + nb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::run_spmd;
+    use rand::Rng;
+
+    /// Reference: sort the union and take the k-th smallest.
+    fn reference_threshold(parts: &[Vec<u64>], k: usize) -> u64 {
+        let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all[k - 1]
+    }
+
+    fn random_parts(p: usize, per_pe: usize, max: u64, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p).map(|_| (0..per_pe).map(|_| rng.gen_range(0..max)).collect()).collect()
+    }
+
+    #[test]
+    fn selects_correct_threshold_on_uniform_data() {
+        for p in [1usize, 2, 4, 7] {
+            let parts = random_parts(p, 500, 10_000, 42);
+            for k in [1usize, 10, 250, 500 * p / 2, 500 * p] {
+                let parts_ref = parts.clone();
+                let out = run_spmd(p, move |comm| {
+                    select_k_smallest(comm, &parts_ref[comm.rank()], k, 7).threshold
+                });
+                let expected = reference_threshold(&parts, k);
+                assert!(out.results.iter().all(|&t| t == expected), "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn selected_sets_have_total_size_exactly_k() {
+        let p = 4;
+        let parts = random_parts(p, 300, 50, 3); // many duplicates
+        for k in [1usize, 7, 150, 600, 1200] {
+            let parts_ref = parts.clone();
+            let out = run_spmd(p, move |comm| {
+                select_k_smallest(comm, &parts_ref[comm.rank()], k, 11).local_selected.len()
+            });
+            let total: usize = out.results.iter().sum();
+            assert_eq!(total, k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn selected_elements_are_the_smallest_ones() {
+        let p = 3;
+        let parts = random_parts(p, 200, 1_000, 5);
+        let k = 77;
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            select_k_smallest(comm, &parts_ref[comm.rank()], k, 1).local_selected
+        });
+        let mut selected: Vec<u64> = out.results.into_iter().flatten().collect();
+        selected.sort_unstable();
+        let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(selected, all[..k].to_vec());
+    }
+
+    #[test]
+    fn handles_skewed_distribution_across_pes() {
+        // All small values on PE 0, all large values on the others.
+        let p = 4;
+        let parts: Vec<Vec<u64>> = (0..p)
+            .map(|r| {
+                if r == 0 {
+                    (0..400u64).collect()
+                } else {
+                    (10_000..10_400u64).collect()
+                }
+            })
+            .collect();
+        let k = 350;
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            let r = select_k_smallest(comm, &parts_ref[comm.rank()], k, 9);
+            (r.threshold, r.local_selected.len())
+        });
+        assert!(out.results.iter().all(|&(t, _)| t == 349));
+        assert_eq!(out.results[0].1, 350);
+        assert!(out.results[1..].iter().all(|&(_, n)| n == 0));
+    }
+
+    #[test]
+    fn handles_empty_local_inputs_on_some_pes() {
+        let p = 4;
+        let parts: Vec<Vec<u64>> =
+            vec![vec![], (0..100).collect(), vec![], (100..200).collect()];
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            select_k_smallest(comm, &parts_ref[comm.rank()], 150, 2).threshold
+        });
+        assert!(out.results.iter().all(|&t| t == 149));
+    }
+
+    #[test]
+    fn all_equal_values_still_select_exactly_k() {
+        let p = 3;
+        let parts: Vec<Vec<u64>> = vec![vec![7; 100], vec![7; 100], vec![7; 100]];
+        let parts_ref = parts.clone();
+        let k = 123;
+        let out = run_spmd(p, move |comm| {
+            let r = select_k_smallest(comm, &parts_ref[comm.rank()], k, 3);
+            (r.threshold, r.local_selected.len())
+        });
+        assert!(out.results.iter().all(|&(t, _)| t == 7));
+        let total: usize = out.results.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, k);
+    }
+
+    #[test]
+    fn k_equal_to_one_and_total_work() {
+        let p = 2;
+        let parts = random_parts(p, 50, 1000, 8);
+        let all_min = *parts.iter().flatten().min().unwrap();
+        let all_max = *parts.iter().flatten().max().unwrap();
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            let lo = select_threshold(comm, &parts_ref[comm.rank()], 1, 4);
+            let hi = select_threshold(comm, &parts_ref[comm.rank()], 100, 4);
+            (lo, hi)
+        });
+        assert!(out.results.iter().all(|&(lo, hi)| lo == all_min && hi == all_max));
+    }
+
+    #[test]
+    fn select_k_largest_is_the_dual() {
+        let p = 3;
+        let parts = random_parts(p, 200, 10_000, 21);
+        let k = 25;
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            select_k_largest(comm, &parts_ref[comm.rank()], k, 6).threshold.0
+        });
+        let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(out.results.iter().all(|&t| t == all[k - 1]));
+    }
+
+    #[test]
+    fn recursion_depth_is_modest() {
+        let p = 4;
+        let parts = random_parts(p, 4000, 1 << 30, 13);
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            select_k_smallest(comm, &parts_ref[comm.rank()], 4321, 5).recursion_levels
+        });
+        assert!(out.results.iter().all(|&l| l <= 20), "levels: {:?}", out.results);
+    }
+
+    #[test]
+    fn communication_volume_is_sublinear_in_local_input() {
+        // The paper's headline claim: per-PE communication is o(n/p).
+        let p = 4;
+        let per_pe = 20_000;
+        let parts = random_parts(p, per_pe, 1 << 40, 99);
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            let before = comm.stats_snapshot();
+            let _ = select_k_smallest(comm, &parts_ref[comm.rank()], 5000, 12);
+            comm.stats_snapshot().since(&before)
+        });
+        for snap in &out.results {
+            assert!(
+                snap.bottleneck_words() < (per_pe / 4) as u64,
+                "per-PE communication {} words is not sublinear in n/p = {per_pe}",
+                snap.bottleneck_words()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the global input size")]
+    fn k_larger_than_input_is_rejected() {
+        run_spmd(2, |comm| {
+            let local: Vec<u64> = vec![1, 2, 3];
+            select_threshold(comm, &local, 100, 0)
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! # datagen — synthetic workload generators
+//!
+//! The paper's evaluation (Section 10) uses purely synthetic inputs, which
+//! this crate regenerates:
+//!
+//! * [`zipf`] — Zipf-distributed object frequencies ("model word frequencies
+//!   in natural languages, city population sizes, and many other rankings"),
+//!   used by the top-k most-frequent-objects experiments (Figures 7 and 8);
+//! * [`negbin`] — the negative binomial distribution with `r = 1000`,
+//!   `p = 0.05` mentioned as the flat-plateau counterpoint;
+//! * [`selection`] — the Section 10.1 generator for the unsorted-selection
+//!   experiment (Figure 6): per-PE Zipf distributions with randomized support
+//!   size and exponent so that the data distribution is skewed across PEs but
+//!   several PEs contribute to the result;
+//! * [`multicriteria`] — score-list generators for the multicriteria top-k
+//!   algorithms of Section 6;
+//! * [`weighted`] — key/value workloads for the sum aggregation of Section 8.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod multicriteria;
+pub mod negbin;
+pub mod selection;
+pub mod weighted;
+pub mod zipf;
+
+pub use multicriteria::MulticriteriaWorkload;
+pub use negbin::NegativeBinomial;
+pub use selection::{SkewedSelectionInput, UniformInput};
+pub use weighted::WeightedZipfInput;
+pub use zipf::Zipf;

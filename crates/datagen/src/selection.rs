@@ -1,0 +1,193 @@
+//! Input generators for the unsorted-selection experiment (paper §10.1).
+//!
+//! The paper selects "values from the high tail of Zipf distributions" where
+//! every PE draws from its *own* Zipf distribution whose support size and
+//! exponent are randomized per PE ("the Zipf distributions comprise between
+//! 2²⁰ − 2¹⁶ and 2²⁰ elements, with each PE's value chosen uniformly at
+//! random. Similarly, the exponent s is uniformly distributed between 1 and
+//! 1.2").  The point of the construction is that the input is skewed and
+//! non-uniformly distributed across PEs — several PEs contribute to the
+//! top-k, but not all equally — without the whole result living on one PE.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The §10.1 skewed per-PE input generator.
+#[derive(Debug, Clone)]
+pub struct SkewedSelectionInput {
+    /// Largest support size of the per-PE Zipf distributions.
+    pub max_support: usize,
+    /// The support size is drawn uniformly from
+    /// `max_support - support_spread ..= max_support`.
+    pub support_spread: usize,
+    /// The exponent is drawn uniformly from `min_exponent..max_exponent`.
+    pub min_exponent: f64,
+    /// Upper bound of the exponent range.
+    pub max_exponent: f64,
+    /// Base seed; PE `i` uses `seed + i` so PEs are independent but the whole
+    /// input is reproducible.
+    pub seed: u64,
+}
+
+impl Default for SkewedSelectionInput {
+    /// The paper's parameters scaled down by a factor 2⁶ so that the default
+    /// runs comfortably on a laptop (support up to 2¹⁴ instead of 2²⁰); the
+    /// benches override these to sweep sizes.
+    fn default() -> Self {
+        SkewedSelectionInput {
+            max_support: 1 << 14,
+            support_spread: 1 << 10,
+            min_exponent: 1.0,
+            max_exponent: 1.2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SkewedSelectionInput {
+    /// The paper's original parameters (support up to 2²⁰, spread 2¹⁶).
+    pub fn paper_scale(seed: u64) -> Self {
+        SkewedSelectionInput {
+            max_support: 1 << 20,
+            support_spread: 1 << 16,
+            min_exponent: 1.0,
+            max_exponent: 1.2,
+            seed,
+        }
+    }
+
+    /// Generate the local input of PE `rank`: `local_n` values drawn from
+    /// that PE's randomized Zipf distribution.  Values are the sampled ranks
+    /// (so small values are frequent and the "high tail" consists of the
+    /// large, rare values the selection experiment asks for).
+    pub fn generate(&self, rank: usize, local_n: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(rank as u64));
+        let support = self.max_support - rng.gen_range(0..=self.support_spread.max(1) - 1);
+        let exponent = rng.gen_range(self.min_exponent..self.max_exponent);
+        let zipf = Zipf::new(support.max(1), exponent);
+        zipf.sample_many(local_n, &mut rng)
+    }
+
+    /// Generate the whole distributed input: one vector per PE.
+    pub fn generate_all(&self, num_pes: usize, local_n: usize) -> Vec<Vec<u64>> {
+        (0..num_pes).map(|r| self.generate(r, local_n)).collect()
+    }
+}
+
+/// A plain uniform input generator (the easy, perfectly balanced case; used
+/// as a control in tests and ablation benches).
+#[derive(Debug, Clone)]
+pub struct UniformInput {
+    /// Values are drawn uniformly from `0..value_range`.
+    pub value_range: u64,
+    /// Base seed; PE `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl UniformInput {
+    /// Create a generator over `0..value_range`.
+    pub fn new(value_range: u64, seed: u64) -> Self {
+        assert!(value_range > 0, "value range must be non-empty");
+        UniformInput { value_range, seed }
+    }
+
+    /// Generate the local input of PE `rank`.
+    pub fn generate(&self, rank: usize, local_n: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(rank as u64));
+        (0..local_n).map(|_| rng.gen_range(0..self.value_range)).collect()
+    }
+
+    /// Generate locally *sorted* input for the multisequence-selection
+    /// algorithms (each PE's data sorted ascending).
+    pub fn generate_sorted(&self, rank: usize, local_n: usize) -> Vec<u64> {
+        let mut v = self.generate(rank, local_n);
+        v.sort_unstable();
+        v
+    }
+
+    /// Generate the whole distributed input: one vector per PE.
+    pub fn generate_all(&self, num_pes: usize, local_n: usize) -> Vec<Vec<u64>> {
+        (0..num_pes).map(|r| self.generate(r, local_n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_input_is_reproducible() {
+        let gen = SkewedSelectionInput::default();
+        let a = gen.generate(3, 1000);
+        let b = gen.generate(3, 1000);
+        assert_eq!(a, b);
+        let c = gen.generate(4, 1000);
+        assert_ne!(a, c, "different PEs must get different data");
+    }
+
+    #[test]
+    fn skewed_input_values_are_within_the_support() {
+        let gen = SkewedSelectionInput::default();
+        for rank in 0..4 {
+            let data = gen.generate(rank, 5000);
+            assert_eq!(data.len(), 5000);
+            assert!(data.iter().all(|&v| v >= 1 && v as usize <= gen.max_support));
+        }
+    }
+
+    #[test]
+    fn skewed_input_is_actually_skewed_across_pes() {
+        // Different PEs should have noticeably different value distributions
+        // (their Zipf parameters are randomized), measured by the count of
+        // large "high tail" values.
+        let gen = SkewedSelectionInput::default();
+        let threshold = (gen.max_support / 2) as u64;
+        let tails: Vec<usize> = (0..8)
+            .map(|r| gen.generate(r, 20_000).iter().filter(|&&v| v > threshold).count())
+            .collect();
+        let min = tails.iter().min().unwrap();
+        let max = tails.iter().max().unwrap();
+        assert!(max > min, "per-PE tails should differ: {tails:?}");
+    }
+
+    #[test]
+    fn paper_scale_parameters() {
+        let gen = SkewedSelectionInput::paper_scale(1);
+        assert_eq!(gen.max_support, 1 << 20);
+        assert_eq!(gen.support_spread, 1 << 16);
+    }
+
+    #[test]
+    fn generate_all_produces_one_vector_per_pe() {
+        let gen = SkewedSelectionInput::default();
+        let all = gen.generate_all(5, 100);
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().all(|v| v.len() == 100));
+    }
+
+    #[test]
+    fn uniform_input_is_in_range_and_reproducible() {
+        let gen = UniformInput::new(1000, 5);
+        let a = gen.generate(0, 10_000);
+        assert!(a.iter().all(|&v| v < 1000));
+        assert_eq!(a, gen.generate(0, 10_000));
+        // Roughly uniform: each half of the range gets about half the values.
+        let low = a.iter().filter(|&&v| v < 500).count();
+        assert!(low > 4_000 && low < 6_000, "low half count {low}");
+    }
+
+    #[test]
+    fn uniform_sorted_input_is_sorted() {
+        let gen = UniformInput::new(500, 9);
+        let v = gen.generate_sorted(2, 1000);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_empty_range_is_rejected() {
+        let _ = UniformInput::new(0, 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Deterministic frequent-object summaries (sequential baselines).
+//!
+//! The paper's Section 7 contrasts its sampling-based distributed algorithms
+//! with the classical *heavy hitters* formulation, which only finds objects
+//! whose frequency exceeds a fixed fraction of the input.  The two standard
+//! deterministic one-pass summaries are implemented here — they serve as
+//! sequential baselines and as local pre-aggregators in tests:
+//!
+//! * [`MisraGries`]: `k − 1` counters, frequency estimates with additive
+//!   error at most `n/k`;
+//! * [`SpaceSaving`]: `k` counters, over-estimates with the same error bound
+//!   and per-object error tracking.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The Misra–Gries frequent-elements summary with `capacity` counters.
+///
+/// After processing `n` elements, for every object `x` the estimate
+/// `f̂(x)` satisfies `f(x) − n/(capacity+1) ≤ f̂(x) ≤ f(x)`.
+#[derive(Debug, Clone)]
+pub struct MisraGries<K> {
+    capacity: usize,
+    counters: HashMap<K, u64>,
+    processed: u64,
+}
+
+impl<K: Eq + Hash + Clone> MisraGries<K> {
+    /// Create a summary holding at most `capacity` counters (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "need at least one counter");
+        MisraGries { capacity, counters: HashMap::with_capacity(capacity + 1), processed: 0 }
+    }
+
+    /// Process one element of the stream.
+    pub fn insert(&mut self, key: K) {
+        self.insert_weighted(key, 1);
+    }
+
+    /// Process one element with a positive integer weight (equivalent to
+    /// `weight` repetitions).
+    pub fn insert_weighted(&mut self, key: K, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.processed += weight;
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, weight);
+            return;
+        }
+        // Decrement all counters by the largest amount that keeps them
+        // non-negative and does not exceed the new element's weight.
+        let min_count = self.counters.values().copied().min().unwrap_or(0);
+        let dec = min_count.min(weight);
+        let mut remaining_weight = weight - dec;
+        self.counters.retain(|_, c| {
+            *c -= dec;
+            *c > 0
+        });
+        if remaining_weight > 0 {
+            if self.counters.len() < self.capacity {
+                self.counters.insert(key, remaining_weight);
+            } else {
+                // All counters were still positive after the decrement: the
+                // new element's remaining weight is absorbed (classical MG
+                // drops it; only happens when dec == weight, so remaining is
+                // zero — defensive branch).
+                remaining_weight = 0;
+            }
+        }
+        let _ = remaining_weight;
+    }
+
+    /// Number of stream elements processed so far (sum of weights).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Estimated frequency of `key` (an under-estimate).
+    pub fn estimate(&self, key: &K) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// All currently tracked candidates with their estimates, sorted by
+    /// decreasing estimate.
+    pub fn candidates(&self) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> = self.counters.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Additive error bound of the estimates: `processed / (capacity + 1)`.
+    pub fn error_bound(&self) -> u64 {
+        self.processed / (self.capacity as u64 + 1)
+    }
+
+    /// Merge another summary into this one (the standard mergeable-summary
+    /// construction: add counters, then keep the `capacity` largest after
+    /// subtracting the `(capacity+1)`-largest value).
+    pub fn merge(&mut self, other: &MisraGries<K>) {
+        for (k, &c) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += c;
+        }
+        self.processed += other.processed;
+        if self.counters.len() > self.capacity {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let threshold = counts[self.capacity];
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(threshold);
+                *c > 0
+            });
+        }
+    }
+}
+
+/// The Space-Saving summary with `capacity` counters.
+///
+/// Estimates are over-estimates: `f(x) ≤ f̂(x) ≤ f(x) + n/capacity`, and the
+/// per-key `error(x)` field bounds the over-estimate exactly.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K> {
+    capacity: usize,
+    /// key → (count, error at insertion time)
+    counters: HashMap<K, (u64, u64)>,
+    processed: u64,
+}
+
+impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+    /// Create a summary with `capacity ≥ 1` counters.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "need at least one counter");
+        SpaceSaving { capacity, counters: HashMap::with_capacity(capacity + 1), processed: 0 }
+    }
+
+    /// Process one element.
+    pub fn insert(&mut self, key: K) {
+        self.processed += 1;
+        if let Some((c, _)) = self.counters.get_mut(&key) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, (1, 0));
+            return;
+        }
+        // Evict the key with the smallest count and inherit its count as the
+        // new key's error.
+        let (evict_key, min_count) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, (c, _))| *c)
+            .map(|(k, (c, _))| (k.clone(), *c))
+            .expect("capacity ≥ 1, so a minimum exists");
+        self.counters.remove(&evict_key);
+        self.counters.insert(key, (min_count + 1, min_count));
+    }
+
+    /// Number of stream elements processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Estimated frequency (an over-estimate) and its error bound.
+    pub fn estimate(&self, key: &K) -> Option<(u64, u64)> {
+        self.counters.get(key).copied()
+    }
+
+    /// Candidates sorted by decreasing estimated count.
+    pub fn candidates(&self) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> =
+            self.counters.iter().map(|(k, &(c, _))| (k.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Keys whose *guaranteed* count (estimate − error) exceeds `threshold`.
+    pub fn guaranteed_above(&self, threshold: u64) -> Vec<K> {
+        self.counters
+            .iter()
+            .filter(|(_, &(c, e))| c - e > threshold)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stream where key 0 appears 500 times, key 1 300 times, and keys
+    /// 100.. appear once each (2000 singletons).
+    fn skewed_stream() -> Vec<u64> {
+        let mut v = Vec::new();
+        v.extend(std::iter::repeat(0u64).take(500));
+        v.extend(std::iter::repeat(1u64).take(300));
+        v.extend(100..2100u64);
+        // Deterministic interleave so the heavy keys are spread out.
+        let heavy: Vec<u64> = v.drain(..800).collect();
+        let light: Vec<u64> = v;
+        let mut out = Vec::new();
+        let mut hi = heavy.into_iter();
+        let mut li = light.into_iter();
+        loop {
+            match (hi.next(), li.next(), li.next()) {
+                (None, None, None) => break,
+                (h, l1, l2) => {
+                    out.extend(h);
+                    out.extend(l1);
+                    out.extend(l2);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn misra_gries_finds_heavy_keys() {
+        let stream = skewed_stream();
+        let n = stream.len() as u64;
+        let mut mg = MisraGries::new(15);
+        for &x in &stream {
+            mg.insert(x);
+        }
+        assert_eq!(mg.processed(), n);
+        // Both heavy keys have true count far above n/(capacity+1).
+        assert!(mg.estimate(&0) >= 500 - mg.error_bound());
+        assert!(mg.estimate(&1) >= 300 - mg.error_bound());
+        assert!(mg.estimate(&0) <= 500);
+        assert!(mg.estimate(&1) <= 300);
+    }
+
+    #[test]
+    fn misra_gries_estimates_never_exceed_truth() {
+        let stream = skewed_stream();
+        let mut mg = MisraGries::new(5);
+        for &x in &stream {
+            mg.insert(x);
+        }
+        for (k, est) in mg.candidates() {
+            let truth = stream.iter().filter(|&&x| x == k).count() as u64;
+            assert!(est <= truth, "key {k}: estimate {est} > truth {truth}");
+        }
+    }
+
+    #[test]
+    fn misra_gries_weighted_inserts_match_repeats() {
+        let mut a = MisraGries::new(4);
+        let mut b = MisraGries::new(4);
+        for _ in 0..7 {
+            a.insert("x");
+        }
+        b.insert_weighted("x", 7);
+        assert_eq!(a.estimate(&"x"), b.estimate(&"x"));
+        b.insert_weighted("y", 0);
+        assert_eq!(b.processed(), 7);
+    }
+
+    #[test]
+    fn misra_gries_merge_preserves_heavy_keys() {
+        let stream = skewed_stream();
+        let mid = stream.len() / 2;
+        let mut left = MisraGries::new(20);
+        let mut right = MisraGries::new(20);
+        for &x in &stream[..mid] {
+            left.insert(x);
+        }
+        for &x in &stream[mid..] {
+            right.insert(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.processed(), stream.len() as u64);
+        let top: Vec<u64> = left.candidates().into_iter().take(2).map(|(k, _)| k).collect();
+        assert!(top.contains(&0));
+        assert!(top.contains(&1));
+    }
+
+    #[test]
+    fn space_saving_overestimates_within_bound() {
+        let stream = skewed_stream();
+        let n = stream.len() as u64;
+        let capacity = 20;
+        let mut ss = SpaceSaving::new(capacity);
+        for &x in &stream {
+            ss.insert(x);
+        }
+        assert_eq!(ss.processed(), n);
+        for (k, est) in ss.candidates() {
+            let truth = stream.iter().filter(|&&x| x == k).count() as u64;
+            assert!(est >= truth, "space-saving must over-estimate");
+            assert!(est <= truth + n / capacity as u64 + 1);
+        }
+        // The two heavy keys must be among the top candidates.
+        let top: Vec<u64> = ss.candidates().into_iter().take(4).map(|(k, _)| k).collect();
+        assert!(top.contains(&0));
+        assert!(top.contains(&1));
+    }
+
+    #[test]
+    fn space_saving_guaranteed_counts_are_sound() {
+        let stream = skewed_stream();
+        let mut ss = SpaceSaving::new(10);
+        for &x in &stream {
+            ss.insert(x);
+        }
+        for k in ss.guaranteed_above(100) {
+            let truth = stream.iter().filter(|&&x| x == k).count() as u64;
+            assert!(truth > 100, "key {k} guaranteed above 100 but truth is {truth}");
+        }
+    }
+
+    #[test]
+    fn small_capacity_edge_cases() {
+        let mut mg = MisraGries::new(1);
+        for x in [1u64, 2, 1, 3, 1] {
+            mg.insert(x);
+        }
+        assert!(mg.estimate(&1) <= 3);
+        let mut ss = SpaceSaving::new(1);
+        for x in [1u64, 2, 1, 3, 1] {
+            ss.insert(x);
+        }
+        assert_eq!(ss.candidates().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_capacity_is_rejected() {
+        let _ = MisraGries::<u64>::new(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # seqkit — sequential building blocks
+//!
+//! The distributed algorithms of the paper are built from a small set of
+//! classical sequential components (its Section 2, "Preliminaries").  This
+//! crate implements them from scratch so that the distributed layer
+//! (`topk`) has no external algorithmic dependencies:
+//!
+//! * [`select`] — in-place quickselect and the Floyd–Rivest two-pivot
+//!   selection used to pick pivots close to a target rank,
+//! * [`treap`] — an augmented search tree supporting `insert`, `delete`,
+//!   `select(i)`, `rank(x)`, `split` and `concat` in logarithmic time, the
+//!   backbone of the bulk-parallel priority queue (paper Section 5),
+//! * [`sampling`] — Bernoulli sampling via geometric skip values and the
+//!   geometric random deviates used by the flexible-`k` selection
+//!   (paper Sections 2 and 4.3),
+//! * [`sorted`] — rank/partition utilities on locally sorted sequences
+//!   (multisequence selection, paper Section 4.2),
+//! * [`threshold`] — Fagin's sequential threshold algorithm, the baseline
+//!   that the distributed multicriteria top-k approximates (Section 6),
+//! * [`heavy_hitters`] — classical deterministic frequent-object summaries
+//!   (Misra–Gries, Space-Saving) used as sequential baselines for Section 7,
+//! * [`hashagg`] — hash-based key aggregation used for local counting in the
+//!   frequent-objects and sum-aggregation algorithms (Sections 7 and 8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hashagg;
+pub mod heavy_hitters;
+pub mod sampling;
+pub mod select;
+pub mod sorted;
+pub mod threshold;
+pub mod treap;
+
+pub use heavy_hitters::{MisraGries, SpaceSaving};
+pub use sampling::{bernoulli_sample, geometric_deviate, BernoulliSampler};
+pub use select::{floyd_rivest_select, partition_three_way, quickselect, select_kth_smallest};
+pub use sorted::{merge_sorted, rank_in_sorted, select_in_sorted_union};
+pub use threshold::{ScoreList, ThresholdAlgorithm, ThresholdResult};
+pub use treap::Treap;

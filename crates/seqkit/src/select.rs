@@ -1,0 +1,308 @@
+//! Sequential selection algorithms.
+//!
+//! Two selection routines are provided:
+//!
+//! * [`quickselect`] — classical Hoare selection with a random pivot,
+//!   expected linear time, used as the reference implementation and for small
+//!   inputs;
+//! * [`floyd_rivest_select`] — the Floyd–Rivest algorithm [Floyd & Rivest
+//!   1975], which picks its pivots from a sample around the target rank and
+//!   thereby achieves `n + min(k, n−k) + o(n)` comparisons.  The distributed
+//!   unsorted-selection algorithm of the paper's Section 4.1 is the
+//!   distributed-memory analogue of this idea, so having the sequential
+//!   version around is useful both as a local subroutine and as a baseline.
+//!
+//! Also provided is the three-way partition by a pivot pair `(ℓ, r)` that the
+//! distributed algorithm (its Algorithm 1) applies to the local data.
+
+use rand::Rng;
+
+/// Select the element with rank `k` (0-based, i.e. the `(k+1)`-smallest) from
+/// `data`, reordering `data` in the process.  Expected `O(n)` time.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `k >= data.len()`.
+pub fn quickselect<T: Ord + Clone, R: Rng>(data: &mut [T], k: usize, rng: &mut R) -> T {
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(k < data.len(), "rank {k} out of bounds for length {}", data.len());
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    let mut k = k;
+    loop {
+        if hi - lo <= 16 {
+            data[lo..hi].sort_unstable();
+            return data[lo + k].clone();
+        }
+        let pivot_idx = lo + rng.gen_range(0..hi - lo);
+        data.swap(lo, pivot_idx);
+        let pivot = data[lo].clone();
+        // Hoare-style partition of data[lo+1..hi] around `pivot`.
+        let mut lt = lo; // data[lo..=lt] <= pivot (pivot itself at lo)
+        let mut gt = hi; // data[gt..hi] > pivot
+        let mut i = lo + 1;
+        while i < gt {
+            if data[i] < pivot {
+                lt += 1;
+                data.swap(i, lt);
+                i += 1;
+            } else if data[i] > pivot {
+                gt -= 1;
+                data.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        data.swap(lo, lt);
+        // Now data[lo..lt] < pivot, data[lt..gt] == pivot, data[gt..hi] > pivot.
+        let less = lt - lo;
+        let equal = gt - lt;
+        if k < less {
+            hi = lt;
+        } else if k < less + equal {
+            return pivot;
+        } else {
+            k -= less + equal;
+            lo = gt;
+        }
+    }
+}
+
+/// Convenience wrapper: the k-th smallest (1-based `k`, matching the paper's
+/// convention of "the k smallest elements") of a slice, without mutating the
+/// input.
+pub fn select_kth_smallest<T: Ord + Clone, R: Rng>(data: &[T], k: usize, rng: &mut R) -> T {
+    assert!(k >= 1, "k is 1-based and must be at least 1");
+    let mut copy = data.to_vec();
+    quickselect(&mut copy, k - 1, rng)
+}
+
+/// Floyd–Rivest selection: like [`quickselect`], but pivots are chosen from a
+/// sample around the target rank, which makes the expected number of
+/// comparisons `n + min(k, n−k) + o(n)`.
+///
+/// Selects the element of 0-based rank `k`, reordering `data`.
+pub fn floyd_rivest_select<T: Ord + Clone, R: Rng>(data: &mut [T], k: usize, rng: &mut R) -> T {
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(k < data.len(), "rank {k} out of bounds for length {}", data.len());
+    fr_recursive(data, 0, data.len(), k, rng);
+    data[k].clone()
+}
+
+/// Recursive core of Floyd–Rivest: after the call, `data[k]` holds the
+/// element of rank `k` and `data[lo..hi]` is partitioned around it.
+fn fr_recursive<T: Ord + Clone, R: Rng>(
+    data: &mut [T],
+    mut lo: usize,
+    mut hi: usize,
+    k: usize,
+    rng: &mut R,
+) {
+    while hi - lo > 600 {
+        let n = (hi - lo) as f64;
+        let i = (k - lo) as f64;
+        // Sample window around the target rank, as in the original paper:
+        // recursing on it places an element of rank very close to k at
+        // data[k], which then serves as the pivot for the full range.
+        let z = n.ln();
+        let s = 0.5 * (2.0 * z / 3.0).exp();
+        let sign = if i < n / 2.0 { -1.0 } else { 1.0 };
+        let sd = 0.5 * (z * s * (n - s) / n).sqrt() * sign;
+        let new_lo = ((k as f64 - i * s / n + sd) as usize).clamp(lo, k);
+        let new_hi = ((k as f64 + (n - i) * s / n + sd) as usize).clamp(k, hi - 1);
+        fr_recursive(data, new_lo, new_hi + 1, k, rng);
+
+        let pivot = data[k].clone();
+        // Three-way partition of data[lo..hi] around the pivot.
+        let mut lt = lo;
+        let mut gt = hi;
+        let mut i = lo;
+        while i < gt {
+            if data[i] < pivot {
+                data.swap(i, lt);
+                lt += 1;
+                i += 1;
+            } else if data[i] > pivot {
+                gt -= 1;
+                data.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        // data[lo..lt] < pivot, data[lt..gt] == pivot, data[gt..hi] > pivot.
+        if k < lt {
+            hi = lt;
+        } else if k < gt {
+            return;
+        } else {
+            lo = gt;
+        }
+    }
+    // Small range: a random-pivot quickselect pass suffices and is simpler
+    // than the index gymnastics above.
+    if hi > lo {
+        let slice = &mut data[lo..hi];
+        let target = k - lo;
+        let v = quickselect(slice, target, rng);
+        debug_assert!(slice[target] == v);
+    }
+}
+
+/// Three-way partition of `data` by a pivot pair `(lo_pivot, hi_pivot)` with
+/// `lo_pivot <= hi_pivot`, as used by the distributed selection algorithm
+/// (paper Algorithm 1): returns `(a, b, c)` with
+/// `a = ⟨e < lo_pivot⟩`, `b = ⟨lo_pivot ≤ e ≤ hi_pivot⟩`, `c = ⟨e > hi_pivot⟩`.
+pub fn partition_three_way<T: Ord + Clone>(
+    data: &[T],
+    lo_pivot: &T,
+    hi_pivot: &T,
+) -> (Vec<T>, Vec<T>, Vec<T>) {
+    debug_assert!(lo_pivot <= hi_pivot);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut c = Vec::new();
+    for e in data {
+        if e < lo_pivot {
+            a.push(e.clone());
+        } else if e > hi_pivot {
+            c.push(e.clone());
+        } else {
+            b.push(e.clone());
+        }
+    }
+    (a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    fn reference_kth(data: &[u64], k: usize) -> u64 {
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        sorted[k]
+    }
+
+    #[test]
+    fn quickselect_matches_sorting_on_random_inputs() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 10, 100, 1000] {
+            let data: Vec<u64> = (0..n).map(|_| r.gen_range(0..500)).collect();
+            for k in [0, n / 3, n / 2, n - 1] {
+                let mut copy = data.clone();
+                let got = quickselect(&mut copy, k, &mut r);
+                assert_eq!(got, reference_kth(&data, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quickselect_handles_heavy_duplicates() {
+        let mut r = rng();
+        let data: Vec<u64> = (0..1000).map(|_| r.gen_range(0..5)).collect();
+        for k in [0, 250, 500, 999] {
+            let mut copy = data.clone();
+            assert_eq!(quickselect(&mut copy, k, &mut r), reference_kth(&data, k));
+        }
+    }
+
+    #[test]
+    fn quickselect_on_sorted_and_reversed_inputs() {
+        let mut r = rng();
+        let asc: Vec<u64> = (0..500).collect();
+        let desc: Vec<u64> = (0..500).rev().collect();
+        for k in [0, 100, 499] {
+            let mut a = asc.clone();
+            let mut d = desc.clone();
+            assert_eq!(quickselect(&mut a, k, &mut r), k as u64);
+            assert_eq!(quickselect(&mut d, k, &mut r), k as u64);
+        }
+    }
+
+    #[test]
+    fn select_kth_smallest_is_one_based_and_nonmutating() {
+        let mut r = rng();
+        let data = vec![5u64, 1, 4, 2, 3];
+        assert_eq!(select_kth_smallest(&data, 1, &mut r), 1);
+        assert_eq!(select_kth_smallest(&data, 5, &mut r), 5);
+        assert_eq!(data, vec![5, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn select_kth_smallest_rejects_zero() {
+        let mut r = rng();
+        select_kth_smallest(&[1u64], 0, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quickselect_rejects_empty_input() {
+        let mut r = rng();
+        quickselect::<u64, _>(&mut [], 0, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn quickselect_rejects_out_of_range_rank() {
+        let mut r = rng();
+        quickselect(&mut [1u64, 2], 5, &mut r);
+    }
+
+    #[test]
+    fn floyd_rivest_matches_sorting_on_large_inputs() {
+        let mut r = rng();
+        for n in [1usize, 10, 600, 601, 5000, 20000] {
+            let data: Vec<u64> = (0..n).map(|_| r.gen_range(0..1_000_000)).collect();
+            for k in [0, n / 4, n / 2, n - 1] {
+                let mut copy = data.clone();
+                let got = floyd_rivest_select(&mut copy, k, &mut r);
+                assert_eq!(got, reference_kth(&data, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_rivest_handles_duplicates_and_sorted_inputs() {
+        let mut r = rng();
+        let dup: Vec<u64> = (0..5000).map(|_| r.gen_range(0..7)).collect();
+        let sorted: Vec<u64> = (0..5000).collect();
+        for k in [0, 1234, 2500, 4999] {
+            let mut d = dup.clone();
+            assert_eq!(floyd_rivest_select(&mut d, k, &mut r), reference_kth(&dup, k));
+            let mut s = sorted.clone();
+            assert_eq!(floyd_rivest_select(&mut s, k, &mut r), k as u64);
+        }
+    }
+
+    #[test]
+    fn partition_three_way_splits_correctly() {
+        let data = vec![5u64, 1, 9, 3, 7, 3, 8, 2];
+        let (a, b, c) = partition_three_way(&data, &3, &7);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, vec![5, 3, 7, 3]);
+        assert_eq!(c, vec![9, 8]);
+        assert_eq!(a.len() + b.len() + c.len(), data.len());
+    }
+
+    #[test]
+    fn partition_three_way_with_equal_pivots() {
+        let data = vec![1u64, 2, 2, 3];
+        let (a, b, c) = partition_three_way(&data, &2, &2);
+        assert_eq!(a, vec![1]);
+        assert_eq!(b, vec![2, 2]);
+        assert_eq!(c, vec![3]);
+    }
+
+    #[test]
+    fn partition_three_way_empty_input() {
+        let (a, b, c) = partition_three_way::<u64>(&[], &1, &2);
+        assert!(a.is_empty() && b.is_empty() && c.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Parallel branch-and-bound on the bulk priority queue
+//! (the paper's Section 5 application).
+//!
+//! Solves random 0/1 knapsack instances with a best-first branch-and-bound
+//! whose frontier lives in the communication-efficient bulk-parallel priority
+//! queue: node expansions insert children *locally*, only the batched
+//! `deleteMin*` communicates.  Compares the number of expanded nodes and the
+//! communication volume against the sequential best-first baseline and
+//! verifies both against a dynamic-programming oracle.
+//!
+//! ```bash
+//! cargo run --release --example branch_and_bound
+//! ```
+
+use topk_selection::prelude::*;
+
+fn main() {
+    let p = 8;
+    println!("== Parallel best-first branch-and-bound (0/1 knapsack) on {p} PEs ==\n");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "items", "optimum", "seq. nodes", "par. nodes", "iterations", "words/PE"
+    );
+
+    for (items, seed) in [(22usize, 1u64), (26, 2), (30, 3), (34, 4)] {
+        let instance = KnapsackInstance::random(items, 50, 100, seed);
+        let dp = instance.optimum_by_dp();
+        let sequential = knapsack_branch_bound_sequential(&instance);
+        assert_eq!(sequential.optimum, dp, "sequential B&B must match the DP oracle");
+
+        let instance_ref = instance.clone();
+        let out = run_spmd(p, move |comm| {
+            let before = comm.stats_snapshot();
+            let result = knapsack_branch_bound_parallel(comm, &instance_ref, 2, seed);
+            (result, comm.stats_snapshot().since(&before).bottleneck_words())
+        });
+        let (parallel, _) = out.results[0];
+        assert_eq!(parallel.optimum, dp, "parallel B&B must match the DP oracle");
+        let words = out.results.iter().map(|&(_, w)| w).max().unwrap();
+
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>12} {:>14}",
+            items, dp, sequential.expanded, parallel.expanded, parallel.iterations, words
+        );
+    }
+
+    println!("\nThe parallel run expands K = m + O(h·p) nodes (m = sequential expansions,");
+    println!("h = tree depth); inserted children never cross the network, so the per-PE");
+    println!("communication is proportional to the number of deleteMin* iterations only.");
+}

@@ -1,0 +1,87 @@
+//! Multicriteria top-k: a miniature distributed search engine
+//! (the paper's Section 6 scenario).
+//!
+//! A disjunctive query with `m` keywords is answered over a document
+//! collection sharded across PEs.  For every keyword, each PE has a list of
+//! its local documents sorted by that keyword's relevance; the overall
+//! relevance is the sum of the per-keyword scores.  The example runs the
+//! distributed threshold algorithm DTA and the random-distribution variant
+//! RDTA and compares them against the sequential threshold algorithm on the
+//! full collection.
+//!
+//! ```bash
+//! cargo run --release --example search_engine
+//! ```
+
+use topk_selection::prelude::*;
+use topk_selection::seqkit::threshold::exhaustive_top_k;
+
+fn main() {
+    let p = 8; // PEs (index shards)
+    let documents = 50_000;
+    let keywords = 4; // the paper's m
+    let k = 10;
+
+    println!("== Distributed multicriteria top-{k}: {documents} documents, {keywords} keywords, {p} shards ==\n");
+
+    // A query where keyword relevances are moderately correlated (a document
+    // that is good for one keyword tends to be good for the others).
+    let workload = MulticriteriaWorkload::new(documents, keywords, 0.7, 2024);
+    let additive = MulticriteriaWorkload::additive_score;
+
+    // Sequential reference: the exhaustive ranking and Fagin's TA.
+    let global_lists = workload.global_lists();
+    let reference = exhaustive_top_k(&global_lists, additive, k);
+    let ta = ThresholdAlgorithm::new(&global_lists, additive);
+    let ta_result = ta.run(k);
+    println!("sequential threshold algorithm (single machine):");
+    println!("  rows scanned K          : {}", ta_result.rows_scanned);
+    println!("  random accesses         : {}", ta_result.random_accesses);
+
+    // Distributed: DTA for arbitrary document placement.
+    let per_pe = workload.local_lists(p);
+    let per_pe_dta = per_pe.clone();
+    let out = run_spmd(p, move |comm| {
+        let local = LocalMulticriteria::new(per_pe_dta[comm.rank()].clone());
+        let before = comm.stats_snapshot();
+        let result = dta_top_k(comm, &local, &additive, k, 7);
+        (result, comm.stats_snapshot().since(&before).bottleneck_words())
+    });
+    let (dta_result, _) = &out.results[0];
+    let dta_words = out.results.iter().map(|(_, w)| *w).max().unwrap();
+    println!("\nDTA (arbitrary distribution, Algorithm 3):");
+    println!("  scan parameter K        : {}", dta_result.scan_parameter);
+    println!("  exponential-search steps: {}", dta_result.rounds);
+    println!("  threshold t(x₁..x_m)    : {:.4}", dta_result.threshold);
+    println!("  bottleneck comm volume  : {dta_words} words/PE");
+    println!("  wall time               : {:?}", out.elapsed);
+
+    // Distributed: RDTA when the documents are randomly placed (our
+    // round-robin sharding is exactly that).
+    let per_pe_rdta = per_pe.clone();
+    let out = run_spmd(p, move |comm| {
+        let local = LocalMulticriteria::new(per_pe_rdta[comm.rank()].clone());
+        let before = comm.stats_snapshot();
+        let result = rdta_top_k(comm, &local, &additive, k, 7);
+        (result, comm.stats_snapshot().since(&before).bottleneck_words())
+    });
+    let (rdta_result, _) = &out.results[0];
+    let rdta_words = out.results.iter().map(|(_, w)| *w).max().unwrap();
+    println!("\nRDTA (random distribution):");
+    println!("  local candidates k̂      : {}", rdta_result.scan_parameter);
+    println!("  restarts                : {}", rdta_result.rounds);
+    println!("  bottleneck comm volume  : {rdta_words} words/PE");
+    println!("  wall time               : {:?}", out.elapsed);
+
+    // Verify the answers agree with the exhaustive ranking.
+    let want: Vec<u64> = reference.iter().map(|&(o, _)| o).collect();
+    let got_dta: Vec<u64> = dta_result.items.iter().map(|&(o, _)| o).collect();
+    let got_rdta: Vec<u64> = rdta_result.items.iter().map(|&(o, _)| o).collect();
+    println!("\ntop-{k} documents (exhaustive): {want:?}");
+    println!("top-{k} documents (DTA)       : {got_dta:?}");
+    println!("top-{k} documents (RDTA)      : {got_rdta:?}");
+    assert_eq!(want, got_dta, "DTA must match the exhaustive ranking");
+    assert_eq!(want, got_rdta, "RDTA must match the exhaustive ranking");
+    println!("\nBoth distributed algorithms reproduced the exact ranking while");
+    println!("scanning only a prefix of every list and exchanging a few hundred words.");
+}

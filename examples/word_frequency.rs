@@ -1,0 +1,83 @@
+//! Finding the most frequent words in a distributed corpus
+//! (the paper's Section 7 / Figure 4 scenario).
+//!
+//! Each PE holds a shard of a synthetic "corpus" whose word frequencies
+//! follow Zipf's law; the example runs all four algorithms the paper
+//! evaluates (PAC, EC, the Naive baseline and Naive Tree) plus the
+//! probably-exactly-correct variant, and compares their answers and
+//! communication volume against the exact counts.
+//!
+//! ```bash
+//! cargo run --release --example word_frequency
+//! ```
+
+use topk_selection::prelude::*;
+use topk_selection::topk::frequent::{exact_global_counts, relative_error};
+
+fn main() {
+    let p = 8;
+    let per_pe = 200_000;
+    let vocabulary = 1 << 14;
+    let k = 10;
+    let params = FrequentParams::new(k, 1e-3, 1e-3, 42);
+    let zipf = Zipf::new(vocabulary, 1.05);
+
+    println!("== Top-{k} most frequent words, {p} PEs × {per_pe} words, Zipf(1.05) vocabulary of {vocabulary} ==\n");
+
+    // Exact counts (the oracle) once, so every algorithm can be scored.
+    let exact = run_spmd(p, |comm| {
+        let local = local_corpus(&zipf, comm.rank(), per_pe);
+        exact_global_counts(comm, &local)
+    });
+    let exact_counts = exact.results[0].clone();
+    let n = (p * per_pe) as u64;
+
+    let algorithms: Vec<(&str, Box<dyn Fn(&commsim::Comm, &[u64]) -> topk_selection::topk::TopKFrequentResult + Sync>)> = vec![
+        ("PAC (sampling + DHT + selection)", Box::new(move |comm, local| pac_top_k(comm, local, &params))),
+        ("EC  (small sample + exact counting)", Box::new(move |comm, local| ec_top_k(comm, local, &params))),
+        ("PEC (probably exactly correct)", Box::new(move |comm, local| pec_top_k(comm, local, &params, 5e-3))),
+        ("Naive (centralized)", Box::new(move |comm, local| naive_top_k(comm, local, &params))),
+        ("Naive Tree (tree reduction)", Box::new(move |comm, local| naive_tree_top_k(comm, local, &params))),
+    ];
+
+    println!(
+        "{:<38} {:>12} {:>14} {:>12} {:>10}",
+        "algorithm", "sample size", "comm words/PE", "rel. error", "wall time"
+    );
+    for (name, algo) in &algorithms {
+        let zipf = zipf.clone();
+        let out = run_spmd(p, |comm| {
+            let local = local_corpus(&zipf, comm.rank(), per_pe);
+            let before = comm.stats_snapshot();
+            let result = algo(comm, &local);
+            (result, comm.stats_snapshot().since(&before).bottleneck_words())
+        });
+        let (result, _) = &out.results[0];
+        let bottleneck = out.results.iter().map(|(_, w)| *w).max().unwrap();
+        let err = relative_error(&exact_counts, &result.keys(), k, n);
+        println!(
+            "{:<38} {:>12} {:>14} {:>12.2e} {:>8.0?}",
+            name, result.sample_size, bottleneck, err, out.elapsed
+        );
+    }
+
+    // Show the actual winners according to the exact-counting algorithm.
+    let zipf2 = zipf.clone();
+    let out = run_spmd(p, |comm| {
+        let local = local_corpus(&zipf2, comm.rank(), per_pe);
+        ec_top_k(comm, &local, &params)
+    });
+    println!("\nmost frequent words (word id, exact count):");
+    for (rank, (word, count)) in out.results[0].items.iter().enumerate() {
+        println!("  #{:<2} word {:<6} count {}", rank + 1, word, count);
+    }
+    println!("\n(Word ids are Zipf ranks, so ids 1..{k} winning is the expected outcome.)");
+}
+
+/// The local shard of the corpus: Zipf-distributed word ids.
+fn local_corpus(zipf: &Zipf, rank: usize, per_pe: usize) -> Vec<u64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0xC0_FF_EE ^ rank as u64);
+    zipf.sample_many(per_pe, &mut rng)
+}

@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * distributed selection always returns the element of exactly the
+//!   requested rank, for arbitrary per-PE inputs (including empty PEs,
+//!   duplicates and adversarial skew);
+//! * the flexible-k selection always lands inside its band;
+//! * the treap behaves exactly like a sorted vector;
+//! * redistribution never loses or invents elements and always balances;
+//! * the bulk queue drains any insert schedule in global order;
+//! * the word-count metering is additive.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use topk_selection::prelude::*;
+
+/// Strategy: between 1 and 5 PEs, each with 0..200 values in 0..1000.
+fn distributed_input() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    vec(vec(0u64..1000, 0..200), 1..5)
+}
+
+/// Strategy: locally sorted variant of [`distributed_input`].
+fn sorted_distributed_input() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    distributed_input().prop_map(|mut parts| {
+        for part in &mut parts {
+            part.sort_unstable();
+        }
+        parts
+    })
+}
+
+fn total_len(parts: &[Vec<u64>]) -> usize {
+    parts.iter().map(Vec::len).sum()
+}
+
+fn sorted_union(parts: &[Vec<u64>]) -> Vec<u64> {
+    let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unsorted_selection_threshold_is_the_kth_smallest(
+        parts in distributed_input(),
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = total_len(&parts);
+        prop_assume!(n > 0);
+        let k = ((k_frac * n as f64) as usize).clamp(1, n);
+        let reference = sorted_union(&parts);
+        let p = parts.len();
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            select_k_smallest(comm, &parts_ref[comm.rank()], k, seed)
+        });
+        prop_assert!(out.results.iter().all(|r| r.threshold == reference[k - 1]));
+        let selected: usize = out.results.iter().map(|r| r.local_selected.len()).sum();
+        prop_assert_eq!(selected, k);
+    }
+
+    #[test]
+    fn multisequence_selection_matches_the_union_oracle(
+        parts in sorted_distributed_input(),
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = total_len(&parts);
+        prop_assume!(n > 0);
+        let k = ((k_frac * n as f64) as usize).clamp(1, n);
+        let reference = sorted_union(&parts);
+        let p = parts.len();
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            multisequence_select(comm, &parts_ref[comm.rank()], k, seed)
+        });
+        prop_assert!(out.results.iter().all(|r| r.threshold == reference[k - 1]));
+        let counted: usize = out.results.iter().map(|r| r.local_count).sum();
+        prop_assert_eq!(counted, k);
+    }
+
+    #[test]
+    fn flexible_selection_stays_inside_its_band(
+        parts in sorted_distributed_input(),
+        lo_frac in 0.05f64..0.8,
+        // The paper's "flexible k" regime: k̄ − k̲ = Ω(k̲).
+        width_frac in 0.5f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = total_len(&parts) as u64;
+        prop_assume!(n >= 4);
+        let k_lo = ((lo_frac * n as f64) as u64).clamp(1, n);
+        let k_hi = (k_lo + (width_frac * k_lo as f64).ceil() as u64).min(n);
+        prop_assume!(k_hi >= k_lo);
+        let p = parts.len();
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            approx_multisequence_select(comm, &parts_ref[comm.rank()], k_lo, k_hi, seed)
+        });
+        let selected = out.results[0].selected;
+        // With duplicates a band can be unreachable (every threshold jumps
+        // over it); the algorithm then reports the closest achievable count.
+        let reference = sorted_union(&parts);
+        let achievable = (k_lo..=k_hi).any(|k| {
+            let v = reference[(k - 1) as usize];
+            reference.iter().filter(|&&x| x <= v).count() as u64 <= k_hi
+        });
+        if achievable {
+            prop_assert!(selected >= k_lo && selected <= k_hi,
+                "band ({k_lo},{k_hi}) reachable but selected {selected}");
+        }
+        // Consistency between the threshold and the count always holds.
+        let v = out.results[0].threshold;
+        let rank = reference.iter().filter(|&&x| x <= v).count() as u64;
+        prop_assert_eq!(rank, selected);
+    }
+
+    #[test]
+    fn treap_behaves_like_a_sorted_vector(
+        values in vec(0u64..500, 0..300),
+        probe in 0u64..500,
+    ) {
+        let treap = Treap::from_iter(values.iter().copied());
+        let mut reference = values.clone();
+        reference.sort_unstable();
+        prop_assert_eq!(treap.len(), reference.len());
+        prop_assert_eq!(treap.to_sorted_vec(), reference.clone());
+        prop_assert_eq!(treap.rank(&probe), reference.iter().filter(|&&x| x <= probe).count());
+        if !reference.is_empty() {
+            prop_assert_eq!(treap.min(), reference.first());
+            prop_assert_eq!(treap.max(), reference.last());
+            let mid = reference.len() / 2;
+            prop_assert_eq!(treap.select(mid), Some(&reference[mid]));
+        }
+    }
+
+    #[test]
+    fn treap_split_concat_roundtrip(
+        values in vec(0u64..500, 1..200),
+        pivot in 0u64..500,
+    ) {
+        let treap = Treap::from_iter(values.iter().copied());
+        let reference = treap.to_sorted_vec();
+        let (le, gt) = treap.split(&pivot);
+        prop_assert!(le.to_sorted_vec().iter().all(|&x| x <= pivot));
+        prop_assert!(gt.to_sorted_vec().iter().all(|&x| x > pivot));
+        let rejoined = le.concat(gt);
+        prop_assert_eq!(rejoined.to_sorted_vec(), reference);
+    }
+
+    #[test]
+    fn redistribution_preserves_content_and_balances(
+        parts in distributed_input(),
+    ) {
+        let p = parts.len();
+        let n = total_len(&parts);
+        let target = if n == 0 { 0 } else { n.div_ceil(p) };
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            redistribute(comm, parts_ref[comm.rank()].clone())
+        });
+        let mut after: Vec<u64> = out.results.iter().flat_map(|(d, _)| d.iter().copied()).collect();
+        after.sort_unstable();
+        prop_assert_eq!(after, sorted_union(&parts));
+        for (data, report) in &out.results {
+            prop_assert!(data.len() <= target.max(1) || n == 0);
+            prop_assert!(report.sent_elements == 0 || report.received_elements == 0);
+        }
+    }
+
+    #[test]
+    fn bulk_queue_batches_are_globally_smallest(
+        parts in distributed_input(),
+        batch in 1usize..100,
+    ) {
+        let n = total_len(&parts);
+        prop_assume!(n > 0);
+        let p = parts.len();
+        let parts_ref = parts.clone();
+        let out = run_spmd(p, move |comm| {
+            let mut q = BulkParallelQueue::new(comm);
+            q.insert_bulk(parts_ref[comm.rank()].iter().copied());
+            q.delete_min(comm, batch, 1)
+        });
+        let mut got: Vec<u64> = out.results.into_iter().flatten().collect();
+        got.sort_unstable();
+        let reference = sorted_union(&parts);
+        let expect = &reference[..batch.min(n)];
+        prop_assert_eq!(got, expect.to_vec());
+    }
+
+    #[test]
+    fn word_counting_is_additive_over_vectors(
+        values in vec(0u64..u64::MAX, 0..50),
+    ) {
+        use topk_selection::commsim::CommData;
+        let per_element: usize = values.iter().map(|v| v.word_count()).sum();
+        prop_assert_eq!(values.word_count(), per_element + 1);
+    }
+}
