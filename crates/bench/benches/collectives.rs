@@ -13,7 +13,11 @@ fn bench_collectives(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tree_broadcast", p), &p, |b, &p| {
             b.iter(|| {
                 commsim::run_spmd(p, move |comm| {
-                    let v = if comm.is_root() { Some(vec![1u64; payload]) } else { None };
+                    let v = if comm.is_root() {
+                        Some(vec![1u64; payload])
+                    } else {
+                        None
+                    };
                     comm.broadcast(0, v).len()
                 })
             })
@@ -35,9 +39,7 @@ fn bench_collectives(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("allreduce_sum", p), &p, |b, &p| {
-            b.iter(|| {
-                commsim::run_spmd(p, move |comm| comm.allreduce_sum(comm.rank() as u64))
-            })
+            b.iter(|| commsim::run_spmd(p, move |comm| comm.allreduce_sum(comm.rank() as u64)))
         });
         group.bench_with_input(BenchmarkId::new("alltoall_indirect", p), &p, |b, &p| {
             b.iter(|| {

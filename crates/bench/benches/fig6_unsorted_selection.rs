@@ -15,18 +15,14 @@ fn bench_unsorted_selection(c: &mut Criterion) {
             // Pre-generate the input outside the measured region.
             let generator = SkewedSelectionInput::default();
             let parts: Vec<Vec<u64>> = generator.generate_all(p, per_pe);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), p),
-                &p,
-                |b, &_p| {
-                    b.iter(|| {
-                        let parts = &parts;
-                        commsim::run_spmd(p, move |comm| {
-                            select_k_smallest(comm, &parts[comm.rank()], k, 7).threshold
-                        })
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), p), &p, |b, &_p| {
+                b.iter(|| {
+                    let parts = &parts;
+                    commsim::run_spmd(p, move |comm| {
+                        select_k_smallest(comm, &parts[comm.rank()], k, 7).threshold
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

@@ -9,6 +9,9 @@ use rand::SeedableRng;
 use topk::frequent::{ec::ec_top_k, naive::naive_tree_top_k, pac::pac_top_k};
 use topk::FrequentParams;
 
+/// A boxed frequent-objects algorithm under benchmark.
+type Algo = Box<dyn Fn(&commsim::Comm, &[u64]) + Send + Sync>;
+
 fn inputs(p: usize, per_pe: usize) -> Vec<Vec<u64>> {
     let zipf = Zipf::new(1 << 14, 1.0);
     (0..p)
@@ -27,16 +30,25 @@ fn bench_fig8(c: &mut Criterion) {
 
     for &p in &[2usize, 4, 8] {
         let parts = inputs(p, per_pe);
-        let algos: Vec<(&str, Box<dyn Fn(&commsim::Comm, &[u64]) + Send + Sync>)> = vec![
-            ("pac", Box::new(move |comm, d| {
-                pac_top_k(comm, d, &params);
-            })),
-            ("ec", Box::new(move |comm, d| {
-                ec_top_k(comm, d, &params);
-            })),
-            ("naive_tree", Box::new(move |comm, d| {
-                naive_tree_top_k(comm, d, &params);
-            })),
+        let algos: Vec<(&str, Algo)> = vec![
+            (
+                "pac",
+                Box::new(move |comm, d| {
+                    pac_top_k(comm, d, &params);
+                }),
+            ),
+            (
+                "ec",
+                Box::new(move |comm, d| {
+                    ec_top_k(comm, d, &params);
+                }),
+            ),
+            (
+                "naive_tree",
+                Box::new(move |comm, d| {
+                    naive_tree_top_k(comm, d, &params);
+                }),
+            ),
         ];
         for (name, algo) in &algos {
             group.bench_with_input(BenchmarkId::new(*name, p), &p, |b, &_p| {

@@ -21,10 +21,14 @@ fn bench_sampling(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| bernoulli_sample(&data, rho, &mut rng).len())
         });
-        group.bench_with_input(BenchmarkId::new("per_element_coins", rho), &rho, |b, &rho| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| naive_bernoulli(&data, rho, &mut rng).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("per_element_coins", rho),
+            &rho,
+            |b, &rho| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| naive_bernoulli(&data, rho, &mut rng).len())
+            },
+        );
     }
     group.finish();
 }

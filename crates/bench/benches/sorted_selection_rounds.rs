@@ -15,7 +15,9 @@ const K: usize = 1 << 10;
 
 fn parts(p: usize) -> Vec<Vec<u64>> {
     let generator = UniformInput::new(1 << 30, 11);
-    (0..p).map(|r| generator.generate_sorted(r, PER_PE)).collect()
+    (0..p)
+        .map(|r| generator.generate_sorted(r, PER_PE))
+        .collect()
 }
 
 fn print_round_counts() {

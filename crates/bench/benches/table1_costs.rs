@@ -45,7 +45,9 @@ fn bench_selection_old_vs_new(c: &mut Criterion) {
 
 fn bench_sorted_selection(c: &mut Criterion) {
     let generator = UniformInput::new(1 << 30, 3);
-    let parts: Vec<Vec<u64>> = (0..P).map(|r| generator.generate_sorted(r, PER_PE)).collect();
+    let parts: Vec<Vec<u64>> = (0..P)
+        .map(|r| generator.generate_sorted(r, PER_PE))
+        .collect();
     let mut group = c.benchmark_group("table1_sorted_selection");
     group.sample_size(10);
 
@@ -90,11 +92,18 @@ fn bench_frequent_old_vs_new(c: &mut Criterion) {
     group.bench_function("old_naive", |b| {
         b.iter(|| {
             let parts = &parts;
-            commsim::run_spmd(P, move |comm| naive_top_k(comm, &parts[comm.rank()], &params))
+            commsim::run_spmd(P, move |comm| {
+                naive_top_k(comm, &parts[comm.rank()], &params)
+            })
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_selection_old_vs_new, bench_sorted_selection, bench_frequent_old_vs_new);
+criterion_group!(
+    benches,
+    bench_selection_old_vs_new,
+    bench_sorted_selection,
+    bench_frequent_old_vs_new
+);
 criterion_main!(benches);

@@ -19,7 +19,9 @@ fn main() {
 
     let mut table = Table::new(
         "Parallel vs sequential node expansions",
-        &["instance", "PEs", "optimum", "m (seq.)", "K (par.)", "K − m", "h·p"],
+        &[
+            "instance", "PEs", "optimum", "m (seq.)", "K (par.)", "K − m", "h·p",
+        ],
     );
 
     for seed in 0..args.instances as u64 {
@@ -64,7 +66,10 @@ struct Args {
 
 impl Args {
     fn parse() -> Self {
-        let mut args = Args { items: 28, instances: 5 };
+        let mut args = Args {
+            items: 28,
+            instances: 5,
+        };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {

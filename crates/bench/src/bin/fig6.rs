@@ -33,7 +33,14 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 6 — selection time vs number of PEs",
-        &["k", "PEs", "wall time", "words/PE", "startups/PE", "modeled comm"],
+        &[
+            "k",
+            "PEs",
+            "wall time",
+            "words/PE",
+            "startups/PE",
+            "modeled comm",
+        ],
     );
 
     for &k in &ks {
@@ -47,7 +54,7 @@ fn main() {
                     comm,
                     &local.iter().map(|&v| u64::MAX - v).collect::<Vec<_>>(),
                     k,
-                    0xF16_6 + p as u64,
+                    0xF166 + p as u64,
                 );
             });
             table.add_row(vec![
@@ -77,7 +84,11 @@ struct Args {
 
 impl Args {
     fn parse() -> Self {
-        let mut args = Args { log_per_pe: 18, max_pes: 16, reps: 3 };
+        let mut args = Args {
+            log_per_pe: 18,
+            max_pes: 16,
+            reps: 3,
+        };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {

@@ -39,14 +39,41 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 7 — running time vs number of PEs",
-        &["algorithm", "PEs", "wall time", "words/PE", "startups/PE", "sample"],
+        &[
+            "algorithm",
+            "PEs",
+            "wall time",
+            "words/PE",
+            "startups/PE",
+            "sample",
+        ],
     );
 
     let algorithms: Vec<(&str, Algo)> = vec![
-        ("PAC", Box::new(move |comm: &commsim::Comm, data: &[u64]| pac_top_k(comm, data, &params).sample_size)),
-        ("EC", Box::new(move |comm: &commsim::Comm, data: &[u64]| ec_top_k(comm, data, &params).sample_size)),
-        ("Naive", Box::new(move |comm: &commsim::Comm, data: &[u64]| naive_top_k(comm, data, &params).sample_size)),
-        ("Naive Tree", Box::new(move |comm: &commsim::Comm, data: &[u64]| naive_tree_top_k(comm, data, &params).sample_size)),
+        (
+            "PAC",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                pac_top_k(comm, data, &params).sample_size
+            }),
+        ),
+        (
+            "EC",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                ec_top_k(comm, data, &params).sample_size
+            }),
+        ),
+        (
+            "Naive",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                naive_top_k(comm, data, &params).sample_size
+            }),
+        ),
+        (
+            "Naive Tree",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                naive_tree_top_k(comm, data, &params).sample_size
+            }),
+        ),
     ];
 
     for (name, algo) in &algorithms {
@@ -63,7 +90,9 @@ fn main() {
                 fmt_duration(m.wall_time),
                 m.bottleneck_words.to_string(),
                 m.bottleneck_messages.to_string(),
-                sample.load(std::sync::atomic::Ordering::Relaxed).to_string(),
+                sample
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .to_string(),
             ]);
         }
     }
@@ -94,7 +123,11 @@ struct Args {
 
 impl Args {
     fn parse() -> Self {
-        let mut args = Args { log_per_pe: 18, max_pes: 16, reps: 2 };
+        let mut args = Args {
+            log_per_pe: 18,
+            max_pes: 16,
+            reps: 2,
+        };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {

@@ -38,18 +38,48 @@ fn main() {
     let params = FrequentParams::new(32, epsilon, delta, 0xF18);
 
     println!("Figure 8 reproduction: top-32 most frequent objects, strict accuracy");
-    println!("n/p = 2^{} = {per_pe}, Zipf(1.0) over 2^20 values, ε = {epsilon:.0e}, δ = {delta:.0e}\n", args.log_per_pe);
+    println!(
+        "n/p = 2^{} = {per_pe}, Zipf(1.0) over 2^20 values, ε = {epsilon:.0e}, δ = {delta:.0e}\n",
+        args.log_per_pe
+    );
 
     let mut table = Table::new(
         "Figure 8 — running time vs number of PEs (strict accuracy)",
-        &["algorithm", "PEs", "wall time", "words/PE", "startups/PE", "sample"],
+        &[
+            "algorithm",
+            "PEs",
+            "wall time",
+            "words/PE",
+            "startups/PE",
+            "sample",
+        ],
     );
 
     let algorithms: Vec<(&str, Algo)> = vec![
-        ("PAC", Box::new(move |comm: &commsim::Comm, data: &[u64]| pac_top_k(comm, data, &params).sample_size)),
-        ("EC", Box::new(move |comm: &commsim::Comm, data: &[u64]| ec_top_k(comm, data, &params).sample_size)),
-        ("Naive", Box::new(move |comm: &commsim::Comm, data: &[u64]| naive_top_k(comm, data, &params).sample_size)),
-        ("Naive Tree", Box::new(move |comm: &commsim::Comm, data: &[u64]| naive_tree_top_k(comm, data, &params).sample_size)),
+        (
+            "PAC",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                pac_top_k(comm, data, &params).sample_size
+            }),
+        ),
+        (
+            "EC",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                ec_top_k(comm, data, &params).sample_size
+            }),
+        ),
+        (
+            "Naive",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                naive_top_k(comm, data, &params).sample_size
+            }),
+        ),
+        (
+            "Naive Tree",
+            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
+                naive_tree_top_k(comm, data, &params).sample_size
+            }),
+        ),
     ];
 
     for (name, algo) in &algorithms {
@@ -66,7 +96,9 @@ fn main() {
                 fmt_duration(m.wall_time),
                 m.bottleneck_words.to_string(),
                 m.bottleneck_messages.to_string(),
-                sample.load(std::sync::atomic::Ordering::Relaxed).to_string(),
+                sample
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .to_string(),
             ]);
         }
     }
@@ -82,7 +114,11 @@ fn main() {
          Expected shape (paper Fig. 8): Naive unscalable, Naive Tree and PAC roughly\n\
          flat but dominated by aggregating the whole input, EC consistently fastest.",
         args.max_pes,
-        if pac_sample >= n { "the whole input" } else { "a strict subset" }
+        if pac_sample >= n {
+            "the whole input"
+        } else {
+            "a strict subset"
+        }
     );
 }
 
@@ -103,7 +139,12 @@ struct Args {
 
 impl Args {
     fn parse() -> Self {
-        let mut args = Args { log_per_pe: 18, max_pes: 16, reps: 2, epsilon: 2.5e-3 };
+        let mut args = Args {
+            log_per_pe: 18,
+            max_pes: 16,
+            reps: 2,
+            epsilon: 2.5e-3,
+        };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {

@@ -9,8 +9,11 @@
 //! checked line by line.
 //!
 //! ```bash
-//! cargo run -p bench --release --bin table1 -- [--section all|unsorted|sorted|pq|frequent|sumagg|multicriteria|redistribution]
+//! cargo run -p bench --release --bin table1 -- [--quick] [--section all|unsorted|sorted|pq|frequent|sumagg|multicriteria|redistribution]
 //! ```
+//!
+//! `--quick` (or `TABLE1_QUICK=1`) shrinks the instance to a CI-friendly
+//! smoke size; the separations stay visible, the absolute numbers shrink.
 
 use bench::report::fmt_duration;
 use bench::scaling::measure_spmd;
@@ -21,45 +24,85 @@ use rand::SeedableRng;
 use topk::frequent::{ec::ec_top_k, naive::naive_top_k, pac::pac_top_k};
 use topk::multicriteria::{dta_top_k, LocalMulticriteria};
 use topk::{
-    approx_multisequence_select, multisequence_select, redistribute, select_k_smallest,
-    sum_top_k, BulkParallelQueue, FrequentParams,
+    approx_multisequence_select, multisequence_select, redistribute, select_k_smallest, sum_top_k,
+    BulkParallelQueue, FrequentParams,
 };
 
-const P: usize = 16;
-const PER_PE: usize = 1 << 17;
-const K: usize = 1 << 10;
+/// Instance size shared by every section of the table.
+#[derive(Clone, Copy)]
+struct Scale {
+    /// Number of simulated PEs.
+    p: usize,
+    /// Elements per PE.
+    per_pe: usize,
+    /// Selection rank / result size.
+    k: usize,
+}
+
+impl Scale {
+    /// The paper-shaped default instance.
+    const FULL: Scale = Scale {
+        p: 16,
+        per_pe: 1 << 17,
+        k: 1 << 10,
+    };
+    /// CI smoke instance: same code paths, seconds instead of minutes.
+    const QUICK: Scale = Scale {
+        p: 4,
+        per_pe: 1 << 12,
+        k: 1 << 6,
+    };
+}
 
 fn main() {
-    let section = std::env::args().nth(2).or_else(|| std::env::args().nth(1)).unwrap_or_default();
-    let section = section.trim_start_matches("--section").trim().to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("TABLE1_QUICK").is_ok_and(|v| v != "0");
+    let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    let section = args
+        .iter()
+        .position(|a| a == "--section")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| args.iter().find(|a| !a.starts_with("--")).cloned())
+        .unwrap_or_default();
     let want = |name: &str| section.is_empty() || section == "all" || section == name;
 
-    println!("Table 1 reproduction: measured communication cost, {P} PEs, n/p = {PER_PE}, k = {K}\n");
+    let Scale { p, per_pe, k } = scale;
+    println!(
+        "Table 1 reproduction: measured communication cost, {p} PEs, n/p = {per_pe}, k = {k}\n"
+    );
     let mut table = Table::new(
         "Table 1 — bottleneck communication, old (baseline) vs new (this paper)",
-        &["problem", "algorithm", "words/PE", "startups/PE", "modeled comm", "wall time"],
+        &[
+            "problem",
+            "algorithm",
+            "words/PE",
+            "startups/PE",
+            "modeled comm",
+            "wall time",
+        ],
     );
 
     if want("unsorted") {
-        unsorted_selection(&mut table);
+        unsorted_selection(&mut table, scale);
     }
     if want("sorted") {
-        sorted_selection(&mut table);
+        sorted_selection(&mut table, scale);
     }
     if want("pq") {
-        bulk_priority_queue(&mut table);
+        bulk_priority_queue(&mut table, scale);
     }
     if want("frequent") {
-        top_k_frequent(&mut table);
+        top_k_frequent(&mut table, scale);
     }
     if want("sumagg") {
-        sum_aggregation(&mut table);
+        sum_aggregation(&mut table, scale);
     }
     if want("multicriteria") {
-        multicriteria(&mut table);
+        multicriteria(&mut table, scale);
     }
     if want("redistribution") {
-        redistribution(&mut table);
+        redistribution(&mut table, scale);
     }
 
     table.print();
@@ -78,22 +121,22 @@ fn add(table: &mut Table, problem: &str, algorithm: &str, m: bench::Measurement)
 }
 
 /// §4.1 — new: Algorithm 1; old: gather everything onto one PE.
-fn unsorted_selection(table: &mut Table) {
+fn unsorted_selection(table: &mut Table, s: Scale) {
     let generator = SkewedSelectionInput::default();
-    let m = measure_spmd(P, |comm| {
-        let local = generator.generate(comm.rank(), PER_PE);
-        let _ = select_k_smallest(comm, &local, K, 1);
+    let m = measure_spmd(s.p, |comm| {
+        let local = generator.generate(comm.rank(), s.per_pe);
+        let _ = select_k_smallest(comm, &local, s.k, 1);
     });
     add(table, "unsorted selection", "new: Algorithm 1", m);
 
-    let m = measure_spmd(P, |comm| {
-        let local = generator.generate(comm.rank(), PER_PE);
+    let m = measure_spmd(s.p, |comm| {
+        let local = generator.generate(comm.rank(), s.per_pe);
         // Baseline: ship all data to PE 0 and select there.
         let gathered = comm.gather(0, local);
         if let Some(parts) = gathered {
             let mut all: Vec<u64> = parts.into_iter().flatten().collect();
             let mut rng = StdRng::seed_from_u64(1);
-            let _ = seqkit::select::quickselect(&mut all, K - 1, &mut rng);
+            let _ = seqkit::select::quickselect(&mut all, s.k - 1, &mut rng);
         }
     });
     add(table, "unsorted selection", "old: gather to one PE", m);
@@ -101,70 +144,80 @@ fn unsorted_selection(table: &mut Table) {
 
 /// §4.2/§4.3 — exact multisequence selection vs the flexible-k variant
 /// (the "old vs new" here is the latency: O(log² kp) vs O(log kp) rounds).
-fn sorted_selection(table: &mut Table) {
+fn sorted_selection(table: &mut Table, s: Scale) {
     let generator = UniformInput::new(1 << 30, 2);
-    let m = measure_spmd(P, |comm| {
-        let local = generator.generate_sorted(comm.rank(), PER_PE);
-        let _ = multisequence_select(comm, &local, K, 3);
+    let m = measure_spmd(s.p, |comm| {
+        let local = generator.generate_sorted(comm.rank(), s.per_pe);
+        let _ = multisequence_select(comm, &local, s.k, 3);
     });
     add(table, "sorted selection", "exact k (Algorithm 9)", m);
 
-    let m = measure_spmd(P, |comm| {
-        let local = generator.generate_sorted(comm.rank(), PER_PE);
-        let _ = approx_multisequence_select(comm, &local, K as u64, 2 * K as u64, 3);
+    let m = measure_spmd(s.p, |comm| {
+        let local = generator.generate_sorted(comm.rank(), s.per_pe);
+        let _ = approx_multisequence_select(comm, &local, s.k as u64, 2 * s.k as u64, 3);
     });
     add(table, "sorted selection", "flexible k (Algorithm 2)", m);
 }
 
 /// §5 — bulk queue: local insertion + selection-based deleteMin* vs a queue
 /// that sends every inserted element to a random PE (the prior approach).
-fn bulk_priority_queue(table: &mut Table) {
-    let m = measure_spmd(P, |comm| {
+fn bulk_priority_queue(table: &mut Table, s: Scale) {
+    let m = measure_spmd(s.p, |comm| {
         let mut q = BulkParallelQueue::new(comm);
         let rank = comm.rank() as u64;
-        q.insert_bulk((0..PER_PE as u64 / 8).map(|i| i * 17 + rank));
-        let _ = q.delete_min(comm, K, 5);
+        q.insert_bulk((0..s.per_pe as u64 / 8).map(|i| i * 17 + rank));
+        let _ = q.delete_min(comm, s.k, 5);
     });
-    add(table, "bulk priority queue", "new: local inserts + deleteMin*", m);
+    add(
+        table,
+        "bulk priority queue",
+        "new: local inserts + deleteMin*",
+        m,
+    );
 
-    let m = measure_spmd(P, |comm| {
+    let m = measure_spmd(s.p, |comm| {
         // Baseline: every inserted element is sent to a random PE first
         // (the element-moving design of earlier parallel queues).
         let rank = comm.rank() as u64;
         let p = comm.size();
         let mut rng = StdRng::seed_from_u64(7 + rank);
         let mut per_dest: Vec<Vec<u64>> = vec![Vec::new(); p];
-        for i in 0..PER_PE as u64 / 8 {
+        for i in 0..s.per_pe as u64 / 8 {
             let value = i * 17 + rank;
             per_dest[rand::Rng::gen_range(&mut rng, 0..p)].push(value);
         }
         let received: Vec<u64> = comm.alltoall(per_dest).into_iter().flatten().collect();
         let mut q = BulkParallelQueue::new(comm);
         q.insert_bulk(received);
-        let _ = q.delete_min(comm, K, 5);
+        let _ = q.delete_min(comm, s.k, 5);
     });
-    add(table, "bulk priority queue", "old: random element placement", m);
+    add(
+        table,
+        "bulk priority queue",
+        "old: random element placement",
+        m,
+    );
 }
 
 /// §7 — PAC and EC vs the centralized Naive baseline.
-fn top_k_frequent(table: &mut Table) {
+fn top_k_frequent(table: &mut Table, s: Scale) {
     let params = FrequentParams::new(32, 3e-3, 1e-3, 11);
     let input = |rank: usize| {
         let zipf = Zipf::new(1 << 16, 1.0);
         let mut rng = StdRng::seed_from_u64(0x7AB1E + rank as u64);
-        zipf.sample_many(PER_PE, &mut rng)
+        zipf.sample_many(s.per_pe, &mut rng)
     };
-    let m = measure_spmd(P, |comm| {
+    let m = measure_spmd(s.p, |comm| {
         let local = input(comm.rank());
         let _ = pac_top_k(comm, &local, &params);
     });
     add(table, "top-k most frequent", "new: PAC", m);
-    let m = measure_spmd(P, |comm| {
+    let m = measure_spmd(s.p, |comm| {
         let local = input(comm.rank());
         let _ = ec_top_k(comm, &local, &params);
     });
     add(table, "top-k most frequent", "new: EC", m);
-    let m = measure_spmd(P, |comm| {
+    let m = measure_spmd(s.p, |comm| {
         let local = input(comm.rank());
         let _ = naive_top_k(comm, &local, &params);
     });
@@ -172,17 +225,22 @@ fn top_k_frequent(table: &mut Table) {
 }
 
 /// §8 — sampled sum aggregation vs exchanging every distinct key's sum.
-fn sum_aggregation(table: &mut Table) {
+fn sum_aggregation(table: &mut Table, s: Scale) {
     let params = FrequentParams::new(32, 3e-3, 1e-3, 13);
     let generator = WeightedZipfInput::new(1 << 16, 1.0, 10.0, 17);
-    let m = measure_spmd(P, |comm| {
-        let local = generator.generate(comm.rank(), PER_PE);
+    let m = measure_spmd(s.p, |comm| {
+        let local = generator.generate(comm.rank(), s.per_pe);
         let _ = sum_top_k(comm, &local, &params);
     });
-    add(table, "top-k sum aggregation", "new: sampled (Theorem 15)", m);
+    add(
+        table,
+        "top-k sum aggregation",
+        "new: sampled (Theorem 15)",
+        m,
+    );
 
-    let m = measure_spmd(P, |comm| {
-        let local = generator.generate(comm.rank(), PER_PE);
+    let m = measure_spmd(s.p, |comm| {
+        let local = generator.generate(comm.rank(), s.per_pe);
         // Baseline: aggregate every distinct key exactly at a coordinator.
         let agg = seqkit::hashagg::sum_by_key(local.iter().copied());
         let pairs: Vec<(u64, u64)> = agg.into_iter().map(|(k, v)| (k, v.to_bits())).collect();
@@ -195,24 +253,34 @@ fn sum_aggregation(table: &mut Table) {
             let _ = seqkit::hashagg::top_k_by_sum(&merged, 32);
         }
     });
-    add(table, "top-k sum aggregation", "old: exact centralized aggregation", m);
+    add(
+        table,
+        "top-k sum aggregation",
+        "old: exact centralized aggregation",
+        m,
+    );
 }
 
 /// §6 — DTA vs shipping every list to a coordinator.
-fn multicriteria(table: &mut Table) {
-    let workload = MulticriteriaWorkload::new(1 << 14, 3, 0.6, 19);
-    let per_pe = workload.local_lists(P);
+fn multicriteria(table: &mut Table, s: Scale) {
+    let objects = if s.per_pe >= 1 << 17 {
+        1 << 14
+    } else {
+        1 << 10
+    };
+    let workload = MulticriteriaWorkload::new(objects, 3, 0.6, 19);
+    let per_pe = workload.local_lists(s.p);
     let additive = MulticriteriaWorkload::additive_score;
 
     let lists = per_pe.clone();
-    let m = measure_spmd(P, move |comm| {
+    let m = measure_spmd(s.p, move |comm| {
         let local = LocalMulticriteria::new(lists[comm.rank()].clone());
         let _ = dta_top_k(comm, &local, &additive, 32, 23);
     });
     add(table, "multicriteria top-k", "new: DTA (Algorithm 3)", m);
 
     let lists = per_pe.clone();
-    let m = measure_spmd(P, move |comm| {
+    let m = measure_spmd(s.p, move |comm| {
         // Baseline: a master–worker threshold algorithm — every PE ships its
         // complete lists to the coordinator, which solves sequentially.
         let local = &lists[comm.rank()];
@@ -242,22 +310,27 @@ fn multicriteria(table: &mut Table) {
 /// The input is mildly unbalanced (±5% around the target), which is the
 /// common case after a selection: the adaptive algorithm moves only the small
 /// surplus, the baseline reshuffles everything.
-fn redistribution(table: &mut Table) {
-    let imbalance = PER_PE / 80;
-    let local_size = |rank: usize| {
+fn redistribution(table: &mut Table, s: Scale) {
+    let imbalance = s.per_pe / 80;
+    let local_size = move |rank: usize| {
         if rank % 2 == 0 {
-            PER_PE / 4 + imbalance
+            s.per_pe / 4 + imbalance
         } else {
-            PER_PE / 4 - imbalance
+            s.per_pe / 4 - imbalance
         }
     };
-    let m = measure_spmd(P, |comm| {
+    let m = measure_spmd(s.p, |comm| {
         let local: Vec<u64> = (0..local_size(comm.rank()) as u64).collect();
         let _ = redistribute(comm, local);
     });
-    add(table, "data redistribution", "new: adaptive prefix-sum matching (§9)", m);
+    add(
+        table,
+        "data redistribution",
+        "new: adaptive prefix-sum matching (§9)",
+        m,
+    );
 
-    let m = measure_spmd(P, |comm| {
+    let m = measure_spmd(s.p, |comm| {
         let local: Vec<u64> = (0..local_size(comm.rank()) as u64).collect();
         // Baseline: round-robin all-to-all regardless of need.
         let p = comm.size();
@@ -267,5 +340,10 @@ fn redistribution(table: &mut Table) {
         }
         let _: Vec<u64> = comm.alltoall(per_dest).into_iter().flatten().collect();
     });
-    add(table, "data redistribution", "old: unconditional all-to-all", m);
+    add(
+        table,
+        "data redistribution",
+        "old: unconditional all-to-all",
+        m,
+    );
 }

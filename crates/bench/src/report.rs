@@ -21,7 +21,11 @@ impl Table {
 
     /// Append one row (must have as many cells as there are headers).
     pub fn add_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match the header");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
         self.rows.push(cells);
     }
 
@@ -61,8 +65,11 @@ impl Table {
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         out.push('\n');
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
             out.push_str(&cells.join("  "));
             out.push('\n');
         }

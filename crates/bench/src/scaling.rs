@@ -78,8 +78,11 @@ where
         (0..repetitions).map(|_| measure_spmd(p, &body)).collect();
     // Wall time: average; communication counters are identical across
     // repetitions up to sampling randomness, so report the last.
-    let avg_nanos =
-        measurements.iter().map(|m| m.wall_time.as_nanos()).sum::<u128>() / repetitions as u128;
+    let avg_nanos = measurements
+        .iter()
+        .map(|m| m.wall_time.as_nanos())
+        .sum::<u128>()
+        / repetitions as u128;
     let mut last = measurements.pop().expect("at least one repetition");
     last.wall_time = Duration::from_nanos(avg_nanos as u64);
     last

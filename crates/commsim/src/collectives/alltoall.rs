@@ -18,7 +18,11 @@ impl Comm {
     pub fn alltoall<T: CommData>(&self, items: Vec<T>) -> Vec<T> {
         let p = self.size();
         let rank = self.rank();
-        assert_eq!(items.len(), p, "alltoall needs exactly one item per destination PE");
+        assert_eq!(
+            items.len(),
+            p,
+            "alltoall needs exactly one item per destination PE"
+        );
         let tag = self.next_collective_tag();
 
         let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
@@ -29,12 +33,14 @@ impl Comm {
                 self.send_raw(dst, tag, item);
             }
         }
-        for src in 0..p {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != rank {
-                out[src] = Some(self.recv_raw::<T>(src, tag));
+                *slot = Some(self.recv_raw::<T>(src, tag));
             }
         }
-        out.into_iter().map(|v| v.expect("alltoall missed a source")).collect()
+        out.into_iter()
+            .map(|v| v.expect("alltoall missed a source"))
+            .collect()
     }
 
     /// Indirect all-to-all over a hypercube-like dissemination pattern:
@@ -48,7 +54,11 @@ impl Comm {
     pub fn alltoall_indirect<T: CommData>(&self, items: Vec<T>) -> Vec<T> {
         let p = self.size();
         let rank = self.rank();
-        assert_eq!(items.len(), p, "alltoall needs exactly one item per destination PE");
+        assert_eq!(
+            items.len(),
+            p,
+            "alltoall needs exactly one item per destination PE"
+        );
         let tag = self.next_collective_tag();
 
         // Every in-flight item is a (final destination, origin, payload)
@@ -83,7 +93,9 @@ impl Comm {
         for (_, origin, item) in in_flight {
             out[origin as usize] = Some(item);
         }
-        out.into_iter().map(|v| v.expect("indirect alltoall missed a source")).collect()
+        out.into_iter()
+            .map(|v| v.expect("indirect alltoall missed a source"))
+            .collect()
     }
 }
 
@@ -95,15 +107,18 @@ mod tests {
     fn expected_matrix(p: usize) -> Vec<Vec<u64>> {
         // PE r sends to PE d the value r * 100 + d; PE d therefore receives
         // from PE s the value s * 100 + d.
-        (0..p).map(|d| (0..p as u64).map(|s| s * 100 + d as u64).collect()).collect()
+        (0..p)
+            .map(|d| (0..p as u64).map(|s| s * 100 + d as u64).collect())
+            .collect()
     }
 
     #[test]
     fn direct_alltoall_permutes_correctly() {
         for p in [1, 2, 3, 5, 8] {
             let out = run_spmd(p, |comm| {
-                let items: Vec<u64> =
-                    (0..p as u64).map(|d| comm.rank() as u64 * 100 + d).collect();
+                let items: Vec<u64> = (0..p as u64)
+                    .map(|d| comm.rank() as u64 * 100 + d)
+                    .collect();
                 comm.alltoall(items)
             });
             assert_eq!(out.results, expected_matrix(p), "p={p}");
@@ -114,8 +129,9 @@ mod tests {
     fn indirect_alltoall_permutes_correctly() {
         for p in [1, 2, 3, 5, 8, 13, 16] {
             let out = run_spmd(p, |comm| {
-                let items: Vec<u64> =
-                    (0..p as u64).map(|d| comm.rank() as u64 * 100 + d).collect();
+                let items: Vec<u64> = (0..p as u64)
+                    .map(|d| comm.rank() as u64 * 100 + d)
+                    .collect();
                 comm.alltoall_indirect(items)
             });
             assert_eq!(out.results, expected_matrix(p), "p={p}");
@@ -137,14 +153,16 @@ mod tests {
         let out = run_spmd(p, |comm| {
             comm.alltoall_indirect(vec![1u64; p]);
         });
-        assert_eq!(out.stats.bottleneck_messages(), dissemination_rounds(p) as u64);
+        assert_eq!(
+            out.stats.bottleneck_messages(),
+            dissemination_rounds(p) as u64
+        );
     }
 
     #[test]
     fn alltoall_of_vectors_moves_variable_payloads() {
         let out = run_spmd(3, |comm| {
-            let items: Vec<Vec<u64>> =
-                (0..3).map(|d| vec![comm.rank() as u64; d]).collect();
+            let items: Vec<Vec<u64>> = (0..3).map(|d| vec![comm.rank() as u64; d]).collect();
             comm.alltoall(items)
         });
         // PE d receives from PE s a vector of d copies of s.

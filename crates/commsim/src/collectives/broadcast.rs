@@ -53,7 +53,11 @@ mod tests {
     fn all_pes_receive_the_root_value() {
         for p in [1, 2, 3, 4, 7, 8, 13] {
             let out = run_spmd(p, |comm| {
-                let v = if comm.rank() == 0 { Some(vec![1u64, 2, 3]) } else { None };
+                let v = if comm.rank() == 0 {
+                    Some(vec![1u64, 2, 3])
+                } else {
+                    None
+                };
                 comm.broadcast(0, v)
             });
             assert!(out.results.iter().all(|v| *v == vec![1, 2, 3]), "p={p}");
@@ -77,7 +81,11 @@ mod tests {
         let p = 16;
         let m = 101usize; // 100 elements + length word
         let out = run_spmd(p, |comm| {
-            let v = if comm.rank() == 0 { Some(vec![7u64; 100]) } else { None };
+            let v = if comm.rank() == 0 {
+                Some(vec![7u64; 100])
+            } else {
+                None
+            };
             comm.broadcast(0, v);
         });
         assert_eq!(out.stats.total_words(), ((p - 1) * m) as u64);
@@ -97,7 +105,11 @@ mod tests {
     #[test]
     fn convenience_wrapper_uses_rank_zero() {
         let out = run_spmd(3, |comm| {
-            let v = if comm.is_root() { Some("hello".to_string()) } else { None };
+            let v = if comm.is_root() {
+                Some("hello".to_string())
+            } else {
+                None
+            };
             comm.broadcast_from_root(v)
         });
         assert!(out.results.iter().all(|v| v == "hello"));

@@ -43,7 +43,12 @@ impl Comm {
                     let phys = (v_rank + root) % p;
                     result[phys] = slot.take();
                 }
-                Some(result.into_iter().map(|v| v.expect("gather missed a PE")).collect())
+                Some(
+                    result
+                        .into_iter()
+                        .map(|v| v.expect("gather missed a PE"))
+                        .collect(),
+                )
             }
         }
     }

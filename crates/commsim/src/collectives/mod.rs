@@ -21,6 +21,9 @@ mod scatter;
 
 use std::sync::Arc;
 
+/// The shared combining closure inside a [`ReduceOp`].
+type CombineFn<T> = Arc<dyn Fn(&T, &T) -> T + Send + Sync>;
+
 /// An associative, commutative combining operation used by reductions and
 /// prefix sums.
 ///
@@ -28,13 +31,15 @@ use std::sync::Arc;
 /// not capture PE-local mutable state.
 #[derive(Clone)]
 pub struct ReduceOp<T> {
-    combine: Arc<dyn Fn(&T, &T) -> T + Send + Sync>,
+    combine: CombineFn<T>,
 }
 
 impl<T> ReduceOp<T> {
     /// Build an operation from an arbitrary associative, commutative closure.
     pub fn custom(f: impl Fn(&T, &T) -> T + Send + Sync + 'static) -> Self {
-        ReduceOp { combine: Arc::new(f) }
+        ReduceOp {
+            combine: Arc::new(f),
+        }
     }
 
     /// Apply the operation.

@@ -124,7 +124,10 @@ mod tests {
         // String concatenation is associative but not commutative.
         let out = run_spmd(4, |comm| {
             let s = format!("{}", comm.rank());
-            comm.scan_inclusive(s, &ReduceOp::custom(|a: &String, b: &String| format!("{a}{b}")))
+            comm.scan_inclusive(
+                s,
+                &ReduceOp::custom(|a: &String, b: &String| format!("{a}{b}")),
+            )
         });
         assert_eq!(out.results, vec!["0", "01", "012", "0123"]);
     }

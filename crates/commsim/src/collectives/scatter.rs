@@ -107,14 +107,21 @@ mod tests {
             };
             comm.scatter(0, values)
         });
-        assert_eq!(out.results, vec![vec![], vec![1], vec![2, 2], vec![3, 3, 3]]);
+        assert_eq!(
+            out.results,
+            vec![vec![], vec![1], vec![2, 2], vec![3, 3, 3]]
+        );
     }
 
     #[test]
     fn scatter_latency_is_logarithmic() {
         let p = 32;
         let out = run_spmd(p, |comm| {
-            let values = if comm.rank() == 0 { Some(vec![1u64; p]) } else { None };
+            let values = if comm.rank() == 0 {
+                Some(vec![1u64; p])
+            } else {
+                None
+            };
             comm.scatter(0, values);
         });
         assert!(out.stats.bottleneck_messages() <= dissemination_rounds(p) as u64);
@@ -124,7 +131,11 @@ mod tests {
     #[should_panic(expected = "one value per PE")]
     fn wrong_length_is_rejected() {
         run_spmd(3, |comm| {
-            let values = if comm.rank() == 0 { Some(vec![1u64, 2]) } else { None };
+            let values = if comm.rank() == 0 {
+                Some(vec![1u64, 2])
+            } else {
+                None
+            };
             comm.scatter(0, values)
         });
     }

@@ -34,7 +34,11 @@ impl Comm {
     /// Create a communicator from its transport endpoint and the shared
     /// statistics registry.  Normally called by [`crate::runner::run_spmd`].
     pub fn new(mailbox: Mailbox, stats: StatsRegistry) -> Self {
-        Comm { mailbox, stats, collective_seq: Cell::new(0) }
+        Comm {
+            mailbox,
+            stats,
+            collective_seq: Cell::new(0),
+        }
     }
 
     /// Rank of this PE (`0..p`).
@@ -59,7 +63,10 @@ impl Comm {
     ///
     /// Sends never block: the simulated network has unbounded buffering.
     pub fn send<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^32, got {tag}");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "user tags must be < 2^32, got {tag}"
+        );
         self.send_raw(dst, tag, value);
     }
 
@@ -69,17 +76,24 @@ impl Comm {
     /// `src` has a different tag or payload type — in an SPMD program that is
     /// a bug, not a runtime condition.
     pub fn recv<T: CommData>(&self, src: Rank, tag: Tag) -> T {
-        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^32, got {tag}");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "user tags must be < 2^32, got {tag}"
+        );
         self.recv_raw(src, tag)
     }
 
     /// Receive the next message from `src` regardless of tag, returning the
     /// tag alongside the payload.
     pub fn recv_any_tag<T: CommData>(&self, src: Rank) -> (Tag, T) {
-        let env = self.mailbox.recv(src).unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        let env = self
+            .mailbox
+            .recv(src)
+            .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
         self.stats.pe(self.rank()).record_recv(env.words);
-        let (tag, _words, value) =
-            env.open::<T>().unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        let (tag, _words, value) = env
+            .open::<T>()
+            .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
         (tag, value)
     }
 
@@ -89,8 +103,9 @@ impl Comm {
         match self.mailbox.try_recv(src) {
             Ok(Some(env)) => {
                 self.stats.pe(self.rank()).record_recv(env.words);
-                let (tag, _words, value) =
-                    env.open::<T>().unwrap_or_else(|e| panic!("try_recv from {src}: {e}"));
+                let (tag, _words, value) = env
+                    .open::<T>()
+                    .unwrap_or_else(|e| panic!("try_recv from {src}: {e}"));
                 Some((tag, value))
             }
             Ok(None) => None,
@@ -126,14 +141,22 @@ impl Comm {
     /// Untyped tag-checked receive used by both the public API and the
     /// collectives.
     pub(crate) fn recv_raw<T: CommData>(&self, src: Rank, expected_tag: Tag) -> T {
-        let env = self.mailbox.recv(src).unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        let env = self
+            .mailbox
+            .recv(src)
+            .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
         self.stats.pe(self.rank()).record_recv(env.words);
         if env.tag != expected_tag {
-            let err = CommError::TagMismatch { expected: expected_tag, got: env.tag, from: src };
+            let err = CommError::TagMismatch {
+                expected: expected_tag,
+                got: env.tag,
+                from: src,
+            };
             panic!("recv from {src}: {err}");
         }
-        let (_tag, _words, value) =
-            env.open::<T>().unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        let (_tag, _words, value) = env
+            .open::<T>()
+            .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
         value
     }
 }
@@ -146,7 +169,10 @@ mod tests {
     #[test]
     fn rank_and_size_are_exposed() {
         let out = run_spmd(3, |comm| (comm.rank(), comm.size(), comm.is_root()));
-        assert_eq!(out.results, vec![(0, 3, true), (1, 3, false), (2, 3, false)]);
+        assert_eq!(
+            out.results,
+            vec![(0, 3, true), (1, 3, false), (2, 3, false)]
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl Default for CostModel {
     /// ~1.5 µs start-up latency and ~2.5 ns per 8-byte word
     /// (≈ 3.2 GB/s effective per-port bandwidth).
     fn default() -> Self {
-        CostModel { alpha: 1.5e-6, beta: 2.5e-9 }
+        CostModel {
+            alpha: 1.5e-6,
+            beta: 2.5e-9,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ impl CostModel {
     /// Modeled communication time of a whole run: the bottleneck PE
     /// determines the cost (all PEs run concurrently).
     pub fn world_cost(&self, w: &WorldStats) -> f64 {
-        w.per_pe().iter().map(|s| self.pe_cost(s)).fold(0.0, f64::max)
+        w.per_pe()
+            .iter()
+            .map(|s| self.pe_cost(s))
+            .fold(0.0, f64::max)
     }
 
     /// Decompose the modeled world cost into its latency (α) and bandwidth
@@ -95,7 +101,12 @@ mod tests {
     #[test]
     fn pe_cost_uses_bottleneck_direction() {
         let m = CostModel::new(1.0, 1.0);
-        let s = StatsSnapshot { sent_messages: 2, sent_words: 10, received_messages: 5, received_words: 3 };
+        let s = StatsSnapshot {
+            sent_messages: 2,
+            sent_words: 10,
+            received_messages: 5,
+            received_words: 3,
+        };
         // 5 start-ups (receive side dominates) + 10 words (send side dominates)
         assert_eq!(m.pe_cost(&s), 15.0);
     }

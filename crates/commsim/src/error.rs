@@ -62,9 +62,16 @@ impl fmt::Display for CommError {
                 write!(f, "rank {rank} out of range for world of size {size}")
             }
             CommError::TypeMismatch { tag, expected } => {
-                write!(f, "message with tag {tag} is not of expected type {expected}")
+                write!(
+                    f,
+                    "message with tag {tag} is not of expected type {expected}"
+                )
             }
-            CommError::TagMismatch { expected, got, from } => write!(
+            CommError::TagMismatch {
+                expected,
+                got,
+                from,
+            } => write!(
                 f,
                 "expected message tag {expected} but received {got} from PE {from} \
                  (SPMD program out of sync?)"
@@ -73,7 +80,10 @@ impl fmt::Display for CommError {
                 write!(f, "PE {from} disconnected while a message was expected")
             }
             CommError::LengthMismatch { len, parts } => {
-                write!(f, "buffer of length {len} cannot be split into {parts} equal parts")
+                write!(
+                    f,
+                    "buffer of length {len} cannot be split into {parts} equal parts"
+                )
             }
         }
     }
@@ -89,13 +99,20 @@ mod tests {
     fn display_messages_are_descriptive() {
         let e = CommError::InvalidRank { rank: 7, size: 4 };
         assert!(e.to_string().contains("rank 7"));
-        let e = CommError::TagMismatch { expected: 1, got: 2, from: 3 };
+        let e = CommError::TagMismatch {
+            expected: 1,
+            got: 2,
+            from: 3,
+        };
         assert!(e.to_string().contains("out of sync"));
         let e = CommError::Disconnected { from: 0 };
         assert!(e.to_string().contains("disconnected"));
         let e = CommError::LengthMismatch { len: 10, parts: 3 };
         assert!(e.to_string().contains("10"));
-        let e = CommError::TypeMismatch { tag: 9, expected: "u64" };
+        let e = CommError::TypeMismatch {
+            tag: 9,
+            expected: "u64",
+        };
         assert!(e.to_string().contains("u64"));
     }
 

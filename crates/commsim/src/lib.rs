@@ -59,13 +59,13 @@ pub mod runner;
 pub mod topology;
 pub mod transport;
 
+pub use collectives::ReduceOp;
 pub use comm::Comm;
 pub use cost::CostModel;
 pub use error::{CommError, CommResult};
 pub use message::CommData;
 pub use metrics::{PeStats, StatsSnapshot, WorldStats};
 pub use runner::{run_spmd, run_spmd_with, SpmdConfig, SpmdOutput};
-pub use collectives::ReduceOp;
 
 /// Rank of a processing element, `0..p`.
 pub type Rank = usize;

@@ -44,7 +44,8 @@ impl PeStats {
     #[inline]
     pub fn record_recv(&self, words: usize) {
         self.received_messages.fetch_add(1, Ordering::Relaxed);
-        self.received_words.fetch_add(words as u64, Ordering::Relaxed);
+        self.received_words
+            .fetch_add(words as u64, Ordering::Relaxed);
     }
 
     /// Snapshot the counters.
@@ -153,7 +154,11 @@ impl WorldStats {
     /// `max(sent, received)` words.  This is the `h`-relation size the
     /// paper's sublinearity claims are about.
     pub fn bottleneck_words(&self) -> u64 {
-        self.per_pe.iter().map(StatsSnapshot::bottleneck_words).max().unwrap_or(0)
+        self.per_pe
+            .iter()
+            .map(StatsSnapshot::bottleneck_words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Bottleneck number of start-ups: `max` over PEs of
@@ -207,7 +212,9 @@ pub struct StatsRegistry {
 impl StatsRegistry {
     /// Create counters for `p` PEs.
     pub fn new(p: usize) -> Self {
-        Self { stats: Arc::new((0..p).map(|_| PeStats::new()).collect()) }
+        Self {
+            stats: Arc::new((0..p).map(|_| PeStats::new()).collect()),
+        }
     }
 
     /// Counter set of PE `rank`.
@@ -254,8 +261,18 @@ mod tests {
 
     #[test]
     fn snapshot_sum() {
-        let a = StatsSnapshot { sent_messages: 1, sent_words: 2, received_messages: 3, received_words: 4 };
-        let b = StatsSnapshot { sent_messages: 10, sent_words: 20, received_messages: 30, received_words: 40 };
+        let a = StatsSnapshot {
+            sent_messages: 1,
+            sent_words: 2,
+            received_messages: 3,
+            received_words: 4,
+        };
+        let b = StatsSnapshot {
+            sent_messages: 10,
+            sent_words: 20,
+            received_messages: 30,
+            received_words: 40,
+        };
         let c = a.plus(&b);
         assert_eq!(c.sent_messages, 11);
         assert_eq!(c.received_words, 44);
@@ -263,7 +280,12 @@ mod tests {
 
     #[test]
     fn bottleneck_takes_max_direction() {
-        let s = StatsSnapshot { sent_messages: 2, sent_words: 100, received_messages: 9, received_words: 40 };
+        let s = StatsSnapshot {
+            sent_messages: 2,
+            sent_words: 100,
+            received_messages: 9,
+            received_words: 40,
+        };
         assert_eq!(s.bottleneck_words(), 100);
         assert_eq!(s.bottleneck_messages(), 9);
     }
@@ -271,9 +293,24 @@ mod tests {
     #[test]
     fn world_stats_aggregate() {
         let snaps = vec![
-            StatsSnapshot { sent_messages: 1, sent_words: 10, received_messages: 1, received_words: 30 },
-            StatsSnapshot { sent_messages: 2, sent_words: 50, received_messages: 2, received_words: 20 },
-            StatsSnapshot { sent_messages: 3, sent_words: 5, received_messages: 3, received_words: 15 },
+            StatsSnapshot {
+                sent_messages: 1,
+                sent_words: 10,
+                received_messages: 1,
+                received_words: 30,
+            },
+            StatsSnapshot {
+                sent_messages: 2,
+                sent_words: 50,
+                received_messages: 2,
+                received_words: 20,
+            },
+            StatsSnapshot {
+                sent_messages: 3,
+                sent_words: 5,
+                received_messages: 3,
+                received_words: 15,
+            },
         ];
         let w = WorldStats::from_snapshots(snaps);
         assert_eq!(w.num_pes(), 3);

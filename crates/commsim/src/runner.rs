@@ -26,7 +26,10 @@ pub struct SpmdConfig {
 impl SpmdConfig {
     /// Configuration with `num_pes` PEs and default stack size.
     pub fn new(num_pes: usize) -> Self {
-        SpmdConfig { num_pes, stack_size: 8 * 1024 * 1024 }
+        SpmdConfig {
+            num_pes,
+            stack_size: 8 * 1024 * 1024,
+        }
     }
 
     /// Override the per-PE stack size.
@@ -126,7 +129,11 @@ where
     });
     let elapsed = start.elapsed();
 
-    SpmdOutput { results, stats: registry.world(), elapsed }
+    SpmdOutput {
+        results,
+        stats: registry.world(),
+        elapsed,
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +197,7 @@ mod tests {
 
     #[test]
     fn captured_environment_is_shared_read_only() {
-        let shared = vec![1u64, 2, 3, 4];
+        let shared = [1u64, 2, 3, 4];
         let out = run_spmd(4, |comm| shared[comm.rank()]);
         assert_eq!(out.results, vec![1, 2, 3, 4]);
     }

@@ -36,7 +36,11 @@ pub fn binomial_parent(rank: Rank, root: Rank, p: usize) -> Option<Rank> {
 pub fn binomial_children(rank: Rank, root: Rank, p: usize) -> Vec<Rank> {
     debug_assert!(rank < p && root < p);
     let v = virtual_rank(rank, root, p);
-    let low = if v == 0 { usize::BITS } else { v.trailing_zeros() };
+    let low = if v == 0 {
+        usize::BITS
+    } else {
+        v.trailing_zeros()
+    };
     let mut children = Vec::new();
     let mut bit = 1usize;
     let mut j = 0u32;
@@ -99,12 +103,12 @@ mod tests {
         // child, and all subtree sizes add up to p.
         let mut reachable = vec![false; p];
         reachable[root] = true;
-        for r in 0..p {
+        for (r, seen) in reachable.iter_mut().enumerate() {
             match binomial_parent(r, root, p) {
                 None => assert_eq!(r, root),
                 Some(parent) => {
                     assert!(binomial_children(parent, root, p).contains(&r));
-                    reachable[r] = true;
+                    *seen = true;
                 }
             }
         }
@@ -162,7 +166,10 @@ mod tests {
                 }
                 max_depth = max_depth.max(depth);
             }
-            assert!(max_depth as u32 <= dissemination_rounds(p), "p={p} depth={max_depth}");
+            assert!(
+                max_depth as u32 <= dissemination_rounds(p),
+                "p={p} depth={max_depth}"
+            );
         }
     }
 

@@ -7,8 +7,7 @@
 //! sufficient — there is no need for out-of-order message matching.
 
 use std::any::Any;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 
 use crate::error::{CommError, CommResult};
 use crate::message::CommData;
@@ -40,15 +39,28 @@ impl Envelope {
     /// Wrap a typed payload.
     pub fn new<T: CommData>(tag: Tag, from: Rank, value: T) -> Self {
         let words = value.word_count();
-        Envelope { tag, from, words, payload: Box::new(value) }
+        Envelope {
+            tag,
+            from,
+            words,
+            payload: Box::new(value),
+        }
     }
 
     /// Recover the typed payload, failing if the stored type differs.
     pub fn open<T: CommData>(self) -> CommResult<(Tag, usize, T)> {
-        let Envelope { tag, words, payload, .. } = self;
+        let Envelope {
+            tag,
+            words,
+            payload,
+            ..
+        } = self;
         match payload.downcast::<T>() {
             Ok(v) => Ok((tag, words, *v)),
-            Err(_) => Err(CommError::TypeMismatch { tag, expected: std::any::type_name::<T>() }),
+            Err(_) => Err(CommError::TypeMismatch {
+                tag,
+                expected: std::any::type_name::<T>(),
+            }),
         }
     }
 }
@@ -67,26 +79,31 @@ impl Mailbox {
     /// Build the full mesh for `p` PEs and return one mailbox per PE.
     pub fn full_mesh(p: usize) -> Vec<Mailbox> {
         assert!(p > 0, "need at least one PE");
-        // channels[src][dst]
+        // std::sync::mpsc receivers cannot be cloned, so build the mesh
+        // destination-major: for each dst, mint the p channels feeding it
+        // (in src order) and hand the receiving ends straight to dst's
+        // mailbox, while each sending end goes to senders[src][dst].
         let mut senders: Vec<Vec<Sender<Envelope>>> = vec![Vec::with_capacity(p); p];
-        let mut receivers: Vec<Vec<Receiver<Envelope>>> = vec![Vec::with_capacity(p); p];
-        for src in 0..p {
-            for _dst in 0..p {
-                let (tx, rx) = unbounded();
-                senders[src].push(tx);
-                receivers[src].push(rx);
+        let mut receivers_by_dst: Vec<Vec<Receiver<Envelope>>> = Vec::with_capacity(p);
+        for _dst in 0..p {
+            let mut from_each_src = Vec::with_capacity(p);
+            for src_senders in senders.iter_mut() {
+                let (tx, rx) = channel();
+                src_senders.push(tx);
+                from_each_src.push(rx);
             }
+            receivers_by_dst.push(from_each_src);
         }
-        // receivers[src][dst] is the receiving end that PE `dst` must own for
-        // messages from `src`; transpose.
-        let mut boxes = Vec::with_capacity(p);
-        for rank in 0..p {
-            let my_senders = senders[rank].clone();
-            let my_receivers: Vec<Receiver<Envelope>> =
-                (0..p).map(|src| receivers[src][rank].clone()).collect();
-            boxes.push(Mailbox { rank, senders: my_senders, receivers: my_receivers });
-        }
-        boxes
+        senders
+            .into_iter()
+            .zip(receivers_by_dst)
+            .enumerate()
+            .map(|(rank, (my_senders, my_receivers))| Mailbox {
+                rank,
+                senders: my_senders,
+                receivers: my_receivers,
+            })
+            .collect()
     }
 
     /// Rank of the owning PE.
@@ -102,29 +119,38 @@ impl Mailbox {
     /// Send an envelope to `dst` (never blocks; channels are unbounded).
     pub fn send(&self, dst: Rank, env: Envelope) -> CommResult<()> {
         let size = self.size();
-        let sender = self.senders.get(dst).ok_or(CommError::InvalidRank { rank: dst, size })?;
-        sender.send(env).map_err(|_| CommError::Disconnected { from: dst })
+        let sender = self
+            .senders
+            .get(dst)
+            .ok_or(CommError::InvalidRank { rank: dst, size })?;
+        sender
+            .send(env)
+            .map_err(|_| CommError::Disconnected { from: dst })
     }
 
     /// Blocking receive of the next message from `src` (FIFO per pair).
     pub fn recv(&self, src: Rank) -> CommResult<Envelope> {
         let size = self.size();
-        let receiver =
-            self.receivers.get(src).ok_or(CommError::InvalidRank { rank: src, size })?;
-        receiver.recv().map_err(|_| CommError::Disconnected { from: src })
+        let receiver = self
+            .receivers
+            .get(src)
+            .ok_or(CommError::InvalidRank { rank: src, size })?;
+        receiver
+            .recv()
+            .map_err(|_| CommError::Disconnected { from: src })
     }
 
     /// Non-blocking receive of the next message from `src`, if one is queued.
     pub fn try_recv(&self, src: Rank) -> CommResult<Option<Envelope>> {
         let size = self.size();
-        let receiver =
-            self.receivers.get(src).ok_or(CommError::InvalidRank { rank: src, size })?;
+        let receiver = self
+            .receivers
+            .get(src)
+            .ok_or(CommError::InvalidRank { rank: src, size })?;
         match receiver.try_recv() {
             Ok(env) => Ok(Some(env)),
-            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Err(CommError::Disconnected { from: src })
-            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected { from: src }),
         }
     }
 }

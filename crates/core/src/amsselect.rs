@@ -115,7 +115,10 @@ where
     let total = comm.allreduce_sum(sorted_local.len() as u64);
     assert!(k_lo >= 1, "k_lo must be at least 1");
     assert!(k_lo <= k_hi, "k_lo must not exceed k_hi");
-    assert!(k_hi <= total, "k_hi = {k_hi} exceeds the global input size {total}");
+    assert!(
+        k_hi <= total,
+        "k_hi = {k_hi} exceeds the global input size {total}"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed ^ (0xA5A5_0000 + comm.rank() as u64));
     // Current search window per PE and the target band relative to it.
@@ -140,8 +143,11 @@ where
             // Min-based estimator.
             let rho = min_estimator_probability(k_lo, k_hi);
             let x = geometric_deviate(rho, &mut rng);
-            let candidate =
-                if x as usize > window.len() { None } else { Some(window[x as usize - 1].clone()) };
+            let candidate = if x as usize > window.len() {
+                None
+            } else {
+                Some(window[x as usize - 1].clone())
+            };
             let v = reduce_estimate_min(comm, candidate);
             let j = v
                 .as_ref()
@@ -177,8 +183,7 @@ where
                     // Fall back to everything ≤ the global max of the window:
                     // select the whole window.
                     let local_max = window.last().cloned();
-                    let v = reduce_estimate_max(comm, local_max)
-                        .expect("non-empty global window");
+                    let v = reduce_estimate_max(comm, local_max).expect("non-empty global window");
                     let j = window.partition_point(|e| e <= &v);
                     let k = comm.allreduce_sum(j as u64);
                     return AmsSelectResult {
@@ -233,7 +238,10 @@ where
     debug_assert!(sorted_local.windows(2).all(|w| w[0] <= w[1]));
     assert!(d >= 1, "need at least one trial per round");
     let total = comm.allreduce_sum(sorted_local.len() as u64);
-    assert!(k_lo >= 1 && k_lo <= k_hi && k_hi <= total, "invalid selection band");
+    assert!(
+        k_lo >= 1 && k_lo <= k_hi && k_hi <= total,
+        "invalid selection band"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed ^ (0x5A5A_0000 + comm.rank() as u64));
     let mut lo = 0usize;
@@ -322,10 +330,10 @@ where
             if global[i].is_none() {
                 continue;
             }
-            if k < k_lo && best_under.map_or(true, |(_, bk)| k > bk) {
+            if k < k_lo && best_under.is_none_or(|(_, bk)| k > bk) {
                 best_under = Some((i, k));
             }
-            if k > k_hi && best_over.map_or(true, |(_, bk)| k < bk) {
+            if k > k_hi && best_over.is_none_or(|(_, bk)| k < bk) {
                 best_over = Some((i, k));
             }
         }
@@ -374,7 +382,12 @@ mod tests {
         for p in [1usize, 2, 4, 8] {
             let parts = sorted_parts(p, 400, 1 << 20, 3);
             let total = (400 * p) as u64;
-            for (k_lo, k_hi) in [(1u64, 8u64), (10, 20), (100, 200), (total / 2, total / 2 + total / 4)] {
+            for (k_lo, k_hi) in [
+                (1u64, 8u64),
+                (10, 20),
+                (100, 200),
+                (total / 2, total / 2 + total / 4),
+            ] {
                 let parts_ref = parts.clone();
                 let out = run_spmd(p, move |comm| {
                     approx_multisequence_select(comm, &parts_ref[comm.rank()], k_lo, k_hi, 11)
@@ -418,7 +431,11 @@ mod tests {
             approx_multisequence_select(comm, &parts_ref[comm.rank()], 500, 1000, 13).rounds
         });
         // Expected O(1) rounds; allow a generous margin.
-        assert!(out.results.iter().all(|&r| r <= 20), "rounds: {:?}", out.results);
+        assert!(
+            out.results.iter().all(|&r| r <= 20),
+            "rounds: {:?}",
+            out.results
+        );
     }
 
     #[test]
@@ -489,7 +506,11 @@ mod tests {
             comm.stats_snapshot().since(&before)
         });
         for snap in &out.results {
-            assert!(snap.bottleneck_words() < 500, "volume {}", snap.bottleneck_words());
+            assert!(
+                snap.bottleneck_words() < 500,
+                "volume {}",
+                snap.bottleneck_words()
+            );
         }
     }
 

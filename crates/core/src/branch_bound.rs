@@ -166,16 +166,16 @@ pub fn knapsack_branch_bound_sequential(instance: &KnapsackInstance) -> BnbResul
             }
         }
     }
-    BnbResult { optimum: incumbent, expanded, iterations }
+    BnbResult {
+        optimum: incumbent,
+        expanded,
+        iterations,
+    }
 }
 
 /// Expand one node: decide item `level` both ways, update the incumbent with
 /// any completed solution, and return the surviving children.
-fn expand_node(
-    instance: &KnapsackInstance,
-    node: &BnbNode,
-    incumbent: &mut u64,
-) -> Vec<BnbNode> {
+fn expand_node(instance: &KnapsackInstance, node: &BnbNode, incumbent: &mut u64) -> Vec<BnbNode> {
     let level = node.level as usize;
     *incumbent = (*incumbent).max(node.value);
     if level >= instance.len() {
@@ -263,7 +263,11 @@ pub fn knapsack_branch_bound_parallel(
 
     let optimum = comm.allreduce_max(incumbent);
     let expanded = comm.allreduce_sum(expanded_local);
-    BnbResult { optimum, expanded, iterations }
+    BnbResult {
+        optimum,
+        expanded,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -382,7 +386,9 @@ mod tests {
         assert_eq!(inst.optimum_by_dp(), 0);
         let seq = knapsack_branch_bound_sequential(&inst);
         assert_eq!(seq.optimum, 0);
-        let out = run_spmd(2, move |comm| knapsack_branch_bound_parallel(comm, &inst, 1, 0));
+        let out = run_spmd(2, move |comm| {
+            knapsack_branch_bound_parallel(comm, &inst, 1, 0)
+        });
         assert!(out.results.iter().all(|r| r.optimum == 0));
     }
 }

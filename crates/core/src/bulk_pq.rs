@@ -83,11 +83,9 @@ where
         let local_min = self.local.min().cloned();
         comm.allreduce(
             local_min,
-            commsim::ReduceOp::custom(|a: &Option<(T, u64)>, b: &Option<(T, u64)>| {
-                match (a, b) {
-                    (None, x) | (x, None) => x.clone(),
-                    (Some(x), Some(y)) => Some(x.clone().min(y.clone())),
-                }
+            commsim::ReduceOp::custom(|a: &Option<(T, u64)>, b: &Option<(T, u64)>| match (a, b) {
+                (None, x) | (x, None) => x.clone(),
+                (Some(x), Some(y)) => Some(x.clone().min(y.clone())),
             }),
         )
         .map(|(v, _)| v)
@@ -131,8 +129,7 @@ where
             return self.drain_local();
         }
         let window = self.local.smallest(k_hi);
-        let result =
-            approx_multisequence_select(comm, &window, k_lo as u64, k_hi as u64, seed);
+        let result = approx_multisequence_select(comm, &window, k_lo as u64, k_hi as u64, seed);
         self.remove_smallest(result.local_count)
     }
 
@@ -147,7 +144,11 @@ where
         let t = std::mem::take(&mut self.local);
         let (removed, rest) = t.split_at_rank(count);
         self.local = rest;
-        removed.to_sorted_vec().into_iter().map(|(v, _)| v).collect()
+        removed
+            .to_sorted_vec()
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect()
     }
 }
 
@@ -167,7 +168,9 @@ mod tests {
 
     fn random_parts(p: usize, per_pe: usize, max: u64, seed: u64) -> Vec<Vec<u64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..p).map(|_| (0..per_pe).map(|_| rng.gen_range(0..max)).collect()).collect()
+        (0..p)
+            .map(|_| (0..per_pe).map(|_| rng.gen_range(0..max)).collect())
+            .collect()
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
             let after = comm.stats_snapshot();
             (after.since(&before).sent_messages, q.local_len())
         });
-        assert!(out.results.iter().all(|&(msgs, len)| msgs == 0 && len == 1000));
+        assert!(out
+            .results
+            .iter()
+            .all(|&(msgs, len)| msgs == 0 && len == 1000));
     }
 
     #[test]
@@ -226,7 +232,11 @@ mod tests {
                 .iter()
                 .flat_map(|(batches, _)| batches[round].iter().copied())
                 .collect();
-            assert_eq!(batch.len(), 40, "round {round} must remove exactly k elements");
+            assert_eq!(
+                batch.len(),
+                40,
+                "round {round} must remove exactly k elements"
+            );
             batch.sort_unstable();
             // Every element of this batch must be ≤ every element still in
             // the queue, i.e. the batch extends the drained prefix.
@@ -270,7 +280,11 @@ mod tests {
         });
         let mut got: Vec<u64> = out.results.into_iter().flatten().collect();
         got.sort_unstable();
-        assert!(got.len() >= k_lo && got.len() <= k_hi, "batch size {}", got.len());
+        assert!(
+            got.len() >= k_lo && got.len() <= k_hi,
+            "batch size {}",
+            got.len()
+        );
         assert_eq!(got, reference[..got.len()].to_vec());
     }
 
@@ -287,8 +301,11 @@ mod tests {
             let second = q.delete_min(comm, 30, 2);
             (first, second)
         });
-        let second_all: Vec<u64> =
-            out.results.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+        let second_all: Vec<u64> = out
+            .results
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect();
         // The 30 newly inserted small values (0..30 across PEs) must all be in
         // the second batch.
         assert_eq!(second_all.len(), 30);
@@ -304,7 +321,10 @@ mod tests {
             q.insert(100 - comm.rank() as u64);
             (q.peek_min(comm), q.global_len(comm))
         });
-        assert!(out.results.iter().all(|&(min, len)| min == Some(98) && len == 3));
+        assert!(out
+            .results
+            .iter()
+            .all(|&(min, len)| min == Some(98) && len == 3));
     }
 
     #[test]

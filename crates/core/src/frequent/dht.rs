@@ -33,7 +33,11 @@ pub fn aggregate_counts(comm: &Comm, local_counts: HashMap<u64, u64>) -> HashMap
     let mut owned: HashMap<u64, u64> = HashMap::new();
     for chunk in received {
         for (key, count) in chunk {
-            debug_assert_eq!(owner_of(key, p), comm.rank(), "key routed to the wrong owner");
+            debug_assert_eq!(
+                owner_of(key, p),
+                comm.rank(),
+                "key routed to the wrong owner"
+            );
             *owned.entry(key).or_insert(0) += count;
         }
     }
@@ -62,7 +66,11 @@ pub fn aggregate_sums(comm: &Comm, local_sums: HashMap<u64, f64>) -> HashMap<u64
 /// (the all-gather step of the exact-counting algorithms): each PE passes the
 /// candidate keys it owns, every PE receives the union.
 pub fn allgather_candidates(comm: &Comm, local_candidates: Vec<u64>) -> Vec<u64> {
-    let mut all: Vec<u64> = comm.allgather(local_candidates).into_iter().flatten().collect();
+    let mut all: Vec<u64> = comm
+        .allgather(local_candidates)
+        .into_iter()
+        .flatten()
+        .collect();
     all.sort_unstable();
     all.dedup();
     all
@@ -115,8 +123,11 @@ mod tests {
     #[test]
     fn empty_local_maps_are_fine() {
         let out = run_spmd(3, |comm| {
-            let local: HashMap<u64, u64> =
-                if comm.rank() == 1 { [(9, 3)].into_iter().collect() } else { HashMap::new() };
+            let local: HashMap<u64, u64> = if comm.rank() == 1 {
+                [(9, 3)].into_iter().collect()
+            } else {
+                HashMap::new()
+            };
             aggregate_counts(comm, local)
         });
         let total: u64 = out.results.iter().flat_map(|m| m.values()).sum();
@@ -126,7 +137,9 @@ mod tests {
     #[test]
     fn sums_aggregate_floating_point_values() {
         let out = run_spmd(4, |comm| {
-            let local: HashMap<u64, f64> = [(7u64, 0.25), (8, comm.rank() as f64)].into_iter().collect();
+            let local: HashMap<u64, f64> = [(7u64, 0.25), (8, comm.rank() as f64)]
+                .into_iter()
+                .collect();
             aggregate_sums(comm, local)
         });
         let mut merged: HashMap<u64, f64> = HashMap::new();
@@ -159,6 +172,10 @@ mod tests {
             comm.stats_snapshot().since(&before).bottleneck_messages()
         });
         // Indirect routing: ceil(log2 16) = 4 rounds of messages per PE.
-        assert!(out.results.iter().all(|&m| m <= 8), "messages: {:?}", out.results);
+        assert!(
+            out.results.iter().all(|&m| m <= 8),
+            "messages: {:?}",
+            out.results
+        );
     }
 }

@@ -40,8 +40,11 @@ pub fn required_sample_size(n: u64, k_star: usize, epsilon: f64, delta: f64) -> 
 /// Count the occurrences of `candidates` in `local_data` exactly
 /// (`O(n/p)` with a hash set of the candidates).
 fn exact_local_counts(local_data: &[u64], candidates: &[u64]) -> Vec<u64> {
-    let index: HashMap<u64, usize> =
-        candidates.iter().enumerate().map(|(i, &key)| (key, i)).collect();
+    let index: HashMap<u64, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &key)| (key, i))
+        .collect();
     let mut counts = vec![0u64; candidates.len()];
     for &x in local_data {
         if let Some(&i) = index.get(&x) {
@@ -60,7 +63,11 @@ pub fn ec_top_k_with_kstar(
 ) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
-        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: true };
+        return TopKFrequentResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_counts: true,
+        };
     }
     let k_star = k_star.max(params.k);
     let target = required_sample_size(n, k_star, params.epsilon, params.delta);
@@ -83,19 +90,26 @@ pub fn ec_top_k_with_kstar(
 
     // 4. The k best exact counts are the answer (identical on every PE, so a
     //    local sort suffices — the candidate list is only k* long).
-    let mut items: Vec<(u64, u64)> =
-        candidates.into_iter().zip(global_exact.into_iter()).collect();
+    let mut items: Vec<(u64, u64)> = candidates.into_iter().zip(global_exact).collect();
     items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     items.truncate(params.k);
 
-    TopKFrequentResult { items, sample_size, exact_counts: true }
+    TopKFrequentResult {
+        items,
+        sample_size,
+        exact_counts: true,
+    }
 }
 
 /// Run Algorithm EC with the volume-optimal `k*` of the paper.
 pub fn ec_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
-        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: true };
+        return TopKFrequentResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_counts: true,
+        };
     }
     let k_star = optimal_k_star(n, comm.size(), params);
     ec_top_k_with_kstar(comm, local_data, params, k_star)
@@ -140,7 +154,10 @@ mod tests {
         // PAC saturates at the full input size n for this ε; EC must stay
         // well below it (this is exactly the Figure-8 effect).
         assert_eq!(pac, n, "PAC should be forced to sample everything here");
-        assert!(ec * 4 < pac, "EC sample {ec} should be far below PAC sample {pac}");
+        assert!(
+            ec * 4 < pac,
+            "EC sample {ec} should be far below PAC sample {pac}"
+        );
     }
 
     #[test]
@@ -151,7 +168,10 @@ mod tests {
         let params = FrequentParams::new(8, 1e-3, 1e-3, 3);
         let out = run_spmd(p, move |comm| {
             let local = &parts_ref[comm.rank()];
-            (ec_top_k(comm, local, &params), exact_global_counts(comm, local))
+            (
+                ec_top_k(comm, local, &params),
+                exact_global_counts(comm, local),
+            )
         });
         let (result, exact) = &out.results[0];
         assert!(result.exact_counts);
@@ -168,7 +188,10 @@ mod tests {
         let params = FrequentParams::new(8, 1e-3, 1e-3, 17);
         let out = run_spmd(p, move |comm| {
             let local = &parts_ref[comm.rank()];
-            (ec_top_k(comm, local, &params), exact_global_counts(comm, local))
+            (
+                ec_top_k(comm, local, &params),
+                exact_global_counts(comm, local),
+            )
         });
         let n: u64 = parts.iter().map(|v| v.len() as u64).sum();
         let (result, exact) = &out.results[0];
@@ -186,7 +209,9 @@ mod tests {
         let parts = zipf_parts(p, 5_000, 256, 1.0, 23);
         let parts_ref = parts.clone();
         let params = FrequentParams::new(5, 5e-3, 1e-2, 29);
-        let out = run_spmd(p, move |comm| ec_top_k(comm, &parts_ref[comm.rank()], &params));
+        let out = run_spmd(p, move |comm| {
+            ec_top_k(comm, &parts_ref[comm.rank()], &params)
+        });
         assert!(out.results.iter().all(|r| r.items == out.results[0].items));
     }
 

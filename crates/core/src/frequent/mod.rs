@@ -59,7 +59,12 @@ impl FrequentParams {
         assert!(k >= 1, "k must be at least 1");
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
-        FrequentParams { k, epsilon, delta, seed }
+        FrequentParams {
+            k,
+            epsilon,
+            delta,
+            seed,
+        }
     }
 
     /// The accuracy setting of the paper's Figure 7 (`ε = 3·10⁻⁴`,
@@ -121,12 +126,7 @@ pub fn absolute_error(exact_counts: &HashMap<u64, u64>, reported: &[u64], k: usi
 }
 
 /// Relative version of [`absolute_error`] (the paper's ε̃).
-pub fn relative_error(
-    exact_counts: &HashMap<u64, u64>,
-    reported: &[u64],
-    k: usize,
-    n: u64,
-) -> f64 {
+pub fn relative_error(exact_counts: &HashMap<u64, u64>, reported: &[u64], k: usize, n: u64) -> f64 {
     if n == 0 {
         return 0.0;
     }
@@ -164,8 +164,7 @@ pub fn select_top_counts(
         return Vec::new();
     }
     let selection = select_k_largest(comm, &items, k, seed);
-    let local_top: Vec<(u64, u64)> =
-        selection.local_selected.into_iter().map(|r| r.0).collect();
+    let local_top: Vec<(u64, u64)> = selection.local_selected.into_iter().map(|r| r.0).collect();
     let mut all: Vec<(u64, u64)> = comm.allgather(local_top).into_iter().flatten().collect();
     all.sort_unstable_by(|a, b| b.cmp(a));
     all.into_iter().map(|(count, key)| (key, count)).collect()
@@ -202,8 +201,9 @@ mod tests {
     fn absolute_error_matches_the_papers_example() {
         // Figure 4: exact counts E:16 A:10 T:10 I:9 D:8, O:7; the algorithm
         // returned {E, A, T, I, O}, missing D — error 8 − 7 = 1.
-        let counts: HashMap<u64, u64> =
-            [(0, 16), (1, 10), (2, 10), (3, 9), (4, 8), (5, 7)].into_iter().collect();
+        let counts: HashMap<u64, u64> = [(0, 16), (1, 10), (2, 10), (3, 9), (4, 8), (5, 7)]
+            .into_iter()
+            .collect();
         assert_eq!(absolute_error(&counts, &[0, 1, 2, 3, 5], 5), 1);
     }
 
@@ -259,8 +259,11 @@ mod tests {
     #[test]
     fn select_top_counts_handles_fewer_than_k_keys() {
         let out = run_spmd(2, |comm| {
-            let owned: HashMap<u64, u64> =
-                if comm.is_root() { [(5, 9)].into_iter().collect() } else { HashMap::new() };
+            let owned: HashMap<u64, u64> = if comm.is_root() {
+                [(5, 9)].into_iter().collect()
+            } else {
+                HashMap::new()
+            };
             select_top_counts(comm, &owned, 10, 1)
         });
         assert!(out.results.iter().all(|items| items == &vec![(5, 9)]));

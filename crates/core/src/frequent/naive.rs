@@ -56,7 +56,11 @@ fn scale_counts(items: Vec<(u64, u64)>, rho: f64) -> Vec<(u64, u64)> {
 pub fn naive_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
-        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: false };
+        return TopKFrequentResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_counts: false,
+        };
     }
     let rho = sampling_probability(n, params);
     let (local_counts, local_size) = local_sample_counts(comm, local_data, params, n);
@@ -78,7 +82,11 @@ pub fn naive_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> 
     };
     let items = comm.broadcast(0, items);
 
-    TopKFrequentResult { items: scale_counts(items, rho), sample_size, exact_counts: false }
+    TopKFrequentResult {
+        items: scale_counts(items, rho),
+        sample_size,
+        exact_counts: false,
+    }
 }
 
 /// The Naive Tree baseline: the aggregated samples flow up a binomial
@@ -91,7 +99,11 @@ pub fn naive_tree_top_k(
 ) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
-        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: false };
+        return TopKFrequentResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_counts: false,
+        };
     }
     let rho = sampling_probability(n, params);
     let (local_counts, local_size) = local_sample_counts(comm, local_data, params, n);
@@ -116,7 +128,11 @@ pub fn naive_tree_top_k(
     });
     let items = comm.broadcast(0, items);
 
-    TopKFrequentResult { items: scale_counts(items, rho), sample_size, exact_counts: false }
+    TopKFrequentResult {
+        items: scale_counts(items, rho),
+        sample_size,
+        exact_counts: false,
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +185,10 @@ mod tests {
         let params = FrequentParams::new(5, 5e-3, 1e-2, 13);
         let out = run_spmd(p, move |comm| {
             let local = &parts_ref[comm.rank()];
-            (naive_top_k(comm, local, &params), naive_tree_top_k(comm, local, &params))
+            (
+                naive_top_k(comm, local, &params),
+                naive_tree_top_k(comm, local, &params),
+            )
         });
         for (naive, tree) in &out.results {
             assert_eq!(naive.items, out.results[0].0.items);
@@ -189,8 +208,11 @@ mod tests {
             comm.stats_snapshot().since(&before)
         });
         let coordinator = out.results[0].received_words;
-        let worker_max =
-            out.results[1..].iter().map(|s| s.received_words).max().unwrap();
+        let worker_max = out.results[1..]
+            .iter()
+            .map(|s| s.received_words)
+            .max()
+            .unwrap();
         // The coordinator receives all p−1 aggregated samples; the workers
         // receive only the broadcast answer.
         assert!(
@@ -214,15 +236,25 @@ mod tests {
         });
         // No PE — including the root — receives more than O(log p) messages
         // for the reduction plus a constant number of collective rounds.
-        assert!(out.results.iter().all(|&m| m <= 12), "messages: {:?}", out.results);
+        assert!(
+            out.results.iter().all(|&m| m <= 12),
+            "messages: {:?}",
+            out.results
+        );
     }
 
     #[test]
     fn empty_input_is_handled() {
         let params = FrequentParams::new(4, 1e-2, 1e-2, 0);
         let out = run_spmd(2, move |comm| {
-            (naive_top_k(comm, &[], &params), naive_tree_top_k(comm, &[], &params))
+            (
+                naive_top_k(comm, &[], &params),
+                naive_tree_top_k(comm, &[], &params),
+            )
         });
-        assert!(out.results.iter().all(|(a, b)| a.items.is_empty() && b.items.is_empty()));
+        assert!(out
+            .results
+            .iter()
+            .all(|(a, b)| a.items.is_empty() && b.items.is_empty()));
     }
 }

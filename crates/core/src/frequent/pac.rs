@@ -46,7 +46,11 @@ pub fn sampling_probability(n: u64, params: &FrequentParams) -> f64 {
 pub fn pac_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
-        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: false };
+        return TopKFrequentResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_counts: false,
+        };
     }
     let rho = sampling_probability(n, params);
 
@@ -67,7 +71,11 @@ pub fn pac_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> To
         .map(|(key, count)| (key, ((count as f64) / rho).round() as u64))
         .collect();
 
-    TopKFrequentResult { items, sample_size, exact_counts: false }
+    TopKFrequentResult {
+        items,
+        sample_size,
+        exact_counts: false,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +147,10 @@ mod tests {
         let params = FrequentParams::new(4, 3e-3, 1e-3, 11);
         let out = run_spmd(p, move |comm| {
             let local = &parts_ref[comm.rank()];
-            (pac_top_k(comm, local, &params), exact_global_counts(comm, local))
+            (
+                pac_top_k(comm, local, &params),
+                exact_global_counts(comm, local),
+            )
         });
         let (result, exact) = &out.results[0];
         let n: u64 = parts.iter().map(|v| v.len() as u64).sum();
@@ -160,7 +171,7 @@ mod tests {
         let out = run_spmd(4, |comm| {
             let mut rng = StdRng::seed_from_u64(comm.rank() as u64);
             let mut local: Vec<u64> = vec![b'E' as u64; 40];
-            local.extend(std::iter::repeat(b'A' as u64).take(20));
+            local.extend(std::iter::repeat_n(b'A' as u64, 20));
             local.extend((0..40).map(|_| rng.gen_range(b'F' as u64..b'Z' as u64)));
             let params = FrequentParams::new(2, 0.05, 0.05, 9);
             pac_top_k(comm, &local, &params)
@@ -176,7 +187,10 @@ mod tests {
             let params = FrequentParams::new(3, 0.01, 0.01, 0);
             pac_top_k(comm, &[], &params)
         });
-        assert!(out.results.iter().all(|r| r.items.is_empty() && r.sample_size == 0));
+        assert!(out
+            .results
+            .iter()
+            .all(|r| r.items.is_empty() && r.sample_size == 0));
     }
 
     #[test]

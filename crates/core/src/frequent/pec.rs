@@ -53,7 +53,10 @@ pub fn estimate_k_star(
     let n = comm.allreduce_sum(local_data.len() as u64);
     assert!(n > 0, "cannot estimate k* on an empty input");
     // First-stage sampling probability: the PAC size for the coarse ε₀.
-    let coarse = FrequentParams { epsilon: epsilon0, ..*params };
+    let coarse = FrequentParams {
+        epsilon: epsilon0,
+        ..*params
+    };
     let rho0 = super::pac::sampling_probability(n, &coarse);
 
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x9EC0 ^ comm.rank() as u64);
@@ -68,18 +71,25 @@ pub fn estimate_k_star(
     // Lemma 12 threshold, using the high-probability lower bound for E[ŝ_k].
     let s_k_f = s_k as f64;
     let expectation_lb = (s_k_f - (2.0 * s_k_f * (1.0f64 / params.delta).ln()).sqrt()).max(0.0);
-    let count_threshold =
-        (expectation_lb - (2.0 * expectation_lb * (params.k as f64 / params.delta).ln()).sqrt())
-            .max(0.0);
+    let count_threshold = (expectation_lb
+        - (2.0 * expectation_lb * (params.k as f64 / params.delta).ln()).sqrt())
+    .max(0.0);
 
     // k* = number of sampled objects with count ≥ threshold (each PE counts
     // its owned keys; one sum reduction).
-    let local_above =
-        owned.values().filter(|&&c| (c as f64) >= count_threshold && c > 0).count() as u64;
+    let local_above = owned
+        .values()
+        .filter(|&&c| (c as f64) >= count_threshold && c > 0)
+        .count() as u64;
     let above = comm.allreduce_sum(local_above) as usize;
     let k_star = above.max(params.k);
 
-    KStarEstimate { k_star, s_k, count_threshold, first_sample_size }
+    KStarEstimate {
+        k_star,
+        s_k,
+        count_threshold,
+        first_sample_size,
+    }
 }
 
 /// Run Algorithm PEC: estimate `k*` from a first sample with coarse relative
@@ -96,7 +106,11 @@ pub fn pec_top_k(
 ) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
-        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: true };
+        return TopKFrequentResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_counts: true,
+        };
     }
     let estimate = estimate_k_star(comm, local_data, params, epsilon0);
     let mut result = ec_top_k_with_kstar(comm, local_data, params, estimate.k_star);
@@ -117,7 +131,11 @@ pub fn pec_zipf_top_k(
 ) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
-        return TopKFrequentResult { items: Vec::new(), sample_size: 0, exact_counts: true };
+        return TopKFrequentResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_counts: true,
+        };
     }
     assert!(zipf_exponent > 0.0, "Zipf exponent must be positive");
     let k_f = params.k as f64;
@@ -135,8 +153,11 @@ pub fn pec_zipf_top_k(
     let candidates_with_counts = select_top_counts(comm, &owned, k_star, params.seed ^ 0x21E);
     let candidates: Vec<u64> = candidates_with_counts.iter().map(|&(key, _)| key).collect();
 
-    let index: std::collections::HashMap<u64, usize> =
-        candidates.iter().enumerate().map(|(i, &key)| (key, i)).collect();
+    let index: std::collections::HashMap<u64, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &key)| (key, i))
+        .collect();
     let mut local_exact = vec![0u64; candidates.len()];
     for &x in local_data {
         if let Some(&i) = index.get(&x) {
@@ -144,12 +165,15 @@ pub fn pec_zipf_top_k(
         }
     }
     let global_exact = comm.allreduce_vec_sum(local_exact);
-    let mut items: Vec<(u64, u64)> =
-        candidates.into_iter().zip(global_exact.into_iter()).collect();
+    let mut items: Vec<(u64, u64)> = candidates.into_iter().zip(global_exact).collect();
     items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     items.truncate(params.k);
 
-    TopKFrequentResult { items, sample_size, exact_counts: true }
+    TopKFrequentResult {
+        items,
+        sample_size,
+        exact_counts: true,
+    }
 }
 
 /// Generalized harmonic number `H_{n,s}` (duplicated from `datagen` to keep
@@ -191,7 +215,10 @@ mod tests {
             assert!(est.first_sample_size > 0);
         }
         // All PEs agree on k*.
-        assert!(out.results.iter().all(|e| e.k_star == out.results[0].k_star));
+        assert!(out
+            .results
+            .iter()
+            .all(|e| e.k_star == out.results[0].k_star));
     }
 
     #[test]
@@ -202,17 +229,25 @@ mod tests {
         let params = FrequentParams::new(6, 1e-4, 1e-3, 9);
         let out = run_spmd(p, move |comm| {
             let local = &parts_ref[comm.rank()];
-            (pec_top_k(comm, local, &params, 3e-3), exact_global_counts(comm, local))
+            (
+                pec_top_k(comm, local, &params, 3e-3),
+                exact_global_counts(comm, local),
+            )
         });
         let (result, exact) = &out.results[0];
         assert!(result.exact_counts);
-        let truth: Vec<u64> =
-            top_k_by_count(exact, 6).into_iter().map(|(k, _)| k).collect();
+        let truth: Vec<u64> = top_k_by_count(exact, 6)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         let mut got = result.keys();
         let mut want = truth;
         got.sort_unstable();
         want.sort_unstable();
-        assert_eq!(got, want, "PEC must find the exact top-k on a sloped Zipf input");
+        assert_eq!(
+            got, want,
+            "PEC must find the exact top-k on a sloped Zipf input"
+        );
         for &(key, count) in &result.items {
             assert_eq!(count, exact[&key]);
         }
@@ -234,8 +269,10 @@ mod tests {
             )
         });
         let (result, exact) = &out.results[0];
-        let truth: Vec<u64> =
-            top_k_by_count(exact, 8).into_iter().map(|(k, _)| k).collect();
+        let truth: Vec<u64> = top_k_by_count(exact, 8)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         let mut got = result.keys();
         let mut want = truth;
         got.sort_unstable();
@@ -253,7 +290,11 @@ mod tests {
         let s = 1.0;
         let harmonic = datagen_free_harmonic(1 << 20, s);
         let target = 4.0 * k.powf(s) * harmonic * (k / 1e-4f64).ln();
-        assert!((target / n as f64) < 0.01, "sample fraction {}", target / n as f64);
+        assert!(
+            (target / n as f64) < 0.01,
+            "sample fraction {}",
+            target / n as f64
+        );
     }
 
     #[test]
@@ -262,7 +303,9 @@ mod tests {
         let parts = zipf_parts(p, 5_000, 512, 1.0, 21);
         let parts_ref = parts.clone();
         let params = FrequentParams::new(4, 1e-3, 1e-2, 23);
-        let out = run_spmd(p, move |comm| pec_top_k(comm, &parts_ref[comm.rank()], &params, 1e-2));
+        let out = run_spmd(p, move |comm| {
+            pec_top_k(comm, &parts_ref[comm.rank()], &params, 1e-2)
+        });
         assert!(out.results.iter().all(|r| r.items == out.results[0].items));
     }
 

@@ -65,5 +65,7 @@ pub use msselect::{multisequence_select, MsSelectResult};
 pub use multicriteria::{dta_top_k, rdta_top_k, LocalMulticriteria, MulticriteriaResult};
 pub use redistribute::{redistribute, RedistributionReport};
 pub use sum_agg::{sum_top_k, sum_top_k_exact, TopKSumResult};
-pub use unsorted::{select_k_largest, select_k_smallest, select_threshold, UnsortedSelectionResult};
+pub use unsorted::{
+    select_k_largest, select_k_smallest, select_threshold, UnsortedSelectionResult,
+};
 pub use util::OrderedF64;

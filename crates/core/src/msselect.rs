@@ -38,7 +38,12 @@ type Key<T> = (T, u64);
 ///
 /// Panics if `k` is zero or exceeds the global number of elements, or if the
 /// local input is not sorted (checked in debug builds).
-pub fn multisequence_select<T>(comm: &Comm, sorted_local: &[T], k: usize, seed: u64) -> MsSelectResult<T>
+pub fn multisequence_select<T>(
+    comm: &Comm,
+    sorted_local: &[T],
+    k: usize,
+    seed: u64,
+) -> MsSelectResult<T>
 where
     T: Ord + Clone + CommData,
 {
@@ -81,26 +86,28 @@ where
             let local_rest: Vec<Key<T>> = (lo..hi)
                 .map(|i| (sorted_local[i].clone(), offset + i as u64))
                 .collect();
-            let mut all: Vec<Key<T>> =
-                comm.allgather(local_rest).into_iter().flatten().collect();
+            let mut all: Vec<Key<T>> = comm.allgather(local_rest).into_iter().flatten().collect();
             all.sort();
             break all[(k - 1) as usize].clone();
         }
 
         // Uniformly random global pivot position among the remaining window.
         let pivot_pos = {
-            let r = if comm.is_root() { Some(rng.gen_range(0..remaining)) } else { None };
+            let r = if comm.is_root() {
+                Some(rng.gen_range(0..remaining))
+            } else {
+                None
+            };
             comm.broadcast(0, r)
         };
         let window_offset = comm.prefix_sum_exclusive(window);
-        let candidate: Option<Key<T>> = if pivot_pos >= window_offset
-            && pivot_pos < window_offset + window
-        {
-            let idx = lo + (pivot_pos - window_offset) as usize;
-            Some((sorted_local[idx].clone(), offset + idx as u64))
-        } else {
-            None
-        };
+        let candidate: Option<Key<T>> =
+            if pivot_pos >= window_offset && pivot_pos < window_offset + window {
+                let idx = lo + (pivot_pos - window_offset) as usize;
+                Some((sorted_local[idx].clone(), offset + idx as u64))
+            } else {
+                None
+            };
         let pivot = pick_unique(comm, candidate);
 
         // Count local elements strictly smaller than the pivot (tie-broken).
@@ -117,7 +124,11 @@ where
 
     // Local part of the selected set: elements (value, gid) ≤ threshold.
     let local_count = count_le_threshold(sorted_local, offset, &threshold);
-    MsSelectResult { threshold: threshold.0, local_count, rounds }
+    MsSelectResult {
+        threshold: threshold.0,
+        local_count,
+        rounds,
+    }
 }
 
 /// All-reduce that picks the unique `Some` among per-PE options.
@@ -160,7 +171,9 @@ fn count_le_threshold<T: Ord>(sorted: &[T], offset: u64, threshold: &(T, u64)) -
     let eq_start_gid = offset + strictly_smaller as u64;
     let equal_count = (equal_end - strictly_smaller) as u64;
     // Elements equal in value count iff their gid ≤ threshold.1.
-    let eq_le = (threshold.1 + 1).saturating_sub(eq_start_gid).min(equal_count) as usize;
+    let eq_le = (threshold.1 + 1)
+        .saturating_sub(eq_start_gid)
+        .min(equal_count) as usize;
     strictly_smaller + eq_le
 }
 
@@ -241,7 +254,11 @@ mod tests {
             multisequence_select(comm, &parts_ref[comm.rank()], 6_000, 7).rounds
         });
         // Expected O(log kp) ≈ 16; allow generous slack for randomness.
-        assert!(out.results.iter().all(|&r| r <= 64), "rounds: {:?}", out.results);
+        assert!(
+            out.results.iter().all(|&r| r <= 64),
+            "rounds: {:?}",
+            out.results
+        );
     }
 
     #[test]
@@ -275,7 +292,10 @@ mod tests {
             let hi = multisequence_select(comm, &parts_ref[comm.rank()], 300, 0).threshold;
             (lo, hi)
         });
-        assert!(out.results.iter().all(|&(lo, hi)| lo == all_min && hi == all_max));
+        assert!(out
+            .results
+            .iter()
+            .all(|&(lo, hi)| lo == all_min && hi == all_max));
     }
 
     #[test]

@@ -81,8 +81,10 @@ fn select_best_candidates(
     k: usize,
     seed: u64,
 ) -> Vec<(ObjectId, f64)> {
-    let items: Vec<(OrderedF64, u64)> =
-        candidates.iter().map(|&(o, s)| (OrderedF64(s), o)).collect();
+    let items: Vec<(OrderedF64, u64)> = candidates
+        .iter()
+        .map(|&(o, s)| (OrderedF64(s), o))
+        .collect();
     let total = comm.allreduce_sum(items.len() as u64);
     let k = k.min(total as usize);
     if k == 0 {
@@ -120,9 +122,8 @@ where
     // Balls-into-bins bound: k̂ = O(k/p + log p).
     let mut k_hat = k.div_ceil(p) + (p.max(2) as f64).log2().ceil() as usize + 1;
     let mut rounds = 0usize;
-    let total_objects = comm.allreduce_sum(
-        local.lists.first().map(|l| l.len() as u64).unwrap_or(0),
-    );
+    let total_objects =
+        comm.allreduce_sum(local.lists.first().map(|l| l.len() as u64).unwrap_or(0));
 
     loop {
         rounds += 1;
@@ -213,7 +214,7 @@ where
                     local_min,
                     ReduceOp::custom(|a: &Option<OrderedF64>, b: &Option<OrderedF64>| {
                         match (a, b) {
-                            (None, x) | (x, None) => x.clone(),
+                            (None, x) | (x, None) => *x,
                             (Some(x), Some(y)) => Some(*x.min(y)),
                         }
                     }),
@@ -243,11 +244,10 @@ where
         let mut local_hit_estimate = 0.0f64;
         let mut exact_local_hits = 0u64;
         let mut prefixes: Vec<&[(ObjectId, f64)]> = Vec::with_capacity(m);
-        for i in 0..m {
-            prefixes.push(local.lists[i].prefix_at_least(cut_scores[i]));
+        for (list, &cut) in local.lists.iter().zip(&cut_scores).take(m) {
+            prefixes.push(list.prefix_at_least(cut));
         }
-        for i in 0..m {
-            let prefix = prefixes[i];
+        for (i, &prefix) in prefixes.iter().enumerate() {
             if prefix.is_empty() {
                 continue;
             }
@@ -257,21 +257,19 @@ where
                 let (object, _) = prefix[rng.gen_range(0..prefix.len())];
                 // Reject the sample if the object already appears in an
                 // earlier list's prefix (avoids double counting).
-                let duplicate =
-                    (0..i).any(|j| local.lists[j].score_of(object) >= cut_scores[j]);
+                let duplicate = (0..i).any(|j| local.lists[j].score_of(object) >= cut_scores[j]);
                 if duplicate {
                     rejected += 1;
                 } else if local.aggregate_score(object, score_fn) >= threshold {
                     hits += 1;
                 }
             }
-            local_hit_estimate += prefix.len() as f64 * (1.0 - rejected as f64 / y as f64)
-                * (hits as f64 / y as f64);
+            local_hit_estimate +=
+                prefix.len() as f64 * (1.0 - rejected as f64 / y as f64) * (hits as f64 / y as f64);
             // Exact local hits (used for the robust termination check below;
             // the prefixes are short, so this is cheap).
             for &(object, _) in prefix {
-                let duplicate =
-                    (0..i).any(|j| local.lists[j].score_of(object) >= cut_scores[j]);
+                let duplicate = (0..i).any(|j| local.lists[j].score_of(object) >= cut_scores[j]);
                 if !duplicate && local.aggregate_score(object, score_fn) >= threshold {
                     exact_local_hits += 1;
                 }
@@ -286,10 +284,7 @@ where
         let exact_hits = comm.allreduce_sum(exact_local_hits);
 
         let exhausted = big_k >= max_total;
-        if (estimated_hits >= 2.0 * k as f64 && exact_hits >= k as u64)
-            || exact_hits >= k as u64 && exhausted
-            || exhausted
-        {
+        if exhausted || (estimated_hits >= 2.0 * k as f64 && exact_hits >= k as u64) {
             // Extraction: collect this PE's hits and select the global top-k.
             let mut candidates: Vec<(ObjectId, f64)> = Vec::new();
             let mut seen: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
@@ -329,7 +324,10 @@ mod tests {
     /// Build the reference answer from the union of all lists.
     fn reference_top_k(workload: &MulticriteriaWorkload, k: usize) -> Vec<ObjectId> {
         let lists = workload.global_lists();
-        exhaustive_top_k(&lists, additive, k).into_iter().map(|(o, _)| o).collect()
+        exhaustive_top_k(&lists, additive, k)
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect()
     }
 
     fn run_dta(workload: &MulticriteriaWorkload, p: usize, k: usize) -> Vec<MulticriteriaResult> {
@@ -352,13 +350,18 @@ mod tests {
 
     #[test]
     fn dta_matches_the_exhaustive_answer() {
-        for (objects, criteria, correlation) in [(300usize, 3usize, 0.6), (500, 2, 0.0), (200, 4, 1.0)] {
+        for (objects, criteria, correlation) in
+            [(300usize, 3usize, 0.6), (500, 2, 0.0), (200, 4, 1.0)]
+        {
             let w = MulticriteriaWorkload::new(objects, criteria, correlation, 11);
             let want = reference_top_k(&w, 8);
             let results = run_dta(&w, 4, 8);
             for r in &results {
                 let got: Vec<ObjectId> = r.items.iter().map(|&(o, _)| o).collect();
-                assert_eq!(got, want, "objects={objects} m={criteria} corr={correlation}");
+                assert_eq!(
+                    got, want,
+                    "objects={objects} m={criteria} corr={correlation}"
+                );
             }
         }
     }
@@ -439,7 +442,10 @@ mod tests {
             comm.stats_snapshot().since(&before).bottleneck_words()
         });
         for &words in &out.results {
-            assert!(words < 4000, "DTA moved {words} words for a 4000-object workload");
+            assert!(
+                words < 4000,
+                "DTA moved {words} words for a 4000-object workload"
+            );
         }
     }
 

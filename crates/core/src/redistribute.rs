@@ -97,7 +97,10 @@ where
             let chunk: Vec<T> = outgoing.drain(..count).collect();
             comm.send(dst, REDIST_TAG, chunk);
         }
-        debug_assert!(outgoing.is_empty(), "all surplus elements must be matched to a slot");
+        debug_assert!(
+            outgoing.is_empty(),
+            "all surplus elements must be matched to a slot"
+        );
     }
 
     // --- Receiving side: my empty slots carry the global slot indices
@@ -171,14 +174,19 @@ mod tests {
         assert_eq!(total, 100);
         assert_eq!(reports[0].sent_elements, 75);
         assert!(reports[1..].iter().all(|r| r.sent_elements == 0));
-        assert_eq!(reports.iter().map(|r| r.received_elements).sum::<usize>(), 75);
+        assert_eq!(
+            reports.iter().map(|r| r.received_elements).sum::<usize>(),
+            75
+        );
     }
 
     #[test]
     fn already_balanced_input_moves_nothing() {
         let (data, reports) = run_case(&[10, 10, 10, 10]);
         assert!(data.iter().all(|d| d.len() == 10));
-        assert!(reports.iter().all(|r| r.sent_elements == 0 && r.received_elements == 0));
+        assert!(reports
+            .iter()
+            .all(|r| r.sent_elements == 0 && r.received_elements == 0));
     }
 
     #[test]
@@ -209,7 +217,12 @@ mod tests {
 
     #[test]
     fn every_pe_ends_at_or_below_the_target() {
-        for sizes in [vec![0usize, 0, 200], vec![13, 57, 1, 99, 4], vec![5], vec![1, 1, 1, 97]] {
+        for sizes in [
+            vec![0usize, 0, 200],
+            vec![13, 57, 1, 99, 4],
+            vec![5],
+            vec![1, 1, 1, 97],
+        ] {
             let (data, reports) = run_case(&sizes);
             let n: usize = sizes.iter().sum();
             let target = n.div_ceil(sizes.len());
@@ -237,7 +250,9 @@ mod tests {
     fn empty_input_is_a_noop() {
         let (data, reports) = run_case(&[0, 0, 0]);
         assert!(data.iter().all(Vec::is_empty));
-        assert!(reports.iter().all(|r| r.sent_elements == 0 && r.received_elements == 0));
+        assert!(reports
+            .iter()
+            .all(|r| r.sent_elements == 0 && r.received_elements == 0));
     }
 
     #[test]
@@ -252,7 +267,11 @@ mod tests {
         // The control traffic (size exchange) must stay small; the payload
         // traffic is exactly the surplus.
         let out = run_spmd(8, |comm| {
-            let local: Vec<u64> = if comm.rank() == 0 { (0..800).collect() } else { Vec::new() };
+            let local: Vec<u64> = if comm.rank() == 0 {
+                (0..800).collect()
+            } else {
+                Vec::new()
+            };
             let before = comm.stats_snapshot();
             let (_, report) = redistribute(comm, local);
             (comm.stats_snapshot().since(&before), report)
@@ -262,7 +281,10 @@ mod tests {
         // control words.
         assert_eq!(sender.1.sent_elements, 700);
         assert!(sender.0.sent_words >= 700);
-        assert!(sender.0.sent_words < 700 + 200, "control overhead too large");
+        assert!(
+            sender.0.sent_words < 700 + 200,
+            "control overhead too large"
+        );
         // Receivers only receive their 100 elements plus control words.
         for r in &out.results[1..] {
             assert_eq!(r.1.received_elements, 100);

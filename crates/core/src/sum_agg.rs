@@ -69,7 +69,10 @@ fn sample_and_count(
     let local_agg = sum_by_key(local_pairs.iter().copied());
     let local_total: f64 = local_agg.values().sum();
     let global_total = comm
-        .allreduce(OrderedF64(local_total), commsim::ReduceOp::custom(|a: &OrderedF64, b: &OrderedF64| OrderedF64(a.0 + b.0)))
+        .allreduce(
+            OrderedF64(local_total),
+            commsim::ReduceOp::custom(|a: &OrderedF64, b: &OrderedF64| OrderedF64(a.0 + b.0)),
+        )
         .0;
     if global_total <= 0.0 || n == 0 {
         return (HashMap::new(), 1.0, 0, local_agg);
@@ -92,17 +95,29 @@ fn sample_and_count(
 }
 
 /// The (ε, δ)-approximate top-k sum aggregation (Theorem 15).
-pub fn sum_top_k(comm: &Comm, local_pairs: &[(u64, f64)], params: &FrequentParams) -> TopKSumResult {
+pub fn sum_top_k(
+    comm: &Comm,
+    local_pairs: &[(u64, f64)],
+    params: &FrequentParams,
+) -> TopKSumResult {
     let (owned, v_avg, sample_size, _local_agg) = sample_and_count(comm, local_pairs, params);
     if sample_size == 0 {
-        return TopKSumResult { items: Vec::new(), sample_size: 0, exact_sums: false };
+        return TopKSumResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_sums: false,
+        };
     }
     let top = select_top_counts(comm, &owned, params.k, params.seed ^ 0x50F);
     let items = top
         .into_iter()
         .map(|(key, sampled)| (key, sampled as f64 * v_avg))
         .collect();
-    TopKSumResult { items, sample_size, exact_sums: false }
+    TopKSumResult {
+        items,
+        sample_size,
+        exact_sums: false,
+    }
 }
 
 /// The exact-summation variant (the Section 8 analogue of Algorithm EC):
@@ -116,7 +131,11 @@ pub fn sum_top_k_exact(
 ) -> TopKSumResult {
     let (owned, _v_avg, sample_size, local_agg) = sample_and_count(comm, local_pairs, params);
     if sample_size == 0 {
-        return TopKSumResult { items: Vec::new(), sample_size: 0, exact_sums: true };
+        return TopKSumResult {
+            items: Vec::new(),
+            sample_size: 0,
+            exact_sums: true,
+        };
     }
     let k_star = k_star.max(params.k);
     let candidates_with_counts = select_top_counts(comm, &owned, k_star, params.seed ^ 0x5EF);
@@ -144,7 +163,11 @@ pub fn sum_top_k_exact(
         .collect();
     items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     items.truncate(params.k);
-    TopKSumResult { items, sample_size, exact_sums: true }
+    TopKSumResult {
+        items,
+        sample_size,
+        exact_sums: true,
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +193,9 @@ mod tests {
         let exact = WeightedZipfInput::exact_top_k(&inputs, 4);
         let inputs_ref = inputs.clone();
         let params = FrequentParams::new(4, 1e-3, 1e-3, 11);
-        let out = run_spmd(p, move |comm| sum_top_k(comm, &inputs_ref[comm.rank()], &params));
+        let out = run_spmd(p, move |comm| {
+            sum_top_k(comm, &inputs_ref[comm.rank()], &params)
+        });
         let result = &out.results[0];
         assert!(out.results.iter().all(|r| r.items == result.items));
         // The clear number-one key must be found, and its estimated sum must
@@ -195,7 +220,10 @@ mod tests {
         assert!(result.exact_sums);
         for &(key, sum) in &result.items {
             let truth = exact[&key];
-            assert!((sum - truth).abs() < 1e-6 * truth.max(1.0), "key {key}: {sum} vs {truth}");
+            assert!(
+                (sum - truth).abs() < 1e-6 * truth.max(1.0),
+                "key {key}: {sum} vs {truth}"
+            );
         }
         // The exact top key must be the true top key.
         let true_top = WeightedZipfInput::exact_top_k(&inputs, 1)[0].0;
@@ -224,9 +252,15 @@ mod tests {
     fn empty_input_returns_empty_result() {
         let params = FrequentParams::new(4, 1e-2, 1e-2, 0);
         let out = run_spmd(2, move |comm| {
-            (sum_top_k(comm, &[], &params), sum_top_k_exact(comm, &[], &params, 8))
+            (
+                sum_top_k(comm, &[], &params),
+                sum_top_k_exact(comm, &[], &params, 8),
+            )
         });
-        assert!(out.results.iter().all(|(a, b)| a.items.is_empty() && b.items.is_empty()));
+        assert!(out
+            .results
+            .iter()
+            .all(|(a, b)| a.items.is_empty() && b.items.is_empty()));
     }
 
     #[test]

@@ -100,13 +100,22 @@ where
     let offset = comm.prefix_sum_exclusive(local.len() as u64);
     let tagged = tag_unique(local, offset);
 
-    let mut rng = StdRng::seed_from_u64(seed ^ (comm.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (comm.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let mut levels = 0usize;
-    let threshold_tagged = select_recursive(comm, tagged.clone(), k, &mut rng, &mut levels, &config);
+    let threshold_tagged =
+        select_recursive(comm, tagged.clone(), k, &mut rng, &mut levels, &config);
 
-    let local_selected: Vec<T> =
-        tagged.into_iter().filter(|x| *x <= threshold_tagged).map(|(v, _)| v).collect();
-    UnsortedSelectionResult { threshold: threshold_tagged.0, local_selected, recursion_levels: levels }
+    let local_selected: Vec<T> = tagged
+        .into_iter()
+        .filter(|x| *x <= threshold_tagged)
+        .map(|(v, _)| v)
+        .collect();
+    UnsortedSelectionResult {
+        threshold: threshold_tagged.0,
+        local_selected,
+        recursion_levels: levels,
+    }
 }
 
 /// Select only the threshold (the element of global rank `k`), without
@@ -194,8 +203,7 @@ where
         }
 
         // Bernoulli sample with expected total size `sample_factor · √p`.
-        let mut rho =
-            (config.sample_factor * (p as f64).sqrt() / total as f64).clamp(0.0, 1.0);
+        let mut rho = (config.sample_factor * (p as f64).sqrt() / total as f64).clamp(0.0, 1.0);
         let sample = loop {
             let local_sample = bernoulli_sample(&s, rho, rng);
             let mut sample: Vec<K> = comm.allgather(local_sample).into_iter().flatten().collect();
@@ -220,8 +228,7 @@ where
 
         // Local three-way partition and global range sizes.
         let (a, b, c) = partition_three_way(&s, &lo_pivot, &hi_pivot);
-        let counts =
-            comm.allreduce_vec_sum(vec![a.len() as u64, b.len() as u64, c.len() as u64]);
+        let counts = comm.allreduce_vec_sum(vec![a.len() as u64, b.len() as u64, c.len() as u64]);
         let (na, nb) = (counts[0] as usize, counts[1] as usize);
 
         if k <= na {
@@ -261,7 +268,9 @@ mod tests {
 
     fn random_parts(p: usize, per_pe: usize, max: u64, seed: u64) -> Vec<Vec<u64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..p).map(|_| (0..per_pe).map(|_| rng.gen_range(0..max)).collect()).collect()
+        (0..p)
+            .map(|_| (0..per_pe).map(|_| rng.gen_range(0..max)).collect())
+            .collect()
     }
 
     #[test]
@@ -286,7 +295,9 @@ mod tests {
         for k in [1usize, 7, 150, 600, 1200] {
             let parts_ref = parts.clone();
             let out = run_spmd(p, move |comm| {
-                select_k_smallest(comm, &parts_ref[comm.rank()], k, 11).local_selected.len()
+                select_k_smallest(comm, &parts_ref[comm.rank()], k, 11)
+                    .local_selected
+                    .len()
             });
             let total: usize = out.results.iter().sum();
             assert_eq!(total, k, "k={k}");
@@ -336,8 +347,7 @@ mod tests {
     #[test]
     fn handles_empty_local_inputs_on_some_pes() {
         let p = 4;
-        let parts: Vec<Vec<u64>> =
-            vec![vec![], (0..100).collect(), vec![], (100..200).collect()];
+        let parts: Vec<Vec<u64>> = vec![vec![], (0..100).collect(), vec![], (100..200).collect()];
         let parts_ref = parts.clone();
         let out = run_spmd(p, move |comm| {
             select_k_smallest(comm, &parts_ref[comm.rank()], 150, 2).threshold
@@ -372,7 +382,10 @@ mod tests {
             let hi = select_threshold(comm, &parts_ref[comm.rank()], 100, 4);
             (lo, hi)
         });
-        assert!(out.results.iter().all(|&(lo, hi)| lo == all_min && hi == all_max));
+        assert!(out
+            .results
+            .iter()
+            .all(|&(lo, hi)| lo == all_min && hi == all_max));
     }
 
     #[test]
@@ -382,7 +395,9 @@ mod tests {
         let k = 25;
         let parts_ref = parts.clone();
         let out = run_spmd(p, move |comm| {
-            select_k_largest(comm, &parts_ref[comm.rank()], k, 6).threshold.0
+            select_k_largest(comm, &parts_ref[comm.rank()], k, 6)
+                .threshold
+                .0
         });
         let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
         all.sort_unstable_by(|a, b| b.cmp(a));
@@ -397,7 +412,11 @@ mod tests {
         let out = run_spmd(p, move |comm| {
             select_k_smallest(comm, &parts_ref[comm.rank()], 4321, 5).recursion_levels
         });
-        assert!(out.results.iter().all(|&l| l <= 20), "levels: {:?}", out.results);
+        assert!(
+            out.results.iter().all(|&l| l <= 20),
+            "levels: {:?}",
+            out.results
+        );
     }
 
     #[test]

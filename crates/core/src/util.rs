@@ -60,7 +60,11 @@ pub fn owner_of(key: u64, p: usize) -> usize {
 /// `global_offset` is the global index of this PE's first element (usually an
 /// exclusive prefix sum of the local sizes).
 pub fn tag_unique<T: Clone>(local: &[T], global_offset: u64) -> Vec<(T, u64)> {
-    local.iter().enumerate().map(|(i, x)| (x.clone(), global_offset + i as u64)).collect()
+    local
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (x.clone(), global_offset + i as u64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -80,7 +84,11 @@ mod tests {
     fn ordered_f64_handles_nan_deterministically() {
         // total_cmp puts NaN above +inf; the point is that sorting never
         // panics and is deterministic.
-        let mut v = vec![OrderedF64(f64::NAN), OrderedF64(1.0), OrderedF64(f64::INFINITY)];
+        let mut v = [
+            OrderedF64(f64::NAN),
+            OrderedF64(1.0),
+            OrderedF64(f64::INFINITY),
+        ];
         v.sort();
         assert_eq!(v[0], OrderedF64(1.0));
     }
@@ -100,7 +108,10 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap();
         let max = *counts.iter().max().unwrap();
-        assert!(min > 800 && max < 1200, "owner distribution too skewed: {counts:?}");
+        assert!(
+            min > 800 && max < 1200,
+            "owner distribution too skewed: {counts:?}"
+        );
     }
 
     #[test]

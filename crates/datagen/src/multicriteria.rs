@@ -29,9 +29,20 @@ pub struct MulticriteriaWorkload {
 impl MulticriteriaWorkload {
     /// Create a workload description.
     pub fn new(num_objects: usize, num_criteria: usize, correlation: f64, seed: u64) -> Self {
-        assert!(num_objects > 0 && num_criteria > 0, "need objects and criteria");
-        assert!((0.0..=1.0).contains(&correlation), "correlation must be in [0, 1]");
-        MulticriteriaWorkload { num_objects, num_criteria, correlation, seed }
+        assert!(
+            num_objects > 0 && num_criteria > 0,
+            "need objects and criteria"
+        );
+        assert!(
+            (0.0..=1.0).contains(&correlation),
+            "correlation must be in [0, 1]"
+        );
+        MulticriteriaWorkload {
+            num_objects,
+            num_criteria,
+            correlation,
+            seed,
+        }
     }
 
     /// Scores of every object in every criterion: `scores[c][o]` is the score
@@ -64,7 +75,11 @@ impl MulticriteriaWorkload {
             .iter()
             .map(|per_object| {
                 ScoreList::new(
-                    per_object.iter().enumerate().map(|(o, &s)| (o as ObjectId, s)).collect(),
+                    per_object
+                        .iter()
+                        .enumerate()
+                        .map(|(o, &s)| (o as ObjectId, s))
+                        .collect(),
                 )
             })
             .collect()
@@ -173,8 +188,7 @@ mod tests {
                 union_entries[c].extend(list.iter());
             }
         }
-        let union_lists: Vec<ScoreList> =
-            union_entries.into_iter().map(ScoreList::new).collect();
+        let union_lists: Vec<ScoreList> = union_entries.into_iter().map(ScoreList::new).collect();
         let a = exhaustive_top_k(&global, MulticriteriaWorkload::additive_score, 5);
         let b = exhaustive_top_k(&union_lists, MulticriteriaWorkload::additive_score, 5);
         let ids_a: Vec<ObjectId> = a.iter().map(|&(o, _)| o).collect();

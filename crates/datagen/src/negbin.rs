@@ -59,7 +59,10 @@ impl NegativeBinomial {
 /// Marsaglia–Tsang Gamma(shape, scale) sampler (shape ≥ 1 direct; shape < 1
 /// via the boosting trick).
 pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive"
+    );
     if shape < 1.0 {
         // Gamma(a) = Gamma(a+1) * U^(1/a)
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -140,7 +143,10 @@ mod tests {
         let sum: u64 = nb.sample_many(n, &mut r).iter().sum();
         let mean = sum as f64 / n as f64;
         let expected = nb.mean();
-        assert!((mean - expected).abs() < 0.05 * expected, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

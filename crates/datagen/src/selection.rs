@@ -95,7 +95,9 @@ impl UniformInput {
     /// Generate the local input of PE `rank`.
     pub fn generate(&self, rank: usize, local_n: usize) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(rank as u64));
-        (0..local_n).map(|_| rng.gen_range(0..self.value_range)).collect()
+        (0..local_n)
+            .map(|_| rng.gen_range(0..self.value_range))
+            .collect()
     }
 
     /// Generate locally *sorted* input for the multisequence-selection
@@ -132,7 +134,9 @@ mod tests {
         for rank in 0..4 {
             let data = gen.generate(rank, 5000);
             assert_eq!(data.len(), 5000);
-            assert!(data.iter().all(|&v| v >= 1 && v as usize <= gen.max_support));
+            assert!(data
+                .iter()
+                .all(|&v| v >= 1 && v as usize <= gen.max_support));
         }
     }
 
@@ -144,7 +148,12 @@ mod tests {
         let gen = SkewedSelectionInput::default();
         let threshold = (gen.max_support / 2) as u64;
         let tails: Vec<usize> = (0..8)
-            .map(|r| gen.generate(r, 20_000).iter().filter(|&&v| v > threshold).count())
+            .map(|r| {
+                gen.generate(r, 20_000)
+                    .iter()
+                    .filter(|&&v| v > threshold)
+                    .count()
+            })
             .collect();
         let min = tails.iter().min().unwrap();
         let max = tails.iter().max().unwrap();

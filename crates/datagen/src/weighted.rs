@@ -29,7 +29,12 @@ impl WeightedZipfInput {
     pub fn new(num_keys: usize, key_exponent: f64, max_value: f64, seed: u64) -> Self {
         assert!(num_keys > 0, "need at least one key");
         assert!(max_value > 0.0, "values must be positive");
-        WeightedZipfInput { num_keys, key_exponent, max_value, seed }
+        WeightedZipfInput {
+            num_keys,
+            key_exponent,
+            max_value,
+            seed,
+        }
     }
 
     /// Generate the local `(key, value)` pairs of PE `rank`.
@@ -81,7 +86,9 @@ mod tests {
         let gen = WeightedZipfInput::new(100, 1.0, 10.0, 3);
         let a = gen.generate(1, 1000);
         assert_eq!(a, gen.generate(1, 1000));
-        assert!(a.iter().all(|&(k, v)| k >= 1 && k <= 100 && v > 0.0 && v <= 10.0));
+        assert!(a
+            .iter()
+            .all(|&(k, v)| (1..=100).contains(&k) && v > 0.0 && v <= 10.0));
     }
 
     #[test]
@@ -92,10 +99,7 @@ mod tests {
 
     #[test]
     fn exact_sums_add_everything_up() {
-        let inputs = vec![
-            vec![(1u64, 1.0), (2, 2.0)],
-            vec![(1u64, 3.0), (3, 0.5)],
-        ];
+        let inputs = vec![vec![(1u64, 1.0), (2, 2.0)], vec![(1u64, 3.0), (3, 0.5)]];
         let sums = WeightedZipfInput::exact_sums(&inputs);
         assert_eq!(sums[&1], 4.0);
         assert_eq!(sums[&2], 2.0);

@@ -63,10 +63,7 @@ pub fn top_k_by_count<K: Eq + Hash + Ord + Clone>(
 }
 
 /// The `k` keys with the largest sums, sorted by decreasing sum.
-pub fn top_k_by_sum<K: Eq + Hash + Ord + Clone>(
-    sums: &HashMap<K, f64>,
-    k: usize,
-) -> Vec<(K, f64)> {
+pub fn top_k_by_sum<K: Eq + Hash + Ord + Clone>(sums: &HashMap<K, f64>, k: usize) -> Vec<(K, f64)> {
     let mut entries: Vec<(K, f64)> = sums.iter().map(|(key, &s)| (key.clone(), s)).collect();
     entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     entries.truncate(k);

@@ -29,7 +29,11 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
     /// Create a summary holding at most `capacity` counters (`capacity ≥ 1`).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "need at least one counter");
-        MisraGries { capacity, counters: HashMap::with_capacity(capacity + 1), processed: 0 }
+        MisraGries {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            processed: 0,
+        }
     }
 
     /// Process one element of the stream.
@@ -89,7 +93,7 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
     /// decreasing estimate.
     pub fn candidates(&self) -> Vec<(K, u64)> {
         let mut v: Vec<(K, u64)> = self.counters.iter().map(|(k, &c)| (k.clone(), c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
 
@@ -134,7 +138,11 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     /// Create a summary with `capacity ≥ 1` counters.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "need at least one counter");
-        SpaceSaving { capacity, counters: HashMap::with_capacity(capacity + 1), processed: 0 }
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            processed: 0,
+        }
     }
 
     /// Process one element.
@@ -172,9 +180,12 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
 
     /// Candidates sorted by decreasing estimated count.
     pub fn candidates(&self) -> Vec<(K, u64)> {
-        let mut v: Vec<(K, u64)> =
-            self.counters.iter().map(|(k, &(c, _))| (k.clone(), c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut v: Vec<(K, u64)> = self
+            .counters
+            .iter()
+            .map(|(k, &(c, _))| (k.clone(), c))
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
 
@@ -195,9 +206,8 @@ mod tests {
     /// A stream where key 0 appears 500 times, key 1 300 times, and keys
     /// 100.. appear once each (2000 singletons).
     fn skewed_stream() -> Vec<u64> {
-        let mut v = Vec::new();
-        v.extend(std::iter::repeat(0u64).take(500));
-        v.extend(std::iter::repeat(1u64).take(300));
+        let mut v = vec![0; 500];
+        v.extend(std::iter::repeat_n(1u64, 300));
         v.extend(100..2100u64);
         // Deterministic interleave so the heavy keys are spread out.
         let heavy: Vec<u64> = v.drain(..800).collect();
@@ -274,7 +284,12 @@ mod tests {
         }
         left.merge(&right);
         assert_eq!(left.processed(), stream.len() as u64);
-        let top: Vec<u64> = left.candidates().into_iter().take(2).map(|(k, _)| k).collect();
+        let top: Vec<u64> = left
+            .candidates()
+            .into_iter()
+            .take(2)
+            .map(|(k, _)| k)
+            .collect();
         assert!(top.contains(&0));
         assert!(top.contains(&1));
     }
@@ -295,7 +310,12 @@ mod tests {
             assert!(est <= truth + n / capacity as u64 + 1);
         }
         // The two heavy keys must be among the top candidates.
-        let top: Vec<u64> = ss.candidates().into_iter().take(4).map(|(k, _)| k).collect();
+        let top: Vec<u64> = ss
+            .candidates()
+            .into_iter()
+            .take(4)
+            .map(|(k, _)| k)
+            .collect();
         assert!(top.contains(&0));
         assert!(top.contains(&1));
     }
@@ -309,7 +329,10 @@ mod tests {
         }
         for k in ss.guaranteed_above(100) {
             let truth = stream.iter().filter(|&&x| x == k).count() as u64;
-            assert!(truth > 100, "key {k} guaranteed above 100 but truth is {truth}");
+            assert!(
+                truth > 100,
+                "key {k} guaranteed above 100 but truth is {truth}"
+            );
         }
     }
 

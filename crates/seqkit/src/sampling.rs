@@ -22,7 +22,10 @@ use rand::Rng;
 ///
 /// Panics unless `0 < p <= 1`.
 pub fn geometric_deviate<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
-    assert!(p > 0.0 && p <= 1.0, "success probability must be in (0, 1], got {p}");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "success probability must be in (0, 1], got {p}"
+    );
     if p >= 1.0 {
         return 1;
     }
@@ -54,8 +57,16 @@ impl BernoulliSampler {
     ///
     /// `rho = 0` yields an empty sample; `rho = 1` yields every index.
     pub fn new(len: usize, rho: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rho), "sampling probability must be in [0, 1], got {rho}");
-        BernoulliSampler { len: len as u64, rho, next: 0, started: false }
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "sampling probability must be in [0, 1], got {rho}"
+        );
+        BernoulliSampler {
+            len: len as u64,
+            rho,
+            next: 0,
+            started: false,
+        }
     }
 
     /// Advance and return the next sampled index.
@@ -63,7 +74,11 @@ impl BernoulliSampler {
         if self.rho <= 0.0 {
             return None;
         }
-        let skip = if self.rho >= 1.0 { 1 } else { geometric_deviate(self.rho, rng) };
+        let skip = if self.rho >= 1.0 {
+            1
+        } else {
+            geometric_deviate(self.rho, rng)
+        };
         let candidate = if self.started {
             self.next.checked_add(skip)?
         } else {
@@ -115,7 +130,11 @@ pub fn value_proportional_sample_count<R: Rng + ?Sized>(
     let expectation = value / value_per_sample;
     let base = expectation.floor();
     let frac = expectation - base;
-    let extra = if frac > 0.0 && rng.gen_bool(frac.min(1.0)) { 1 } else { 0 };
+    let extra = if frac > 0.0 && rng.gen_bool(frac.min(1.0)) {
+        1
+    } else {
+        0
+    };
     base as u64 + extra
 }
 
@@ -191,11 +210,15 @@ mod tests {
         let mut r = rng();
         let n = 100_000;
         let rho = 0.02;
-        let total: usize =
-            (0..20).map(|_| BernoulliSampler::new(n, rho).collect_indices(&mut r).len()).sum();
+        let total: usize = (0..20)
+            .map(|_| BernoulliSampler::new(n, rho).collect_indices(&mut r).len())
+            .sum();
         let mean = total as f64 / 20.0;
         let expected = rho * n as f64;
-        assert!((mean - expected).abs() < 0.1 * expected, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.1 * expected,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -222,11 +245,15 @@ mod tests {
         let trials = 20_000;
         let value = 3.7;
         let per_sample = 2.0;
-        let total: u64 =
-            (0..trials).map(|_| value_proportional_sample_count(value, per_sample, &mut r)).sum();
+        let total: u64 = (0..trials)
+            .map(|_| value_proportional_sample_count(value, per_sample, &mut r))
+            .sum();
         let mean = total as f64 / trials as f64;
         let expected = value / per_sample;
-        assert!((mean - expected).abs() < 0.05 * expected, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

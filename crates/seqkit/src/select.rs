@@ -25,7 +25,11 @@ use rand::Rng;
 /// Panics if `data` is empty or `k >= data.len()`.
 pub fn quickselect<T: Ord + Clone, R: Rng>(data: &mut [T], k: usize, rng: &mut R) -> T {
     assert!(!data.is_empty(), "cannot select from an empty slice");
-    assert!(k < data.len(), "rank {k} out of bounds for length {}", data.len());
+    assert!(
+        k < data.len(),
+        "rank {k} out of bounds for length {}",
+        data.len()
+    );
     let mut lo = 0usize;
     let mut hi = data.len();
     let mut k = k;
@@ -84,7 +88,11 @@ pub fn select_kth_smallest<T: Ord + Clone, R: Rng>(data: &[T], k: usize, rng: &m
 /// Selects the element of 0-based rank `k`, reordering `data`.
 pub fn floyd_rivest_select<T: Ord + Clone, R: Rng>(data: &mut [T], k: usize, rng: &mut R) -> T {
     assert!(!data.is_empty(), "cannot select from an empty slice");
-    assert!(k < data.len(), "rank {k} out of bounds for length {}", data.len());
+    assert!(
+        k < data.len(),
+        "rank {k} out of bounds for length {}",
+        data.len()
+    );
     fr_recursive(data, 0, data.len(), k, rng);
     data[k].clone()
 }
@@ -275,7 +283,10 @@ mod tests {
         let sorted: Vec<u64> = (0..5000).collect();
         for k in [0, 1234, 2500, 4999] {
             let mut d = dup.clone();
-            assert_eq!(floyd_rivest_select(&mut d, k, &mut r), reference_kth(&dup, k));
+            assert_eq!(
+                floyd_rivest_select(&mut d, k, &mut r),
+                reference_kth(&dup, k)
+            );
             let mut s = sorted.clone();
             assert_eq!(floyd_rivest_select(&mut s, k, &mut r), k as u64);
         }

@@ -130,7 +130,11 @@ impl<'a, F: Fn(&[f64]) -> f64> ThresholdAlgorithm<'a, F> {
             let threshold = (self.score_fn)(&last_row_scores);
             candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
             candidates.truncate(k.max(1) * 4 + 64); // keep a small working set
-            let enough_above = candidates.iter().take(k).filter(|&&(_, s)| s >= threshold).count();
+            let enough_above = candidates
+                .iter()
+                .take(k)
+                .filter(|&&(_, s)| s >= threshold)
+                .count();
             if enough_above >= k.min(candidates.len()) && candidates.len() >= k {
                 candidates.truncate(k);
                 return ThresholdResult {
@@ -145,7 +149,12 @@ impl<'a, F: Fn(&[f64]) -> f64> ThresholdAlgorithm<'a, F> {
         candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         candidates.truncate(k);
         let threshold = (self.score_fn)(&last_row_scores);
-        ThresholdResult { top_k: candidates, rows_scanned, random_accesses, threshold }
+        ThresholdResult {
+            top_k: candidates,
+            rows_scanned,
+            random_accesses,
+            threshold,
+        }
     }
 }
 
@@ -186,9 +195,30 @@ mod tests {
     fn three_lists() -> Vec<ScoreList> {
         // Object ids 1..=6 with hand-picked scores.
         vec![
-            ScoreList::new(vec![(1, 0.9), (2, 0.8), (3, 0.5), (4, 0.3), (5, 0.2), (6, 0.1)]),
-            ScoreList::new(vec![(2, 0.95), (3, 0.7), (1, 0.6), (6, 0.4), (5, 0.35), (4, 0.05)]),
-            ScoreList::new(vec![(3, 0.99), (1, 0.85), (2, 0.2), (5, 0.15), (4, 0.1), (6, 0.02)]),
+            ScoreList::new(vec![
+                (1, 0.9),
+                (2, 0.8),
+                (3, 0.5),
+                (4, 0.3),
+                (5, 0.2),
+                (6, 0.1),
+            ]),
+            ScoreList::new(vec![
+                (2, 0.95),
+                (3, 0.7),
+                (1, 0.6),
+                (6, 0.4),
+                (5, 0.35),
+                (4, 0.05),
+            ]),
+            ScoreList::new(vec![
+                (3, 0.99),
+                (1, 0.85),
+                (2, 0.2),
+                (5, 0.15),
+                (4, 0.1),
+                (6, 0.02),
+            ]),
         ]
     }
 
@@ -228,8 +258,16 @@ mod tests {
     fn ta_stops_before_scanning_everything_on_easy_inputs() {
         // One object dominates everywhere: TA must stop after very few rows.
         let lists = vec![
-            ScoreList::new((0..1000).map(|i| (i, if i == 7 { 1.0 } else { 0.001 })).collect()),
-            ScoreList::new((0..1000).map(|i| (i, if i == 7 { 1.0 } else { 0.001 })).collect()),
+            ScoreList::new(
+                (0..1000)
+                    .map(|i| (i, if i == 7 { 1.0 } else { 0.001 }))
+                    .collect(),
+            ),
+            ScoreList::new(
+                (0..1000)
+                    .map(|i| (i, if i == 7 { 1.0 } else { 0.001 }))
+                    .collect(),
+            ),
         ];
         let ta = ThresholdAlgorithm::new(&lists, sum_fn);
         let result = ta.run(1);

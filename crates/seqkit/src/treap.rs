@@ -31,7 +31,13 @@ struct Node<T> {
 
 impl<T: Ord + Clone> Node<T> {
     fn new(key: T, priority: u64) -> Box<Self> {
-        Box::new(Node { key, priority, size: 1, left: None, right: None })
+        Box::new(Node {
+            key,
+            priority,
+            size: 1,
+            left: None,
+            right: None,
+        })
     }
 
     fn update_size(&mut self) {
@@ -75,6 +81,17 @@ impl<T: Ord + Clone> Default for Treap<T> {
     }
 }
 
+impl<T: Ord + Clone> FromIterator<T> for Treap<T> {
+    /// Build a treap by inserting every key from the iterator.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut t = Self::new();
+        for x in iter {
+            t.insert(x);
+        }
+        t
+    }
+}
+
 impl<T: Ord + Clone> Treap<T> {
     /// Create an empty treap.
     pub fn new() -> Self {
@@ -83,16 +100,10 @@ impl<T: Ord + Clone> Treap<T> {
 
     /// Create an empty treap whose priority sequence is derived from `seed`.
     pub fn with_seed(seed: u64) -> Self {
-        Treap { root: None, prio_state: seed | 1 }
-    }
-
-    /// Build a treap from an iterator of keys.
-    pub fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        let mut t = Self::new();
-        for x in iter {
-            t.insert(x);
+        Treap {
+            root: None,
+            prio_state: seed | 1,
         }
-        t
     }
 
     fn next_priority(&mut self) -> u64 {
@@ -228,8 +239,14 @@ impl<T: Ord + Clone> Treap<T> {
         let seed_a = self.next_priority();
         let seed_b = self.next_priority();
         (
-            Treap { root: le, prio_state: seed_a | 1 },
-            Treap { root: gt, prio_state: seed_b | 1 },
+            Treap {
+                root: le,
+                prio_state: seed_a | 1,
+            },
+            Treap {
+                root: gt,
+                prio_state: seed_b | 1,
+            },
         )
     }
 
@@ -241,8 +258,14 @@ impl<T: Ord + Clone> Treap<T> {
         let seed_a = self.next_priority();
         let seed_b = self.next_priority();
         (
-            Treap { root: lo, prio_state: seed_a | 1 },
-            Treap { root: hi, prio_state: seed_b | 1 },
+            Treap {
+                root: lo,
+                prio_state: seed_a | 1,
+            },
+            Treap {
+                root: hi,
+                prio_state: seed_b | 1,
+            },
         )
     }
 
@@ -263,7 +286,10 @@ impl<T: Ord + Clone> Treap<T> {
         let left = self.root.take();
         let right = other.root.take();
         let seed = self.next_priority();
-        Treap { root: merge(left, right), prio_state: seed | 1 }
+        Treap {
+            root: merge(left, right),
+            prio_state: seed | 1,
+        }
     }
 
     /// In-order (sorted) iteration over the stored keys.
@@ -284,11 +310,11 @@ impl<T: Ord + Clone> Treap<T> {
     }
 }
 
+/// A detached subtree link, as stored in [`Node`] children.
+type Link<T> = Option<Box<Node<T>>>;
+
 /// Split `node` into `(keys ≤ split_key, keys > split_key)`.
-fn split_le<T: Ord + Clone>(
-    node: Option<Box<Node<T>>>,
-    split_key: &T,
-) -> (Option<Box<Node<T>>>, Option<Box<Node<T>>>) {
+fn split_le<T: Ord + Clone>(node: Link<T>, split_key: &T) -> (Link<T>, Link<T>) {
     match node {
         None => (None, None),
         Some(mut n) => {
@@ -308,10 +334,7 @@ fn split_le<T: Ord + Clone>(
 }
 
 /// Split `node` into `(first count keys, rest)` by in-order position.
-fn split_at_size<T: Ord + Clone>(
-    node: Option<Box<Node<T>>>,
-    count: usize,
-) -> (Option<Box<Node<T>>>, Option<Box<Node<T>>>) {
+fn split_at_size<T: Ord + Clone>(node: Link<T>, count: usize) -> (Link<T>, Link<T>) {
     match node {
         None => (None, None),
         Some(mut n) => {
@@ -354,10 +377,7 @@ fn merge<T: Ord + Clone>(
 }
 
 /// Remove one occurrence of `key`; returns whether a node was removed.
-fn remove_one<T: Ord + Clone>(
-    node: Option<Box<Node<T>>>,
-    key: &T,
-) -> (bool, Option<Box<Node<T>>>) {
+fn remove_one<T: Ord + Clone>(node: Option<Box<Node<T>>>, key: &T) -> (bool, Option<Box<Node<T>>>) {
     match node {
         None => (false, None),
         Some(mut n) => match key.cmp(&n.key) {
@@ -518,7 +538,9 @@ mod tests {
         let mut t = Treap::new();
         let mut reference = Vec::new();
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = x >> 33;
             t.insert(v);
             reference.push(v);

@@ -26,16 +26,25 @@ fn main() {
         let instance = KnapsackInstance::random(items, 50, 100, seed);
         let dp = instance.optimum_by_dp();
         let sequential = knapsack_branch_bound_sequential(&instance);
-        assert_eq!(sequential.optimum, dp, "sequential B&B must match the DP oracle");
+        assert_eq!(
+            sequential.optimum, dp,
+            "sequential B&B must match the DP oracle"
+        );
 
         let instance_ref = instance.clone();
         let out = run_spmd(p, move |comm| {
             let before = comm.stats_snapshot();
             let result = knapsack_branch_bound_parallel(comm, &instance_ref, 2, seed);
-            (result, comm.stats_snapshot().since(&before).bottleneck_words())
+            (
+                result,
+                comm.stats_snapshot().since(&before).bottleneck_words(),
+            )
         });
         let (parallel, _) = out.results[0];
-        assert_eq!(parallel.optimum, dp, "parallel B&B must match the DP oracle");
+        assert_eq!(
+            parallel.optimum, dp,
+            "parallel B&B must match the DP oracle"
+        );
         let words = out.results.iter().map(|&(_, w)| w).max().unwrap();
 
         println!(

@@ -23,8 +23,9 @@ fn main() {
     // the selection output concentrates on PE 0.
     let out = run_spmd(p, |comm| {
         let rank = comm.rank() as u64;
-        let local: Vec<u64> =
-            (0..per_pe as u64).map(|i| i * (p as u64) + rank + rank * 1_000_000_000).collect();
+        let local: Vec<u64> = (0..per_pe as u64)
+            .map(|i| i * (p as u64) + rank + rank * 1_000_000_000)
+            .collect();
 
         // Step 1: communication-efficient selection of the k smallest.
         let selection = select_k_smallest(comm, &local, k, 3);

@@ -72,7 +72,7 @@ fn main() {
     assert_eq!(r0.0, 0, "insertion must not communicate");
     assert_eq!(batch_total_1, 1_000);
     assert_eq!(batch_total_2, 1_000);
-    assert!(flexible_total >= 2_000 && flexible_total <= 4_000);
+    assert!((2_000..=4_000).contains(&flexible_total));
     println!("\nInsertions never touched the network; deleteMin* paid only the");
     println!("polylogarithmic selection traffic of Section 4.");
 }

@@ -27,7 +27,12 @@ fn main() {
         let before = comm.stats_snapshot();
         let result = select_k_smallest(comm, &local, k, 42);
         let comm_used = comm.stats_snapshot().since(&before);
-        (result.threshold, result.local_selected.len(), result.recursion_levels, comm_used)
+        (
+            result.threshold,
+            result.local_selected.len(),
+            result.recursion_levels,
+            comm_used,
+        )
     });
     let threshold = out.results[0].0;
     let total: usize = out.results.iter().map(|r| r.1).sum();
@@ -65,7 +70,11 @@ fn main() {
         (result.selected, result.rounds, comm_used)
     });
     println!("\nflexible-k selection (Algorithm 2), band k..2k:");
-    println!("  elements selected       : {} (within [{k}, {}])", out.results[0].0, 2 * k);
+    println!(
+        "  elements selected       : {} (within [{k}, {}])",
+        out.results[0].0,
+        2 * k
+    );
     println!("  estimation rounds       : {}", out.results[0].1);
     report_cost("  ", &out.stats, per_pe);
 

@@ -45,7 +45,10 @@ fn main() {
         let local = LocalMulticriteria::new(per_pe_dta[comm.rank()].clone());
         let before = comm.stats_snapshot();
         let result = dta_top_k(comm, &local, &additive, k, 7);
-        (result, comm.stats_snapshot().since(&before).bottleneck_words())
+        (
+            result,
+            comm.stats_snapshot().since(&before).bottleneck_words(),
+        )
     });
     let (dta_result, _) = &out.results[0];
     let dta_words = out.results.iter().map(|(_, w)| *w).max().unwrap();
@@ -63,7 +66,10 @@ fn main() {
         let local = LocalMulticriteria::new(per_pe_rdta[comm.rank()].clone());
         let before = comm.stats_snapshot();
         let result = rdta_top_k(comm, &local, &additive, k, 7);
-        (result, comm.stats_snapshot().since(&before).bottleneck_words())
+        (
+            result,
+            comm.stats_snapshot().since(&before).bottleneck_words(),
+        )
     });
     let (rdta_result, _) = &out.results[0];
     let rdta_words = out.results.iter().map(|(_, w)| *w).max().unwrap();

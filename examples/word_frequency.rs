@@ -14,6 +14,9 @@
 use topk_selection::prelude::*;
 use topk_selection::topk::frequent::{exact_global_counts, relative_error};
 
+/// A boxed top-k-frequent algorithm to compare.
+type Algo = Box<dyn Fn(&commsim::Comm, &[u64]) -> topk_selection::topk::TopKFrequentResult + Sync>;
+
 fn main() {
     let p = 8;
     let per_pe = 200_000;
@@ -32,12 +35,27 @@ fn main() {
     let exact_counts = exact.results[0].clone();
     let n = (p * per_pe) as u64;
 
-    let algorithms: Vec<(&str, Box<dyn Fn(&commsim::Comm, &[u64]) -> topk_selection::topk::TopKFrequentResult + Sync>)> = vec![
-        ("PAC (sampling + DHT + selection)", Box::new(move |comm, local| pac_top_k(comm, local, &params))),
-        ("EC  (small sample + exact counting)", Box::new(move |comm, local| ec_top_k(comm, local, &params))),
-        ("PEC (probably exactly correct)", Box::new(move |comm, local| pec_top_k(comm, local, &params, 5e-3))),
-        ("Naive (centralized)", Box::new(move |comm, local| naive_top_k(comm, local, &params))),
-        ("Naive Tree (tree reduction)", Box::new(move |comm, local| naive_tree_top_k(comm, local, &params))),
+    let algorithms: Vec<(&str, Algo)> = vec![
+        (
+            "PAC (sampling + DHT + selection)",
+            Box::new(move |comm, local| pac_top_k(comm, local, &params)),
+        ),
+        (
+            "EC  (small sample + exact counting)",
+            Box::new(move |comm, local| ec_top_k(comm, local, &params)),
+        ),
+        (
+            "PEC (probably exactly correct)",
+            Box::new(move |comm, local| pec_top_k(comm, local, &params, 5e-3)),
+        ),
+        (
+            "Naive (centralized)",
+            Box::new(move |comm, local| naive_top_k(comm, local, &params)),
+        ),
+        (
+            "Naive Tree (tree reduction)",
+            Box::new(move |comm, local| naive_tree_top_k(comm, local, &params)),
+        ),
     ];
 
     println!(
@@ -50,7 +68,10 @@ fn main() {
             let local = local_corpus(&zipf, comm.rank(), per_pe);
             let before = comm.stats_snapshot();
             let result = algo(comm, &local);
-            (result, comm.stats_snapshot().since(&before).bottleneck_words())
+            (
+                result,
+                comm.stats_snapshot().since(&before).bottleneck_words(),
+            )
         });
         let (result, _) = &out.results[0];
         let bottleneck = out.results.iter().map(|(_, w)| *w).max().unwrap();

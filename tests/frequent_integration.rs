@@ -38,10 +38,16 @@ fn all_frequent_object_algorithms_respect_the_error_bound_on_zipf_input() {
     let (exact, results) = &out.results[0];
     for (name, result) in results {
         let err = relative_error(exact, &result.keys(), k, n);
-        assert!(err <= 2e-3, "{name}: relative error {err} exceeds the bound");
+        assert!(
+            err <= 2e-3,
+            "{name}: relative error {err} exceeds the bound"
+        );
         assert_eq!(result.items.len(), k, "{name} must report k items");
         // Rank 1 of a Zipf distribution is unmissable.
-        assert_eq!(result.items[0].0, 1, "{name} missed the most frequent object");
+        assert_eq!(
+            result.items[0].0, 1,
+            "{name} missed the most frequent object"
+        );
     }
 }
 
@@ -62,16 +68,31 @@ fn exact_counting_algorithms_agree_with_the_oracle_exactly() {
     let out = run_spmd(p, move |comm| {
         let local = &parts[comm.rank()];
         let exact = exact_global_counts(comm, local);
-        (ec_top_k(comm, local, &params), pec_top_k(comm, local, &params, 1e-2), exact)
+        (
+            ec_top_k(comm, local, &params),
+            pec_top_k(comm, local, &params, 1e-2),
+            exact,
+        )
     });
     let (ec, pec, exact) = &out.results[0];
-    let truth: Vec<u64> = top_k_by_count(exact, k).into_iter().map(|(key, _)| key).collect();
+    let truth: Vec<u64> = top_k_by_count(exact, k)
+        .into_iter()
+        .map(|(key, _)| key)
+        .collect();
     let sort = |mut v: Vec<u64>| {
         v.sort_unstable();
         v
     };
-    assert_eq!(sort(ec.keys()), sort(truth.clone()), "EC must find the exact top-k here");
-    assert_eq!(sort(pec.keys()), sort(truth), "PEC must find the exact top-k here");
+    assert_eq!(
+        sort(ec.keys()),
+        sort(truth.clone()),
+        "EC must find the exact top-k here"
+    );
+    assert_eq!(
+        sort(pec.keys()),
+        sort(truth),
+        "PEC must find the exact top-k here"
+    );
     for &(key, count) in ec.items.iter().chain(pec.items.iter()) {
         assert_eq!(count, exact[&key]);
     }
@@ -87,7 +108,10 @@ fn sum_aggregation_matches_the_generators_oracle() {
     let inputs_ref = inputs.clone();
     let out = run_spmd(p, move |comm| {
         let local = &inputs_ref[comm.rank()];
-        (sum_top_k(comm, local, &params), sum_top_k_exact(comm, local, &params, 64))
+        (
+            sum_top_k(comm, local, &params),
+            sum_top_k_exact(comm, local, &params, 64),
+        )
     });
     let (approx, exact) = &out.results[0];
     // The exact variant must reproduce the oracle's keys and sums.
@@ -128,7 +152,10 @@ fn multicriteria_algorithms_match_the_sequential_threshold_algorithm() {
     assert_eq!(dta_ids, ta_top, "DTA must agree with the sequential TA");
     assert_eq!(rdta_ids, ta_top, "RDTA must agree with the sequential TA");
     // All PEs agree with PE 0.
-    assert!(out.results.iter().all(|(d, r)| d.items == dta.items && r.items == rdta.items));
+    assert!(out
+        .results
+        .iter()
+        .all(|(d, r)| d.items == dta.items && r.items == rdta.items));
 }
 
 #[test]
@@ -137,6 +164,8 @@ fn branch_and_bound_application_end_to_end() {
     let dp = instance.optimum_by_dp();
     let sequential = knapsack_branch_bound_sequential(&instance);
     assert_eq!(sequential.optimum, dp);
-    let out = run_spmd(6, move |comm| knapsack_branch_bound_parallel(comm, &instance, 2, 5));
+    let out = run_spmd(6, move |comm| {
+        knapsack_branch_bound_parallel(comm, &instance, 2, 5)
+    });
     assert!(out.results.iter().all(|r| r.optimum == dp));
 }

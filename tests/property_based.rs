@@ -199,4 +199,68 @@ proptest! {
         let per_element: usize = values.iter().map(|v| v.word_count()).sum();
         prop_assert_eq!(values.word_count(), per_element + 1);
     }
+
+    #[test]
+    fn collectives_match_sequential_oracles(
+        values in vec(0u64..1_000_000, 1..9),
+        root_frac in 0.0f64..1.0,
+    ) {
+        let p = values.len();
+        let root = ((root_frac * p as f64) as usize).min(p - 1);
+        let vals = values.clone();
+        let out = run_spmd(p, move |comm| {
+            let v = vals[comm.rank()];
+            let root_value = if comm.rank() == root { Some(v) } else { None };
+            (
+                comm.allreduce_sum(v),
+                comm.allreduce_min(v),
+                comm.allreduce_max(v),
+                comm.prefix_sum_exclusive(v),
+                comm.prefix_sum_inclusive(v),
+                comm.broadcast(root, root_value),
+                comm.gather(root, v),
+                comm.allgather(v),
+            )
+        });
+        let total: u64 = values.iter().sum();
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mut running = 0u64;
+        for (rank, result) in out.results.iter().enumerate() {
+            let (sum, mn, mx, excl, incl, bcast, ref gathered, ref all) = *result;
+            prop_assert_eq!(sum, total);
+            prop_assert_eq!(mn, min);
+            prop_assert_eq!(mx, max);
+            prop_assert_eq!(excl, running);
+            running += values[rank];
+            prop_assert_eq!(incl, running);
+            prop_assert_eq!(bcast, values[root]);
+            if rank == root {
+                prop_assert_eq!(gathered.as_deref(), Some(values.as_slice()));
+            } else {
+                prop_assert!(gathered.is_none());
+            }
+            prop_assert_eq!(all, &values);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_global_transpose(
+        seeds in vec(0u64..1000, 1..9),
+    ) {
+        let p = seeds.len();
+        let seeds_ref = seeds.clone();
+        let out = run_spmd(p, move |comm| {
+            // PE r sends the value r * 1000 + seeds[d] to each destination d.
+            let items: Vec<u64> = (0..comm.size())
+                .map(|d| comm.rank() as u64 * 1000 + seeds_ref[d])
+                .collect();
+            comm.alltoall(items)
+        });
+        for (rank, received) in out.results.iter().enumerate() {
+            let expect: Vec<u64> =
+                (0..p).map(|src| src as u64 * 1000 + seeds[rank]).collect();
+            prop_assert_eq!(received, &expect);
+        }
+    }
 }

@@ -26,10 +26,16 @@ fn unsorted_selection_on_the_papers_skewed_workload() {
             select_k_smallest(comm, &parts_ref[comm.rank()], k, 99)
         });
         // Threshold is the k-th smallest value.
-        assert!(out.results.iter().all(|r| r.threshold == reference[k - 1]), "k={k}");
+        assert!(
+            out.results.iter().all(|r| r.threshold == reference[k - 1]),
+            "k={k}"
+        );
         // Selected sets partition into exactly k elements matching the prefix.
-        let mut selected: Vec<u64> =
-            out.results.iter().flat_map(|r| r.local_selected.iter().copied()).collect();
+        let mut selected: Vec<u64> = out
+            .results
+            .iter()
+            .flat_map(|r| r.local_selected.iter().copied())
+            .collect();
         selected.sort_unstable();
         assert_eq!(selected, reference[..k].to_vec(), "k={k}");
     }
@@ -64,7 +70,9 @@ fn sorted_and_unsorted_selection_agree() {
     let per_pe = 3_000;
     let generator = UniformInput::new(1 << 24, 17);
     let unsorted: Vec<Vec<u64>> = generator.generate_all(p, per_pe);
-    let sorted: Vec<Vec<u64>> = (0..p).map(|r| generator.generate_sorted(r, per_pe)).collect();
+    let sorted: Vec<Vec<u64>> = (0..p)
+        .map(|r| generator.generate_sorted(r, per_pe))
+        .collect();
 
     for k in [1usize, 500, 9_000] {
         let u = unsorted.clone();
@@ -82,14 +90,19 @@ fn sorted_and_unsorted_selection_agree() {
 fn flexible_selection_band_is_respected_on_generated_inputs() {
     let p = 8;
     let generator = UniformInput::new(1 << 20, 23);
-    let sorted: Vec<Vec<u64>> = (0..p).map(|r| generator.generate_sorted(r, 2_000)).collect();
+    let sorted: Vec<Vec<u64>> = (0..p)
+        .map(|r| generator.generate_sorted(r, 2_000))
+        .collect();
     for (lo, hi) in [(100u64, 200u64), (1_000, 2_000), (5_000, 10_000)] {
         let s = sorted.clone();
         let out = run_spmd(p, move |comm| {
             approx_multisequence_select(comm, &s[comm.rank()], lo, hi, 31)
         });
         let selected = out.results[0].selected;
-        assert!(selected >= lo && selected <= hi, "band ({lo},{hi}): got {selected}");
+        assert!(
+            selected >= lo && selected <= hi,
+            "band ({lo},{hi}): got {selected}"
+        );
         let local_sum: u64 = out.results.iter().map(|r| r.local_count as u64).sum();
         assert_eq!(local_sum, selected);
     }
@@ -102,7 +115,11 @@ fn selection_followed_by_redistribution_balances_the_output() {
     // Adversarial placement: all small values on PE 0.
     let parts: Vec<Vec<u64>> = (0..p)
         .map(|r| {
-            let base = if r == 0 { 0u64 } else { 1_000_000 + r as u64 * per_pe as u64 };
+            let base = if r == 0 {
+                0u64
+            } else {
+                1_000_000 + r as u64 * per_pe as u64
+            };
             (0..per_pe as u64).map(|i| base + i).collect()
         })
         .collect();

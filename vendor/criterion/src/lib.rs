@@ -1,0 +1,341 @@
+//! A vendored, offline, API-compatible subset of the [`criterion`] bench
+//! harness.
+//!
+//! The build environment for this repository has no registry access, so the
+//! workspace ships the slice of criterion's API that its nine benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! as a local path crate.
+//!
+//! Instead of criterion's full statistical machinery (warm-up calibration,
+//! bootstrap confidence intervals, HTML reports), each benchmark runs a
+//! fixed warm-up iteration followed by `sample_size` timed iterations and
+//! reports min/mean/max wall time on stdout. That is deliberate: the
+//! repository's benches measure a *simulated* machine whose interesting
+//! output is metered communication, so timing jitter tolerance matters less
+//! than compiling and running the same bench sources unchanged. Swapping
+//! the real crate back in is a one-line manifest change.
+//!
+//! Honoured CLI/env conventions:
+//!
+//! * `--test` (passed by `cargo test --benches`) and the
+//!   `CRITERION_SHIM_SMOKE=1` environment variable run each benchmark
+//!   exactly once — the CI smoke mode;
+//! * a trailing free-form argument filters benchmarks by substring, like
+//!   `cargo bench -- <filter>`;
+//! * `--bench`, `--quiet`, `--verbose` and other harness flags are accepted
+//!   and ignored.
+//!
+//! [`criterion`]: https://docs.rs/criterion/0.5
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a computed value.
+///
+/// On stable Rust without intrinsics the portable fallback is
+/// `std::hint::black_box`, which is exactly what recent criterion versions
+/// use too.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to every benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` once per sample, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call so cold caches and lazy statics do not
+        // land in the first sample.
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the final benchmark id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The top-level harness state: configuration plus the benchmark filter.
+pub struct Criterion {
+    sample_size: usize,
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke = args.iter().any(|a| a == "--test")
+            || std::env::var("CRITERION_SHIM_SMOKE").is_ok_and(|v| v != "0");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .cloned()
+            .filter(|a| !a.is_empty());
+        Criterion {
+            sample_size: 10,
+            smoke,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iterations = if self.smoke { 1 } else { sample_size as u64 };
+        let mut bencher = Bencher {
+            iterations,
+            samples: Vec::with_capacity(iterations as usize),
+        };
+        f(&mut bencher);
+        report(&id, &bencher.samples);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (The shim reports eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {id:<56} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "bench {id:<56} {:>12} .. {:>12} .. {:>12} ({} samples)",
+        fmt(*min),
+        fmt(mean),
+        fmt(*max),
+        samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            iterations: 5,
+            samples: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6, "5 timed + 1 warm-up");
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("insert", 8).into_id(), "insert/8");
+        assert_eq!(BenchmarkId::from_parameter("p16").into_id(), "p16");
+        assert_eq!(BenchmarkId::new(format!("k{}", 4), 2).into_id(), "k4/2");
+    }
+
+    #[test]
+    fn groups_inherit_and_override_sample_size() {
+        let mut c = Criterion {
+            sample_size: 7,
+            smoke: false,
+            filter: None,
+        };
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // 3 timed + 1 warm-up.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            sample_size: 2,
+            smoke: false,
+            filter: Some("wanted".to_string()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("wanted_one", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_one_sample() {
+        let mut c = Criterion {
+            sample_size: 50,
+            smoke: true,
+            filter: None,
+        };
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 2, "1 timed + 1 warm-up");
+    }
+}

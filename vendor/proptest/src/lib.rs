@@ -1,0 +1,517 @@
+//! A vendored, offline, API-compatible subset of the [`proptest`]
+//! property-testing framework.
+//!
+//! The build environment for this repository has no registry access, so the
+//! workspace ships the slice of proptest it uses as a local path crate: the
+//! [`Strategy`] trait with `prop_map`, range strategies for the integer and
+//! float primitives, [`collection::vec`], [`ProptestConfig`] and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
+//! macros.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs verbatim
+//!   (every strategy value is `Debug`-printed on failure) instead of a
+//!   minimised counterexample;
+//! * **deterministic seeding** — each test derives its RNG stream from the
+//!   test's name and the case index, so failures reproduce exactly without a
+//!   persistence file. Set `PROPTEST_RNG_SEED` to explore other streams.
+//!
+//! The case count honours the `PROPTEST_CASES` environment variable (it
+//! overrides `ProptestConfig::cases`), which is how CI caps the suite to
+//! seconds while local runs stay deep.
+//!
+//! [`proptest`]: https://docs.rs/proptest/1
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Re-exports that mirror `proptest::prelude::*` closely enough for this
+/// workspace.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Deterministic generator state driving all strategies: xoshiro256++.
+pub mod test_runner {
+    /// The RNG handed to [`crate::Strategy::generate`].
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Derives a generator from a test name and case index so each test
+        /// has its own reproducible stream.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for byte in name.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            seed ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+                if let Ok(extra) = extra.parse::<u64>() {
+                    seed ^= extra.rotate_left(17);
+                }
+            }
+            // SplitMix64 expansion of the combined seed.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Returns the next 64 uniformly distributed random bits
+        /// (xoshiro256++).
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, span)`, rejection-sampled to avoid bias.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "empty range");
+            let zone = u64::MAX - (u64::MAX % span + 1) % span;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+
+        /// Uniform draw from `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// How a property-test case ends when it does not simply succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it does not count as run.
+    Reject(String),
+    /// A property assertion failed.
+    Fail(String),
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Maximum rejected (assumption-failed) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a number, got {v:?}")),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply produces a value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).generate(rng) as f32
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed at {}:{}: {}", file!(), line!(), stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed at {}:{}: {}", file!(), line!(), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{} == {} failed: {:?} != {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property-test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{} != {} failed: both are {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (it does not count towards the case quota)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Mirrors proptest's macro for the forms
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in vec(0u64..10, 0..5)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let cases = config.effective_cases();
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut attempt: u64 = 0;
+            while accepted < cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), attempt);
+                attempt += 1;
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = || {
+                    let mut rendered = String::new();
+                    $(
+                        rendered.push_str(concat!(stringify!($arg), " = "));
+                        rendered.push_str(&format!("{:?}\n", &$arg));
+                    )+
+                    rendered
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many rejected cases ({rejected}) — \
+                                 assumptions are unsatisfiable",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed (case {} of {cases}): {msg}\ninputs:\n{}",
+                            stringify!($name),
+                            accepted + 1,
+                            inputs(),
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::collection::vec;
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_within_bounds() {
+        let mut rng = TestRng::deterministic("ranges", 0);
+        for _ in 0..10_000 {
+            let a = Strategy::generate(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&a));
+            let b = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&b));
+            let c = Strategy::generate(&(1usize..=3), &mut rng);
+            assert!((1..=3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honours_length_range() {
+        let mut rng = TestRng::deterministic("vec", 0);
+        let strat = vec(0u64..100, 2..6);
+        for _ in 0..1_000 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::deterministic("map", 0);
+        let strat = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = TestRng::deterministic("same", 3);
+        let mut b = TestRng::deterministic("same", 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic("same", 4);
+        assert_ne!(TestRng::deterministic("same", 3).next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 1u64..50, v in vec(0u64..10, 0..4)) {
+            prop_assume!(x != 13);
+            prop_assert!(x >= 1);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}
