@@ -1,6 +1,7 @@
 //! Bench for §5: bulk-parallel priority queue — insertion throughput and
 //! deleteMin* cost for exact and flexible batches.
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use topk::BulkParallelQueue;
 

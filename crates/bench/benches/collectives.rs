@@ -2,6 +2,7 @@
 //! assumes O(α log p) collectives; the Naive baseline is what flat delivery
 //! costs).
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_collectives(c: &mut Criterion) {

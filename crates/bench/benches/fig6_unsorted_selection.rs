@@ -1,6 +1,7 @@
 //! Criterion bench for Figure 6: unsorted selection, weak scaling over the
 //! number of PEs at fixed n/p, on the skewed per-PE Zipf inputs of §10.1.
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::SkewedSelectionInput;
 use topk::unsorted::select_k_smallest;

@@ -1,6 +1,7 @@
 //! Criterion bench for Figure 7: top-k most frequent objects at moderate
 //! accuracy, comparing PAC, EC and the two centralized baselines.
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::Zipf;
 use rand::rngs::StdRng;

@@ -2,6 +2,7 @@
 //! baselines must effectively communicate the whole aggregated input while EC
 //! still samples).
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::Zipf;
 use rand::rngs::StdRng;

@@ -2,6 +2,7 @@
 //! input (nothing should move), a mildly unbalanced one, and the worst case
 //! where everything sits on a single PE.
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use topk::redistribute;
 

@@ -4,6 +4,7 @@
 //! Criterion measures time; the round counts themselves are printed once at
 //! the start so the latency separation is visible without a cluster.
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::UniformInput;
 use topk::{

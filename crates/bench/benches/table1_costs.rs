@@ -2,6 +2,7 @@
 //! baseline at a fixed machine size (the `table1` binary reports the
 //! communication counters; this bench tracks the time component).
 
+use commsim::Communicator;
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::{SkewedSelectionInput, UniformInput, Zipf};
 use rand::rngs::StdRng;

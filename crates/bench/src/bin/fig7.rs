@@ -15,6 +15,7 @@
 use bench::report::fmt_duration;
 use bench::scaling::{measure_repeated, pe_sweep};
 use bench::Table;
+use commsim::Communicator;
 use datagen::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

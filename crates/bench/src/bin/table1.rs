@@ -18,6 +18,7 @@
 use bench::report::fmt_duration;
 use bench::scaling::measure_spmd;
 use bench::Table;
+use commsim::Communicator;
 use datagen::{MulticriteriaWorkload, SkewedSelectionInput, UniformInput, WeightedZipfInput, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -91,6 +91,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use commsim::Communicator;
 
     #[test]
     fn pe_sweep_is_powers_of_two() {

@@ -5,102 +5,102 @@
 //! delivery" bound); an indirect, hypercube-routed variant trades volume for
 //! latency, costing `O(βmp·log p + α log p)`, and is what the paper's
 //! distributed hash table uses to keep the latency term logarithmic.
+//!
+//! Exposed as [`Communicator::alltoall`] /
+//! [`Communicator::alltoall_indirect`]; the free functions here are the
+//! shared implementation used by every backend.
 
-use crate::comm::Comm;
+use crate::communicator::Communicator;
 use crate::message::CommData;
 
-impl Comm {
-    /// Direct all-to-all: `items[i]` is delivered to PE `i`; the return value
-    /// holds, at index `j`, the item PE `j` sent to this PE.
-    ///
-    /// Cost: every PE sends and receives `p − 1` messages, i.e. `O(αp)`
-    /// latency and `O(β·Σ m_i)` volume.
-    pub fn alltoall<T: CommData>(&self, items: Vec<T>) -> Vec<T> {
-        let p = self.size();
-        let rank = self.rank();
-        assert_eq!(
-            items.len(),
-            p,
-            "alltoall needs exactly one item per destination PE"
-        );
-        let tag = self.next_collective_tag();
+/// Generic direct all-to-all; see [`Communicator::alltoall`].
+pub(crate) fn alltoall<C, T>(comm: &C, items: Vec<T>) -> Vec<T>
+where
+    C: Communicator + ?Sized,
+    T: CommData,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    assert_eq!(
+        items.len(),
+        p,
+        "alltoall needs exactly one item per destination PE"
+    );
+    let tag = comm.next_collective_tag();
 
-        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        for (dst, item) in items.into_iter().enumerate() {
-            if dst == rank {
-                out[dst] = Some(item);
-            } else {
-                self.send_raw(dst, tag, item);
-            }
+    let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    for (dst, item) in items.into_iter().enumerate() {
+        if dst == rank {
+            out[dst] = Some(item);
+        } else {
+            comm.send_raw(dst, tag, item);
         }
-        for (src, slot) in out.iter_mut().enumerate() {
-            if src != rank {
-                *slot = Some(self.recv_raw::<T>(src, tag));
-            }
+    }
+    for (src, slot) in out.iter_mut().enumerate() {
+        if src != rank {
+            *slot = Some(comm.recv_raw::<T>(src, tag));
         }
-        out.into_iter()
-            .map(|v| v.expect("alltoall missed a source"))
-            .collect()
+    }
+    out.into_iter()
+        .map(|v| v.expect("alltoall missed a source"))
+        .collect()
+}
+
+/// Generic indirect all-to-all; see [`Communicator::alltoall_indirect`].
+pub(crate) fn alltoall_indirect<C, T>(comm: &C, items: Vec<T>) -> Vec<T>
+where
+    C: Communicator + ?Sized,
+    T: CommData,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    assert_eq!(
+        items.len(),
+        p,
+        "alltoall needs exactly one item per destination PE"
+    );
+    let tag = comm.next_collective_tag();
+
+    // Every in-flight item is a (final destination, origin, payload)
+    // triple.  In round r (step = 2^r) an item moves from its current
+    // holder to holder + step (mod p) iff the r-th bit of the remaining
+    // forward distance is set.  After ceil(log2 p) rounds everything is
+    // at its destination.  This is the standard store-and-forward
+    // hypercube routing adapted to arbitrary p.
+    let mut in_flight: Vec<(u64, u64, T)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(dst, item)| (dst as u64, rank as u64, item))
+        .collect();
+
+    let mut step = 1usize;
+    while step < p {
+        let (stay, forward): (Vec<_>, Vec<_>) = in_flight.drain(..).partition(|(dst, _, _)| {
+            let distance = (*dst as usize + p - rank) % p;
+            distance & step == 0
+        });
+        in_flight = stay;
+        let to = (rank + step) % p;
+        let from = (rank + p - step % p) % p;
+        comm.send_raw(to, tag, forward);
+        let mut received = comm.recv_raw::<Vec<(u64, u64, T)>>(from, tag);
+        in_flight.append(&mut received);
+        step <<= 1;
     }
 
-    /// Indirect all-to-all over a hypercube-like dissemination pattern:
-    /// messages are routed through `ceil(log2 p)` rounds, so each PE pays
-    /// only `O(log p)` start-ups at the price of forwarding volume
-    /// (`O(β·V·log p)` where `V` is the direct volume).
-    ///
-    /// This is the routing the paper assumes for "indirect delivery"
-    /// ([Leighton 92, Theorem 3.24]) and is what keeps the distributed hash
-    /// table's latency logarithmic.
-    pub fn alltoall_indirect<T: CommData>(&self, items: Vec<T>) -> Vec<T> {
-        let p = self.size();
-        let rank = self.rank();
-        assert_eq!(
-            items.len(),
-            p,
-            "alltoall needs exactly one item per destination PE"
-        );
-        let tag = self.next_collective_tag();
-
-        // Every in-flight item is a (final destination, origin, payload)
-        // triple.  In round r (step = 2^r) an item moves from its current
-        // holder to holder + step (mod p) iff the r-th bit of the remaining
-        // forward distance is set.  After ceil(log2 p) rounds everything is
-        // at its destination.  This is the standard store-and-forward
-        // hypercube routing adapted to arbitrary p.
-        let mut in_flight: Vec<(u64, u64, T)> = items
-            .into_iter()
-            .enumerate()
-            .map(|(dst, item)| (dst as u64, rank as u64, item))
-            .collect();
-
-        let mut step = 1usize;
-        while step < p {
-            let (stay, forward): (Vec<_>, Vec<_>) = in_flight.drain(..).partition(|(dst, _, _)| {
-                let distance = (*dst as usize + p - rank) % p;
-                distance & step == 0
-            });
-            in_flight = stay;
-            let to = (rank + step) % p;
-            let from = (rank + p - step % p) % p;
-            self.send_raw(to, tag, forward);
-            let mut received = self.recv_raw::<Vec<(u64, u64, T)>>(from, tag);
-            in_flight.append(&mut received);
-            step <<= 1;
-        }
-
-        debug_assert!(in_flight.iter().all(|(dst, _, _)| *dst as usize == rank));
-        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        for (_, origin, item) in in_flight {
-            out[origin as usize] = Some(item);
-        }
-        out.into_iter()
-            .map(|v| v.expect("indirect alltoall missed a source"))
-            .collect()
+    debug_assert!(in_flight.iter().all(|(dst, _, _)| *dst as usize == rank));
+    let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    for (_, origin, item) in in_flight {
+        out[origin as usize] = Some(item);
     }
+    out.into_iter()
+        .map(|v| v.expect("indirect alltoall missed a source"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::communicator::Communicator;
     use crate::runner::run_spmd;
     use crate::topology::dissemination_rounds;
 

@@ -1,36 +1,36 @@
 //! Dissemination barrier: `O(α log p)` latency, zero payload volume.
+//!
+//! Exposed as [`Communicator::barrier`]; the free function here is the
+//! shared implementation used by every backend.
 
-use crate::comm::Comm;
+use crate::communicator::Communicator;
 use crate::topology::dissemination_rounds;
 
-impl Comm {
-    /// Synchronise all PEs: no PE returns from `barrier` before every PE has
-    /// entered it.
-    ///
-    /// Implemented as a dissemination barrier: in round `r` each PE signals
-    /// rank `(rank + 2^r) mod p` and waits for the signal from rank
-    /// `(rank - 2^r) mod p`, for `ceil(log2 p)` rounds.
-    pub fn barrier(&self) {
-        let p = self.size();
-        let rank = self.rank();
-        let tag = self.next_collective_tag();
-        if p == 1 {
-            return;
-        }
-        let rounds = dissemination_rounds(p);
-        let mut step = 1usize;
-        for _ in 0..rounds {
-            let to = (rank + step) % p;
-            let from = (rank + p - step % p) % p;
-            self.send_raw(to, tag, ());
-            let () = self.recv_raw(from, tag);
-            step <<= 1;
-        }
+/// Generic dissemination barrier; see [`Communicator::barrier`].
+///
+/// In round `r` each PE signals rank `(rank + 2^r) mod p` and waits for the
+/// signal from rank `(rank - 2^r) mod p`, for `ceil(log2 p)` rounds.
+pub(crate) fn barrier<C: Communicator + ?Sized>(comm: &C) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_collective_tag();
+    if p == 1 {
+        return;
+    }
+    let rounds = dissemination_rounds(p);
+    let mut step = 1usize;
+    for _ in 0..rounds {
+        let to = (rank + step) % p;
+        let from = (rank + p - step % p) % p;
+        comm.send_raw(to, tag, ());
+        let () = comm.recv_raw(from, tag);
+        step <<= 1;
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::communicator::Communicator;
     use crate::runner::run_spmd;
     use std::sync::atomic::{AtomicUsize, Ordering};
 

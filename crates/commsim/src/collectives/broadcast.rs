@@ -1,51 +1,44 @@
 //! Binomial-tree broadcast: `O(βm + α log p)`.
+//!
+//! Exposed as [`Communicator::broadcast`]; the free function here is the
+//! shared implementation used by every backend.
 
-use crate::comm::Comm;
+use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::topology::{binomial_children, binomial_parent};
 use crate::Rank;
 
-impl Comm {
-    /// Broadcast a value from `root` to all PEs.
-    ///
-    /// The root passes `Some(value)`, every other PE passes `None`; every PE
-    /// (including the root) receives the value as the return.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the root passes `None` or a non-root passes `Some` (which
-    /// would indicate divergent SPMD control flow).
-    pub fn broadcast<T: CommData + Clone>(&self, root: Rank, value: Option<T>) -> T {
-        let p = self.size();
-        let rank = self.rank();
-        assert!(root < p, "broadcast root {root} out of range for {p} PEs");
-        let tag = self.next_collective_tag();
+/// Generic broadcast over any backend; see [`Communicator::broadcast`].
+pub(crate) fn broadcast<C, T>(comm: &C, root: Rank, value: Option<T>) -> T
+where
+    C: Communicator + ?Sized,
+    T: CommData + Clone,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p, "broadcast root {root} out of range for {p} PEs");
+    let tag = comm.next_collective_tag();
 
-        let value = if rank == root {
-            value.expect("broadcast: the root PE must supply Some(value)")
-        } else {
-            assert!(
-                value.is_none(),
-                "broadcast: non-root PE {rank} supplied a value (SPMD divergence?)"
-            );
-            let parent = binomial_parent(rank, root, p).expect("non-root must have a parent");
-            self.recv_raw::<T>(parent, tag)
-        };
+    let value = if rank == root {
+        value.expect("broadcast: the root PE must supply Some(value)")
+    } else {
+        assert!(
+            value.is_none(),
+            "broadcast: non-root PE {rank} supplied a value (SPMD divergence?)"
+        );
+        let parent = binomial_parent(rank, root, p).expect("non-root must have a parent");
+        comm.recv_raw::<T>(parent, tag)
+    };
 
-        for child in binomial_children(rank, root, p) {
-            self.send_raw(child, tag, value.clone());
-        }
-        value
+    for child in binomial_children(rank, root, p) {
+        comm.send_raw(child, tag, value.clone());
     }
-
-    /// Convenience wrapper: broadcast from rank 0.
-    pub fn broadcast_from_root<T: CommData + Clone>(&self, value: Option<T>) -> T {
-        self.broadcast(0, value)
-    }
+    value
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::communicator::Communicator;
     use crate::runner::run_spmd;
     use crate::topology::dissemination_rounds;
 

@@ -1,72 +1,60 @@
 //! Binomial-tree gather and all-gather (gossiping).
+//!
+//! Exposed as [`Communicator::gather`] / [`Communicator::allgather`]; the
+//! free function here is the shared implementation used by every backend.
 
-use crate::comm::Comm;
+use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::topology::{binomial_children, binomial_parent, virtual_rank};
 use crate::Rank;
 
-impl Comm {
-    /// Gather one value per PE onto `root`.
-    ///
-    /// The root receives `Some(values)` with `values[i]` being the
-    /// contribution of PE `i`; every other PE receives `None`.
-    ///
-    /// The gather runs up a binomial tree, so the latency is `O(α log p)`
-    /// and the volume at the root is `O(p·m)` for per-PE contributions of
-    /// `m` words (which is unavoidable — the root ends up holding all data).
-    pub fn gather<T: CommData>(&self, root: Rank, value: T) -> Option<Vec<T>> {
-        let p = self.size();
-        let rank = self.rank();
-        assert!(root < p, "gather root {root} out of range for {p} PEs");
-        let tag = self.next_collective_tag();
+/// Generic gather over any backend; see [`Communicator::gather`].
+pub(crate) fn gather<C, T>(comm: &C, root: Rank, value: T) -> Option<Vec<T>>
+where
+    C: Communicator + ?Sized,
+    T: CommData,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p, "gather root {root} out of range for {p} PEs");
+    let tag = comm.next_collective_tag();
 
-        // Each node accumulates (virtual rank, value) pairs for its whole
-        // subtree, then forwards them to its parent.
-        let mut bucket: Vec<(u64, T)> = vec![(virtual_rank(rank, root, p) as u64, value)];
-        // Children must be drained in reverse order of how the broadcast
-        // visits them; any fixed order works because pairs carry their rank.
-        for child in binomial_children(rank, root, p) {
-            let mut partial = self.recv_raw::<Vec<(u64, T)>>(child, tag);
-            bucket.append(&mut partial);
-        }
-        match binomial_parent(rank, root, p) {
-            Some(parent) => {
-                self.send_raw(parent, tag, bucket);
-                None
-            }
-            None => {
-                bucket.sort_by_key(|(vr, _)| *vr);
-                let mut out: Vec<Option<T>> = bucket.into_iter().map(|(_, v)| Some(v)).collect();
-                // Map virtual ranks back to physical order.
-                let mut result: Vec<Option<T>> = (0..p).map(|_| None).collect();
-                for (v_rank, slot) in out.iter_mut().enumerate() {
-                    let phys = (v_rank + root) % p;
-                    result[phys] = slot.take();
-                }
-                Some(
-                    result
-                        .into_iter()
-                        .map(|v| v.expect("gather missed a PE"))
-                        .collect(),
-                )
-            }
-        }
+    // Each node accumulates (virtual rank, value) pairs for its whole
+    // subtree, then forwards them to its parent.
+    let mut bucket: Vec<(u64, T)> = vec![(virtual_rank(rank, root, p) as u64, value)];
+    // Children must be drained in reverse order of how the broadcast
+    // visits them; any fixed order works because pairs carry their rank.
+    for child in binomial_children(rank, root, p) {
+        let mut partial = comm.recv_raw::<Vec<(u64, T)>>(child, tag);
+        bucket.append(&mut partial);
     }
-
-    /// All-gather (the paper's "all-to-all broadcast" / gossiping): every PE
-    /// contributes one value and every PE receives the vector of all
-    /// contributions, indexed by rank.
-    ///
-    /// Implemented as a gather to rank 0 followed by a broadcast:
-    /// `O(βmp + α log p)`, matching the paper's stated bound.
-    pub fn allgather<T: CommData + Clone>(&self, value: T) -> Vec<T> {
-        let gathered = self.gather(0, value);
-        self.broadcast(0, gathered)
+    match binomial_parent(rank, root, p) {
+        Some(parent) => {
+            comm.send_raw(parent, tag, bucket);
+            None
+        }
+        None => {
+            bucket.sort_by_key(|(vr, _)| *vr);
+            let mut out: Vec<Option<T>> = bucket.into_iter().map(|(_, v)| Some(v)).collect();
+            // Map virtual ranks back to physical order.
+            let mut result: Vec<Option<T>> = (0..p).map(|_| None).collect();
+            for (v_rank, slot) in out.iter_mut().enumerate() {
+                let phys = (v_rank + root) % p;
+                result[phys] = slot.take();
+            }
+            Some(
+                result
+                    .into_iter()
+                    .map(|v| v.expect("gather missed a PE"))
+                    .collect(),
+            )
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::communicator::Communicator;
     use crate::runner::run_spmd;
     use crate::topology::dissemination_rounds;
 

@@ -7,17 +7,22 @@
 //! trees and dissemination patterns from [`crate::topology`], are valid for
 //! any number of PEs, and are metered like every other message.
 //!
+//! Each collective is written once as a generic function over any
+//! [`crate::Communicator`] and surfaced as a provided method of that trait,
+//! so the threaded and the sequential backend share the exact same
+//! implementations.
+//!
 //! All collectives must be called by **every** PE of the world, in the same
 //! order — the usual SPMD contract.  Mismatched calls are detected (with high
 //! probability) through per-collective internal tags and reported as a panic.
 
-mod alltoall;
-mod barrier;
-mod broadcast;
-mod gather;
-mod reduce;
-mod scan;
-mod scatter;
+pub(crate) mod alltoall;
+pub(crate) mod barrier;
+pub(crate) mod broadcast;
+pub(crate) mod gather;
+pub(crate) mod reduce;
+pub(crate) mod scan;
+pub(crate) mod scatter;
 
 use std::sync::Arc;
 

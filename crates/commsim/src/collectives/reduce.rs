@@ -1,71 +1,46 @@
-//! Binomial-tree reduction and all-reduction: `O(βm + α log p)`.
+//! Binomial-tree reduction: `O(βm + α log p)`.
+//!
+//! Exposed as [`Communicator::reduce`] / [`Communicator::allreduce`] and the
+//! `allreduce_*` convenience wrappers; the free function here is the shared
+//! implementation used by every backend.
 
 use super::ReduceOp;
-use crate::comm::Comm;
+use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::topology::{binomial_children, binomial_parent};
 use crate::Rank;
 
-impl Comm {
-    /// Reduce `value` over all PEs with the associative, commutative `op`;
-    /// the result is returned as `Some` on `root` and `None` elsewhere.
-    pub fn reduce<T: CommData + Clone>(&self, root: Rank, value: T, op: &ReduceOp<T>) -> Option<T> {
-        let p = self.size();
-        let rank = self.rank();
-        assert!(root < p, "reduce root {root} out of range for {p} PEs");
-        let tag = self.next_collective_tag();
+/// Generic reduction over any backend; see [`Communicator::reduce`].
+pub(crate) fn reduce<C, T>(comm: &C, root: Rank, value: T, op: &ReduceOp<T>) -> Option<T>
+where
+    C: Communicator + ?Sized,
+    T: CommData + Clone,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p, "reduce root {root} out of range for {p} PEs");
+    let tag = comm.next_collective_tag();
 
-        // Combine the children's partial results into the local value …
-        let mut acc = value;
-        for child in binomial_children(rank, root, p) {
-            let partial = self.recv_raw::<T>(child, tag);
-            acc = op.apply(&acc, &partial);
+    // Combine the children's partial results into the local value …
+    let mut acc = value;
+    for child in binomial_children(rank, root, p) {
+        let partial = comm.recv_raw::<T>(child, tag);
+        acc = op.apply(&acc, &partial);
+    }
+    // … and pass the combined value up to the parent.
+    match binomial_parent(rank, root, p) {
+        Some(parent) => {
+            comm.send_raw(parent, tag, acc);
+            None
         }
-        // … and pass the combined value up to the parent.
-        match binomial_parent(rank, root, p) {
-            Some(parent) => {
-                self.send_raw(parent, tag, acc);
-                None
-            }
-            None => Some(acc),
-        }
-    }
-
-    /// All-reduce: like [`Comm::reduce`] but every PE receives the result.
-    ///
-    /// Implemented as a reduction to rank `0` followed by a broadcast — two
-    /// binomial trees, `O(βm + α log p)` in total.
-    pub fn allreduce<T: CommData + Clone>(&self, value: T, op: ReduceOp<T>) -> T {
-        let reduced = self.reduce(0, value, &op);
-        self.broadcast(0, reduced)
-    }
-
-    /// Sum all-reduction of a scalar count — the single most common pattern
-    /// in the paper's algorithms (`∑_i x@i`).
-    pub fn allreduce_sum(&self, value: u64) -> u64 {
-        self.allreduce(value, ReduceOp::sum())
-    }
-
-    /// Minimum all-reduction of an ordered value.
-    pub fn allreduce_min<T: CommData + Clone + Ord + Send + Sync>(&self, value: T) -> T {
-        self.allreduce(value, ReduceOp::min())
-    }
-
-    /// Maximum all-reduction of an ordered value.
-    pub fn allreduce_max<T: CommData + Clone + Ord + Send + Sync>(&self, value: T) -> T {
-        self.allreduce(value, ReduceOp::max())
-    }
-
-    /// Element-wise sum all-reduction of a vector (the "long vector"
-    /// reduction the paper exploits for batched estimators).
-    pub fn allreduce_vec_sum(&self, value: Vec<u64>) -> Vec<u64> {
-        self.allreduce(value, ReduceOp::elementwise_sum())
+        None => Some(acc),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::collectives::ReduceOp;
+    use crate::communicator::Communicator;
     use crate::runner::run_spmd;
     use crate::topology::dissemination_rounds;
 

@@ -1,89 +1,80 @@
 //! Prefix sums (scan): `O(βm + α log p)` via a dissemination
 //! (Hillis–Steele) pattern.
+//!
+//! Exposed as [`Communicator::scan_inclusive`] /
+//! [`Communicator::scan_exclusive`] and the `prefix_sum_*` wrappers; the
+//! free functions here are the shared implementation used by every backend.
 
 use super::ReduceOp;
-use crate::comm::Comm;
+use crate::communicator::Communicator;
 use crate::message::CommData;
 
-impl Comm {
-    /// Inclusive prefix combine: PE `j` receives `op(x@0, x@1, …, x@j)`.
-    ///
-    /// The operation must be associative (commutativity is *not* required:
-    /// operands are always combined in rank order).
-    pub fn scan_inclusive<T: CommData + Clone>(&self, value: T, op: &ReduceOp<T>) -> T {
-        let p = self.size();
-        let rank = self.rank();
-        let tag = self.next_collective_tag();
-        let mut acc = value;
-        let mut step = 1usize;
-        while step < p {
-            if rank + step < p {
-                self.send_raw(rank + step, tag, acc.clone());
-            }
-            if rank >= step {
-                let left = self.recv_raw::<T>(rank - step, tag);
-                // Left operand comes from smaller ranks: preserve rank order.
-                acc = op.apply(&left, &acc);
-            }
-            step <<= 1;
+/// Generic inclusive scan; see [`Communicator::scan_inclusive`].
+pub(crate) fn scan_inclusive<C, T>(comm: &C, value: T, op: &ReduceOp<T>) -> T
+where
+    C: Communicator + ?Sized,
+    T: CommData + Clone,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_collective_tag();
+    let mut acc = value;
+    let mut step = 1usize;
+    while step < p {
+        if rank + step < p {
+            comm.send_raw(rank + step, tag, acc.clone());
         }
-        acc
-    }
-
-    /// Exclusive prefix combine: PE `j` receives `op(x@0, …, x@{j-1})`, and
-    /// PE 0 receives `identity`.
-    pub fn scan_exclusive<T: CommData + Clone>(
-        &self,
-        value: T,
-        identity: T,
-        op: &ReduceOp<T>,
-    ) -> T {
-        // Inclusive scan of the shifted sequence: send the *previous* rank's
-        // value through the same dissemination pattern by computing the
-        // inclusive scan and subtracting is not possible for general ops, so
-        // we scan the value but combine starting from the identity on each
-        // PE, i.e. scan the pair (prefix up to predecessor).
-        let p = self.size();
-        let rank = self.rank();
-        let tag = self.next_collective_tag();
-        // acc = combination of values from ranks [start, rank], initially own.
-        let mut acc = value;
-        // excl = combination of values from ranks [start, rank), i.e. what we
-        // will return once start reaches 0.
-        let mut excl: Option<T> = None;
-        let mut step = 1usize;
-        while step < p {
-            if rank + step < p {
-                self.send_raw(rank + step, tag, acc.clone());
-            }
-            if rank >= step {
-                let left = self.recv_raw::<T>(rank - step, tag);
-                excl = Some(match excl {
-                    None => left.clone(),
-                    Some(e) => op.apply(&left, &e),
-                });
-                acc = op.apply(&left, &acc);
-            }
-            step <<= 1;
+        if rank >= step {
+            let left = comm.recv_raw::<T>(rank - step, tag);
+            // Left operand comes from smaller ranks: preserve rank order.
+            acc = op.apply(&left, &acc);
         }
-        excl.unwrap_or(identity)
+        step <<= 1;
     }
+    acc
+}
 
-    /// Exclusive prefix sum of a scalar count — used for data redistribution
-    /// and global element numbering.
-    pub fn prefix_sum_exclusive(&self, value: u64) -> u64 {
-        self.scan_exclusive(value, 0, &ReduceOp::sum())
+/// Generic exclusive scan; see [`Communicator::scan_exclusive`].
+pub(crate) fn scan_exclusive<C, T>(comm: &C, value: T, identity: T, op: &ReduceOp<T>) -> T
+where
+    C: Communicator + ?Sized,
+    T: CommData + Clone,
+{
+    // Inclusive scan of the shifted sequence: send the *previous* rank's
+    // value through the same dissemination pattern by computing the
+    // inclusive scan and subtracting is not possible for general ops, so
+    // we scan the value but combine starting from the identity on each
+    // PE, i.e. scan the pair (prefix up to predecessor).
+    let p = comm.size();
+    let rank = comm.rank();
+    let tag = comm.next_collective_tag();
+    // acc = combination of values from ranks [start, rank], initially own.
+    let mut acc = value;
+    // excl = combination of values from ranks [start, rank), i.e. what we
+    // will return once start reaches 0.
+    let mut excl: Option<T> = None;
+    let mut step = 1usize;
+    while step < p {
+        if rank + step < p {
+            comm.send_raw(rank + step, tag, acc.clone());
+        }
+        if rank >= step {
+            let left = comm.recv_raw::<T>(rank - step, tag);
+            excl = Some(match excl {
+                None => left.clone(),
+                Some(e) => op.apply(&left, &e),
+            });
+            acc = op.apply(&left, &acc);
+        }
+        step <<= 1;
     }
-
-    /// Inclusive prefix sum of a scalar count.
-    pub fn prefix_sum_inclusive(&self, value: u64) -> u64 {
-        self.scan_inclusive(value, &ReduceOp::sum())
-    }
+    excl.unwrap_or(identity)
 }
 
 #[cfg(test)]
 mod tests {
     use crate::collectives::ReduceOp;
+    use crate::communicator::Communicator;
     use crate::runner::run_spmd;
     use crate::topology::dissemination_rounds;
 

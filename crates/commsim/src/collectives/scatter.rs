@@ -1,70 +1,68 @@
 //! Binomial-tree scatter: the root distributes one item per PE.
+//!
+//! Exposed as [`Communicator::scatter`]; the free function here is the
+//! shared implementation used by every backend.
 
-use crate::comm::Comm;
+use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::topology::{binomial_children, binomial_parent, virtual_rank};
 use crate::Rank;
 
-impl Comm {
-    /// Scatter one value per PE from `root`.
-    ///
-    /// The root supplies `Some(values)` with `values[i]` destined for PE `i`
-    /// (`values.len()` must equal the number of PEs); all other PEs supply
-    /// `None`.  Every PE returns its own item.
-    ///
-    /// The scatter walks down a binomial tree: the root hands each child the
-    /// items of that child's entire subtree, so the latency is `O(α log p)`
-    /// and no PE receives more than the items of its own subtree.
-    pub fn scatter<T: CommData>(&self, root: Rank, values: Option<Vec<T>>) -> T {
-        let p = self.size();
-        let rank = self.rank();
-        assert!(root < p, "scatter root {root} out of range for {p} PEs");
-        let tag = self.next_collective_tag();
+/// Generic scatter over any backend; see [`Communicator::scatter`].
+pub(crate) fn scatter<C, T>(comm: &C, root: Rank, values: Option<Vec<T>>) -> T
+where
+    C: Communicator + ?Sized,
+    T: CommData,
+{
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p, "scatter root {root} out of range for {p} PEs");
+    let tag = comm.next_collective_tag();
 
-        // Every node holds the (virtual rank, value) pairs for its subtree.
-        let mut bucket: Vec<(u64, T)> = if rank == root {
-            let values = values.expect("scatter: the root PE must supply Some(values)");
-            assert_eq!(
-                values.len(),
-                p,
-                "scatter: the root must supply exactly one value per PE"
-            );
-            values
-                .into_iter()
-                .enumerate()
-                .map(|(phys, v)| (virtual_rank(phys, root, p) as u64, v))
-                .collect()
-        } else {
-            assert!(
-                values.is_none(),
-                "scatter: non-root PE {rank} supplied values (SPMD divergence?)"
-            );
-            let parent = binomial_parent(rank, root, p).expect("non-root must have a parent");
-            self.recv_raw::<Vec<(u64, T)>>(parent, tag)
-        };
+    // Every node holds the (virtual rank, value) pairs for its subtree.
+    let mut bucket: Vec<(u64, T)> = if rank == root {
+        let values = values.expect("scatter: the root PE must supply Some(values)");
+        assert_eq!(
+            values.len(),
+            p,
+            "scatter: the root must supply exactly one value per PE"
+        );
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(phys, v)| (virtual_rank(phys, root, p) as u64, v))
+            .collect()
+    } else {
+        assert!(
+            values.is_none(),
+            "scatter: non-root PE {rank} supplied values (SPMD divergence?)"
+        );
+        let parent = binomial_parent(rank, root, p).expect("non-root must have a parent");
+        comm.recv_raw::<Vec<(u64, T)>>(parent, tag)
+    };
 
-        // Forward to each child the pairs belonging to its subtree.  The
-        // subtree of virtual rank v (with t trailing zero bits) spans the
-        // virtual ranks v .. v + 2^t.
-        for child in binomial_children(rank, root, p) {
-            let child_v = virtual_rank(child, root, p);
-            let span = 1usize << child_v.trailing_zeros();
-            let (mine, theirs): (Vec<_>, Vec<_>) = bucket
-                .into_iter()
-                .partition(|(v, _)| (*v as usize) < child_v || (*v as usize) >= child_v + span);
-            bucket = mine;
-            self.send_raw(child, tag, theirs);
-        }
-
-        debug_assert_eq!(bucket.len(), 1, "exactly the own item must remain");
-        let (v, item) = bucket.pop().expect("own item missing after scatter");
-        debug_assert_eq!(v as usize, virtual_rank(rank, root, p));
-        item
+    // Forward to each child the pairs belonging to its subtree.  The
+    // subtree of virtual rank v (with t trailing zero bits) spans the
+    // virtual ranks v .. v + 2^t.
+    for child in binomial_children(rank, root, p) {
+        let child_v = virtual_rank(child, root, p);
+        let span = 1usize << child_v.trailing_zeros();
+        let (mine, theirs): (Vec<_>, Vec<_>) = bucket
+            .into_iter()
+            .partition(|(v, _)| (*v as usize) < child_v || (*v as usize) >= child_v + span);
+        bucket = mine;
+        comm.send_raw(child, tag, theirs);
     }
+
+    debug_assert_eq!(bucket.len(), 1, "exactly the own item must remain");
+    let (v, item) = bucket.pop().expect("own item missing after scatter");
+    debug_assert_eq!(v as usize, virtual_rank(rank, root, p));
+    item
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::communicator::Communicator;
     use crate::runner::run_spmd;
     use crate::topology::dissemination_rounds;
 

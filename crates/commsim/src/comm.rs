@@ -1,27 +1,27 @@
-//! The per-PE communicator handle.
+//! The threaded per-PE communicator handle.
 //!
-//! A [`Comm`] is the only window a PE has onto the rest of the machine.  It
-//! offers MPI-like point-to-point messaging plus the collective operations of
-//! the paper's model (implemented in [`crate::collectives`] as inherent
-//! methods on `Comm`).  All traffic is metered into the per-PE counters of
-//! the run's [`crate::metrics::StatsRegistry`].
+//! A [`Comm`] is one backend of the [`Communicator`] trait: each simulated PE
+//! runs on its own OS thread and owns a [`Comm`] wired into the full-mesh
+//! mpsc transport.  All traffic is metered into the per-PE counters of the
+//! run's [`crate::metrics::StatsRegistry`], and `Vec<u64>`-class payloads
+//! travel through a per-PE [`BufferPool`] (typed path) instead of being
+//! boxed.
 
 use std::cell::Cell;
 
+use crate::communicator::{Communicator, COLLECTIVE_TAG_BASE};
 use crate::error::CommError;
 use crate::message::CommData;
 use crate::metrics::{StatsRegistry, StatsSnapshot};
-use crate::transport::{Envelope, Mailbox};
+use crate::transport::{BufferPool, Envelope, Mailbox};
 use crate::{Rank, Tag};
 
-/// First tag reserved for internal use by collective operations.  User tags
-/// passed to [`Comm::send`] / [`Comm::recv`] must be below this value.
-pub const COLLECTIVE_TAG_BASE: Tag = 1 << 32;
-
-/// Communicator handle owned by one PE for the duration of an SPMD region.
+/// Communicator handle owned by one PE thread for the duration of an SPMD
+/// region (the threaded backend of [`Communicator`]).
 pub struct Comm {
     mailbox: Mailbox,
     stats: StatsRegistry,
+    pool: BufferPool,
     /// Sequence number of collective operations issued so far.  Because all
     /// PEs execute the same program, the counters stay in sync across PEs and
     /// provide a fresh internal tag per collective, which catches divergence
@@ -37,115 +37,60 @@ impl Comm {
         Comm {
             mailbox,
             stats,
+            pool: BufferPool::new(),
             collective_seq: Cell::new(0),
         }
     }
 
-    /// Rank of this PE (`0..p`).
-    #[inline]
-    pub fn rank(&self) -> Rank {
-        self.mailbox.rank()
-    }
-
-    /// Number of PEs in the world.
-    #[inline]
-    pub fn size(&self) -> usize {
-        self.mailbox.size()
-    }
-
-    /// `true` iff this PE is rank 0.
-    #[inline]
-    pub fn is_root(&self) -> bool {
-        self.rank() == 0
-    }
-
-    /// Send `value` to PE `dst` with a user tag (`tag < 2^32`).
-    ///
-    /// Sends never block: the simulated network has unbounded buffering.
-    pub fn send<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
-        assert!(
-            tag < COLLECTIVE_TAG_BASE,
-            "user tags must be < 2^32, got {tag}"
-        );
-        self.send_raw(dst, tag, value);
-    }
-
-    /// Receive a value of type `T` from PE `src` carrying user tag `tag`.
-    ///
-    /// Blocks until the message arrives.  Panics if the next message from
-    /// `src` has a different tag or payload type — in an SPMD program that is
-    /// a bug, not a runtime condition.
-    pub fn recv<T: CommData>(&self, src: Rank, tag: Tag) -> T {
-        assert!(
-            tag < COLLECTIVE_TAG_BASE,
-            "user tags must be < 2^32, got {tag}"
-        );
-        self.recv_raw(src, tag)
-    }
-
-    /// Receive the next message from `src` regardless of tag, returning the
-    /// tag alongside the payload.
-    pub fn recv_any_tag<T: CommData>(&self, src: Rank) -> (Tag, T) {
-        let env = self
-            .mailbox
-            .recv(src)
-            .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+    /// Open a received envelope, meter it, and panic on transport-level
+    /// misuse (wrong payload type is a program bug in SPMD code).
+    fn open_metered<T: CommData>(&self, env: Envelope, src: Rank) -> (Tag, T) {
         self.stats.pe(self.rank()).record_recv(env.words);
         let (tag, _words, value) = env
-            .open::<T>()
+            .open_pooled::<T>(Some(&self.pool))
             .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
         (tag, value)
     }
+}
 
-    /// Non-blocking probe-and-receive from `src`; returns `None` if no
-    /// message is currently queued.
-    pub fn try_recv<T: CommData>(&self, src: Rank) -> Option<(Tag, T)> {
-        match self.mailbox.try_recv(src) {
-            Ok(Some(env)) => {
-                self.stats.pe(self.rank()).record_recv(env.words);
-                let (tag, _words, value) = env
-                    .open::<T>()
-                    .unwrap_or_else(|e| panic!("try_recv from {src}: {e}"));
-                Some((tag, value))
-            }
-            Ok(None) => None,
-            Err(e) => panic!("try_recv from {src}: {e}"),
-        }
+impl Communicator for Comm {
+    #[inline]
+    fn rank(&self) -> Rank {
+        self.mailbox.rank()
     }
 
-    /// Snapshot of this PE's communication counters (words/messages sent and
-    /// received so far).  Take one before and one after a phase and subtract
-    /// to meter the phase.
-    pub fn stats_snapshot(&self) -> StatsSnapshot {
+    #[inline]
+    fn size(&self) -> usize {
+        self.mailbox.size()
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
         self.stats.pe(self.rank()).snapshot()
     }
 
-    // ----- internal plumbing shared with the collectives module -----
-
-    /// Allocate the internal tag for the next collective operation.
-    pub(crate) fn next_collective_tag(&self) -> Tag {
+    fn next_collective_tag(&self) -> Tag {
         let seq = self.collective_seq.get();
         self.collective_seq.set(seq + 1);
         COLLECTIVE_TAG_BASE + seq
     }
 
-    /// Untyped send used by both the public API and the collectives.
-    pub(crate) fn send_raw<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
-        let env = Envelope::new(tag, self.rank(), value);
-        self.stats.pe(self.rank()).record_send(env.words);
+    fn send_raw<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
+        let (env, reused) = Envelope::encode(tag, self.rank(), value, Some(&self.pool));
+        let pe = self.stats.pe(self.rank());
+        pe.record_send(env.words);
+        if reused {
+            pe.record_pooled_reuse();
+        }
         if let Err(e) = self.mailbox.send(dst, env) {
             panic!("send to {dst}: {e}");
         }
     }
 
-    /// Untyped tag-checked receive used by both the public API and the
-    /// collectives.
-    pub(crate) fn recv_raw<T: CommData>(&self, src: Rank, expected_tag: Tag) -> T {
+    fn recv_raw<T: CommData>(&self, src: Rank, expected_tag: Tag) -> T {
         let env = self
             .mailbox
             .recv(src)
             .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
-        self.stats.pe(self.rank()).record_recv(env.words);
         if env.tag != expected_tag {
             let err = CommError::TagMismatch {
                 expected: expected_tag,
@@ -154,10 +99,23 @@ impl Comm {
             };
             panic!("recv from {src}: {err}");
         }
-        let (_tag, _words, value) = env
-            .open::<T>()
+        self.open_metered(env, src).1
+    }
+
+    fn recv_any_tag<T: CommData>(&self, src: Rank) -> (Tag, T) {
+        let env = self
+            .mailbox
+            .recv(src)
             .unwrap_or_else(|e| panic!("recv from {src}: {e}"));
-        value
+        self.open_metered(env, src)
+    }
+
+    fn try_recv<T: CommData>(&self, src: Rank) -> Option<(Tag, T)> {
+        match self.mailbox.try_recv(src) {
+            Ok(Some(env)) => Some(self.open_metered(env, src)),
+            Ok(None) => None,
+            Err(e) => panic!("try_recv from {src}: {e}"),
+        }
     }
 }
 
@@ -206,6 +164,35 @@ mod tests {
         assert_eq!(out.results[1].received_messages, 1);
         assert_eq!(out.stats.total_words(), 10);
         assert_eq!(out.stats.bottleneck_words(), 10);
+    }
+
+    #[test]
+    fn typed_sends_reuse_pooled_buffers() {
+        // Ping-pong Vec<u64> payloads: after the first exchange each PE's
+        // sends should draw from the capacity freed by its receives.
+        let rounds = 10u64;
+        let out = run_spmd(2, move |comm| {
+            let peer = 1 - comm.rank();
+            for i in 0..rounds {
+                if comm.rank() == 0 {
+                    comm.send(peer, 1, vec![i; 64]);
+                    let _: Vec<u64> = comm.recv(peer, 2);
+                } else {
+                    let _: Vec<u64> = comm.recv(peer, 1);
+                    comm.send(peer, 2, vec![i; 64]);
+                }
+            }
+            comm.stats_snapshot()
+        });
+        // Every send after a PE's first receive can reuse a pooled buffer.
+        for snap in &out.results {
+            assert!(
+                snap.pooled_reuses >= rounds - 1,
+                "expected ≥ {} pooled reuses, got {}",
+                rounds - 1,
+                snap.pooled_reuses
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub enum CommError {
         /// Number of PEs the data must divide into.
         parts: usize,
     },
+    /// A typed (word-encoded) payload could not be decoded as the requested
+    /// type — the wire words ran out or carried an invalid encoding.
+    Decode {
+        /// Rust type name the receiver asked for.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -84,6 +90,9 @@ impl fmt::Display for CommError {
                     f,
                     "buffer of length {len} cannot be split into {parts} equal parts"
                 )
+            }
+            CommError::Decode { expected } => {
+                write!(f, "typed payload could not be decoded as {expected}")
             }
         }
     }

@@ -14,17 +14,25 @@
 //!   `O(βm + α log p)` (or `O(βmp + α log p)` where the output is inherently
 //!   of size `mp`).
 //!
-//! PEs are realised as OS threads running the *same* program (SPMD style);
-//! the only way for them to exchange information is through the [`Comm`]
-//! handle.  Every message that crosses the "network" is metered: the number
-//! of machine words, the number of message start-ups, and per-PE send/receive
+//! The machine model is captured by the [`Communicator`] trait, and every
+//! algorithm built on this crate is generic over it.  Two backends are
+//! provided:
+//!
+//! * **threaded** ([`Comm`], via [`run_spmd`]) — one OS thread per PE over a
+//!   full mesh of mpsc channels; real parallelism and wall-clock timings;
+//! * **sequential** ([`SeqComm`], via [`run_spmd_seq`]) — the same SPMD
+//!   closures executed deterministically on a single thread by round-based
+//!   replay; fast tests, reproducible debugging, no stack-size tuning.
+//!
+//! Every message that crosses the "network" is metered: the number of
+//! machine words, the number of message start-ups, and per-PE send/receive
 //! totals are recorded so that algorithms can be evaluated in the α/β cost
 //! model the paper uses — independently of wall-clock time.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use commsim::{run_spmd, ReduceOp};
+//! use commsim::{run_spmd, Communicator, ReduceOp};
 //!
 //! // Four PEs each contribute their rank; the sum 0+1+2+3 = 6 is computed
 //! // with a tree all-reduction and is available on every PE.
@@ -36,6 +44,17 @@
 //! // The communication volume is logged per PE:
 //! assert!(out.stats.bottleneck_words() > 0);
 //! ```
+//!
+//! ## Message representation: typed words vs boxed `Any`
+//!
+//! Payloads travel in one of two forms.  Types with a u64-word codec
+//! ([`codec::WordCodec`] — all scalars, `String`, and the standard
+//! containers over them, crucially `Vec<u64>`) are encoded into a pooled
+//! word buffer and cross the transport with **zero boxing**; the buffer pool
+//! ([`transport::BufferPool`]) recycles capacity between receives and sends,
+//! and the `pooled_reuses` statistic ([`StatsSnapshot::pooled_reuses`])
+//! counts the savings.  Everything else falls back to a type-erased
+//! `Box<dyn Any>`, which is always correct, just slower.
 //!
 //! ## What is (deliberately) simulated
 //!
@@ -49,23 +68,30 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod collectives;
 pub mod comm;
+pub mod communicator;
 pub mod cost;
 pub mod error;
 pub mod message;
 pub mod metrics;
 pub mod runner;
+pub mod seq;
 pub mod topology;
 pub mod transport;
 
+pub use codec::{WordCodec, WordReader};
 pub use collectives::ReduceOp;
 pub use comm::Comm;
+pub use communicator::{Communicator, COLLECTIVE_TAG_BASE};
 pub use cost::CostModel;
 pub use error::{CommError, CommResult};
 pub use message::CommData;
 pub use metrics::{PeStats, StatsSnapshot, WorldStats};
 pub use runner::{run_spmd, run_spmd_with, SpmdConfig, SpmdOutput};
+pub use seq::{run_spmd_seq, SeqComm};
+pub use transport::BufferPool;
 
 /// Rank of a processing element, `0..p`.
 pub type Rank = usize;

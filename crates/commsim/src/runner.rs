@@ -1,9 +1,14 @@
-//! The SPMD executor.
+//! The threaded SPMD executor.
 //!
 //! [`run_spmd`] spawns one thread per simulated PE, hands each a [`Comm`]
 //! handle wired into the full-mesh transport, runs the user closure on every
 //! PE, and collects the per-PE return values together with the aggregated
 //! communication statistics and the wall-clock time of the region.
+//!
+//! For a deterministic run of the same closures without spawning threads,
+//! see [`crate::run_spmd_seq`] — both runners produce the same
+//! [`SpmdOutput`] shape, and closures written against the
+//! [`crate::Communicator`] trait work with either.
 
 use std::thread;
 use std::time::{Duration, Instant};
@@ -139,6 +144,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::communicator::Communicator;
 
     #[test]
     fn results_are_indexed_by_rank() {

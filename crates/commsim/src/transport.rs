@@ -5,15 +5,86 @@
 //! of all algorithms in this repository (every PE executes the same sequence
 //! of communication operations) is what makes tag-checked in-order receives
 //! sufficient — there is no need for out-of-order message matching.
+//!
+//! Payloads travel in one of two representations (see [`Payload`]): types
+//! with a word codec are encoded into a pooled `Vec<u64>` buffer (the typed
+//! fast path — no `Box<dyn Any>` allocation), everything else is boxed as
+//! `dyn Any` (the universal fallback).
 
-use std::any::Any;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 
+use crate::codec::{decode_error, WordReader};
 use crate::error::{CommError, CommResult};
 use crate::message::CommData;
 use crate::{Rank, Tag};
 
-/// A type-erased message travelling between two PEs.
+/// The two wire representations of a message payload.
+pub enum Payload {
+    /// The typed fast path: the value's u64-word encoding, carried in a
+    /// buffer drawn from the sender's [`BufferPool`].  The `TypeId` of the
+    /// encoded type rides along so a mismatched receive is still detected.
+    Words {
+        /// Runtime type of the value that was encoded.
+        type_id: TypeId,
+        /// The wire words (exactly `word_count()` of them).
+        buf: Vec<u64>,
+    },
+    /// The fallback for types without a word codec: a type-erased box.
+    Any(Box<dyn Any + Send>),
+}
+
+/// A small per-communicator free list of typed-path buffers.
+///
+/// Buffers released by [`Envelope::open_pooled`] are cleared and parked here;
+/// [`BufferPool::take`] hands them back to the next typed send, so that in
+/// steady state a PE's sends reuse the capacity freed by its receives and the
+/// typed path allocates nothing at all.  Reuses are counted into the
+/// `pooled_reuses` statistic (see [`crate::metrics::StatsSnapshot`]).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: RefCell<Vec<Vec<u64>>>,
+}
+
+impl BufferPool {
+    /// Buffers parked beyond this limit are dropped instead of pooled.
+    const MAX_BUFFERS: usize = 64;
+
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a cleared buffer; the boolean is `true` when it came from the
+    /// free list (as opposed to starting from a fresh, unallocated vector).
+    pub fn take(&self) -> (Vec<u64>, bool) {
+        match self.free.borrow_mut().pop() {
+            Some(buf) => (buf, true),
+            None => (Vec::new(), false),
+        }
+    }
+
+    /// Park a spent buffer for reuse (dropped when the pool is full or the
+    /// buffer never allocated).
+    pub fn put(&self, mut buf: Vec<u64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.borrow_mut();
+        if free.len() < Self::MAX_BUFFERS {
+            free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently parked.
+    pub fn parked(&self) -> usize {
+        self.free.borrow().len()
+    }
+}
+
+/// A message travelling between two PEs.
 pub struct Envelope {
     /// Tag used for matching; collectives use an internal tag space.
     pub tag: Tag,
@@ -22,7 +93,7 @@ pub struct Envelope {
     /// Number of machine words of the payload (metered on send).
     pub words: usize,
     /// The payload itself.
-    pub payload: Box<dyn Any + Send>,
+    pub payload: Payload,
 }
 
 impl std::fmt::Debug for Envelope {
@@ -31,36 +102,117 @@ impl std::fmt::Debug for Envelope {
             .field("tag", &self.tag)
             .field("from", &self.from)
             .field("words", &self.words)
+            .field(
+                "path",
+                &match self.payload {
+                    Payload::Words { .. } => "typed",
+                    Payload::Any(_) => "any",
+                },
+            )
             .finish_non_exhaustive()
     }
 }
 
 impl Envelope {
-    /// Wrap a typed payload.
+    /// Wrap a typed payload without a buffer pool (tests and one-off sends).
     pub fn new<T: CommData>(tag: Tag, from: Rank, value: T) -> Self {
+        Self::encode(tag, from, value, None).0
+    }
+
+    /// Wrap a payload, drawing the typed-path buffer from `pool` when one is
+    /// supplied.  The boolean reports whether pooled capacity was reused
+    /// (always `false` on the boxed fallback path).
+    pub fn encode<T: CommData>(
+        tag: Tag,
+        from: Rank,
+        value: T,
+        pool: Option<&BufferPool>,
+    ) -> (Self, bool) {
         let words = value.word_count();
-        Envelope {
-            tag,
-            from,
-            words,
-            payload: Box::new(value),
+        if T::TYPED {
+            let (mut buf, popped) = match pool {
+                Some(pool) => pool.take(),
+                None => (Vec::new(), false),
+            };
+            // Only count a reuse when the pooled capacity actually covers
+            // this message — otherwise reserve() allocates and the counter
+            // would overstate the win on mixed scalar/vector traffic.
+            let reused = popped && buf.capacity() >= words;
+            buf.reserve(words);
+            value.encode_typed(&mut buf);
+            debug_assert_eq!(
+                buf.len(),
+                words,
+                "encode_typed of {} must append exactly word_count() words",
+                std::any::type_name::<T>()
+            );
+            (
+                Envelope {
+                    tag,
+                    from,
+                    words,
+                    payload: Payload::Words {
+                        type_id: TypeId::of::<T>(),
+                        buf,
+                    },
+                },
+                reused,
+            )
+        } else {
+            (
+                Envelope {
+                    tag,
+                    from,
+                    words,
+                    payload: Payload::Any(Box::new(value)),
+                },
+                false,
+            )
         }
     }
 
     /// Recover the typed payload, failing if the stored type differs.
     pub fn open<T: CommData>(self) -> CommResult<(Tag, usize, T)> {
+        self.open_pooled::<T>(None)
+    }
+
+    /// Like [`Envelope::open`], but parks the spent typed-path buffer in
+    /// `pool` so the receiver's next sends can reuse its capacity.
+    pub fn open_pooled<T: CommData>(
+        self,
+        pool: Option<&BufferPool>,
+    ) -> CommResult<(Tag, usize, T)> {
         let Envelope {
             tag,
             words,
             payload,
             ..
         } = self;
-        match payload.downcast::<T>() {
-            Ok(v) => Ok((tag, words, *v)),
-            Err(_) => Err(CommError::TypeMismatch {
-                tag,
-                expected: std::any::type_name::<T>(),
-            }),
+        match payload {
+            Payload::Words { type_id, buf } => {
+                if type_id != TypeId::of::<T>() {
+                    return Err(CommError::TypeMismatch {
+                        tag,
+                        expected: std::any::type_name::<T>(),
+                    });
+                }
+                let mut r = WordReader::new(&buf);
+                let value = T::decode_typed(&mut r)?;
+                if r.remaining() != 0 {
+                    return Err(decode_error::<T>());
+                }
+                if let Some(pool) = pool {
+                    pool.put(buf);
+                }
+                Ok((tag, words, value))
+            }
+            Payload::Any(boxed) => match boxed.downcast::<T>() {
+                Ok(v) => Ok((tag, words, *v)),
+                Err(_) => Err(CommError::TypeMismatch {
+                    tag,
+                    expected: std::any::type_name::<T>(),
+                }),
+            },
         }
     }
 }
@@ -172,10 +324,81 @@ mod tests {
     }
 
     #[test]
+    fn typed_payloads_travel_as_words_not_boxes() {
+        let env = Envelope::new(1, 0, vec![9u64, 8]);
+        match &env.payload {
+            Payload::Words { buf, .. } => assert_eq!(buf, &vec![2, 9, 8]),
+            Payload::Any(_) => panic!("Vec<u64> must use the typed path"),
+        }
+    }
+
+    #[test]
+    fn untyped_payloads_fall_back_to_any() {
+        struct Opaque(u64);
+        impl CommData for Opaque {
+            fn word_count(&self) -> usize {
+                1
+            }
+        }
+        let env = Envelope::new(1, 0, Opaque(5));
+        assert!(matches!(env.payload, Payload::Any(_)));
+        let (_, _, v): (_, _, Opaque) = env.open().unwrap();
+        assert_eq!(v.0, 5);
+    }
+
+    #[test]
     fn envelope_type_mismatch_is_detected() {
+        // Typed-path mismatch (both types have codecs, TypeId differs).
+        let env = Envelope::new(1, 0, 42u64);
+        let err = env.open::<u32>().unwrap_err();
+        assert!(matches!(err, CommError::TypeMismatch { .. }));
+        // Typed-vs-untyped mismatch.
         let env = Envelope::new(1, 0, 42u64);
         let err = env.open::<String>().unwrap_err();
         assert!(matches!(err, CommError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn pool_roundtrip_reuses_capacity() {
+        let pool = BufferPool::new();
+        // First send: nothing pooled yet.
+        let (env, reused) = Envelope::encode(1, 0, vec![1u64, 2, 3], Some(&pool));
+        assert!(!reused);
+        // Open returns the buffer to the pool.
+        let (_, _, v): (_, _, Vec<u64>) = env.open_pooled(Some(&pool)).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(pool.parked(), 1);
+        // Second send reuses the parked capacity.
+        let (env, reused) = Envelope::encode(1, 0, vec![4u64], Some(&pool));
+        assert!(reused);
+        assert_eq!(pool.parked(), 0);
+        let (_, _, v): (_, _, Vec<u64>) = env.open_pooled(Some(&pool)).unwrap();
+        assert_eq!(v, vec![4]);
+    }
+
+    #[test]
+    fn undersized_pooled_buffers_do_not_count_as_reuse() {
+        let pool = BufferPool::new();
+        // A scalar send parks a tiny buffer...
+        let (env, _) = Envelope::encode(1, 0, 7u64, Some(&pool));
+        let _: (_, _, u64) = env.open_pooled(Some(&pool)).unwrap();
+        assert_eq!(pool.parked(), 1);
+        // ...which cannot cover a large vector: no reuse is reported.
+        let (_, reused) = Envelope::encode(1, 0, vec![0u64; 256], Some(&pool));
+        assert!(!reused);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..(BufferPool::MAX_BUFFERS + 10) {
+            pool.put(Vec::with_capacity(4));
+        }
+        assert_eq!(pool.parked(), BufferPool::MAX_BUFFERS);
+        // Zero-capacity buffers are not worth parking.
+        let pool = BufferPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.parked(), 0);
     }
 
     #[test]

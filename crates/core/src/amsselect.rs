@@ -17,7 +17,7 @@
 //! reduction, trading `O(βd)` volume for a success probability that grows
 //! with `d` and allowing `k̄ − k̲ = Ω(k/d)`.
 
-use commsim::{Comm, CommData, ReduceOp};
+use commsim::{CommData, Communicator, ReduceOp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::sampling::geometric_deviate;
@@ -67,7 +67,10 @@ fn max_estimator_probability(k_lo: u64, k_hi: u64, n: u64) -> f64 {
 
 /// All-reduce a per-PE estimate where `None` means "no local sample"
 /// (treated as +∞ for the min-based estimator).
-fn reduce_estimate_min<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Option<K> {
+fn reduce_estimate_min<C: Communicator, K: Ord + Clone + CommData>(
+    comm: &C,
+    value: Option<K>,
+) -> Option<K> {
     comm.allreduce(
         value,
         ReduceOp::custom(|a: &Option<K>, b: &Option<K>| match (a, b) {
@@ -78,7 +81,10 @@ fn reduce_estimate_min<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>)
 }
 
 /// Dual of [`reduce_estimate_min`] (`None` = −∞).
-fn reduce_estimate_max<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Option<K> {
+fn reduce_estimate_max<C: Communicator, K: Ord + Clone + CommData>(
+    comm: &C,
+    value: Option<K>,
+) -> Option<K> {
     comm.allreduce(
         value,
         ReduceOp::custom(|a: &Option<K>, b: &Option<K>| match (a, b) {
@@ -98,14 +104,15 @@ fn reduce_estimate_max<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>)
 /// # Panics
 ///
 /// Panics if `k̲ < 1`, `k̲ > k̄`, or `k̄` exceeds the global input size.
-pub fn approx_multisequence_select<T>(
-    comm: &Comm,
+pub fn approx_multisequence_select<C, T>(
+    comm: &C,
     sorted_local: &[T],
     k_lo: u64,
     k_hi: u64,
     seed: u64,
 ) -> AmsSelectResult<T>
 where
+    C: Communicator,
     T: Ord + Clone + CommData,
 {
     debug_assert!(
@@ -224,8 +231,8 @@ where
 /// per round with a single vector-valued reduction.  Allows narrower bands
 /// (`k̄ − k̲ = Ω(k/d)`) at `O(βd)` extra volume per round while keeping the
 /// latency at `O(α log p)` per round.
-pub fn approx_multisequence_select_batched<T>(
-    comm: &Comm,
+pub fn approx_multisequence_select_batched<C, T>(
+    comm: &C,
     sorted_local: &[T],
     k_lo: u64,
     k_hi: u64,
@@ -233,6 +240,7 @@ pub fn approx_multisequence_select_batched<T>(
     seed: u64,
 ) -> AmsSelectResult<T>
 where
+    C: Communicator,
     T: Ord + Clone + CommData,
 {
     debug_assert!(sorted_local.windows(2).all(|w| w[0] <= w[1]));

@@ -15,7 +15,7 @@
 //! baseline and the parallel algorithm are provided so that the `K = m +
 //! O(hp)` claim can be measured (bench `bnb_expansions`).
 
-use commsim::{Comm, CommData};
+use commsim::{CommData, Communicator};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -210,8 +210,8 @@ fn expand_node(instance: &KnapsackInstance, node: &BnbNode, incumbent: &mut u64)
 /// result is identical on every PE.  `batch_per_pe` controls how many nodes
 /// are removed per PE per iteration (`k_i = batch_per_pe · p`, the paper's
 /// `O(p)` batch).
-pub fn knapsack_branch_bound_parallel(
-    comm: &Comm,
+pub fn knapsack_branch_bound_parallel<C: Communicator>(
+    comm: &C,
     instance: &KnapsackInstance,
     batch_per_pe: usize,
     seed: u64,

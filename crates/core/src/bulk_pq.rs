@@ -14,7 +14,7 @@
 //! Elements are tie-broken with a globally unique insertion id, so a fixed
 //! batch always contains *exactly* `k` elements in total.
 
-use commsim::{Comm, CommData};
+use commsim::{CommData, Communicator};
 use seqkit::Treap;
 
 use crate::amsselect::approx_multisequence_select;
@@ -38,7 +38,7 @@ where
     T: Ord + Clone + CommData,
 {
     /// Create an empty queue on this PE.
-    pub fn new(comm: &Comm) -> Self {
+    pub fn new<C: Communicator>(comm: &C) -> Self {
         BulkParallelQueue {
             local: Treap::new(),
             rank: comm.rank(),
@@ -74,12 +74,12 @@ where
     }
 
     /// Global number of stored elements (one all-reduction).
-    pub fn global_len(&self, comm: &Comm) -> u64 {
+    pub fn global_len<C: Communicator>(&self, comm: &C) -> u64 {
         comm.allreduce_sum(self.local.len() as u64)
     }
 
     /// The globally smallest element without removing it (one all-reduction).
-    pub fn peek_min(&self, comm: &Comm) -> Option<T> {
+    pub fn peek_min<C: Communicator>(&self, comm: &C) -> Option<T> {
         let local_min = self.local.min().cloned();
         comm.allreduce(
             local_min,
@@ -95,7 +95,7 @@ where
     /// globally smallest elements.  The return value is this PE's share of
     /// the batch (in ascending order); the shares sum to exactly
     /// `min(k, global_len)` elements over all PEs.
-    pub fn delete_min(&mut self, comm: &Comm, k: usize, seed: u64) -> Vec<T> {
+    pub fn delete_min<C: Communicator>(&mut self, comm: &C, k: usize, seed: u64) -> Vec<T> {
         let global = self.global_len(comm);
         if global == 0 || k == 0 {
             return Vec::new();
@@ -113,9 +113,9 @@ where
     /// `deleteMin*` with a flexible batch size `k̲..k̄` (Theorem 5, flexible
     /// case): removes between `k̲` and `k̄` globally smallest elements using a
     /// single-round-in-expectation approximate selection.
-    pub fn delete_min_flexible(
+    pub fn delete_min_flexible<C: Communicator>(
         &mut self,
-        comm: &Comm,
+        comm: &C,
         k_lo: usize,
         k_hi: usize,
         seed: u64,

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use commsim::Comm;
+use commsim::Communicator;
 
 use crate::util::owner_of;
 
@@ -20,7 +20,10 @@ use crate::util::owner_of;
 ///
 /// Every key appears in the result of exactly one PE, with the global sum of
 /// all PEs' local counts for it.
-pub fn aggregate_counts(comm: &Comm, local_counts: HashMap<u64, u64>) -> HashMap<u64, u64> {
+pub fn aggregate_counts<C: Communicator>(
+    comm: &C,
+    local_counts: HashMap<u64, u64>,
+) -> HashMap<u64, u64> {
     let p = comm.size();
     // Partition the local aggregate by owner.
     let mut per_dest: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
@@ -46,7 +49,10 @@ pub fn aggregate_counts(comm: &Comm, local_counts: HashMap<u64, u64>) -> HashMap
 
 /// Like [`aggregate_counts`] but for weighted sums (used by the top-k sum
 /// aggregation of Section 8).  Values are transported as `f64` bit patterns.
-pub fn aggregate_sums(comm: &Comm, local_sums: HashMap<u64, f64>) -> HashMap<u64, f64> {
+pub fn aggregate_sums<C: Communicator>(
+    comm: &C,
+    local_sums: HashMap<u64, f64>,
+) -> HashMap<u64, f64> {
     let p = comm.size();
     let mut per_dest: Vec<Vec<(u64, u64)>> = vec![Vec::new(); p];
     for (key, sum) in local_sums {
@@ -65,7 +71,7 @@ pub fn aggregate_sums(comm: &Comm, local_sums: HashMap<u64, f64>) -> HashMap<u64
 /// Broadcast a small set of candidate keys from their owners to every PE
 /// (the all-gather step of the exact-counting algorithms): each PE passes the
 /// candidate keys it owns, every PE receives the union.
-pub fn allgather_candidates(comm: &Comm, local_candidates: Vec<u64>) -> Vec<u64> {
+pub fn allgather_candidates<C: Communicator>(comm: &C, local_candidates: Vec<u64>) -> Vec<u64> {
     let mut all: Vec<u64> = comm
         .allgather(local_candidates)
         .into_iter()

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use commsim::Comm;
+use commsim::Communicator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::hashagg::count_keys;
@@ -55,8 +55,8 @@ fn exact_local_counts(local_data: &[u64], candidates: &[u64]) -> Vec<u64> {
 }
 
 /// Run Algorithm EC with an explicit candidate-set size `k*`.
-pub fn ec_top_k_with_kstar(
-    comm: &Comm,
+pub fn ec_top_k_with_kstar<C: Communicator>(
+    comm: &C,
     local_data: &[u64],
     params: &FrequentParams,
     k_star: usize,
@@ -102,7 +102,11 @@ pub fn ec_top_k_with_kstar(
 }
 
 /// Run Algorithm EC with the volume-optimal `k*` of the paper.
-pub fn ec_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> TopKFrequentResult {
+pub fn ec_top_k<C: Communicator>(
+    comm: &C,
+    local_data: &[u64],
+    params: &FrequentParams,
+) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
         return TopKFrequentResult {

@@ -34,7 +34,7 @@ pub mod pec;
 
 use std::collections::HashMap;
 
-use commsim::Comm;
+use commsim::Communicator;
 
 use crate::unsorted::select_k_largest;
 
@@ -135,7 +135,7 @@ pub fn relative_error(exact_counts: &HashMap<u64, u64>, reported: &[u64], k: usi
 
 /// Exact global counts of every key (the correctness oracle used by tests and
 /// experiments; `O(n/p)` local work plus one hash-table aggregation).
-pub fn exact_global_counts(comm: &Comm, local_data: &[u64]) -> HashMap<u64, u64> {
+pub fn exact_global_counts<C: Communicator>(comm: &C, local_data: &[u64]) -> HashMap<u64, u64> {
     let local = seqkit::hashagg::count_keys(local_data.iter().copied());
     let owned = dht::aggregate_counts(comm, local);
     // Gather all owned aggregates everywhere (oracle only — not part of the
@@ -151,8 +151,8 @@ pub fn exact_global_counts(comm: &Comm, local_data: &[u64]) -> HashMap<u64, u64>
 ///
 /// Uses the unsorted selection algorithm of Section 4.1 on `(count, key)`
 /// pairs, then gathers only the `k` winners (`O(βk + α log p)`).
-pub fn select_top_counts(
-    comm: &Comm,
+pub fn select_top_counts<C: Communicator>(
+    comm: &C,
     owned: &HashMap<u64, u64>,
     k: usize,
     seed: u64,

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use commsim::Comm;
+use commsim::Communicator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::hashagg::{count_keys, merge_counts, top_k_by_count};
@@ -30,8 +30,8 @@ use super::{pac::sampling_probability, FrequentParams, TopKFrequentResult};
 const NAIVE_TAG: u64 = 0x7A1;
 
 /// Draw the PAC-rate sample and aggregate it locally.
-fn local_sample_counts(
-    comm: &Comm,
+fn local_sample_counts<C: Communicator>(
+    comm: &C,
     local_data: &[u64],
     params: &FrequentParams,
     n: u64,
@@ -53,7 +53,11 @@ fn scale_counts(items: Vec<(u64, u64)>, rho: f64) -> Vec<(u64, u64)> {
 
 /// The Naive baseline: direct point-to-point delivery of every PE's
 /// aggregated sample to the coordinator.
-pub fn naive_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> TopKFrequentResult {
+pub fn naive_top_k<C: Communicator>(
+    comm: &C,
+    local_data: &[u64],
+    params: &FrequentParams,
+) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
         return TopKFrequentResult {
@@ -92,8 +96,8 @@ pub fn naive_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> 
 /// The Naive Tree baseline: the aggregated samples flow up a binomial
 /// reduction tree, merging hash maps at every level (implemented with the
 /// generic tree reduction of the communication layer).
-pub fn naive_tree_top_k(
-    comm: &Comm,
+pub fn naive_tree_top_k<C: Communicator>(
+    comm: &C,
     local_data: &[u64],
     params: &FrequentParams,
 ) -> TopKFrequentResult {

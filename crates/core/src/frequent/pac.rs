@@ -13,7 +13,7 @@
 //! (ε, δ)-approximation: with probability at least `1 − δ` the error (in the
 //! sense of [`super::absolute_error`]) is at most `εn`.
 
-use commsim::Comm;
+use commsim::Communicator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::hashagg::count_keys;
@@ -43,7 +43,11 @@ pub fn sampling_probability(n: u64, params: &FrequentParams) -> f64 {
 ///
 /// All PEs receive the same result: the `k` most frequently sampled objects
 /// with their counts scaled to estimates of the true counts.
-pub fn pac_top_k(comm: &Comm, local_data: &[u64], params: &FrequentParams) -> TopKFrequentResult {
+pub fn pac_top_k<C: Communicator>(
+    comm: &C,
+    local_data: &[u64],
+    params: &FrequentParams,
+) -> TopKFrequentResult {
     let n = comm.allreduce_sum(local_data.len() as u64);
     if n == 0 {
         return TopKFrequentResult {

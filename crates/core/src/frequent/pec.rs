@@ -14,7 +14,7 @@
 //! gives the sample size and `k* ≈ (2+√2)^{1/s}·k` in closed form
 //! ([`pec_zipf_top_k`]).
 
-use commsim::Comm;
+use commsim::Communicator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::hashagg::count_keys;
@@ -44,8 +44,8 @@ pub struct KStarEstimate {
 /// observed `ŝ_k` standing in for its expectation (high-probability bound).
 /// `k*` is the number of sampled objects at or above the threshold, clamped
 /// to at least `k`.
-pub fn estimate_k_star(
-    comm: &Comm,
+pub fn estimate_k_star<C: Communicator>(
+    comm: &C,
     local_data: &[u64],
     params: &FrequentParams,
     epsilon0: f64,
@@ -98,8 +98,8 @@ pub fn estimate_k_star(
 /// The result's counts are exact; with probability at least `1 − δ` (and a
 /// sufficiently sloped input distribution) the reported set is exactly the
 /// true top-k.
-pub fn pec_top_k(
-    comm: &Comm,
+pub fn pec_top_k<C: Communicator>(
+    comm: &C,
     local_data: &[u64],
     params: &FrequentParams,
     epsilon0: f64,
@@ -122,8 +122,8 @@ pub fn pec_top_k(
 /// with exponent `s` over `num_values` distinct objects, the sample size
 /// `ρn = 4·k^s·H_{n,s}·ln(k/δ)` and `k* = ⌈(2+√2)^{1/s}·k⌉` suffice — no
 /// first-stage sample is needed.
-pub fn pec_zipf_top_k(
-    comm: &Comm,
+pub fn pec_zipf_top_k<C: Communicator>(
+    comm: &C,
     local_data: &[u64],
     params: &FrequentParams,
     zipf_exponent: f64,

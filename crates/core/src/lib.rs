@@ -26,7 +26,7 @@
 //! ## Example
 //!
 //! ```
-//! use commsim::run_spmd;
+//! use commsim::{run_spmd, Communicator};
 //! use topk::unsorted::select_k_smallest;
 //!
 //! // Four PEs, each holding 1000 local values; find the 10 globally smallest.

@@ -11,7 +11,7 @@
 //! Ties are broken by the global element index, so the rank is exact even
 //! with duplicate values and the per-PE result counts sum to exactly `k`.
 
-use commsim::{Comm, CommData, ReduceOp};
+use commsim::{CommData, Communicator, ReduceOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,13 +38,14 @@ type Key<T> = (T, u64);
 ///
 /// Panics if `k` is zero or exceeds the global number of elements, or if the
 /// local input is not sorted (checked in debug builds).
-pub fn multisequence_select<T>(
-    comm: &Comm,
+pub fn multisequence_select<C, T>(
+    comm: &C,
     sorted_local: &[T],
     k: usize,
     seed: u64,
 ) -> MsSelectResult<T>
 where
+    C: Communicator,
     T: Ord + Clone + CommData,
 {
     debug_assert!(
@@ -132,7 +133,7 @@ where
 }
 
 /// All-reduce that picks the unique `Some` among per-PE options.
-fn pick_unique<K: Clone + CommData>(comm: &Comm, candidate: Option<K>) -> K {
+fn pick_unique<C: Communicator, K: Clone + CommData>(comm: &C, candidate: Option<K>) -> K {
     comm.allreduce(
         candidate,
         ReduceOp::custom(|a: &Option<K>, b: &Option<K>| match (a, b) {

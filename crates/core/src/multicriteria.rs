@@ -23,7 +23,7 @@
 //!   is at least `2k`, the prefixes are scanned and the `k` best hits are
 //!   extracted with the unsorted selection algorithm.
 
-use commsim::{Comm, ReduceOp};
+use commsim::{Communicator, ReduceOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seqkit::threshold::{ObjectId, ScoreList, ThresholdAlgorithm};
@@ -75,8 +75,8 @@ pub struct MulticriteriaResult {
 /// Extract the global top-`k` among locally scored candidate objects.
 /// Candidates are `(object, aggregate score)` pairs owned by this PE; the
 /// result (identical on every PE) is sorted by decreasing score.
-fn select_best_candidates(
-    comm: &Comm,
+fn select_best_candidates<C: Communicator>(
+    comm: &C,
     candidates: &[(ObjectId, f64)],
     k: usize,
     seed: u64,
@@ -107,14 +107,15 @@ fn select_best_candidates(
 }
 
 /// RDTA: multicriteria top-k for randomly distributed objects.
-pub fn rdta_top_k<F>(
-    comm: &Comm,
+pub fn rdta_top_k<C, F>(
+    comm: &C,
     local: &LocalMulticriteria,
     score_fn: &F,
     k: usize,
     seed: u64,
 ) -> MulticriteriaResult
 where
+    C: Communicator,
     F: Fn(&[f64]) -> f64,
 {
     assert!(k >= 1, "k must be at least 1");
@@ -161,14 +162,15 @@ where
 }
 
 /// DTA (Algorithm 3): multicriteria top-k for arbitrary object distribution.
-pub fn dta_top_k<F>(
-    comm: &Comm,
+pub fn dta_top_k<C, F>(
+    comm: &C,
     local: &LocalMulticriteria,
     score_fn: &F,
     k: usize,
     seed: u64,
 ) -> MulticriteriaResult
 where
+    C: Communicator,
     F: Fn(&[f64]) -> f64,
 {
     assert!(k >= 1, "k must be at least 1");

@@ -17,7 +17,7 @@
 //! matching logic straightforward.  The *element* traffic is identical to the
 //! paper's: only surpluses move, and they move directly to their final PE.
 
-use commsim::{Comm, CommData};
+use commsim::{CommData, Communicator};
 
 /// What a redistribution did on this PE.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -41,8 +41,9 @@ const REDIST_TAG: u64 = 0x5ED1;
 ///
 /// Returns the new local data (original elements first, received elements
 /// appended) and a [`RedistributionReport`].
-pub fn redistribute<T>(comm: &Comm, mut local: Vec<T>) -> (Vec<T>, RedistributionReport)
+pub fn redistribute<C, T>(comm: &C, mut local: Vec<T>) -> (Vec<T>, RedistributionReport)
 where
+    C: Communicator,
     T: Clone + CommData,
 {
     let p = comm.size();

@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use commsim::Comm;
+use commsim::Communicator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::hashagg::sum_by_key;
@@ -58,8 +58,8 @@ pub fn required_sample_size(n: u64, p: usize, epsilon: f64, delta: f64) -> u64 {
 /// Locally aggregate, sample proportionally to value, and count the samples
 /// in the distributed hash table.  Returns (owned sampled counts, v_avg,
 /// global sample size, local aggregate).
-fn sample_and_count(
-    comm: &Comm,
+fn sample_and_count<C: Communicator>(
+    comm: &C,
     local_pairs: &[(u64, f64)],
     params: &FrequentParams,
 ) -> (HashMap<u64, u64>, f64, u64, HashMap<u64, f64>) {
@@ -95,8 +95,8 @@ fn sample_and_count(
 }
 
 /// The (ε, δ)-approximate top-k sum aggregation (Theorem 15).
-pub fn sum_top_k(
-    comm: &Comm,
+pub fn sum_top_k<C: Communicator>(
+    comm: &C,
     local_pairs: &[(u64, f64)],
     params: &FrequentParams,
 ) -> TopKSumResult {
@@ -123,8 +123,8 @@ pub fn sum_top_k(
 /// The exact-summation variant (the Section 8 analogue of Algorithm EC):
 /// candidates are identified from the sample, their exact sums are obtained
 /// from the local aggregates with one vector-valued reduction.
-pub fn sum_top_k_exact(
-    comm: &Comm,
+pub fn sum_top_k_exact<C: Communicator>(
+    comm: &C,
     local_pairs: &[(u64, f64)],
     params: &FrequentParams,
     k_star: usize,

@@ -14,7 +14,7 @@
 //! rank `k` under a tie-broken total order) and each PE's local part of the
 //! selected set, whose sizes sum to exactly `k` across all PEs.
 
-use commsim::{Comm, CommData, ReduceOp};
+use commsim::{CommData, Communicator, ReduceOp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::sampling::bernoulli_sample;
@@ -69,27 +69,29 @@ impl Default for UnsortedSelectionConfig {
 /// `local` is this PE's part of the input; `k` counts over the union of all
 /// PEs' parts and must satisfy `1 ≤ k ≤ Σ|local|`.  Ties are broken by a
 /// global index, so exactly `k` elements are selected in total.
-pub fn select_k_smallest<T>(
-    comm: &Comm,
+pub fn select_k_smallest<C, T>(
+    comm: &C,
     local: &[T],
     k: usize,
     seed: u64,
 ) -> UnsortedSelectionResult<T>
 where
+    C: Communicator,
     T: Ord + Clone + CommData,
 {
     select_k_smallest_with(comm, local, k, seed, UnsortedSelectionConfig::default())
 }
 
 /// [`select_k_smallest`] with explicit tuning parameters.
-pub fn select_k_smallest_with<T>(
-    comm: &Comm,
+pub fn select_k_smallest_with<C, T>(
+    comm: &C,
     local: &[T],
     k: usize,
     seed: u64,
     config: UnsortedSelectionConfig,
 ) -> UnsortedSelectionResult<T>
 where
+    C: Communicator,
     T: Ord + Clone + CommData,
 {
     let total = comm.allreduce_sum(local.len() as u64) as usize;
@@ -120,8 +122,9 @@ where
 
 /// Select only the threshold (the element of global rank `k`), without
 /// materialising the selected set.
-pub fn select_threshold<T>(comm: &Comm, local: &[T], k: usize, seed: u64) -> T
+pub fn select_threshold<C, T>(comm: &C, local: &[T], k: usize, seed: u64) -> T
 where
+    C: Communicator,
     T: Ord + Clone + CommData,
 {
     select_k_smallest(comm, local, k, seed).threshold
@@ -129,13 +132,14 @@ where
 
 /// Select the `k` globally **largest** elements (dual problem, used by the
 /// frequent-objects algorithms which want the largest counts).
-pub fn select_k_largest<T>(
-    comm: &Comm,
+pub fn select_k_largest<C, T>(
+    comm: &C,
     local: &[T],
     k: usize,
     seed: u64,
 ) -> UnsortedSelectionResult<std::cmp::Reverse<T>>
 where
+    C: Communicator,
     T: Ord + Clone + CommData,
     std::cmp::Reverse<T>: CommData,
 {
@@ -146,7 +150,7 @@ where
 
 /// Global minimum over per-PE optional values (`None` = "this PE has no
 /// elements left").
-fn global_min<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Option<K> {
+fn global_min<C: Communicator, K: Ord + Clone + CommData>(comm: &C, value: Option<K>) -> Option<K> {
     comm.allreduce(
         value,
         ReduceOp::custom(|a: &Option<K>, b: &Option<K>| match (a, b) {
@@ -157,7 +161,7 @@ fn global_min<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Optio
 }
 
 /// Global maximum over per-PE optional values.
-fn global_max<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Option<K> {
+fn global_max<C: Communicator, K: Ord + Clone + CommData>(comm: &C, value: Option<K>) -> Option<K> {
     comm.allreduce(
         value,
         ReduceOp::custom(|a: &Option<K>, b: &Option<K>| match (a, b) {
@@ -168,8 +172,8 @@ fn global_max<K: Ord + Clone + CommData>(comm: &Comm, value: Option<K>) -> Optio
 }
 
 /// Core recursion of Algorithm 1 on tie-broken keys.
-fn select_recursive<K>(
-    comm: &Comm,
+fn select_recursive<C, K>(
+    comm: &C,
     mut s: Vec<K>,
     mut k: usize,
     rng: &mut StdRng,
@@ -177,6 +181,7 @@ fn select_recursive<K>(
     config: &UnsortedSelectionConfig,
 ) -> K
 where
+    C: Communicator,
     K: Ord + Clone + CommData,
 {
     let p = comm.size();

@@ -1,0 +1,59 @@
+//! Backend walkthrough: one SPMD program, two execution backends.
+//!
+//! Demonstrates the `Communicator` trait introduced with the API redesign:
+//! the same generic closure runs on the threaded backend (`run_spmd`, one OS
+//! thread per PE) and on the deterministic sequential backend
+//! (`run_spmd_seq`, round-based replay on a single thread), producing
+//! identical results and identical metered traffic.  Also shows the typed
+//! message path at work: `Vec<u64>` payloads cross the transport as pooled
+//! word buffers, and the `pooled_reuses` counter proves the allocations are
+//! being recycled.
+//!
+//! ```bash
+//! cargo run --release --example backends
+//! ```
+
+use topk_selection::prelude::*;
+
+/// A little SPMD program written once, against the trait: repeated vector
+/// all-reductions (the typed hot path) plus a couple of scalar collectives.
+fn program<C: Communicator>(comm: &C) -> (u64, u64) {
+    let mut checksum = 0u64;
+    for round in 0..16 {
+        let v = vec![comm.rank() as u64 + round; 256];
+        let summed = comm.allreduce_vec_sum(v);
+        checksum = checksum.wrapping_add(summed[0]);
+    }
+    let offset = comm.prefix_sum_exclusive(1);
+    (checksum, offset)
+}
+
+fn main() {
+    let p = 8;
+
+    let threaded = run_spmd(p, program::<Comm>);
+    let sequential = run_spmd_seq(p, program::<SeqComm>);
+
+    assert_eq!(threaded.results, sequential.results);
+    assert_eq!(threaded.stats.total_words(), sequential.stats.total_words());
+
+    println!("same program, two backends, p = {p}:");
+    println!(
+        "  threaded   {:>9} words {:>5} msgs {:>5} pooled reuses   {:?}",
+        threaded.stats.total_words(),
+        threaded.stats.total_messages(),
+        threaded.stats.total_pooled_reuses(),
+        threaded.elapsed
+    );
+    println!(
+        "  sequential {:>9} words {:>5} msgs {:>5} pooled reuses   {:?}",
+        sequential.stats.total_words(),
+        sequential.stats.total_messages(),
+        sequential.stats.total_pooled_reuses(),
+        sequential.elapsed
+    );
+    println!(
+        "  results agree on all {} PEs; typed Vec<u64> payloads never touched Box<dyn Any>",
+        p
+    );
+}

@@ -34,7 +34,10 @@ pub use topk;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use commsim::{run_spmd, run_spmd_with, Comm, CostModel, ReduceOp, SpmdConfig, SpmdOutput};
+    pub use commsim::{
+        run_spmd, run_spmd_seq, run_spmd_with, Comm, Communicator, CostModel, ReduceOp, SeqComm,
+        SpmdConfig, SpmdOutput, WordCodec,
+    };
     pub use datagen::{
         MulticriteriaWorkload, NegativeBinomial, SkewedSelectionInput, UniformInput,
         WeightedZipfInput, Zipf,

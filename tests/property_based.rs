@@ -7,11 +7,85 @@
 //! * the treap behaves exactly like a sorted vector;
 //! * redistribution never loses or invents elements and always balances;
 //! * the bulk queue drains any insert schedule in global order;
-//! * the word-count metering is additive.
+//! * the word-count metering is additive;
+//! * the typed word codec round-trips every implementing type, with the
+//!   wire length equal to the metered word count;
+//! * the SPMD collective suite gives identical results and identical metered
+//!   traffic on **both** backends (threaded `Comm` and sequential `SeqComm`).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use topk_selection::commsim::{CommData, WordReader};
 use topk_selection::prelude::*;
+
+/// Round-trip a value through its typed wire encoding, checking the three
+/// codec invariants: exact declared length, equality after decode, and full
+/// consumption of the encoding.
+fn codec_roundtrip<T>(value: T) -> Result<(), TestCaseError>
+where
+    T: WordCodec + CommData + PartialEq + std::fmt::Debug,
+{
+    let mut wire = Vec::new();
+    value.encode(&mut wire);
+    prop_assert_eq!(
+        wire.len(),
+        value.encoded_len(),
+        "encoded_len of {:?}",
+        value
+    );
+    prop_assert_eq!(
+        wire.len(),
+        value.word_count(),
+        "wire length must equal the metered word count of {:?}",
+        value
+    );
+    let mut reader = WordReader::new(&wire);
+    let decoded = T::decode(&mut reader);
+    match decoded {
+        Ok(decoded) => {
+            prop_assert_eq!(&decoded, &value);
+        }
+        Err(e) => prop_assert!(false, "decode of {:?} failed: {e}", value),
+    }
+    prop_assert_eq!(reader.remaining(), 0, "decode must consume the encoding");
+    Ok(())
+}
+
+/// The collective program exercised on both backends: every paper collective
+/// over per-PE inputs, generic over the [`Communicator`] backend.
+type CollectiveOutputs = (
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    Option<Vec<u64>>,
+    Vec<u64>,
+    Vec<u64>,
+    u64,
+    Vec<u64>,
+);
+
+fn collective_program<C: Communicator>(comm: &C, values: &[u64], root: usize) -> CollectiveOutputs {
+    let v = values[comm.rank()];
+    let root_value = (comm.rank() == root).then_some(v);
+    let scatter_values = (comm.rank() == root).then(|| values.to_vec());
+    comm.barrier();
+    (
+        comm.allreduce_sum(v),
+        comm.allreduce_min(v),
+        comm.allreduce_max(v),
+        comm.prefix_sum_exclusive(v),
+        comm.prefix_sum_inclusive(v),
+        comm.broadcast(root, root_value),
+        comm.gather(root, v),
+        comm.allgather(v),
+        comm.alltoall((0..comm.size() as u64).map(|d| v * 1000 + d).collect()),
+        comm.scatter(root, scatter_values),
+        comm.alltoall_indirect((0..comm.size() as u64).map(|d| v + d).collect()),
+    )
+}
 
 /// Strategy: between 1 and 5 PEs, each with 0..200 values in 0..1000.
 fn distributed_input() -> impl Strategy<Value = Vec<Vec<u64>>> {
@@ -201,47 +275,156 @@ proptest! {
     }
 
     #[test]
-    fn collectives_match_sequential_oracles(
+    fn collectives_match_sequential_oracles_on_both_backends(
         values in vec(0u64..1_000_000, 1..9),
         root_frac in 0.0f64..1.0,
     ) {
         let p = values.len();
         let root = ((root_frac * p as f64) as usize).min(p - 1);
+        // The same generic program on both backends.
         let vals = values.clone();
-        let out = run_spmd(p, move |comm| {
-            let v = vals[comm.rank()];
-            let root_value = if comm.rank() == root { Some(v) } else { None };
-            (
-                comm.allreduce_sum(v),
-                comm.allreduce_min(v),
-                comm.allreduce_max(v),
-                comm.prefix_sum_exclusive(v),
-                comm.prefix_sum_inclusive(v),
-                comm.broadcast(root, root_value),
-                comm.gather(root, v),
-                comm.allgather(v),
-            )
-        });
+        let threaded = run_spmd(p, move |comm| collective_program(comm, &vals, root));
+        let vals = values.clone();
+        let sequential = run_spmd_seq(p, move |comm| collective_program(comm, &vals, root));
+
         let total: u64 = values.iter().sum();
         let min = *values.iter().min().expect("non-empty");
         let max = *values.iter().max().expect("non-empty");
-        let mut running = 0u64;
-        for (rank, result) in out.results.iter().enumerate() {
-            let (sum, mn, mx, excl, incl, bcast, ref gathered, ref all) = *result;
-            prop_assert_eq!(sum, total);
-            prop_assert_eq!(mn, min);
-            prop_assert_eq!(mx, max);
-            prop_assert_eq!(excl, running);
-            running += values[rank];
-            prop_assert_eq!(incl, running);
-            prop_assert_eq!(bcast, values[root]);
-            if rank == root {
-                prop_assert_eq!(gathered.as_deref(), Some(values.as_slice()));
-            } else {
-                prop_assert!(gathered.is_none());
+        for out in [&threaded, &sequential] {
+            let mut running = 0u64;
+            for (rank, result) in out.results.iter().enumerate() {
+                let (sum, mn, mx, excl, incl, bcast, ref gathered, ref all, ref a2a, scat, ref a2ai) =
+                    *result;
+                prop_assert_eq!(sum, total);
+                prop_assert_eq!(mn, min);
+                prop_assert_eq!(mx, max);
+                prop_assert_eq!(excl, running);
+                running += values[rank];
+                prop_assert_eq!(incl, running);
+                prop_assert_eq!(bcast, values[root]);
+                if rank == root {
+                    prop_assert_eq!(gathered.as_deref(), Some(values.as_slice()));
+                } else {
+                    prop_assert!(gathered.is_none());
+                }
+                prop_assert_eq!(all, &values);
+                let expect_a2a: Vec<u64> =
+                    values.iter().map(|&s| s * 1000 + rank as u64).collect();
+                prop_assert_eq!(a2a, &expect_a2a);
+                prop_assert_eq!(scat, values[rank]);
+                let expect_a2ai: Vec<u64> = values.iter().map(|&s| s + rank as u64).collect();
+                prop_assert_eq!(a2ai, &expect_a2ai);
             }
-            prop_assert_eq!(all, &values);
         }
+        // The two backends must agree bit-for-bit, including metered traffic.
+        prop_assert_eq!(&threaded.results, &sequential.results);
+        prop_assert_eq!(threaded.stats.total_words(), sequential.stats.total_words());
+        prop_assert_eq!(
+            threaded.stats.total_messages(),
+            sequential.stats.total_messages()
+        );
+        prop_assert_eq!(
+            threaded.stats.bottleneck_words(),
+            sequential.stats.bottleneck_words()
+        );
+    }
+
+    #[test]
+    fn unsorted_selection_agrees_across_backends(
+        parts in vec(vec(0u64..500, 0..60), 1..5),
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = total_len(&parts);
+        prop_assume!(n > 0);
+        let k = ((k_frac * n as f64) as usize).clamp(1, n);
+        let p = parts.len();
+        let parts_a = parts.clone();
+        let threaded = run_spmd(p, move |comm| {
+            select_k_smallest(comm, &parts_a[comm.rank()], k, seed).threshold
+        });
+        let parts_b = parts.clone();
+        let sequential = run_spmd_seq(p, move |comm| {
+            select_k_smallest(comm, &parts_b[comm.rank()], k, seed).threshold
+        });
+        prop_assert_eq!(&threaded.results, &sequential.results);
+        let reference = sorted_union(&parts);
+        prop_assert!(sequential.results.iter().all(|&t| t == reference[k - 1]));
+    }
+
+    #[test]
+    fn word_codec_roundtrips_scalars(
+        a in 0u64..u64::MAX,
+        b in i64::MIN..i64::MAX,
+        c in 0u64..2,
+        d in 0.0f64..1.0e18,
+    ) {
+        codec_roundtrip(a)?;
+        codec_roundtrip(b)?;
+        codec_roundtrip(a as u32 as u64)?;
+        codec_roundtrip((a >> 32) as u32)?;
+        codec_roundtrip((a % 256) as u8)?;
+        codec_roundtrip((a % (1 << 16)) as u16)?;
+        codec_roundtrip(a as usize)?;
+        codec_roundtrip((b % 128) as i8)?;
+        codec_roundtrip((b % (1 << 15)) as i16)?;
+        codec_roundtrip((b % (1 << 31)) as i32)?;
+        codec_roundtrip(b as isize)?;
+        codec_roundtrip(c == 1)?;
+        codec_roundtrip(d)?;
+        codec_roundtrip(-d)?;
+        codec_roundtrip(d as f32)?;
+        codec_roundtrip((a as u128) << 64 | b as u64 as u128)?;
+        codec_roundtrip(((b as i128) << 32) | (a as i128 & 0xFFFF_FFFF))?;
+        codec_roundtrip(char::from_u32((a % 0xD800) as u32).unwrap_or('x'))?;
+        codec_roundtrip(())?;
+    }
+
+    #[test]
+    fn word_codec_roundtrips_containers(
+        nums in vec(0u64..u64::MAX, 0..40),
+        nested in vec(vec(0u64..100, 0..6), 0..6),
+        text_codes in vec(32u64..127, 0..40),
+        opt_tag in 0u64..2,
+    ) {
+        let text: String = text_codes.iter().map(|&c| c as u8 as char).collect();
+        codec_roundtrip(nums.clone())?;
+        codec_roundtrip(nested.clone())?;
+        codec_roundtrip(text.clone())?;
+        codec_roundtrip(vec![text.clone(); 3])?;
+        codec_roundtrip(if opt_tag == 0 { None } else { Some(nums.clone()) })?;
+        codec_roundtrip(vec![Some(1u64), None, Some(3)])?;
+        codec_roundtrip(Box::new(nums.clone()))?;
+        codec_roundtrip(std::cmp::Reverse(nums.clone()))?;
+        codec_roundtrip((nums.clone(), text.clone()))?;
+        codec_roundtrip((1u64, nums.clone(), false))?;
+        codec_roundtrip((1u8, 2u16, 3u32, nums.clone()))?;
+        codec_roundtrip(nums.iter().map(|&v| (v, v / 2)).collect::<Vec<(u64, u64)>>())?;
+    }
+
+    #[test]
+    fn typed_and_boxed_paths_meter_identically(
+        payload in vec(0u64..u64::MAX, 0..60),
+    ) {
+        // A Vec<u64> crossing the typed path must be metered exactly like the
+        // generic word_count contract says, and the pooled counter must see
+        // reuse on a ping-pong exchange.
+        let words = payload.word_count() as u64;
+        let data = payload.clone();
+        let out = run_spmd(2, move |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, data.clone());
+                let _: Vec<u64> = comm.recv(1, 2);
+            } else {
+                let v: Vec<u64> = comm.recv(0, 1);
+                comm.send(0, 2, v);
+            }
+        });
+        prop_assert_eq!(out.stats.total_words(), 2 * words);
+        prop_assert_eq!(out.stats.total_messages(), 2);
+        // PE 1 echoes the same vector back: its send reuses the buffer its
+        // receive just returned to the pool.
+        prop_assert!(out.stats.total_pooled_reuses() >= 1);
     }
 
     #[test]
