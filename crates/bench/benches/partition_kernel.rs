@@ -1,0 +1,68 @@
+//! Criterion micro-bench for the three-way partition kernels of
+//! `seqkit::select` — the local hot path of the paper's Algorithm 1.
+//!
+//! Compares, at several input sizes:
+//!
+//! * `cloning` — the reference kernel: three fresh `Vec`s, every element
+//!   cloned (what the distributed selection used before PR 3);
+//! * `counts` — the counting pass (no moves, no allocation) that the
+//!   selection now runs before narrowing;
+//! * `counts_then_retain` — the full per-level local work of the rewritten
+//!   `select_recursive`: one counting pass plus one stable in-place `retain`
+//!   narrowing to the middle range (buffer reused, zero allocation);
+//! * `in_place` — the Dutch-national-flag kernel used by `quickselect` and
+//!   `floyd_rivest_select`.
+//!
+//! The mutating benches (`counts_then_retain`, `in_place`) must restore the
+//! input every iteration, so their timed closure contains one `data.clone()`;
+//! the `clone_baseline` row measures exactly that clone — subtract it to get
+//! the kernel's own cost.  In the real algorithm the buffer is owned and no
+//! such clone exists.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqkit::select::{
+    partition_three_way, partition_three_way_counts, partition_three_way_in_place,
+};
+
+fn bench_partition_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_kernel");
+    group.sample_size(20);
+
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let mut rng = StdRng::seed_from_u64(0x9A27);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+        // Pivot pair bracketing the middle ~half of the value range, like the
+        // selection's sample bracket does.
+        let (lo, hi) = (250_000u64, 750_000u64);
+
+        group.bench_with_input(BenchmarkId::new("clone_baseline", n), &n, |b, _| {
+            b.iter(|| black_box(data.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("cloning", n), &n, |b, _| {
+            b.iter(|| black_box(partition_three_way(&data, &lo, &hi)))
+        });
+        group.bench_with_input(BenchmarkId::new("counts", n), &n, |b, _| {
+            b.iter(|| black_box(partition_three_way_counts(&data, &lo, &hi)))
+        });
+        group.bench_with_input(BenchmarkId::new("counts_then_retain", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                let splits = partition_three_way_counts(&buf, &lo, &hi);
+                buf.retain(|e| lo <= *e && *e <= hi);
+                black_box((splits, buf.len()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("in_place", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                black_box(partition_three_way_in_place(&mut buf, &lo, &hi))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_kernels);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the transport construction cost.
+//!
+//! The sharded inbox transport allocates `O(p)` shards; the former full mesh
+//! minted `p²` mpsc channels, which dominated setup of large-`p` sweeps
+//! (3.4 s at `p = 1024` — see EXPERIMENTS.md for the before/after table).
+//! This bench pins the new construction cost so a regression back to
+//! quadratic setup is caught by a glance at the curve.
+
+use commsim::transport::Mailbox;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_transport_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_setup");
+    group.sample_size(10);
+    for &p in &[16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(Mailbox::full_mesh(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport_setup);
+criterion_main!(benches);

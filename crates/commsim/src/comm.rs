@@ -1,8 +1,8 @@
 //! The threaded per-PE communicator handle.
 //!
 //! A [`Comm`] is one backend of the [`Communicator`] trait: each simulated PE
-//! runs on its own OS thread and owns a [`Comm`] wired into the full-mesh
-//! mpsc transport.  All traffic is metered into the per-PE counters of the
+//! runs on its own OS thread and owns a [`Comm`] wired into the sharded
+//! inbox transport.  All traffic is metered into the per-PE counters of the
 //! run's [`crate::metrics::StatsRegistry`], and `Vec<u64>`-class payloads
 //! travel through a per-PE [`BufferPool`] (typed path) instead of being
 //! boxed.

@@ -19,7 +19,8 @@
 //! provided:
 //!
 //! * **threaded** ([`Comm`], via [`run_spmd`]) — one OS thread per PE over a
-//!   full mesh of mpsc channels; real parallelism and wall-clock timings;
+//!   sharded inbox transport (one locked shard per destination PE, `O(p)`
+//!   setup); real parallelism and wall-clock timings;
 //! * **sequential** ([`SeqComm`], via [`run_spmd_seq`]) — the same SPMD
 //!   closures executed deterministically on a single thread by round-based
 //!   replay; fast tests, reproducible debugging, no stack-size tuning.

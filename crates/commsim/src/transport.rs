@@ -1,7 +1,15 @@
 //! Point-to-point transport between simulated PEs.
 //!
-//! The transport is a full mesh of FIFO channels: one unbounded channel per
-//! ordered PE pair `(src, dst)`.  FIFO order per pair plus the SPMD structure
+//! The transport is a **sharded inbox**: one locked shard per *destination*
+//! PE, each holding `p` per-source FIFO queues.  Constructing the transport
+//! for `p` PEs therefore allocates `O(p)` shards (one `Mutex` + `Condvar` +
+//! queue table per PE) instead of the `p²` mpsc channels of the former full
+//! mesh — at `p = 1024` that is 1 024 locks instead of 1 048 576 channels,
+//! which used to dominate large-`p` sweep setup.  The per-source queues are
+//! plain `VecDeque`s that allocate nothing until the first message arrives.
+//!
+//! Per-source FIFO order is preserved (a sender appends to its own queue
+//! inside the destination's shard), which together with the SPMD structure
 //! of all algorithms in this repository (every PE executes the same sequence
 //! of communication operations) is what makes tag-checked in-order receives
 //! sufficient — there is no need for out-of-order message matching.
@@ -13,7 +21,9 @@
 
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::codec::{decode_error, WordReader};
 use crate::error::{CommError, CommResult};
@@ -217,43 +227,78 @@ impl Envelope {
     }
 }
 
-/// The per-PE endpoint of the full-mesh transport.
+/// One destination's inbox shard: every message addressed to that PE, held
+/// in per-source FIFO queues behind a single lock.
+struct Shard {
+    /// `queues[src]` holds the messages sent by PE `src`, in send order.
+    /// An empty `VecDeque` performs no heap allocation, so an idle pair
+    /// costs nothing beyond its table slot.
+    queues: Mutex<Vec<VecDeque<Envelope>>>,
+    /// Signalled on every delivery to this shard and on any sender exit.
+    ready: Condvar,
+    /// Receivers registered as (potentially) blocked in [`Mailbox::recv`] on
+    /// this shard.  A receiver increments this — under the shard lock,
+    /// *before* its liveness check — for the whole blocking section, so
+    /// [`Mailbox`]'s `Drop` can skip the lock + notify of every quiescent
+    /// shard: the `SeqCst` ordering of this counter against the `alive`
+    /// flag makes "receiver saw `alive`" imply "drop sees the waiter"
+    /// (a Dekker-style store/load pair on each side).
+    waiters: AtomicUsize,
+}
+
+/// Transport state shared by all mailboxes of one SPMD world: `p` shards
+/// (one per destination) plus the sender-liveness table used to turn a
+/// hopeless blocking receive into a [`CommError::Disconnected`].
+struct SharedMesh {
+    shards: Vec<Shard>,
+    /// `alive[r]` is `true` while PE `r`'s mailbox exists (so messages from
+    /// it may still arrive).
+    alive: Vec<AtomicBool>,
+}
+
+/// Lock a shard's queue table, recovering from poisoning: the lock is only
+/// ever held for queue pushes/pops (no user code), so a poisoned state still
+/// contains a structurally sound table — e.g. a PE thread that panicked in
+/// user code while its peers were mid-receive must not cascade.
+fn lock_queues(shard: &Shard) -> MutexGuard<'_, Vec<VecDeque<Envelope>>> {
+    shard
+        .queues
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The per-PE endpoint of the sharded transport.
 ///
-/// `senders[d]` transmits to PE `d`; `receivers[s]` yields messages sent by
-/// PE `s`, in FIFO order.
+/// Sending to `dst` appends to this PE's queue inside `dst`'s shard;
+/// receiving from `src` pops this PE's shard's queue for `src` — FIFO order
+/// per ordered pair, exactly like the former channel mesh.
 pub struct Mailbox {
     rank: Rank,
-    senders: Vec<Sender<Envelope>>,
-    receivers: Vec<Receiver<Envelope>>,
+    mesh: Arc<SharedMesh>,
 }
 
 impl Mailbox {
-    /// Build the full mesh for `p` PEs and return one mailbox per PE.
+    /// Build the sharded transport for `p` PEs and return one mailbox per
+    /// PE.  Allocates `O(p)` shards — one lock + condvar + queue table per
+    /// destination — not the `O(p²)` channels of a full mesh (pinned by the
+    /// allocation-counting integration test `transport_alloc.rs` and the
+    /// `transport_setup` criterion bench).
     pub fn full_mesh(p: usize) -> Vec<Mailbox> {
         assert!(p > 0, "need at least one PE");
-        // std::sync::mpsc receivers cannot be cloned, so build the mesh
-        // destination-major: for each dst, mint the p channels feeding it
-        // (in src order) and hand the receiving ends straight to dst's
-        // mailbox, while each sending end goes to senders[src][dst].
-        let mut senders: Vec<Vec<Sender<Envelope>>> = vec![Vec::with_capacity(p); p];
-        let mut receivers_by_dst: Vec<Vec<Receiver<Envelope>>> = Vec::with_capacity(p);
-        for _dst in 0..p {
-            let mut from_each_src = Vec::with_capacity(p);
-            for src_senders in senders.iter_mut() {
-                let (tx, rx) = channel();
-                src_senders.push(tx);
-                from_each_src.push(rx);
-            }
-            receivers_by_dst.push(from_each_src);
-        }
-        senders
-            .into_iter()
-            .zip(receivers_by_dst)
-            .enumerate()
-            .map(|(rank, (my_senders, my_receivers))| Mailbox {
+        let mesh = Arc::new(SharedMesh {
+            shards: (0..p)
+                .map(|_| Shard {
+                    queues: Mutex::new((0..p).map(|_| VecDeque::new()).collect()),
+                    ready: Condvar::new(),
+                    waiters: AtomicUsize::new(0),
+                })
+                .collect(),
+            alive: (0..p).map(|_| AtomicBool::new(true)).collect(),
+        });
+        (0..p)
+            .map(|rank| Mailbox {
                 rank,
-                senders: my_senders,
-                receivers: my_receivers,
+                mesh: Arc::clone(&mesh),
             })
             .collect()
     }
@@ -263,46 +308,119 @@ impl Mailbox {
         self.rank
     }
 
-    /// Number of PEs in the mesh.
+    /// Number of PEs in the transport.
     pub fn size(&self) -> usize {
-        self.senders.len()
+        self.mesh.shards.len()
     }
 
-    /// Send an envelope to `dst` (never blocks; channels are unbounded).
+    /// Send an envelope to `dst` (never blocks; queues are unbounded).
     pub fn send(&self, dst: Rank, env: Envelope) -> CommResult<()> {
         let size = self.size();
-        let sender = self
-            .senders
+        let shard = self
+            .mesh
+            .shards
             .get(dst)
             .ok_or(CommError::InvalidRank { rank: dst, size })?;
-        sender
-            .send(env)
-            .map_err(|_| CommError::Disconnected { from: dst })
+        {
+            // Liveness is checked under the shard lock so a send sequenced
+            // after the destination's teardown reliably fails.  A send
+            // racing *concurrently* with the teardown may still win the
+            // race and park the envelope in the dead shard — harmless (it
+            // is freed with the mesh) and no worse than a message an mpsc
+            // receiver never drained before hanging up.
+            let mut queues = lock_queues(shard);
+            if !self.mesh.alive[dst].load(Ordering::Acquire) {
+                return Err(CommError::Disconnected { from: dst });
+            }
+            queues[self.rank].push_back(env);
+        }
+        // Condvar broadcast only when a receiver is actually registered as
+        // blocked: a receiver holds the shard lock from its fast-path pop
+        // through `waiters` registration until it enters `wait`, so either
+        // our push (under that lock) happened first and its re-pop finds the
+        // message, or our lock acquisition synchronised with its wait-entry
+        // release and this load sees the registration.  The common
+        // send-before-recv case skips the broadcast entirely.
+        if shard.waiters.load(Ordering::SeqCst) > 0 {
+            shard.ready.notify_all();
+        }
+        Ok(())
     }
 
     /// Blocking receive of the next message from `src` (FIFO per pair).
+    ///
+    /// Returns [`CommError::Disconnected`] when `src`'s mailbox is gone and
+    /// no message from it remains queued — the sharded equivalent of a
+    /// hung-up mpsc channel.
     pub fn recv(&self, src: Rank) -> CommResult<Envelope> {
         let size = self.size();
-        let receiver = self
-            .receivers
-            .get(src)
-            .ok_or(CommError::InvalidRank { rank: src, size })?;
-        receiver
-            .recv()
-            .map_err(|_| CommError::Disconnected { from: src })
+        if src >= size {
+            return Err(CommError::InvalidRank { rank: src, size });
+        }
+        let shard = &self.mesh.shards[self.rank];
+        let mut queues = lock_queues(shard);
+        if let Some(env) = queues[src].pop_front() {
+            return Ok(env);
+        }
+        // Slow path: register as a waiter *before* checking liveness (see
+        // the `Shard::waiters` docs for why this order closes the race
+        // against a concurrently dropping sender), then block.
+        shard.waiters.fetch_add(1, Ordering::SeqCst);
+        let result = loop {
+            if let Some(env) = queues[src].pop_front() {
+                break Ok(env);
+            }
+            if !self.mesh.alive[src].load(Ordering::SeqCst) {
+                break Err(CommError::Disconnected { from: src });
+            }
+            queues = shard
+                .ready
+                .wait(queues)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        };
+        shard.waiters.fetch_sub(1, Ordering::SeqCst);
+        result
     }
 
     /// Non-blocking receive of the next message from `src`, if one is queued.
     pub fn try_recv(&self, src: Rank) -> CommResult<Option<Envelope>> {
         let size = self.size();
-        let receiver = self
-            .receivers
-            .get(src)
-            .ok_or(CommError::InvalidRank { rank: src, size })?;
-        match receiver.try_recv() {
-            Ok(env) => Ok(Some(env)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(CommError::Disconnected { from: src }),
+        if src >= size {
+            return Err(CommError::InvalidRank { rank: src, size });
+        }
+        let shard = &self.mesh.shards[self.rank];
+        match lock_queues(shard)[src].pop_front() {
+            Some(env) => Ok(Some(env)),
+            None if !self.mesh.alive[src].load(Ordering::Acquire) => {
+                Err(CommError::Disconnected { from: src })
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl Drop for Mailbox {
+    fn drop(&mut self) {
+        // Mark this sender dead and wake every blocked receiver so a peer
+        // waiting on a message that can no longer arrive fails fast with
+        // `Disconnected` instead of hanging (mirrors mpsc channel hang-up).
+        //
+        // Only shards with a registered waiter need the lock + notify; the
+        // Dekker pairing with `Shard::waiters` (both sides `SeqCst`: a
+        // receiver increments before loading `alive`, we store `alive`
+        // before loading `waiters`) guarantees that a receiver which saw
+        // `alive == true` is visible here — so a quiescent world tears down
+        // with one atomic load per shard instead of `p` lock acquisitions
+        // per mailbox.  Taking the lock before notifying in the non-empty
+        // case closes the check-to-wait window: a registered receiver still
+        // holds the shard lock until it enters `Condvar::wait`, so the
+        // notification cannot be lost.
+        self.mesh.alive[self.rank].store(false, Ordering::SeqCst);
+        for shard in &self.mesh.shards {
+            if shard.waiters.load(Ordering::SeqCst) > 0 {
+                let _guard = lock_queues(shard);
+                shard.ready.notify_all();
+            }
         }
     }
 }
@@ -448,6 +566,74 @@ mod tests {
     fn try_recv_returns_none_when_empty() {
         let boxes = Mailbox::full_mesh(2);
         assert!(boxes[0].try_recv(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn p16_stress_preserves_per_source_fifo_order() {
+        // Every PE concurrently sends `rounds` sequence-tagged messages to
+        // every PE (including itself); every receiver then drains each
+        // source queue and asserts the exact send order.
+        let p = 16;
+        let rounds = 100u64;
+        let boxes = Mailbox::full_mesh(p);
+        let handles: Vec<_> = boxes
+            .into_iter()
+            .map(|b| {
+                thread::spawn(move || {
+                    for i in 0..rounds {
+                        for dst in 0..p {
+                            let payload = (b.rank() as u64) << 32 | i;
+                            b.send(dst, Envelope::new(i, b.rank(), payload)).unwrap();
+                        }
+                    }
+                    for src in 0..p {
+                        for i in 0..rounds {
+                            let env = b.recv(src).unwrap();
+                            assert_eq!(env.from, src, "messages must come from queue owner");
+                            assert_eq!(env.tag, i, "per-source FIFO order violated");
+                            let (_, _, v): (_, _, u64) = env.open().unwrap();
+                            assert_eq!(v, (src as u64) << 32 | i);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn blocked_recv_fails_fast_when_the_peer_hangs_up() {
+        let mut boxes = Mailbox::full_mesh(2);
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        let t = thread::spawn(move || b1.recv(0));
+        drop(b0);
+        let err = t.join().unwrap().unwrap_err();
+        assert!(matches!(err, CommError::Disconnected { from: 0 }));
+    }
+
+    #[test]
+    fn queued_messages_survive_sender_hangup_then_disconnect() {
+        let mut boxes = Mailbox::full_mesh(2);
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        b0.send(1, Envelope::new(1, 0, 7u64)).unwrap();
+        drop(b0);
+        // The already-delivered message is still readable...
+        assert!(b1.try_recv(0).unwrap().is_some());
+        // ...and only then does the hang-up surface.
+        assert!(matches!(
+            b1.try_recv(0),
+            Err(CommError::Disconnected { from: 0 })
+        ));
+        // Sending to a gone PE is also a disconnect, like a dropped mpsc
+        // receiver.
+        assert!(matches!(
+            b1.send(0, Envelope::new(1, 1, 1u64)),
+            Err(CommError::Disconnected { from: 0 })
+        ));
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub fn ec_top_k_with_kstar<C: Communicator>(
     let mut rng = StdRng::seed_from_u64(params.seed ^ (comm.rank() as u64).wrapping_mul(0xABCD));
     let sample = bernoulli_sample(local_data, rho, &mut rng);
     let sample_size = comm.allreduce_sum(sample.len() as u64);
-    let owned = dht::aggregate_counts(comm, count_keys(sample.iter().copied()));
+    let owned =
+        dht::aggregate_counts_with(comm, count_keys(sample.iter().copied()), params.dht_fanout);
 
     // 2. The k* most frequently sampled objects are the candidates.
     let candidates_with_counts = select_top_counts(comm, &owned, k_star, params.seed ^ 0xEC);

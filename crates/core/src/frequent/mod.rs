@@ -51,10 +51,15 @@ pub struct FrequentParams {
     pub delta: f64,
     /// Seed for all randomness (sampling, selection pivots).
     pub seed: u64,
+    /// Routing fan-out of the sample-counting distributed hash table.  The
+    /// default [`dht::DhtFanout::Auto`] uses direct delivery at small `p`
+    /// (volume-optimal: no `log p` forwarding multiplier) and hypercube
+    /// routing at large `p` (latency-optimal, as the paper describes).
+    pub dht_fanout: dht::DhtFanout,
 }
 
 impl FrequentParams {
-    /// Convenience constructor.
+    /// Convenience constructor (uses the [`dht::DhtFanout::Auto`] routing).
     pub fn new(k: usize, epsilon: f64, delta: f64, seed: u64) -> Self {
         assert!(k >= 1, "k must be at least 1");
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
@@ -64,7 +69,14 @@ impl FrequentParams {
             epsilon,
             delta,
             seed,
+            dht_fanout: dht::DhtFanout::Auto,
         }
+    }
+
+    /// Override the distributed-hash-table routing fan-out.
+    pub fn with_dht_fanout(mut self, fanout: dht::DhtFanout) -> Self {
+        self.dht_fanout = fanout;
+        self
     }
 
     /// The accuracy setting of the paper's Figure 7 (`ε = 3·10⁻⁴`,
@@ -157,7 +169,14 @@ pub fn select_top_counts<C: Communicator>(
     k: usize,
     seed: u64,
 ) -> Vec<(u64, u64)> {
-    let items: Vec<(u64, u64)> = owned.iter().map(|(&key, &count)| (count, key)).collect();
+    let mut items: Vec<(u64, u64)> = owned.iter().map(|(&key, &count)| (count, key)).collect();
+    // Sort the aggregate before it feeds the selection's Bernoulli pivot
+    // sampler: `HashMap` iteration order varies per process (`RandomState`),
+    // and the sampler is order-sensitive, so without this the pivots — and
+    // with them the metered words/PE — differed between runs of the same
+    // binary (see EXPERIMENTS.md, PR 2).  One local O(d log d) sort on the
+    // (small) distinct-key aggregate makes the whole pipeline reproducible.
+    items.sort_unstable();
     let distinct = comm.allreduce_sum(items.len() as u64);
     let k = k.min(distinct as usize);
     if k == 0 {

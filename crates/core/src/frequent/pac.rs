@@ -64,8 +64,8 @@ pub fn pac_top_k<C: Communicator>(
     let local_counts = count_keys(sample.iter().copied());
     let local_sample_size = sample.len() as u64;
 
-    // 2. Distributed hash-table counting.
-    let owned = dht::aggregate_counts(comm, local_counts);
+    // 2. Distributed hash-table counting (fan-out per params.dht_fanout).
+    let owned = dht::aggregate_counts_with(comm, local_counts, params.dht_fanout);
     let sample_size = comm.allreduce_sum(local_sample_size);
 
     // 3. Select the k most frequently sampled objects and scale the counts.
@@ -208,6 +208,27 @@ mod tests {
             assert_eq!(r.items.len(), 2);
             assert_eq!(r.items[0].0, 2);
         }
+    }
+
+    #[test]
+    fn metered_volume_is_identical_across_repeated_runs() {
+        // The sampled-count aggregate used to be fed to the selection pivot
+        // sampler in HashMap (RandomState) order, so two runs of the same
+        // binary reported different words/PE; select_top_counts now sorts
+        // the aggregate first, making the whole pipeline reproducible.
+        let p = 4;
+        let parts = zipf_parts(p, 5_000, 1 << 10, 1.0, 99);
+        let params = FrequentParams::new(8, 2e-2, 1e-2, 13);
+        let run = || {
+            let parts_ref = parts.clone();
+            run_spmd(p, move |comm| {
+                let before = comm.stats_snapshot();
+                let _ = pac_top_k(comm, &parts_ref[comm.rank()], &params);
+                comm.stats_snapshot().since(&before).bottleneck_words()
+            })
+            .results
+        };
+        assert_eq!(run(), run(), "PAC words/PE must not depend on hash order");
     }
 
     #[test]

@@ -62,7 +62,8 @@ pub fn estimate_k_star<C: Communicator>(
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x9EC0 ^ comm.rank() as u64);
     let sample = bernoulli_sample(local_data, rho0, &mut rng);
     let first_sample_size = comm.allreduce_sum(sample.len() as u64);
-    let owned = dht::aggregate_counts(comm, count_keys(sample.iter().copied()));
+    let owned =
+        dht::aggregate_counts_with(comm, count_keys(sample.iter().copied()), params.dht_fanout);
 
     // ŝ_k: the k-th largest sample count (0 if fewer than k distinct keys).
     let top_k = select_top_counts(comm, &owned, params.k, params.seed ^ 0x9EC1);
@@ -149,7 +150,8 @@ pub fn pec_zipf_top_k<C: Communicator>(
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x21F ^ comm.rank() as u64);
     let sample = bernoulli_sample(local_data, rho, &mut rng);
     let sample_size = comm.allreduce_sum(sample.len() as u64);
-    let owned = dht::aggregate_counts(comm, count_keys(sample.iter().copied()));
+    let owned =
+        dht::aggregate_counts_with(comm, count_keys(sample.iter().copied()), params.dht_fanout);
     let candidates_with_counts = select_top_counts(comm, &owned, k_star, params.seed ^ 0x21E);
     let candidates: Vec<u64> = candidates_with_counts.iter().map(|&(key, _)| key).collect();
 

@@ -60,7 +60,7 @@ pub use branch_bound::{
     knapsack_branch_bound_parallel, knapsack_branch_bound_sequential, BnbResult, KnapsackInstance,
 };
 pub use bulk_pq::BulkParallelQueue;
-pub use frequent::{FrequentParams, TopKFrequentResult};
+pub use frequent::{dht::DhtFanout, FrequentParams, TopKFrequentResult};
 pub use msselect::{multisequence_select, MsSelectResult};
 pub use multicriteria::{dta_top_k, rdta_top_k, LocalMulticriteria, MulticriteriaResult};
 pub use redistribute::{redistribute, RedistributionReport};

@@ -18,7 +18,7 @@ use commsim::{CommData, Communicator, ReduceOp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqkit::sampling::bernoulli_sample;
-use seqkit::select::partition_three_way;
+use seqkit::select::partition_three_way_counts;
 
 use crate::util::tag_unique;
 
@@ -105,13 +105,16 @@ where
     let mut rng =
         StdRng::seed_from_u64(seed ^ (comm.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let mut levels = 0usize;
-    let threshold_tagged =
-        select_recursive(comm, tagged.clone(), k, &mut rng, &mut levels, &config);
+    // The recursion consumes (and shrinks) the tagged buffer; the selected
+    // set is recovered afterwards directly from `local` and the offset, so no
+    // second tagged copy is ever materialised.
+    let threshold_tagged = select_recursive(comm, tagged, k, &mut rng, &mut levels, &config);
 
-    let local_selected: Vec<T> = tagged
-        .into_iter()
-        .filter(|x| *x <= threshold_tagged)
-        .map(|(v, _)| v)
+    let local_selected: Vec<T> = local
+        .iter()
+        .enumerate()
+        .filter(|&(i, v)| (v, offset + i as u64) <= (&threshold_tagged.0, threshold_tagged.1))
+        .map(|(_, v)| v.clone())
         .collect();
     UnsortedSelectionResult {
         threshold: threshold_tagged.0,
@@ -172,6 +175,17 @@ fn global_max<C: Communicator, K: Ord + Clone + CommData>(comm: &C, value: Optio
 }
 
 /// Core recursion of Algorithm 1 on tie-broken keys.
+///
+/// The remaining local input lives in one owned buffer `s` that only ever
+/// *shrinks*: each level counts the three pivot ranges without moving
+/// anything ([`partition_three_way_counts`]) and then narrows `s` to the
+/// range containing the target rank with a stable, in-place `Vec::retain`.
+/// No per-level heap allocation is performed for the data itself — for
+/// `Copy` keys such as `u64` the whole recursion reuses the level-0 buffer.
+/// (The previous implementation cloned every surviving element into three
+/// fresh vectors per level.)  Because `retain` preserves relative order
+/// exactly like the old cloning partition did, the Bernoulli pivot samples —
+/// and therefore every message on the wire — are bit-identical to before.
 fn select_recursive<C, K>(
     comm: &C,
     mut s: Vec<K>,
@@ -231,28 +245,32 @@ where
         let lo_pivot = sample[lo_idx].clone();
         let hi_pivot = sample[hi_idx].clone();
 
-        // Local three-way partition and global range sizes.
-        let (a, b, c) = partition_three_way(&s, &lo_pivot, &hi_pivot);
-        let counts = comm.allreduce_vec_sum(vec![a.len() as u64, b.len() as u64, c.len() as u64]);
+        // Local three-way range sizes (one counting pass, nothing moves) and
+        // the global range sizes.
+        let (la, lb, lc) = partition_three_way_counts(&s, &lo_pivot, &hi_pivot);
+        let counts = comm.allreduce_vec_sum(vec![la as u64, lb as u64, lc as u64]);
         let (na, nb) = (counts[0] as usize, counts[1] as usize);
 
+        // Narrow `s` to the range containing rank k: a stable in-place
+        // filter, so the surviving elements keep their relative order and
+        // no new buffer is allocated.
         if k <= na {
-            s = a;
+            s.retain(|e| *e < lo_pivot);
+            debug_assert_eq!(s.len(), la);
         } else if k <= na + nb {
-            if nb == total {
-                // The pivots span the whole remaining input (tiny sample on a
-                // highly concentrated distribution): no progress this round.
-                // The middle range always contains both pivots, so narrowing
-                // to it is never wrong — but to guarantee progress we solve
-                // directly once the allowance for such rounds is used up,
-                // which the `max_levels` cap above takes care of.
-                s = b;
-            } else {
-                s = b;
+            s.retain(|e| lo_pivot <= *e && *e <= hi_pivot);
+            debug_assert_eq!(s.len(), lb);
+            if nb != total {
                 k -= na;
             }
+            // else: the pivots span the whole remaining input (tiny sample on
+            // a highly concentrated distribution) — no progress this round.
+            // The middle range always contains both pivots, so narrowing to
+            // it is never wrong; the `max_levels` cap above guarantees
+            // termination once the allowance for such rounds is used up.
         } else {
-            s = c;
+            s.retain(|e| *e > hi_pivot);
+            debug_assert_eq!(s.len(), lc);
             k -= na + nb;
         }
     }

@@ -35,7 +35,10 @@ pub mod treap;
 
 pub use heavy_hitters::{MisraGries, SpaceSaving};
 pub use sampling::{bernoulli_sample, geometric_deviate, BernoulliSampler};
-pub use select::{floyd_rivest_select, partition_three_way, quickselect, select_kth_smallest};
+pub use select::{
+    floyd_rivest_select, partition_three_way, partition_three_way_counts,
+    partition_three_way_in_place, quickselect, select_kth_smallest,
+};
 pub use sorted::{merge_sorted, rank_in_sorted, select_in_sorted_union};
 pub use threshold::{ScoreList, ThresholdAlgorithm, ThresholdResult};
 pub use treap::Treap;

@@ -39,25 +39,9 @@ pub fn quickselect<T: Ord + Clone, R: Rng>(data: &mut [T], k: usize, rng: &mut R
             return data[lo + k].clone();
         }
         let pivot_idx = lo + rng.gen_range(0..hi - lo);
-        data.swap(lo, pivot_idx);
-        let pivot = data[lo].clone();
-        // Hoare-style partition of data[lo+1..hi] around `pivot`.
-        let mut lt = lo; // data[lo..=lt] <= pivot (pivot itself at lo)
-        let mut gt = hi; // data[gt..hi] > pivot
-        let mut i = lo + 1;
-        while i < gt {
-            if data[i] < pivot {
-                lt += 1;
-                data.swap(i, lt);
-                i += 1;
-            } else if data[i] > pivot {
-                gt -= 1;
-                data.swap(i, gt);
-            } else {
-                i += 1;
-            }
-        }
-        data.swap(lo, lt);
+        let pivot = data[pivot_idx].clone();
+        let (lt, gt) = partition_three_way_in_place(&mut data[lo..hi], &pivot, &pivot);
+        let (lt, gt) = (lo + lt, lo + gt);
         // Now data[lo..lt] < pivot, data[lt..gt] == pivot, data[gt..hi] > pivot.
         let less = lt - lo;
         let equal = gt - lt;
@@ -121,22 +105,8 @@ fn fr_recursive<T: Ord + Clone, R: Rng>(
         fr_recursive(data, new_lo, new_hi + 1, k, rng);
 
         let pivot = data[k].clone();
-        // Three-way partition of data[lo..hi] around the pivot.
-        let mut lt = lo;
-        let mut gt = hi;
-        let mut i = lo;
-        while i < gt {
-            if data[i] < pivot {
-                data.swap(i, lt);
-                lt += 1;
-                i += 1;
-            } else if data[i] > pivot {
-                gt -= 1;
-                data.swap(i, gt);
-            } else {
-                i += 1;
-            }
-        }
+        let (lt, gt) = partition_three_way_in_place(&mut data[lo..hi], &pivot, &pivot);
+        let (lt, gt) = (lo + lt, lo + gt);
         // data[lo..lt] < pivot, data[lt..gt] == pivot, data[gt..hi] > pivot.
         if k < lt {
             hi = lt;
@@ -160,6 +130,12 @@ fn fr_recursive<T: Ord + Clone, R: Rng>(
 /// `lo_pivot <= hi_pivot`, as used by the distributed selection algorithm
 /// (paper Algorithm 1): returns `(a, b, c)` with
 /// `a = ⟨e < lo_pivot⟩`, `b = ⟨lo_pivot ≤ e ≤ hi_pivot⟩`, `c = ⟨e > hi_pivot⟩`.
+///
+/// This is the cloning reference kernel: it allocates three fresh vectors and
+/// clones every element.  The hot paths use the allocation-free variants
+/// [`partition_three_way_in_place`] and [`partition_three_way_counts`]
+/// instead; this version is kept as the specification the property tests
+/// compare them against.
 pub fn partition_three_way<T: Ord + Clone>(
     data: &[T],
     lo_pivot: &T,
@@ -176,6 +152,75 @@ pub fn partition_three_way<T: Ord + Clone>(
             c.push(e.clone());
         } else {
             b.push(e.clone());
+        }
+    }
+    (a, b, c)
+}
+
+/// In-place three-way partition (Dutch national flag) of `data` by the pivot
+/// pair `(lo_pivot, hi_pivot)` with `lo_pivot <= hi_pivot`.
+///
+/// Reorders `data` in one pass with swaps only — no heap allocation, no
+/// clones — so that afterwards
+///
+/// * `data[..lt]  < lo_pivot`,
+/// * `lo_pivot <= data[lt..gt] <= hi_pivot`,
+/// * `data[gt..]  > hi_pivot`,
+///
+/// and returns the split indices `(lt, gt)`.  The multiset of each range
+/// equals the corresponding vector of [`partition_three_way`]; the relative
+/// order *within* the ranges is not preserved (swapping cannot be stable).
+/// `lo_pivot == hi_pivot` degenerates to the classical single-pivot
+/// three-way partition, which is how [`quickselect`] and
+/// [`floyd_rivest_select`] use this kernel.
+pub fn partition_three_way_in_place<T: Ord>(
+    data: &mut [T],
+    lo_pivot: &T,
+    hi_pivot: &T,
+) -> (usize, usize) {
+    debug_assert!(lo_pivot <= hi_pivot);
+    let mut lt = 0usize; // data[..lt] < lo_pivot
+    let mut gt = data.len(); // data[gt..] > hi_pivot
+    let mut i = 0usize;
+    while i < gt {
+        if data[i] < *lo_pivot {
+            data.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if data[i] > *hi_pivot {
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+/// Index-free variant of the three-way split: the sizes `(|a|, |b|, |c|)` of
+/// the ranges `e < lo_pivot`, `lo_pivot ≤ e ≤ hi_pivot`, `e > hi_pivot`
+/// without moving, cloning, or allocating anything.
+///
+/// The distributed selection algorithm only needs these *counts* to pick the
+/// recursion range (the global range sizes come from a vector all-reduction);
+/// combined with a stable `Vec::retain` narrowing this makes its per-level
+/// local work allocation-free.
+pub fn partition_three_way_counts<T: Ord>(
+    data: &[T],
+    lo_pivot: &T,
+    hi_pivot: &T,
+) -> (usize, usize, usize) {
+    debug_assert!(lo_pivot <= hi_pivot);
+    let mut a = 0usize;
+    let mut b = 0usize;
+    let mut c = 0usize;
+    for e in data {
+        if e < lo_pivot {
+            a += 1;
+        } else if e > hi_pivot {
+            c += 1;
+        } else {
+            b += 1;
         }
     }
     (a, b, c)
@@ -315,5 +360,73 @@ mod tests {
     fn partition_three_way_empty_input() {
         let (a, b, c) = partition_three_way::<u64>(&[], &1, &2);
         assert!(a.is_empty() && b.is_empty() && c.is_empty());
+    }
+
+    /// Sorted copies of the three ranges an in-place split produced.
+    fn sorted_ranges(data: &[u64], lt: usize, gt: usize) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let mut a = data[..lt].to_vec();
+        let mut b = data[lt..gt].to_vec();
+        let mut c = data[gt..].to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        (a, b, c)
+    }
+
+    #[test]
+    fn in_place_partition_matches_the_cloning_kernel_as_multisets() {
+        let mut r = rng();
+        for n in [0usize, 1, 2, 5, 100, 1000] {
+            let data: Vec<u64> = (0..n).map(|_| r.gen_range(0..50)).collect();
+            for (lo, hi) in [(0u64, 49u64), (10, 10), (20, 30), (49, 49), (5, 45)] {
+                let (mut ra, mut rb, mut rc) = partition_three_way(&data, &lo, &hi);
+                ra.sort_unstable();
+                rb.sort_unstable();
+                rc.sort_unstable();
+                let mut copy = data.clone();
+                let (lt, gt) = partition_three_way_in_place(&mut copy, &lo, &hi);
+                let (a, b, c) = sorted_ranges(&copy, lt, gt);
+                assert_eq!((a, b, c), (ra, rb, rc), "n={n} pivots=({lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_partition_establishes_the_three_ranges() {
+        let mut data = vec![5u64, 1, 9, 3, 7, 3, 8, 2];
+        let (lt, gt) = partition_three_way_in_place(&mut data, &3, &7);
+        assert_eq!(lt, 2);
+        assert_eq!(gt, 6);
+        assert!(data[..lt].iter().all(|&e| e < 3));
+        assert!(data[lt..gt].iter().all(|&e| (3..=7).contains(&e)));
+        assert!(data[gt..].iter().all(|&e| e > 7));
+    }
+
+    #[test]
+    fn in_place_partition_handles_empty_and_degenerate_inputs() {
+        let mut empty: [u64; 0] = [];
+        assert_eq!(partition_three_way_in_place(&mut empty, &1, &2), (0, 0));
+        let mut all_low = vec![0u64; 8];
+        assert_eq!(partition_three_way_in_place(&mut all_low, &5, &9), (8, 8));
+        let mut all_high = vec![10u64; 8];
+        assert_eq!(partition_three_way_in_place(&mut all_high, &5, &9), (0, 0));
+        let mut all_mid = vec![7u64; 8];
+        assert_eq!(partition_three_way_in_place(&mut all_mid, &5, &9), (0, 8));
+    }
+
+    #[test]
+    fn counting_variant_agrees_with_the_cloning_kernel() {
+        let mut r = rng();
+        for n in [0usize, 1, 17, 500] {
+            let data: Vec<u64> = (0..n).map(|_| r.gen_range(0..20)).collect();
+            for (lo, hi) in [(0u64, 19u64), (7, 7), (3, 15)] {
+                let (a, b, c) = partition_three_way(&data, &lo, &hi);
+                assert_eq!(
+                    partition_three_way_counts(&data, &lo, &hi),
+                    (a.len(), b.len(), c.len()),
+                    "n={n} pivots=({lo},{hi})"
+                );
+            }
+        }
     }
 }

@@ -446,4 +446,103 @@ proptest! {
             prop_assert_eq!(received, &expect);
         }
     }
+
+    #[test]
+    fn in_place_partition_is_a_permutation_of_the_cloning_kernel(
+        data in vec(0u64..100, 0..400),
+        pivot_a in 0u64..100,
+        pivot_b in 0u64..100,
+    ) {
+        use topk_selection::seqkit::{
+            partition_three_way, partition_three_way_counts, partition_three_way_in_place,
+        };
+        let (lo, hi) = (pivot_a.min(pivot_b), pivot_a.max(pivot_b));
+
+        // Reference: the cloning kernel.
+        let (mut ra, mut rb, mut rc) = partition_three_way(&data, &lo, &hi);
+
+        // The counting variant reports exactly the reference range sizes.
+        prop_assert_eq!(
+            partition_three_way_counts(&data, &lo, &hi),
+            (ra.len(), rb.len(), rc.len())
+        );
+
+        // The in-place kernel produces the same three multisets.
+        let mut copy = data.clone();
+        let (lt, gt) = partition_three_way_in_place(&mut copy, &lo, &hi);
+        prop_assert!(lt <= gt && gt <= copy.len());
+        let (mut a, mut b, mut c) =
+            (copy[..lt].to_vec(), copy[lt..gt].to_vec(), copy[gt..].to_vec());
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        rc.sort_unstable();
+        prop_assert_eq!(a, ra);
+        prop_assert_eq!(b, rb);
+        prop_assert_eq!(c, rc);
+
+        // And the whole thing is a permutation of the input.
+        let mut sorted_copy = copy;
+        sorted_copy.sort_unstable();
+        let mut sorted_data = data.clone();
+        sorted_data.sort_unstable();
+        prop_assert_eq!(sorted_copy, sorted_data);
+    }
+}
+
+/// p = 16 stress of the sharded transport: the full collective battery must
+/// produce bit-identical results *and* bit-identical metered traffic on the
+/// threaded backend (sharded inboxes, 16 OS threads) and the sequential
+/// replay backend (`SeqComm`), which bypasses the transport entirely and so
+/// acts as the ordering oracle.
+#[test]
+fn sharded_transport_matches_seq_backend_at_p16() {
+    let p = 16usize;
+    let values: Vec<u64> = (0..p as u64).map(|r| r * 37 + 5).collect();
+    let vals = values.clone();
+    let threaded = run_spmd(p, move |comm| collective_program(comm, &vals, 3));
+    let vals = values.clone();
+    let sequential = run_spmd_seq(p, move |comm| collective_program(comm, &vals, 3));
+    assert_eq!(threaded.results, sequential.results);
+    assert_eq!(threaded.stats.total_words(), sequential.stats.total_words());
+    assert_eq!(
+        threaded.stats.total_messages(),
+        sequential.stats.total_messages()
+    );
+    assert_eq!(
+        threaded.stats.bottleneck_words(),
+        sequential.stats.bottleneck_words()
+    );
+}
+
+/// p = 16 stress of per-source FIFO order through the `Communicator` layer:
+/// every PE floods every other PE with sequence-numbered messages and each
+/// receiver must observe every source's sequence in exact send order.
+#[test]
+fn sharded_transport_preserves_per_source_fifo_at_p16() {
+    let p = 16usize;
+    let rounds = 64u64;
+    let out = run_spmd(p, move |comm| {
+        for i in 0..rounds {
+            for dst in 0..comm.size() {
+                if dst != comm.rank() {
+                    comm.send(dst, 7, (comm.rank() as u64) << 32 | i);
+                }
+            }
+        }
+        let mut in_order = true;
+        for src in 0..comm.size() {
+            if src == comm.rank() {
+                continue;
+            }
+            for i in 0..rounds {
+                let v: u64 = comm.recv(src, 7);
+                in_order &= v == (src as u64) << 32 | i;
+            }
+        }
+        in_order
+    });
+    assert!(out.results.iter().all(|&ok| ok));
 }

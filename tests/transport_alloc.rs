@@ -1,0 +1,70 @@
+//! Pins the sharded transport's O(p) setup with a *counting allocator*: the
+//! former full mesh minted `p²` mpsc channels (≈ one heap allocation each),
+//! so constructing a 1024-PE world performed over a million allocations;
+//! the sharded inbox needs one queue table per destination plus a handful
+//! of fixed vectors, i.e. `p + O(1)` allocations.  Counting real allocator
+//! traffic (instead of asserting on a struct field) means a regression back
+//! to quadratic setup fails this test no matter how it is implemented.
+//!
+//! The counting `#[global_allocator]` needs `unsafe`; the workspace denies
+//! it by default, so this one test crate opts out explicitly.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use topk_selection::commsim::transport::Mailbox;
+
+/// Forwards to the system allocator, counting every `alloc` call.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations performed while constructing (not dropping) a `p`-PE world.
+fn allocations_for(p: usize) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let boxes = Mailbox::full_mesh(p);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    drop(boxes);
+    after - before
+}
+
+#[test]
+fn transport_construction_allocates_linearly_not_quadratically() {
+    // Warm up any lazy runtime allocations before measuring.
+    let _ = allocations_for(2);
+
+    let a64 = allocations_for(64);
+    let a1024 = allocations_for(1024);
+
+    // Expected: p queue tables + the shard/alive/mailbox vectors + Arc,
+    // i.e. p + O(1).  Generous absolute bound: 4p + 64, which the old p²
+    // channel mesh (≥ p² allocations: 4096 at p = 64, over a million at
+    // p = 1024) fails by orders of magnitude.
+    assert!(a64 <= 4 * 64 + 64, "p=64 performed {a64} allocations");
+    assert!(
+        a1024 <= 4 * 1024 + 64,
+        "p=1024 performed {a1024} allocations"
+    );
+
+    // And the growth itself is linear: 16× the PEs may not cost more than
+    // ~16× the allocations (slack for the O(1) terms).
+    assert!(
+        a1024 <= 20 * a64.max(1),
+        "allocation growth is super-linear: {a64} at p=64 vs {a1024} at p=1024"
+    );
+}
