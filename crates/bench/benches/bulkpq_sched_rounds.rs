@@ -1,0 +1,41 @@
+//! Bench for the multi-round bulk-queue scheduler (§5): fixed vs flexible
+//! batches under uniform and skewed arrival streams.
+
+use commsim::run_spmd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::sched::{run_scheduler, ArrivalPattern, BatchPolicy, SchedulerParams};
+
+fn bench_bulkpq_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulkpq_sched");
+    group.sample_size(10);
+
+    for &p in &[2usize, 4] {
+        for (name, batch, arrival) in [
+            (
+                "fixed_uniform",
+                BatchPolicy::Fixed(256),
+                ArrivalPattern::Uniform,
+            ),
+            (
+                "flex_skewed",
+                BatchPolicy::Flexible { lo: 128, hi: 256 },
+                ArrivalPattern::Skewed,
+            ),
+        ] {
+            let params = SchedulerParams {
+                rounds: 6,
+                jobs_per_round: 1024,
+                batch,
+                arrival,
+                seed: 0xBE7C,
+            };
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                b.iter(|| run_spmd(p, |comm| run_scheduler(comm, &params).completed_total))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulkpq_sched);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench for the real-text word-frequency pipeline (§7, Figure 4): the cost
+//! of the sequential half (tokenize), the interning collective, and an
+//! interned EC run, separated so regressions point at the guilty stage.
+
+use commsim::{run_spmd, Communicator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::TextCorpus;
+use topk::FrequentParams;
+use workloads::text::{distributed_intern, tokenize, TextAlgorithm};
+
+fn bench_wordfreq_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wordfreq_pipeline");
+    group.sample_size(10);
+    let per_pe = 1usize << 12;
+
+    for &p in &[2usize, 4] {
+        let corpus = TextCorpus::new(1024, 1.05, 99);
+        let shards: Vec<String> = (0..p).map(|r| corpus.shard_text(r, per_pe)).collect();
+        let tokens: Vec<Vec<String>> = shards.iter().map(|s| tokenize(s)).collect();
+
+        group.bench_with_input(BenchmarkId::new("tokenize", p), &p, |b, _| {
+            b.iter(|| shards.iter().map(|s| tokenize(s).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("intern", p), &p, |b, &p| {
+            b.iter(|| {
+                run_spmd(p, |comm| {
+                    distributed_intern(comm, &tokens[comm.rank()]).vocab.len()
+                })
+            })
+        });
+        let interned: Vec<Vec<u64>> =
+            run_spmd(p, |comm| distributed_intern(comm, &tokens[comm.rank()]).ids).into_results();
+        group.bench_with_input(BenchmarkId::new("ec_top_k", p), &p, |b, &p| {
+            let params = FrequentParams::new(8, 0.05, 1e-3, 1);
+            b.iter(|| {
+                run_spmd(p, |comm| {
+                    TextAlgorithm::Ec
+                        .run(comm, &interned[comm.rank()], &params)
+                        .sample_size
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wordfreq_pipeline);
+criterion_main!(benches);

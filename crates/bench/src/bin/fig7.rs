@@ -9,11 +9,12 @@
 //! that makes it slower at this (loose) accuracy.
 //!
 //! ```bash
-//! cargo run -p bench --release --bin fig7 -- [--per-pe 18] [--max-pes 16] [--reps 2]
+//! cargo run -p bench --release --bin fig7 -- [--per-pe 18] [--max-pes 16] [--reps 2] \
+//!     [--eps-cap 0.05] [--epsilon E]
 //! ```
 
 use bench::report::fmt_duration;
-use bench::scaling::{measure_repeated, pe_sweep};
+use bench::scaling::{measure_repeated, pe_sweep, scaled_epsilon};
 use bench::Table;
 use commsim::Communicator;
 use datagen::Zipf;
@@ -27,9 +28,17 @@ fn main() {
     let per_pe = 1usize << args.log_per_pe;
     // Scaled-down accuracy: the paper's ε = 3·10⁻⁴ at n/p = 2²⁸; we keep the
     // sample-to-input ratio comparable at the reduced size by scaling ε with
-    // the square root of the size reduction.
-    let scale = ((1u64 << 28) as f64 / per_pe as f64).sqrt();
-    let epsilon = (3e-4 * scale).min(0.05);
+    // the square root of the size reduction.  The cap is a CLI flag and
+    // *announces* itself when it binds — a silently flattened ε distorts the
+    // weak-scaling curve at quick scales (ISSUE 4).
+    let scaled = scaled_epsilon(3e-4, 28, args.log_per_pe, args.eps_cap);
+    let epsilon = match args.epsilon {
+        Some(e) => e,
+        None => {
+            scaled.warn_if_capped("fig7");
+            scaled.value
+        }
+    };
     let params = FrequentParams::new(32, epsilon, 1e-4, 0xF17);
 
     println!("Figure 7 reproduction: top-32 most frequent objects, moderate accuracy");
@@ -120,6 +129,8 @@ struct Args {
     log_per_pe: u32,
     max_pes: usize,
     reps: usize,
+    eps_cap: f64,
+    epsilon: Option<f64>,
 }
 
 impl Args {
@@ -128,6 +139,8 @@ impl Args {
             log_per_pe: 18,
             max_pes: 16,
             reps: 2,
+            eps_cap: 0.05,
+            epsilon: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -143,6 +156,14 @@ impl Args {
                 }
                 "--reps" => {
                     args.reps = argv[i + 1].parse().expect("--reps takes a number");
+                    i += 2;
+                }
+                "--eps-cap" => {
+                    args.eps_cap = argv[i + 1].parse().expect("--eps-cap takes a float");
+                    i += 2;
+                }
+                "--epsilon" => {
+                    args.epsilon = Some(argv[i + 1].parse().expect("--epsilon takes a float"));
                     i += 2;
                 }
                 other => panic!("unknown argument {other}"),

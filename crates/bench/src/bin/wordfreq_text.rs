@@ -1,0 +1,241 @@
+//! Real-text word frequency: the paper's headline application (§7, Figure 4)
+//! run end to end — tokenizer → distributed interning → PAC/EC/PEC/Naive —
+//! on synthetic-English corpora (or a user-supplied text file), with
+//! exact-oracle scoring.
+//!
+//! Shards are generated and interned **up front**; only the counting
+//! algorithm runs inside the timed region (the pre-PR-4 `word_frequency`
+//! example timed input generation too, drowning the signal).  The interning
+//! setup cost is reported separately.  Repeated runs are asserted to move a
+//! bit-identical number of words per PE — reproducibility is checked, not
+//! assumed.
+//!
+//! ```bash
+//! cargo run -p bench --release --bin wordfreq_text -- \
+//!     [--pes 8] [--per-pe 15] [--vocab 4096] [--zipf 1.05] [--k 16] \
+//!     [--epsilon 0.03] [--reps 2] [--seed 42] [--text FILE] \
+//!     [--backend threaded|seq] [--json]
+//! ```
+
+use bench::report::fmt_duration;
+use bench::{run_on, Backend, Table};
+use commsim::{Communicator, SpmdOutput};
+use datagen::TextCorpus;
+use topk::frequent::{absolute_error, exact_global_counts, relative_error};
+use topk::{FrequentParams, TopKFrequentResult};
+use workloads::text::{
+    distributed_intern, split_text_shards, tokenize, InternedShard, TextAlgorithm,
+};
+
+fn main() {
+    let args = Args::parse();
+    let p = args.pes;
+    let per_pe = 1usize << args.log_per_pe;
+    let params = FrequentParams::new(args.k, args.epsilon, 1e-3, args.seed);
+
+    // ----- corpus (generated or loaded once, untimed) ---------------------
+    let (shards, source): (Vec<String>, String) = match &args.text {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read --text {path}: {e}"));
+            (
+                split_text_shards(&text, p),
+                format!("file {path} ({} bytes)", text.len()),
+            )
+        }
+        None => {
+            let corpus = TextCorpus::new(args.vocab, args.zipf, args.seed);
+            (
+                (0..p).map(|r| corpus.shard_text(r, per_pe)).collect(),
+                format!(
+                    "synthetic English, Zipf({}) over {} words, {} words/PE",
+                    args.zipf, args.vocab, per_pe
+                ),
+            )
+        }
+    };
+    let tokens: Vec<Vec<String>> = shards.iter().map(|s| tokenize(s)).collect();
+
+    println!("Word frequency on real text: top-{} words, {p} PEs", args.k);
+    println!(
+        "corpus: {source}; ε = {:.1e}, δ = 1e-3, backend: {:?}\n",
+        args.epsilon, args.backend
+    );
+
+    // ----- interning setup (collective, metered separately) ---------------
+    let intern_out: SpmdOutput<(InternedShard, u64)> = run_on!(args.backend, p, |comm| {
+        let before = comm.stats_snapshot();
+        let shard = distributed_intern(comm, &tokens[comm.rank()]);
+        let words = comm.stats_snapshot().since(&before).bottleneck_words();
+        (shard, words)
+    });
+    let intern_words = intern_out.results.iter().map(|(_, w)| *w).max().unwrap();
+    let interned: Vec<InternedShard> = intern_out.results.into_iter().map(|(s, _)| s).collect();
+    println!(
+        "interning setup: {} distinct words -> dense ids, {} words/PE (one-off, \
+         metered separately from the algorithms)\n",
+        interned[0].vocab.len(),
+        intern_words
+    );
+
+    // ----- exact oracle ---------------------------------------------------
+    let oracle = run_on!(args.backend, p, |comm| {
+        exact_global_counts(comm, &interned[comm.rank()].ids)
+    });
+    let exact = oracle.results.into_iter().next().unwrap();
+    let n: u64 = tokens.iter().map(|t| t.len() as u64).sum();
+
+    // ----- the algorithms, timed and scored -------------------------------
+    let mut table = Table::new(
+        "Real-text word frequency — oracle-scored algorithm comparison",
+        &[
+            "algorithm",
+            "PEs",
+            "wall time",
+            "words/PE",
+            "sample",
+            "abs err",
+            "rel err",
+            "top words",
+        ],
+    );
+
+    for algo in TextAlgorithm::ALL {
+        let mut wall = std::time::Duration::ZERO;
+        let mut result: Option<TopKFrequentResult> = None;
+        let mut words_per_rep: Vec<Vec<u64>> = Vec::with_capacity(args.reps);
+        for _ in 0..args.reps {
+            let out = run_on!(args.backend, p, |comm| {
+                let before = comm.stats_snapshot();
+                let r = algo.run(comm, &interned[comm.rank()].ids, &params);
+                let words = comm.stats_snapshot().since(&before).bottleneck_words();
+                (r, words)
+            });
+            wall += out.elapsed;
+            words_per_rep.push(out.results.iter().map(|(_, w)| *w).collect());
+            result = Some(out.results.into_iter().next().unwrap().0);
+        }
+        assert!(
+            words_per_rep.windows(2).all(|w| w[0] == w[1]),
+            "{}: words/PE must be bit-identical across repeated runs",
+            algo.name()
+        );
+        let result = result.unwrap();
+        let bottleneck = *words_per_rep[0].iter().max().unwrap();
+        let reported = result.keys();
+        let abs = absolute_error(&exact, &reported);
+        let rel = relative_error(&exact, &reported, n);
+        let top: Vec<&str> = result
+            .items
+            .iter()
+            .take(3)
+            .map(|&(id, _)| interned[0].resolve(id).unwrap_or("?"))
+            .collect();
+        table.add_row(vec![
+            algo.name().to_string(),
+            p.to_string(),
+            fmt_duration(wall / args.reps as u32),
+            bottleneck.to_string(),
+            result.sample_size.to_string(),
+            abs.to_string(),
+            format!("{rel:.2e}"),
+            top.join(" "),
+        ]);
+    }
+
+    table.print();
+    println!("{}", table.to_markdown());
+    if args.json {
+        print!("{}", table.to_json_lines());
+    }
+    println!(
+        "words/PE bit-identical across {} repetitions on the {:?} backend — \
+         reproducibility checked, not assumed.",
+        args.reps, args.backend
+    );
+}
+
+struct Args {
+    pes: usize,
+    log_per_pe: u32,
+    vocab: usize,
+    zipf: f64,
+    k: usize,
+    epsilon: f64,
+    reps: usize,
+    seed: u64,
+    text: Option<String>,
+    backend: Backend,
+    json: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            pes: 8,
+            log_per_pe: 15,
+            vocab: 4096,
+            zipf: 1.05,
+            k: 16,
+            epsilon: 0.03,
+            reps: 2,
+            seed: 42,
+            text: None,
+            backend: Backend::Threaded,
+            json: false,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--pes" => {
+                    args.pes = argv[i + 1].parse().expect("--pes takes a number");
+                    i += 2;
+                }
+                "--per-pe" => {
+                    args.log_per_pe = argv[i + 1].parse().expect("--per-pe takes a log2 size");
+                    i += 2;
+                }
+                "--vocab" => {
+                    args.vocab = argv[i + 1].parse().expect("--vocab takes a number");
+                    i += 2;
+                }
+                "--zipf" => {
+                    args.zipf = argv[i + 1].parse().expect("--zipf takes a float");
+                    i += 2;
+                }
+                "--k" => {
+                    args.k = argv[i + 1].parse().expect("--k takes a number");
+                    i += 2;
+                }
+                "--epsilon" => {
+                    args.epsilon = argv[i + 1].parse().expect("--epsilon takes a float");
+                    i += 2;
+                }
+                "--reps" => {
+                    args.reps = argv[i + 1].parse().expect("--reps takes a number");
+                    i += 2;
+                }
+                "--seed" => {
+                    args.seed = argv[i + 1].parse().expect("--seed takes a number");
+                    i += 2;
+                }
+                "--text" => {
+                    args.text = Some(argv[i + 1].clone());
+                    i += 2;
+                }
+                "--backend" => {
+                    args.backend = Backend::parse(&argv[i + 1]);
+                    i += 2;
+                }
+                "--json" => {
+                    args.json = true;
+                    i += 1;
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        assert!(args.reps >= 1, "--reps must be at least 1");
+        args
+    }
+}

@@ -54,6 +54,73 @@ where
     Measurement::from_stats(p, out.elapsed, out.stats)
 }
 
+/// Which [`commsim::Communicator`] backend an experiment binary drives
+/// (selected with `--backend threaded|seq` on the workload bins); dispatch
+/// a generic SPMD closure onto it with the [`crate::run_on!`] macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One OS thread per PE (`run_spmd`) — wall-clock measurements.
+    Threaded,
+    /// Deterministic single-threaded replay (`run_spmd_seq`).
+    Seq,
+}
+
+impl Backend {
+    /// Parse a `--backend` CLI value; panics on anything but
+    /// `threaded`/`seq` (matching the bins' argument-error convention).
+    pub fn parse(value: &str) -> Self {
+        match value {
+            "threaded" => Backend::Threaded,
+            "seq" => Backend::Seq,
+            other => panic!("unknown backend {other} (threaded|seq)"),
+        }
+    }
+}
+
+/// An accuracy target derived by scaling a paper ε down to a reduced per-PE
+/// input size, with an **explicit** cap (see [`scaled_epsilon`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledEpsilon {
+    /// The ε to use: `min(uncapped, cap)`.
+    pub value: f64,
+    /// The scaled value before capping.
+    pub uncapped: f64,
+    /// `true` iff the cap bound (`uncapped > cap`): the accuracy target is
+    /// flattened and weak-scaling curves at this scale are not comparable
+    /// with uncapped ones.
+    pub capped: bool,
+}
+
+impl ScaledEpsilon {
+    /// Print the standard warning to stderr when the cap bound.  Every
+    /// binary that scales ε calls this so a flattened accuracy target is
+    /// never silent (the pre-PR-4 fig7 clamped without telling anyone,
+    /// distorting quick-scale curves).
+    pub fn warn_if_capped(&self, binary: &str) {
+        if self.capped {
+            eprintln!(
+                "warning: {binary}: ε cap {:.1e} binds (uncapped scaled ε = {:.1e}); \
+                 the accuracy target is flattened at this scale — raise --eps-cap or \
+                 --per-pe for a faithful weak-scaling curve",
+                self.value, self.uncapped
+            );
+        }
+    }
+}
+
+/// Scale the paper's ε from its reference per-PE input size `2^base_log` to
+/// the reduced `2^log_per_pe` by the square root of the size reduction
+/// (keeping the sample-to-input ratio comparable), bounded by `cap`.
+pub fn scaled_epsilon(base: f64, base_log: u32, log_per_pe: u32, cap: f64) -> ScaledEpsilon {
+    let scale = (2f64.powi(base_log as i32) / 2f64.powi(log_per_pe as i32)).sqrt();
+    let uncapped = base * scale;
+    ScaledEpsilon {
+        value: uncapped.min(cap),
+        uncapped,
+        capped: uncapped > cap,
+    }
+}
+
 /// The PE counts of a weak-scaling sweep: powers of two from 1 to `max`
 /// (inclusive if `max` itself is a power of two, else the largest power of
 /// two below it is the last step).
@@ -111,6 +178,23 @@ mod tests {
         assert!(m.total_words > 0);
         assert!(m.modeled_comm_time > 0.0);
         assert!(m.bottleneck_messages > 0);
+    }
+
+    #[test]
+    fn scaled_epsilon_reports_when_the_cap_binds() {
+        // At the reference size the base value passes through untouched.
+        let at_ref = scaled_epsilon(3e-4, 28, 28, 0.05);
+        assert_eq!(at_ref.value, 3e-4);
+        assert!(!at_ref.capped);
+        // Moderately reduced: scaled but uncapped (fig7's default scale).
+        let moderate = scaled_epsilon(3e-4, 28, 18, 0.05);
+        assert!((moderate.value - 3e-4 * 32.0).abs() < 1e-12);
+        assert!(!moderate.capped);
+        // Quick scale: the cap binds and says so.
+        let quick = scaled_epsilon(3e-4, 28, 10, 0.05);
+        assert_eq!(quick.value, 0.05);
+        assert!(quick.capped);
+        assert!(quick.uncapped > quick.value);
     }
 
     #[test]

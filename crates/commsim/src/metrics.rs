@@ -56,6 +56,20 @@ impl PeStats {
         self.pooled_reuses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Zero every counter.  Used by the sequential backend's replay
+    /// scheduler, which re-executes closures from the start: resetting at
+    /// the beginning of each execution makes the counters describe exactly
+    /// one (the final, complete) execution, so mid-closure
+    /// [`StatsSnapshot::since`] phase metering agrees with the threaded
+    /// backend.
+    pub fn reset(&self) {
+        self.sent_messages.store(0, Ordering::Relaxed);
+        self.sent_words.store(0, Ordering::Relaxed);
+        self.received_messages.store(0, Ordering::Relaxed);
+        self.received_words.store(0, Ordering::Relaxed);
+        self.pooled_reuses.store(0, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {

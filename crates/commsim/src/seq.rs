@@ -33,10 +33,14 @@
 //! state through interior mutability, I/O, wall-clock time, entropy from a
 //! non-seeded RNG).  Every algorithm in this workspace satisfies this: local
 //! data is derived from `comm.rank()` and seeded RNGs.  Communication
-//! statistics are metered exactly once per message, so whole-run
-//! [`crate::WorldStats`] agree with the threaded backend; mid-closure
-//! [`Communicator::stats_snapshot`] deltas, however, see the already
-//! accumulated totals during replay rounds.
+//! counters are reset at the start of every replay execution and metered
+//! per execution, and the scheduler only stops after a round in which every
+//! PE ran to completion — so the surviving counters describe exactly one
+//! complete execution, whole-run [`crate::WorldStats`] agree with the
+//! threaded backend, *and* mid-closure [`Communicator::stats_snapshot`]
+//! deltas (phase metering) are correct too.  (Before PR 4 the deltas saw
+//! totals accumulated across replay rounds, silently underreporting the
+//! communication of any mid-closure phase.)
 //!
 //! One scheduling divergence from the threaded backend: a **busy-poll loop**
 //! over [`Communicator::try_recv`] with no blocking receive in between
@@ -97,10 +101,10 @@ struct PairState {
     /// `slots[n]` holds the pair's `n`-th message until its receiver
     /// consumes it this round; replayed sends refill the slot.
     slots: Vec<Option<Envelope>>,
-    /// Send indices below this value have been metered already.
-    metered_sends: usize,
-    /// Receive indices below this value have been metered already.
-    metered_recvs: usize,
+    /// `(word count, used a pooled buffer)` of every message this pair has
+    /// ever produced, by send index — so a replayed send whose previous
+    /// copy is still in its slot can be metered without re-encoding.
+    sent_meta: Vec<(usize, bool)>,
 }
 
 /// State shared by all PEs of one sequential run.
@@ -186,11 +190,11 @@ impl SeqComm {
             let pair = &mut pairs[src * self.world.p + self.rank];
             let env = pair.slots.get_mut(idx).and_then(Option::take);
             if let Some(env) = &env {
-                if idx >= pair.metered_recvs {
-                    debug_assert_eq!(idx, pair.metered_recvs);
-                    pair.metered_recvs = idx + 1;
-                    self.world.stats.pe(self.rank).record_recv(env.words);
-                }
+                // Counters are reset at the start of every replay execution,
+                // so each receive is metered unconditionally: after the
+                // final (complete) execution they describe exactly one run
+                // of the closure.
+                self.world.stats.pe(self.rank).record_recv(env.words);
             }
             env
         };
@@ -252,7 +256,15 @@ impl Communicator for SeqComm {
             if pair.slots.get(idx).is_some_and(Option::is_some) {
                 // Replay of a message whose previous copy was never
                 // consumed: the closure is deterministic, so the contents
-                // are identical — skip the redundant re-encode.
+                // are identical — skip the redundant re-encode, but still
+                // meter it (counters describe the current execution),
+                // including the pooled-reuse flag the original encode had.
+                let (words, reused) = pair.sent_meta[idx];
+                let pe = self.world.stats.pe(self.rank);
+                pe.record_send(words);
+                if reused {
+                    pe.record_pooled_reuse();
+                }
                 self.ops.set(self.ops.get() + 1);
                 return;
             }
@@ -260,18 +272,18 @@ impl Communicator for SeqComm {
         let (env, reused) = Envelope::encode(tag, self.rank, value, Some(&self.world.pool));
         let mut pairs = self.world.pairs.borrow_mut();
         let pair = &mut pairs[self.rank * self.world.p + dst];
-        if idx >= pair.metered_sends {
-            debug_assert_eq!(idx, pair.metered_sends);
-            pair.metered_sends = idx + 1;
-            let pe = self.world.stats.pe(self.rank);
-            pe.record_send(env.words);
-            if reused {
-                pe.record_pooled_reuse();
-            }
+        let pe = self.world.stats.pe(self.rank);
+        pe.record_send(env.words);
+        if reused {
+            pe.record_pooled_reuse();
         }
         if pair.slots.len() <= idx {
             pair.slots.resize_with(idx + 1, || None);
         }
+        if pair.sent_meta.len() <= idx {
+            pair.sent_meta.resize(idx + 1, (0, false));
+        }
+        pair.sent_meta[idx] = (env.words, reused);
         pair.slots[idx] = Some(env);
         self.ops.set(self.ops.get() + 1);
     }
@@ -388,6 +400,12 @@ where
         let mut all_done = true;
         let mut improved = false;
         for rank in 0..p {
+            // Each execution starts from a clean counter set (see
+            // `PeStats::reset`): the loop only exits after a round in which
+            // *every* PE ran its closure to completion, so the surviving
+            // counters describe exactly one complete execution per PE and
+            // mid-closure snapshot deltas agree with the threaded backend.
+            world.stats.pe(rank).reset();
             let comm = SeqComm::new(Rc::clone(&world), rank);
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
             if comm.ops.get() > best_ops[rank] {

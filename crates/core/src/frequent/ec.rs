@@ -200,7 +200,7 @@ mod tests {
         });
         let n: u64 = parts.iter().map(|v| v.len() as u64).sum();
         let (result, exact) = &out.results[0];
-        let err = relative_error(exact, &result.keys(), 8, n);
+        let err = relative_error(exact, &result.keys(), n);
         assert!(err <= 1e-3, "relative error {err}");
         // On a Zipf input with a strong slope EC virtually always nails the
         // exact answer; verify at least the clear leaders.

@@ -116,33 +116,43 @@ impl TopKFrequentResult {
 /// that *was* output, clamped at zero; the relative error divides by `n`.
 ///
 /// `exact_counts` are the true global counts, `reported` the keys the
-/// algorithm returned (at most `k`).
-pub fn absolute_error(exact_counts: &HashMap<u64, u64>, reported: &[u64], k: usize) -> u64 {
-    if exact_counts.is_empty() || reported.is_empty() {
+/// algorithm returned.  Note that `k` does not appear in the definition: the
+/// measure only compares the reported set against its complement.  (An
+/// earlier version of this function subtracted from the k-th largest exact
+/// count instead of the largest *non-reported* count, which silently
+/// underreported the error whenever a top-(k−1) object was missed — e.g.
+/// exact `{A:16, B:10, C:9}` with `[B, C]` reported scored 1 instead of the
+/// correct 16 − 9 = 7.)
+///
+/// An empty `reported` set means every frequent object was missed, so the
+/// error is the largest exact count.
+pub fn absolute_error(exact_counts: &HashMap<u64, u64>, reported: &[u64]) -> u64 {
+    if exact_counts.is_empty() {
         return 0;
     }
-    let mut counts: Vec<u64> = exact_counts.values().copied().collect();
-    counts.sort_unstable_by(|a, b| b.cmp(a));
-    let k = k.min(counts.len());
-    // Count of the least frequent reported object.
+    // Count of the most frequent object that was *not* reported.
+    let best_missed = exact_counts
+        .iter()
+        .filter(|(key, _)| !reported.contains(key))
+        .map(|(_, &count)| count)
+        .max()
+        .unwrap_or(0);
+    // Count of the least frequent reported object (0 for keys the oracle
+    // never saw — reporting a nonexistent object is maximally wrong).
     let worst_reported = reported
         .iter()
         .map(|key| exact_counts.get(key).copied().unwrap_or(0))
         .min()
         .unwrap_or(0);
-    // The best count that a correct answer would have included is the k-th
-    // largest; if our worst reported object is at least that, the answer is
-    // perfect.
-    let kth_best = counts[k - 1];
-    kth_best.saturating_sub(worst_reported)
+    best_missed.saturating_sub(worst_reported)
 }
 
 /// Relative version of [`absolute_error`] (the paper's ε̃).
-pub fn relative_error(exact_counts: &HashMap<u64, u64>, reported: &[u64], k: usize, n: u64) -> f64 {
+pub fn relative_error(exact_counts: &HashMap<u64, u64>, reported: &[u64], n: u64) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    absolute_error(exact_counts, reported, k) as f64 / n as f64
+    absolute_error(exact_counts, reported) as f64 / n as f64
 }
 
 /// Exact global counts of every key (the correctness oracle used by tests and
@@ -211,9 +221,11 @@ mod tests {
     #[test]
     fn absolute_error_is_zero_for_correct_answers() {
         let counts: HashMap<u64, u64> = [(1, 100), (2, 50), (3, 10)].into_iter().collect();
-        assert_eq!(absolute_error(&counts, &[1, 2], 2), 0);
+        assert_eq!(absolute_error(&counts, &[1, 2]), 0);
         // Order inside the answer does not matter.
-        assert_eq!(absolute_error(&counts, &[2, 1], 2), 0);
+        assert_eq!(absolute_error(&counts, &[2, 1]), 0);
+        // Reporting everything is trivially error-free.
+        assert_eq!(absolute_error(&counts, &[1, 2, 3]), 0);
     }
 
     #[test]
@@ -223,15 +235,47 @@ mod tests {
         let counts: HashMap<u64, u64> = [(0, 16), (1, 10), (2, 10), (3, 9), (4, 8), (5, 7)]
             .into_iter()
             .collect();
-        assert_eq!(absolute_error(&counts, &[0, 1, 2, 3, 5], 5), 1);
+        assert_eq!(absolute_error(&counts, &[0, 1, 2, 3, 5]), 1);
+    }
+
+    #[test]
+    fn missing_a_top_object_is_charged_its_full_count_gap() {
+        // Regression (ISSUE 4): the old implementation compared against the
+        // k-th largest exact count and scored this case 10 − 9 = 1; the
+        // paper's measure charges the full gap between the best missed
+        // object (A:16) and the worst reported one (C:9).
+        let counts: HashMap<u64, u64> = [(0, 16), (1, 10), (2, 9)].into_iter().collect();
+        assert_eq!(absolute_error(&counts, &[1, 2]), 7);
+    }
+
+    #[test]
+    fn reported_set_smaller_than_k_still_scores_against_the_complement() {
+        let counts: HashMap<u64, u64> = [(0, 16), (1, 10), (2, 9)].into_iter().collect();
+        // Only one object reported (the algorithm was asked for k = 2 but
+        // returned less): the best missed object is A:16, the worst (only)
+        // reported one is B:10.
+        assert_eq!(absolute_error(&counts, &[1]), 6);
+        // Nothing reported at all: every object was missed, so the error is
+        // the largest exact count.
+        assert_eq!(absolute_error(&counts, &[]), 16);
+        // No exact counts: nothing to miss.
+        assert_eq!(absolute_error(&HashMap::new(), &[1]), 0);
+    }
+
+    #[test]
+    fn reporting_an_unseen_key_counts_as_zero_frequency() {
+        let counts: HashMap<u64, u64> = [(0, 16), (1, 10)].into_iter().collect();
+        // Key 99 never occurred; its count is 0, so the error is the full
+        // count of the best missed object.
+        assert_eq!(absolute_error(&counts, &[0, 99]), 10);
     }
 
     #[test]
     fn relative_error_divides_by_n() {
         let counts: HashMap<u64, u64> = [(1, 10), (2, 6), (3, 2)].into_iter().collect();
-        let err = relative_error(&counts, &[1, 3], 2, 100);
+        let err = relative_error(&counts, &[1, 3], 100);
         assert!((err - 0.04).abs() < 1e-12);
-        assert_eq!(relative_error(&counts, &[1, 2], 2, 0), 0.0);
+        assert_eq!(relative_error(&counts, &[1, 2], 0), 0.0);
     }
 
     #[test]

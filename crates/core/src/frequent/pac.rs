@@ -137,7 +137,7 @@ mod tests {
         assert_eq!(result.items.len(), 8);
         // Error within the bound (with a comfortable margin for the test's
         // single run: the bound holds with probability 1-δ).
-        let err = relative_error(exact, &result.keys(), 8, n);
+        let err = relative_error(exact, &result.keys(), n);
         assert!(err <= 5e-3, "relative error {err}");
         // Rank 1 of a Zipf distribution is essentially impossible to miss.
         assert_eq!(result.items[0].0, 1);
@@ -256,6 +256,6 @@ mod tests {
     #[test]
     fn error_metric_agrees_with_exact_answer_on_perfect_results() {
         let counts: HashMap<u64, u64> = [(1, 50), (2, 40), (3, 30)].into_iter().collect();
-        assert_eq!(absolute_error(&counts, &[1, 2, 3], 3), 0);
+        assert_eq!(absolute_error(&counts, &[1, 2, 3]), 0);
     }
 }

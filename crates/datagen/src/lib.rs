@@ -14,7 +14,10 @@
 //!   several PEs contribute to the result;
 //! * [`multicriteria`] — score-list generators for the multicriteria top-k
 //!   algorithms of Section 6;
-//! * [`weighted`] — key/value workloads for the sum aggregation of Section 8.
+//! * [`weighted`] — key/value workloads for the sum aggregation of Section 8;
+//! * [`text`] — seedable synthetic-English corpora (Zipf word frequencies
+//!   over an embedded word list, rendered with sentence structure) for the
+//!   real-text word-frequency workload of Section 7 / Figure 4.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,11 +25,13 @@
 pub mod multicriteria;
 pub mod negbin;
 pub mod selection;
+pub mod text;
 pub mod weighted;
 pub mod zipf;
 
 pub use multicriteria::MulticriteriaWorkload;
 pub use negbin::NegativeBinomial;
 pub use selection::{SkewedSelectionInput, UniformInput};
+pub use text::TextCorpus;
 pub use weighted::WeightedZipfInput;
 pub use zipf::Zipf;

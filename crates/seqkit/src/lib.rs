@@ -20,13 +20,18 @@
 //! * [`heavy_hitters`] — classical deterministic frequent-object summaries
 //!   (Misra–Gries, Space-Saving) used as sequential baselines for Section 7,
 //! * [`hashagg`] — hash-based key aggregation used for local counting in the
-//!   frequent-objects and sum-aggregation algorithms (Sections 7 and 8).
+//!   frequent-objects and sum-aggregation algorithms (Sections 7 and 8),
+//! * [`intern`] — dense string ↔ `u64` id interning, the sequential half of
+//!   the real-text word-frequency pipeline (the paper's Figure 4 scenario):
+//!   string keys are interned once so the distributed machinery can keep
+//!   moving machine words.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod hashagg;
 pub mod heavy_hitters;
+pub mod intern;
 pub mod sampling;
 pub mod select;
 pub mod sorted;
@@ -34,6 +39,7 @@ pub mod threshold;
 pub mod treap;
 
 pub use heavy_hitters::{MisraGries, SpaceSaving};
+pub use intern::Interner;
 pub use sampling::{bernoulli_sample, geometric_deviate, BernoulliSampler};
 pub use select::{
     floyd_rivest_select, partition_three_way, partition_three_way_counts,

@@ -1,0 +1,355 @@
+//! The real-text word-frequency pipeline (paper §7, Figure 4).
+//!
+//! The paper's headline application finds the most frequent *words* in a
+//! distributed corpus, but every algorithm in `crates/core` moves `u64`
+//! machine words.  The pipeline bridges the two:
+//!
+//! 1. **Tokenize** each PE's raw text shard into lowercase words
+//!    ([`tokenize`] — deterministic, ASCII-alphabetic tokens).
+//! 2. **Intern** words into dense `u64` ids that are *globally consistent*
+//!    across PEs ([`distributed_intern`]): each PE compresses its shard with
+//!    a sequential [`seqkit::Interner`], the sorted local vocabularies are
+//!    united with one allgather, and a word's id is its rank in the sorted
+//!    global vocabulary — independent of PE count, shard boundaries and
+//!    iteration order, which is what makes the whole pipeline reproducible.
+//! 3. **Count** with any §7 algorithm on the id stream ([`TextAlgorithm`]),
+//!    exactly as if the input had been integers all along.
+//! 4. **Resolve** the few winning ids back to words ([`resolve_items`]) and
+//!    score them against the exact oracle ([`WordFrequencyScore`]).
+//!
+//! Interning is a *setup* step: its one-off allgather of the vocabulary is
+//! deliberately metered separately from the algorithm phase (the paper's
+//! claims are about the counting algorithms, not corpus distribution), which
+//! is why [`run_scored`](TextAlgorithm::run_scored) reports the two phases'
+//! communication volumes side by side.
+
+use std::collections::HashMap;
+
+use commsim::Communicator;
+use seqkit::Interner;
+use topk::frequent::ec::ec_top_k;
+use topk::frequent::naive::{naive_top_k, naive_tree_top_k};
+use topk::frequent::pac::pac_top_k;
+use topk::frequent::pec::pec_top_k;
+use topk::frequent::{absolute_error, exact_global_counts, relative_error};
+use topk::{FrequentParams, TopKFrequentResult};
+
+/// Split `text` into lowercase ASCII-alphabetic words.
+///
+/// Any non-ASCII-alphabetic character separates tokens (digits, punctuation,
+/// whitespace, and non-ASCII bytes alike), and tokens are lowercased — so
+/// `"Don't panic, 42!"` tokenizes to `["don", "t", "panic"]`.  Simple on
+/// purpose: the pipeline needs a *deterministic* word definition more than a
+/// linguistically clever one.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_ascii_alphabetic())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_ascii_lowercase())
+        .collect()
+}
+
+/// Split a user-supplied document into `p` near-equal shards without ever
+/// splitting a word: cut points land on the first non-ASCII-alphabetic
+/// character boundary at or after each `len/p` byte mark (so multi-byte
+/// UTF-8 characters are never cut in half either).  Returns exactly `p`
+/// strings (trailing shards may be empty for tiny inputs).
+pub fn split_text_shards(text: &str, p: usize) -> Vec<String> {
+    assert!(p >= 1, "need at least one shard");
+    let bytes = text.as_bytes();
+    let mut shards = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for i in 1..=p {
+        let mut end = (text.len() * i / p).max(start);
+        while end < text.len() && (!text.is_char_boundary(end) || bytes[end].is_ascii_alphabetic())
+        {
+            end += 1;
+        }
+        shards.push(text[start..end].to_string());
+        start = end;
+    }
+    shards
+}
+
+/// One PE's share of the corpus after distributed interning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedShard {
+    /// The global vocabulary, sorted ascending; a word's id is its index,
+    /// identical on every PE and independent of how the corpus was sharded.
+    pub vocab: Vec<String>,
+    /// This PE's token stream mapped to ids (same order as the tokens).
+    pub ids: Vec<u64>,
+}
+
+impl InternedShard {
+    /// The word behind `id`.
+    pub fn resolve(&self, id: u64) -> Option<&str> {
+        self.vocab.get(id as usize).map(String::as_str)
+    }
+}
+
+/// Make word ids globally consistent (collective — all PEs must call this
+/// together).
+///
+/// Each PE first collapses its token stream with a sequential
+/// [`seqkit::Interner`] (so the allgather carries each *distinct* word once,
+/// not every occurrence), then the sorted local vocabularies are united and
+/// a word's global id is its rank in the sorted union.  Sorting is what
+/// decouples ids from insertion order: any sharding of the same corpus onto
+/// any number of PEs produces the same `word → id` map.
+pub fn distributed_intern<C: Communicator>(comm: &C, tokens: &[String]) -> InternedShard {
+    let mut local_vocab = Interner::from_words(tokens.iter().map(String::as_str)).into_words();
+    local_vocab.sort_unstable();
+    let mut vocab: Vec<String> = comm.allgather(local_vocab).into_iter().flatten().collect();
+    vocab.sort_unstable();
+    vocab.dedup();
+    let ids = tokens
+        .iter()
+        .map(|t| {
+            vocab
+                .binary_search(t)
+                .expect("token must be in the gathered vocabulary") as u64
+        })
+        .collect();
+    InternedShard { vocab, ids }
+}
+
+/// Resolve a result's `(id, count)` items back to `(word, count)` using the
+/// global vocabulary.
+pub fn resolve_items(vocab: &[String], result: &TopKFrequentResult) -> Vec<(String, u64)> {
+    result
+        .items
+        .iter()
+        .map(|&(id, count)| (vocab[id as usize].clone(), count))
+        .collect()
+}
+
+/// The §7 algorithms the text workload can drive, as a value (so drivers can
+/// sweep over [`TextAlgorithm::ALL`] uniformly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextAlgorithm {
+    /// Probably approximately correct (Section 7.1).
+    Pac,
+    /// Exact counting of sampled candidates (Section 7.2).
+    Ec,
+    /// Probably exactly correct (Section 7.3); the coarse first-stage ε₀ is
+    /// derived as `min(20·ε, 0.05)`, matching the convention of the existing
+    /// experiments.
+    Pec,
+    /// Centralized baseline: every PE ships its aggregate to a coordinator.
+    Naive,
+    /// Centralized baseline through a merging reduction tree.
+    NaiveTree,
+}
+
+impl TextAlgorithm {
+    /// All algorithms, in the order the experiments report them.
+    pub const ALL: [TextAlgorithm; 5] = [
+        TextAlgorithm::Pac,
+        TextAlgorithm::Ec,
+        TextAlgorithm::Pec,
+        TextAlgorithm::Naive,
+        TextAlgorithm::NaiveTree,
+    ];
+
+    /// Display name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            TextAlgorithm::Pac => "PAC",
+            TextAlgorithm::Ec => "EC",
+            TextAlgorithm::Pec => "PEC",
+            TextAlgorithm::Naive => "Naive",
+            TextAlgorithm::NaiveTree => "Naive Tree",
+        }
+    }
+
+    /// Run this algorithm on an interned id stream (collective).
+    pub fn run<C: Communicator>(
+        self,
+        comm: &C,
+        ids: &[u64],
+        params: &FrequentParams,
+    ) -> TopKFrequentResult {
+        match self {
+            TextAlgorithm::Pac => pac_top_k(comm, ids, params),
+            TextAlgorithm::Ec => ec_top_k(comm, ids, params),
+            TextAlgorithm::Pec => {
+                let epsilon0 = (params.epsilon * 20.0).min(0.05);
+                pec_top_k(comm, ids, params, epsilon0)
+            }
+            TextAlgorithm::Naive => naive_top_k(comm, ids, params),
+            TextAlgorithm::NaiveTree => naive_tree_top_k(comm, ids, params),
+        }
+    }
+
+    /// Run this algorithm and score it against the exact oracle, metering the
+    /// algorithm phase separately from the oracle (collective).
+    ///
+    /// The returned score is identical on every PE; `words_per_pe` is *this*
+    /// PE's `max(sent, received)` words during the algorithm phase only.
+    pub fn run_scored<C: Communicator>(
+        self,
+        comm: &C,
+        shard: &InternedShard,
+        params: &FrequentParams,
+    ) -> WordFrequencyScore {
+        let exact = exact_global_counts(comm, &shard.ids);
+        let n = comm.allreduce_sum(shard.ids.len() as u64);
+        let before = comm.stats_snapshot();
+        let result = self.run(comm, &shard.ids, params);
+        let words_per_pe = comm.stats_snapshot().since(&before).bottleneck_words();
+        WordFrequencyScore::new(self, &exact, &result, &shard.vocab, n, words_per_pe)
+    }
+}
+
+/// An oracle-scored word-frequency answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordFrequencyScore {
+    /// Which algorithm produced it.
+    pub algorithm: TextAlgorithm,
+    /// The reported words with their (estimated or exact) counts, most
+    /// frequent first.
+    pub top: Vec<(String, u64)>,
+    /// Global number of sampled elements the algorithm communicated about.
+    pub sample_size: u64,
+    /// `true` if the reported counts are exact (EC/PEC).
+    pub exact_counts: bool,
+    /// The paper's §7 absolute error: best missed count − worst reported
+    /// count, clamped at zero.
+    pub abs_error: u64,
+    /// `abs_error / n` (the paper's ε̃).
+    pub rel_error: f64,
+    /// This PE's bottleneck communication volume of the algorithm phase.
+    pub words_per_pe: u64,
+}
+
+impl WordFrequencyScore {
+    fn new(
+        algorithm: TextAlgorithm,
+        exact: &HashMap<u64, u64>,
+        result: &TopKFrequentResult,
+        vocab: &[String],
+        n: u64,
+        words_per_pe: u64,
+    ) -> Self {
+        let reported = result.keys();
+        WordFrequencyScore {
+            algorithm,
+            top: resolve_items(vocab, result),
+            sample_size: result.sample_size,
+            exact_counts: result.exact_counts,
+            abs_error: absolute_error(exact, &reported),
+            rel_error: relative_error(exact, &reported, n),
+            words_per_pe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::{run_spmd, run_spmd_seq};
+    use datagen::TextCorpus;
+
+    #[test]
+    fn tokenize_lowercases_and_splits_on_non_alphabetic() {
+        assert_eq!(tokenize("Don't panic, 42!"), vec!["don", "t", "panic"]);
+        assert_eq!(tokenize("  The the THE "), vec!["the", "the", "the"]);
+        assert!(tokenize("123 456 --- \n").is_empty());
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn split_text_shards_never_splits_words() {
+        let text = "alpha beta gamma delta epsilon zeta eta theta iota kappa";
+        for p in [1usize, 2, 3, 4, 7] {
+            let shards = split_text_shards(text, p);
+            assert_eq!(shards.len(), p);
+            assert_eq!(shards.concat(), text, "p={p}");
+            let rejoined: Vec<String> = shards.iter().flat_map(|s| tokenize(s)).collect();
+            assert_eq!(rejoined, tokenize(text), "p={p}");
+        }
+    }
+
+    #[test]
+    fn split_text_shards_handles_more_shards_than_words() {
+        let shards = split_text_shards("one two", 8);
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards.concat(), "one two");
+    }
+
+    #[test]
+    fn split_text_shards_never_cuts_multibyte_characters() {
+        // Regression: cut points are byte offsets, and a naive advance over
+        // ASCII-alphabetic bytes stops inside a multi-byte character,
+        // panicking on the slice.  "é" is two bytes; sweep p so boundaries
+        // land on every offset.
+        let text = "cafés naïve Wörter décor søster œuvre";
+        for p in 1..=text.len() {
+            let shards = split_text_shards(text, p);
+            assert_eq!(shards.len(), p);
+            assert_eq!(shards.concat(), text, "p={p}");
+        }
+    }
+
+    #[test]
+    fn interned_ids_are_sorted_vocabulary_ranks() {
+        let out = run_spmd(3, |comm| {
+            let tokens: Vec<String> = match comm.rank() {
+                0 => vec!["cherry", "apple"],
+                1 => vec!["banana", "apple", "banana"],
+                _ => vec!["date"],
+            }
+            .into_iter()
+            .map(String::from)
+            .collect();
+            distributed_intern(comm, &tokens)
+        });
+        let vocab: Vec<String> = ["apple", "banana", "cherry", "date"]
+            .map(String::from)
+            .to_vec();
+        assert_eq!(out.results[0].vocab, vocab);
+        assert_eq!(out.results[0].ids, vec![2, 0]);
+        assert_eq!(out.results[1].ids, vec![1, 0, 1]);
+        assert_eq!(out.results[2].ids, vec![3]);
+        assert_eq!(out.results[2].resolve(3), Some("date"));
+        assert_eq!(out.results[2].resolve(9), None);
+    }
+
+    #[test]
+    fn interning_is_identical_on_both_backends() {
+        let corpus = TextCorpus::new(200, 1.0, 5);
+        let shards: Vec<String> = (0..4).map(|r| corpus.shard_text(r, 300)).collect();
+        let tokens: Vec<Vec<String>> = shards.iter().map(|s| tokenize(s)).collect();
+        let threaded = run_spmd(4, |comm| distributed_intern(comm, &tokens[comm.rank()]));
+        let seq = run_spmd_seq(4, |comm| distributed_intern(comm, &tokens[comm.rank()]));
+        assert_eq!(threaded.results, seq.results);
+    }
+
+    #[test]
+    fn scored_run_finds_the_corpus_top_words() {
+        let corpus = TextCorpus::new(300, 1.1, 9);
+        let shards: Vec<Vec<String>> = (0..4)
+            .map(|r| tokenize(&corpus.shard_text(r, 2000)))
+            .collect();
+        let params = FrequentParams::new(4, 0.02, 1e-3, 77);
+        let out = run_spmd(4, |comm| {
+            let shard = distributed_intern(comm, &shards[comm.rank()]);
+            TextAlgorithm::Ec.run_scored(comm, &shard, &params)
+        });
+        let score = &out.results[0];
+        assert_eq!(score.algorithm, TextAlgorithm::Ec);
+        assert!(score.exact_counts);
+        assert_eq!(score.top.len(), 4);
+        // "the" (rank 1) is unmissable on a Zipf(1.1) corpus of this size.
+        assert_eq!(score.top[0].0, "the");
+        assert!(score.rel_error <= 2e-2, "rel error {}", score.rel_error);
+        assert!(score.words_per_pe > 0);
+    }
+
+    #[test]
+    fn all_algorithms_have_distinct_names() {
+        let names: std::collections::HashSet<&str> =
+            TextAlgorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), TextAlgorithm::ALL.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! A multi-round job scheduler on the bulk-parallel priority queue (§5).
+//!
+//! Jobs stream in round after round — skewed toward PE 0, the "hot
+//! frontend" — and every round the scheduler completes the globally most
+//! urgent batch.  Insertion is communication-free no matter how skewed the
+//! arrivals, and the flexible batch (`delete_min_flexible`) pays roughly one
+//! communication round instead of the fixed batch's binary search.
+//!
+//! ```bash
+//! cargo run --release --example job_scheduler
+//! ```
+
+use topk_selection::prelude::*;
+
+fn main() {
+    let p = 4;
+    let params = SchedulerParams {
+        rounds: 8,
+        jobs_per_round: 2_000,
+        batch: BatchPolicy::Flexible { lo: 600, hi: 1_200 },
+        arrival: ArrivalPattern::Skewed,
+        seed: 0xBEEF,
+    };
+
+    println!(
+        "== Job scheduler: {} rounds × {} jobs/round on {p} PEs ==",
+        params.rounds, params.jobs_per_round
+    );
+    println!(
+        "arrivals Zipf-skewed toward PE 0; flexible batches {:?}\n",
+        params.batch
+    );
+
+    let out = run_spmd(p, |comm| run_scheduler(comm, &params));
+    let outcomes = &out.results;
+    let throughput = SchedulerOutcome::global_throughput(outcomes);
+
+    println!("round  arrivals/PE0  arrivals/PE3  completed  backlog  words/PE");
+    println!("----------------------------------------------------------------");
+    for (r, done) in throughput.iter().enumerate() {
+        let words = outcomes.iter().map(|o| o.rounds[r].words).max().unwrap();
+        println!(
+            "{:>5}  {:>12}  {:>12}  {:>9}  {:>7}  {:>8}",
+            r,
+            outcomes[0].rounds[r].arrived,
+            outcomes[p - 1].rounds[r].arrived,
+            done,
+            outcomes[0].rounds[r].backlog,
+            words
+        );
+    }
+
+    let completed: usize = throughput.iter().sum();
+    println!("\ncompleted {completed} jobs; every batch landed inside the 600..=1200 band:");
+    for (r, t) in throughput.iter().enumerate() {
+        assert!((600..=1200).contains(t), "round {r}: batch {t} out of band");
+    }
+    println!(
+        "  min batch {} / max batch {}",
+        throughput.iter().min().unwrap(),
+        throughput.iter().max().unwrap()
+    );
+    println!("\nPE 0 absorbed the arrival skew locally — the queue's insertions");
+    println!("never touch the network, so a hot job source costs nothing extra.");
+}

@@ -23,7 +23,9 @@
 //!   trees, sampling, threshold algorithm),
 //! * [`datagen`] — synthetic workload generators matching the paper's
 //!   evaluation section,
-//! * [`topk`] — the paper's distributed algorithms themselves.
+//! * [`topk`] — the paper's distributed algorithms themselves,
+//! * [`workloads`] — end-to-end application scenarios (real-text word
+//!   frequency, multi-round bulk-queue scheduling) built on all of the above.
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +33,7 @@ pub use commsim;
 pub use datagen;
 pub use seqkit;
 pub use topk;
+pub use workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -42,7 +45,7 @@ pub mod prelude {
         MulticriteriaWorkload, NegativeBinomial, SkewedSelectionInput, UniformInput,
         WeightedZipfInput, Zipf,
     };
-    pub use seqkit::{ScoreList, ThresholdAlgorithm, Treap};
+    pub use seqkit::{Interner, ScoreList, ThresholdAlgorithm, Treap};
     pub use topk::frequent::{
         ec::ec_top_k, naive::naive_top_k, naive::naive_tree_top_k, pac::pac_top_k, pec::pec_top_k,
     };
@@ -51,5 +54,9 @@ pub mod prelude {
         knapsack_branch_bound_sequential, multisequence_select, rdta_top_k, redistribute,
         select_k_largest, select_k_smallest, select_threshold, sum_top_k, sum_top_k_exact,
         BulkParallelQueue, FrequentParams, KnapsackInstance, LocalMulticriteria, OrderedF64,
+    };
+    pub use workloads::{
+        distributed_intern, run_scheduler, split_text_shards, tokenize, ArrivalPattern,
+        BatchPolicy, InternedShard, SchedulerOutcome, SchedulerParams, TextAlgorithm,
     };
 }

@@ -37,7 +37,7 @@ fn all_frequent_object_algorithms_respect_the_error_bound_on_zipf_input() {
     });
     let (exact, results) = &out.results[0];
     for (name, result) in results {
-        let err = relative_error(exact, &result.keys(), k, n);
+        let err = relative_error(exact, &result.keys(), n);
         assert!(
             err <= 2e-3,
             "{name}: relative error {err} exceeds the bound"
