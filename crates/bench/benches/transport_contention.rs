@@ -1,0 +1,98 @@
+//! Criterion bench for transport *contention*: many small sends at large `p`.
+//!
+//! `transport_setup` pins the construction cost of the sharded transport;
+//! this bench pins its steady-state behaviour under concurrent load, which
+//! is where a per-destination lock shows up as convoying.  Two traffic
+//! shapes, each with one small (scalar `u64`) envelope per send:
+//!
+//! * `hotspot` — every PE floods PE 0, which drains all of it.  All senders
+//!   hit the *same* destination shard, the worst case for a shard lock and
+//!   the best case for per-(source, destination) lock-free queues.
+//! * `neighbor` — every PE sends a burst to its ring successor, then drains
+//!   its predecessor's burst.  No sharing beyond each ordered pair; measures
+//!   raw per-message overhead of the transport.
+//!
+//! Run the full sweep with `cargo bench -p bench --bench
+//! transport_contention`; CI smoke-runs the `p64` rows only (the criterion
+//! shim's substring filter) with `CRITERION_SHIM_SMOKE=1`.  Before/after
+//! numbers for the lock-free rewrite are recorded in EXPERIMENTS.md.
+
+use commsim::transport::{Envelope, Mailbox};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::thread;
+
+/// Messages each sender pushes per scenario run.  High enough that queue
+/// traffic, not OS thread spawn, dominates the measurement (at `p = 1024`
+/// the hotspot scenario moves `256 × 1024` envelopes per iteration).
+const ROUNDS: u64 = 256;
+
+/// Every PE (PE 0 included, via its self-queue) sends `ROUNDS` scalar
+/// messages to PE 0; PE 0 drains every source queue in order.
+fn run_hotspot(p: usize) {
+    let boxes = Mailbox::full_mesh(p);
+    let handles: Vec<_> = boxes
+        .into_iter()
+        .map(|b| {
+            thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    b.send(0, Envelope::new(i, b.rank(), i)).unwrap();
+                }
+                if b.rank() == 0 {
+                    for src in 0..p {
+                        for i in 0..ROUNDS {
+                            let env = b.recv(src).unwrap();
+                            assert_eq!(env.tag, i, "per-source FIFO order violated");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Every PE sends `ROUNDS` scalar messages to its ring successor, then
+/// receives its predecessor's `ROUNDS` messages in order.
+fn run_neighbor(p: usize) {
+    let boxes = Mailbox::full_mesh(p);
+    let handles: Vec<_> = boxes
+        .into_iter()
+        .map(|b| {
+            thread::spawn(move || {
+                let dst = (b.rank() + 1) % p;
+                let src = (b.rank() + p - 1) % p;
+                for i in 0..ROUNDS {
+                    b.send(dst, Envelope::new(i, b.rank(), i)).unwrap();
+                }
+                for i in 0..ROUNDS {
+                    let env = b.recv(src).unwrap();
+                    assert_eq!(env.tag, i, "per-source FIFO order violated");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_transport_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_contention");
+    group.sample_size(10);
+    for &p in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("hotspot", format!("p{p}")), &p, |b, &p| {
+            b.iter(|| run_hotspot(p))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("neighbor", format!("p{p}")),
+            &p,
+            |b, &p| b.iter(|| run_neighbor(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport_contention);
+criterion_main!(benches);

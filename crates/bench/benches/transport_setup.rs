@@ -1,20 +1,37 @@
-//! Criterion bench for the transport construction cost.
+//! Criterion bench for the transport's construction *and teardown* cost.
 //!
-//! The sharded inbox transport allocates `O(p)` shards; the former full mesh
-//! minted `p²` mpsc channels, which dominated setup of large-`p` sweeps
-//! (3.4 s at `p = 1024` — see EXPERIMENTS.md for the before/after table).
-//! This bench pins the new construction cost so a regression back to
-//! quadratic setup is caught by a glance at the curve.
+//! The sharded inbox transport allocates `O(p)` shards; the former full
+//! mesh minted `p²` mpsc channels, which dominated setup of large-`p`
+//! sweeps (3.4 s at `p = 1024` — see EXPERIMENTS.md for the before/after
+//! table).  Construction and teardown are timed as **separate rows**
+//! (`iter_batched` keeps the untimed phase out of the measurement), so a
+//! regression in either direction — quadratic setup *or* expensive shard
+//! cleanup, e.g. an eager per-queue walk in `Mailbox::drop` — is caught by
+//! a glance at its own curve; `construct_and_drop` times the full cycle as
+//! a cross-check (≈ the sum of the other two).
+//!
+//! Teardown drops all `p` mailboxes *and* the mesh they share.  For the
+//! lock-free transport that is `p` liveness stores, `p²` cheap park-slot
+//! loads, and the queue-chain walk of whatever segments were allocated
+//! (none in this bench: no messages are sent).
 
 use commsim::transport::Mailbox;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 fn bench_transport_setup(c: &mut Criterion) {
     let mut group = c.benchmark_group("transport_setup");
     group.sample_size(10);
     for &p in &[16usize, 64, 256, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| black_box(Mailbox::full_mesh(p)))
+        group.bench_with_input(BenchmarkId::new("construct", p), &p, |b, &p| {
+            // The constructed mesh is the routine's output: dropped untimed.
+            b.iter_batched(|| (), |()| Mailbox::full_mesh(p), BatchSize::PerIteration)
+        });
+        group.bench_with_input(BenchmarkId::new("teardown", p), &p, |b, &p| {
+            // The mesh is built untimed in setup; only its drop is timed.
+            b.iter_batched(|| Mailbox::full_mesh(p), drop, BatchSize::PerIteration)
+        });
+        group.bench_with_input(BenchmarkId::new("construct_and_drop", p), &p, |b, &p| {
+            b.iter(|| drop(black_box(Mailbox::full_mesh(p))))
         });
     }
     group.finish();

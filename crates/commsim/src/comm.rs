@@ -1,11 +1,14 @@
 //! The threaded per-PE communicator handle.
 //!
 //! A [`Comm`] is one backend of the [`Communicator`] trait: each simulated PE
-//! runs on its own OS thread and owns a [`Comm`] wired into the sharded
-//! inbox transport.  All traffic is metered into the per-PE counters of the
-//! run's [`crate::metrics::StatsRegistry`], and `Vec<u64>`-class payloads
-//! travel through a per-PE [`BufferPool`] (typed path) instead of being
-//! boxed.
+//! runs on its own OS thread and owns a [`Comm`] wired into the lock-free
+//! sharded inbox transport (per-source SPSC queues, park/unpark blocking —
+//! see [`crate::transport`]).  All traffic is metered into the per-PE
+//! counters of the run's [`crate::metrics::StatsRegistry`], and
+//! `Vec<u64>`-class payloads travel through a per-PE [`BufferPool`] (typed
+//! path) instead of being boxed.  Like the mailbox it wraps, a `Comm` is
+//! the unique communication endpoint of its rank: it moves freely between
+//! threads but is never shared between them.
 
 use std::cell::Cell;
 

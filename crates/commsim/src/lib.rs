@@ -19,8 +19,9 @@
 //! provided:
 //!
 //! * **threaded** ([`Comm`], via [`run_spmd`]) — one OS thread per PE over a
-//!   sharded inbox transport (one locked shard per destination PE, `O(p)`
-//!   setup); real parallelism and wall-clock timings;
+//!   lock-free sharded inbox transport (one shard of per-source SPSC queues
+//!   per destination PE, `O(p)` setup, park/unpark blocking); real
+//!   parallelism and wall-clock timings;
 //! * **sequential** ([`SeqComm`], via [`run_spmd_seq`]) — the same SPMD
 //!   closures executed deterministically on a single thread by round-based
 //!   replay; fast tests, reproducible debugging, no stack-size tuning.
@@ -67,7 +68,11 @@
 //! modeled `α·startups + β·words` cost.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the lock-free transport core (`spsc`, and the
+// `transport` module that upholds its single-producer/single-consumer
+// contract) opts back in with a scoped `#![allow(unsafe_code)]` — every
+// other module stays free of `unsafe`.
+#![deny(unsafe_code)]
 
 pub mod codec;
 pub mod collectives;
@@ -79,6 +84,7 @@ pub mod message;
 pub mod metrics;
 pub mod runner;
 pub mod seq;
+mod spsc;
 pub mod topology;
 pub mod transport;
 

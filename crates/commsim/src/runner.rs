@@ -1,8 +1,8 @@
 //! The threaded SPMD executor.
 //!
 //! [`run_spmd`] spawns one thread per simulated PE, hands each a [`Comm`]
-//! handle wired into the sharded inbox transport (`O(p)` setup, see
-//! [`crate::transport`]), runs the user closure on every
+//! handle wired into the lock-free sharded inbox transport (`O(p)` setup,
+//! see [`crate::transport`]), runs the user closure on every
 //! PE, and collects the per-PE return values together with the aggregated
 //! communication statistics and the wall-clock time of the region.
 //!

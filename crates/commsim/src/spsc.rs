@@ -1,0 +1,416 @@
+//! Lock-free building blocks of the transport: a segmented single-producer/
+//! single-consumer queue and a one-slot thread parking cell.
+//!
+//! The sharded transport ([`crate::transport`]) keeps one [`SpscQueue`] per
+//! *ordered* PE pair `(source, destination)`.  Exactly one thread ever
+//! pushes into a given queue (the thread owning the source [`Mailbox`]) and
+//! exactly one thread ever pops it (the thread owning the destination
+//! mailbox) — mailboxes are `!Sync`, unclonable, and minted once per rank,
+//! so the single-producer/single-consumer contract is enforced by ownership.
+//! That contract is what lets both endpoints run entirely on plain memory
+//! writes plus one atomic publish counter: no mutex, no condvar, no
+//! compare-and-swap loop, and therefore no convoying when a thousand
+//! senders target the same destination.
+//!
+//! This is the only module in the crate that uses `unsafe`; the crate-level
+//! lint opt-out is scoped to it and to the `transport` module that upholds
+//! the uniqueness contract documented on every `unsafe fn` here.
+//!
+//! [`Mailbox`]: crate::transport::Mailbox
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::thread::{self, Thread};
+
+/// Values per heap segment.  Segments are allocated by the producer on
+/// demand (an idle queue owns none) and freed by the consumer as it drains
+/// past them, so a queue in steady state touches the allocator once per
+/// `SEG_CAP` messages on each side.
+const SEG_CAP: usize = 32;
+
+/// One fixed-size block of the queue's linked segment chain.
+struct Segment<T> {
+    /// Message slots, written by the producer, read (exactly once) by the
+    /// consumer.  A slot's initialization is published through the queue's
+    /// `published` counter, never read before the counter covers it.
+    slots: [UnsafeCell<MaybeUninit<T>>; SEG_CAP],
+    /// Next segment in the chain; written once by the producer (release)
+    /// before the first slot of the successor is published.
+    next: AtomicPtr<Segment<T>>,
+}
+
+impl<T> Segment<T> {
+    fn new_boxed() -> *mut Segment<T> {
+        Box::into_raw(Box::new(Segment {
+            slots: [const { UnsafeCell::new(MaybeUninit::uninit()) }; SEG_CAP],
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// Producer cursor: the segment currently being filled and the next free
+/// slot index within it.  Touched only by the unique producer.
+struct ProducerPos<T> {
+    seg: *mut Segment<T>,
+    idx: usize,
+}
+
+/// Consumer cursor: the segment currently being drained, the next unread
+/// slot index within it, and the total number of messages consumed.
+/// Touched only by the unique consumer.
+struct ConsumerPos<T> {
+    seg: *mut Segment<T>,
+    idx: usize,
+    consumed: usize,
+}
+
+/// An unbounded lock-free queue for exactly one producer and one consumer.
+///
+/// The only shared mutable state is `published`, the count of messages
+/// whose slot writes are complete.  The producer increments it (`SeqCst`,
+/// so the transport's Dekker-style sleep/wake protocol can pair it with the
+/// park-slot accesses) after writing a slot; the consumer compares it with
+/// its private `consumed` count to decide emptiness.  A reader observing
+/// `published ≥ n` synchronizes-with the n-th increment and therefore sees
+/// the n-th slot write and every segment link before it.
+pub(crate) struct SpscQueue<T> {
+    /// Number of messages fully written and visible to the consumer.
+    published: AtomicUsize,
+    /// Entry into the segment chain, set once by the producer's first push.
+    first: AtomicPtr<Segment<T>>,
+    /// Producer-private cursor (see [`ProducerPos`] for the access rule).
+    prod: UnsafeCell<ProducerPos<T>>,
+    /// Consumer-private cursor (see [`ConsumerPos`] for the access rule).
+    cons: UnsafeCell<ConsumerPos<T>>,
+}
+
+// SAFETY: the `UnsafeCell` cursors are private to the unique producer and
+// unique consumer respectively (the contract documented on `push`/`pop`),
+// and every handoff of a `T` between the two sides is ordered through the
+// `published` counter, so sharing `&SpscQueue<T>` across threads is sound
+// whenever `T` itself may move between threads.
+unsafe impl<T: Send> Send for SpscQueue<T> {}
+// SAFETY: as above — all cross-thread communication goes through atomics.
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+
+impl<T> SpscQueue<T> {
+    /// An empty queue owning no heap segments yet.
+    pub(crate) fn new() -> Self {
+        SpscQueue {
+            published: AtomicUsize::new(0),
+            first: AtomicPtr::new(ptr::null_mut()),
+            prod: UnsafeCell::new(ProducerPos {
+                seg: ptr::null_mut(),
+                idx: 0,
+            }),
+            cons: UnsafeCell::new(ConsumerPos {
+                seg: ptr::null_mut(),
+                idx: 0,
+                consumed: 0,
+            }),
+        }
+    }
+
+    /// Append a value (never blocks; the queue is unbounded).
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the queue's unique producer: no concurrent
+    /// `push`, and calls from different threads must be ordered by a
+    /// happens-before edge (e.g. moving the owning `Mailbox`).
+    pub(crate) unsafe fn push(&self, value: T) {
+        // SAFETY: unique producer per the function contract.
+        let prod = unsafe { &mut *self.prod.get() };
+        if prod.seg.is_null() {
+            let seg = Segment::new_boxed();
+            prod.seg = seg;
+            prod.idx = 0;
+            self.first.store(seg, Ordering::Release);
+        } else if prod.idx == SEG_CAP {
+            let seg = Segment::new_boxed();
+            // SAFETY: `prod.seg` is the live tail segment; the consumer
+            // frees a segment only after draining past it, which it cannot
+            // do before `published` covers a message beyond it.
+            unsafe { (*prod.seg).next.store(seg, Ordering::Release) };
+            prod.seg = seg;
+            prod.idx = 0;
+        }
+        // SAFETY: the slot at `prod.idx` has never been published, so the
+        // consumer does not touch it until the increment below.
+        unsafe { (*(*prod.seg).slots[prod.idx].get()).write(value) };
+        prod.idx += 1;
+        self.published.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Remove and return the oldest value, or `None` when empty.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the queue's unique consumer (the dual of the
+    /// [`SpscQueue::push`] contract).
+    pub(crate) unsafe fn pop(&self) -> Option<T> {
+        // SAFETY: unique consumer per the function contract.
+        let cons = unsafe { &mut *self.cons.get() };
+        if cons.consumed == self.published.load(Ordering::SeqCst) {
+            return None;
+        }
+        // `published > consumed`: the load above synchronizes with the
+        // publishing increment, so the slot write — and every segment
+        // allocation/link before it — is visible below.
+        if cons.seg.is_null() {
+            cons.seg = self.first.load(Ordering::Acquire);
+            cons.idx = 0;
+        } else if cons.idx == SEG_CAP {
+            // SAFETY: a published message lies beyond this segment, so the
+            // producer linked its successor before the increment we saw.
+            let next = unsafe { (*cons.seg).next.load(Ordering::Acquire) };
+            debug_assert!(!next.is_null(), "published message implies a link");
+            // SAFETY: every slot of the old segment has been consumed and
+            // the producer's cursor moved past it; nobody touches it again.
+            drop(unsafe { Box::from_raw(cons.seg) });
+            cons.seg = next;
+            cons.idx = 0;
+        }
+        debug_assert!(!cons.seg.is_null());
+        // SAFETY: slot `cons.idx` was published (counter check above) and
+        // is read exactly once.
+        let value = unsafe { (*(*cons.seg).slots[cons.idx].get()).assume_init_read() };
+        cons.idx += 1;
+        cons.consumed += 1;
+        Some(value)
+    }
+}
+
+impl<T> Drop for SpscQueue<T> {
+    fn drop(&mut self) {
+        // `&mut self`: both endpoint contracts hold trivially.  Drain the
+        // undelivered messages (dropping them), then free the one segment
+        // the consumer cursor still points at — all earlier segments were
+        // freed while draining past them.
+        // SAFETY: exclusive access per `&mut self`.
+        unsafe {
+            while self.pop().is_some() {}
+            let cons = &mut *self.cons.get();
+            let last = if cons.seg.is_null() {
+                // Never popped: the chain entry (if any) is still `first`.
+                self.first.load(Ordering::Acquire)
+            } else {
+                cons.seg
+            };
+            if !last.is_null() {
+                drop(Box::from_raw(last));
+            }
+        }
+    }
+}
+
+/// A one-slot registration cell for the shard's (unique) blocked receiver.
+///
+/// The receiver parks itself by publishing a boxed [`Thread`] handle plus
+/// the source rank it is waiting on; whoever swaps the handle out — a
+/// sender that just delivered the awaited source's message, or a
+/// disconnecting peer — owns it and unparks the thread.  The swap makes
+/// wakeups exactly-once per registration: concurrent wakers race on the
+/// pointer, one wins, the rest see null and do nothing.
+///
+/// The source filter is an optimisation, not a correctness requirement: a
+/// sender that reads a stale source rank (the receiver is mid-way through
+/// re-registering for a different source) may skip the wakeup, but in that
+/// case the SC total order puts the sender's publish before the receiver's
+/// post-registration re-pop, which therefore finds the message.  All
+/// operations are `SeqCst` so they form exactly those Dekker pairs with the
+/// queues' `published` counters and with the transport's liveness flags.
+pub(crate) struct ParkSlot {
+    parked: AtomicPtr<Thread>,
+    /// Rank the registered receiver is blocked on, or [`ParkSlot::ANY`].
+    /// Written before the handle is published, read (as a filter) after
+    /// the handle is observed.
+    waiting_on: AtomicUsize,
+}
+
+impl ParkSlot {
+    /// `waiting_on` value matched by every waker (used by disconnecting
+    /// peers, which must wake the receiver regardless of source).
+    pub(crate) const ANY: usize = usize::MAX;
+
+    /// An empty slot (no receiver registered).
+    pub(crate) fn new() -> Self {
+        ParkSlot {
+            parked: AtomicPtr::new(ptr::null_mut()),
+            waiting_on: AtomicUsize::new(Self::ANY),
+        }
+    }
+
+    /// Register the calling thread as the receiver parked on messages from
+    /// `src`, replacing (and releasing) any previous registration — which
+    /// can only be a stale handle of this same thread, because a shard has
+    /// a single receiver.
+    pub(crate) fn register(&self, src: usize) {
+        self.waiting_on.store(src, Ordering::SeqCst);
+        let handle = Box::into_raw(Box::new(thread::current()));
+        let prev = self.parked.swap(handle, Ordering::SeqCst);
+        if !prev.is_null() {
+            // SAFETY: a non-null pointer in the slot is always a live
+            // `Box<Thread>`; the swap transferred ownership to us.
+            drop(unsafe { Box::from_raw(prev) });
+        }
+    }
+
+    /// Drop the calling thread's registration, if a waker has not already
+    /// consumed it.
+    pub(crate) fn clear(&self) {
+        let prev = self.parked.swap(ptr::null_mut(), Ordering::SeqCst);
+        if !prev.is_null() {
+            // SAFETY: as in `register` — the swap transferred ownership.
+            drop(unsafe { Box::from_raw(prev) });
+        }
+    }
+
+    /// Wake the registered receiver, if there is one and it waits on
+    /// messages from `src` (pass [`ParkSlot::ANY`] to match every
+    /// registration).  The cheap cases — no receiver, or a receiver blocked
+    /// on a different source — are one or two atomic loads, so neither
+    /// quiescent shards nor unrelated traffic cost senders a syscall.
+    pub(crate) fn wake(&self, src: usize) {
+        if self.parked.load(Ordering::SeqCst).is_null() {
+            return;
+        }
+        if src != Self::ANY {
+            let waiting_on = self.waiting_on.load(Ordering::SeqCst);
+            if waiting_on != src && waiting_on != Self::ANY {
+                return;
+            }
+        }
+        let prev = self.parked.swap(ptr::null_mut(), Ordering::SeqCst);
+        if !prev.is_null() {
+            // SAFETY: as in `register` — the swap transferred ownership.
+            let thread = unsafe { Box::from_raw(prev) };
+            thread.unpark();
+        }
+    }
+}
+
+impl Drop for ParkSlot {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip_within_one_thread() {
+        let q = SpscQueue::new();
+        // SAFETY: single thread is both unique producer and consumer.
+        unsafe {
+            assert_eq!(q.pop(), None);
+            for i in 0..100u64 {
+                q.push(i);
+            }
+            for i in 0..100u64 {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn segment_boundaries_preserve_fifo() {
+        let q = SpscQueue::new();
+        let n = (SEG_CAP * 5 + 3) as u64;
+        // SAFETY: single thread.
+        unsafe {
+            for i in 0..n {
+                q.push(i);
+            }
+            for i in 0..n {
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_crosses_segments() {
+        let q = SpscQueue::new();
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        // Keep the queue about half a segment full while streaming several
+        // segments' worth of values through it.
+        // SAFETY: single thread.
+        unsafe {
+            for _ in 0..(SEG_CAP * 7) {
+                q.push(next_push);
+                next_push += 1;
+                q.push(next_push);
+                next_push += 1;
+                assert_eq!(q.pop(), Some(next_pop));
+                next_pop += 1;
+            }
+            while let Some(v) = q.pop() {
+                assert_eq!(v, next_pop);
+                next_pop += 1;
+            }
+        }
+        assert_eq!(next_pop, next_push);
+    }
+
+    #[test]
+    fn cross_thread_handoff_is_fifo() {
+        let q = Arc::new(SpscQueue::new());
+        let producer = Arc::clone(&q);
+        let n = 10_000u64;
+        let t = thread::spawn(move || {
+            for i in 0..n {
+                // SAFETY: this thread is the unique producer.
+                unsafe { producer.push(i) };
+            }
+        });
+        let mut expected = 0u64;
+        while expected < n {
+            // SAFETY: this thread is the unique consumer.
+            if let Some(v) = unsafe { q.pop() } {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_a_non_empty_queue_frees_in_flight_values() {
+        // Drop counting payload: each live value holds an Arc clone.
+        let marker = Arc::new(());
+        {
+            let q = SpscQueue::new();
+            for _ in 0..(SEG_CAP * 3 + 5) {
+                // SAFETY: single thread.
+                unsafe { q.push(Arc::clone(&marker)) };
+            }
+            // SAFETY: single thread.
+            unsafe {
+                let _ = q.pop();
+                let _ = q.pop();
+            }
+        }
+        assert_eq!(Arc::strong_count(&marker), 1, "queue drop leaked values");
+    }
+
+    #[test]
+    fn park_slot_wake_is_exactly_once_per_registration() {
+        let slot = ParkSlot::new();
+        slot.register(7);
+        slot.wake(3); // wrong source: receiver stays registered
+        slot.wake(7); // consumes the registration
+        slot.wake(ParkSlot::ANY); // nothing registered any more
+        slot.clear(); // idempotent
+    }
+}

@@ -1,33 +1,57 @@
 //! Point-to-point transport between simulated PEs.
 //!
-//! The transport is a **sharded inbox**: one locked shard per *destination*
-//! PE, each holding `p` per-source FIFO queues.  Constructing the transport
-//! for `p` PEs therefore allocates `O(p)` shards (one `Mutex` + `Condvar` +
-//! queue table per PE) instead of the `p²` mpsc channels of the former full
-//! mesh — at `p = 1024` that is 1 024 locks instead of 1 048 576 channels,
-//! which used to dominate large-`p` sweep setup.  The per-source queues are
-//! plain `VecDeque`s that allocate nothing until the first message arrives.
+//! The transport is a **lock-free sharded inbox**: one shard per
+//! *destination* PE, each holding `p` per-source single-producer/
+//! single-consumer segmented queues (`spsc::SpscQueue`) plus a
+//! one-slot parking cell for the shard's blocked receiver.  Constructing
+//! the transport for `p` PEs allocates `O(p)` shards (one queue *table* per
+//! PE; the queues themselves own no heap until the first message), pinned
+//! by the counting-allocator test `transport_alloc.rs`.
 //!
-//! Per-source FIFO order is preserved (a sender appends to its own queue
-//! inside the destination's shard), which together with the SPMD structure
-//! of all algorithms in this repository (every PE executes the same sequence
-//! of communication operations) is what makes tag-checked in-order receives
-//! sufficient — there is no need for out-of-order message matching.
+//! There is no mutex and no condvar anywhere on the message path:
+//!
+//! * **send** — the source mailbox appends to its private queue inside the
+//!   destination's shard (plain slot write + one atomic publish increment)
+//!   and wakes the destination's receiver only if one is registered as
+//!   parked (a single atomic load in the common case).  Senders to the same
+//!   destination never touch shared state, so a thousand PEs flooding one
+//!   hotspot no longer convoy on that shard's lock.
+//! * **recv** — the destination mailbox pops its shard's queue for the
+//!   requested source; on empty it spins briefly (messages usually arrive
+//!   within microseconds mid-collective), then registers itself in the
+//!   shard's one-slot parking cell (`spsc::ParkSlot`) and parks via
+//!   [`std::thread::park`].  Registration and the sender's publish
+//!   increment form a Dekker pair (both `SeqCst`): either the sender sees
+//!   the registration and unparks, or the receiver's post-registration
+//!   re-check finds the message — a wakeup cannot be lost.
+//! * **disconnect** — dropping a mailbox stores its liveness flag `false`
+//!   and wakes every registered receiver, so a blocking receive whose peer
+//!   is gone fails fast with [`CommError::Disconnected`] after draining
+//!   anything still queued (exactly the former mpsc hang-up semantics).
+//!
+//! Per-source FIFO order is preserved (each ordered pair has its own
+//! queue), which together with the SPMD structure of all algorithms in this
+//! repository (every PE executes the same sequence of communication
+//! operations) is what makes tag-checked in-order receives sufficient —
+//! there is no need for out-of-order message matching.
 //!
 //! Payloads travel in one of two representations (see [`Payload`]): types
 //! with a word codec are encoded into a pooled `Vec<u64>` buffer (the typed
 //! fast path — no `Box<dyn Any>` allocation), everything else is boxed as
-//! `dyn Any` (the universal fallback).
+//! `dyn Any` (the universal fallback).  The [`BufferPool`] is untouched by
+//! the lock-free rewrite: it is per-communicator, not shared.
+#![allow(unsafe_code)]
 
 use std::any::{Any, TypeId};
-use std::cell::RefCell;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::codec::{decode_error, WordReader};
 use crate::error::{CommError, CommResult};
 use crate::message::CommData;
+use crate::spsc::{ParkSlot, SpscQueue};
 use crate::{Rank, Tag};
 
 /// The two wire representations of a message payload.
@@ -228,22 +252,19 @@ impl Envelope {
 }
 
 /// One destination's inbox shard: every message addressed to that PE, held
-/// in per-source FIFO queues behind a single lock.
+/// in `p` lock-free per-source FIFO queues, plus the parking cell its
+/// (unique) receiver blocks in.
 struct Shard {
     /// `queues[src]` holds the messages sent by PE `src`, in send order.
-    /// An empty `VecDeque` performs no heap allocation, so an idle pair
-    /// costs nothing beyond its table slot.
-    queues: Mutex<Vec<VecDeque<Envelope>>>,
-    /// Signalled on every delivery to this shard and on any sender exit.
-    ready: Condvar,
-    /// Receivers registered as (potentially) blocked in [`Mailbox::recv`] on
-    /// this shard.  A receiver increments this — under the shard lock,
-    /// *before* its liveness check — for the whole blocking section, so
-    /// [`Mailbox`]'s `Drop` can skip the lock + notify of every quiescent
-    /// shard: the `SeqCst` ordering of this counter against the `alive`
-    /// flag makes "receiver saw `alive`" imply "drop sees the waiter"
-    /// (a Dekker-style store/load pair on each side).
-    waiters: AtomicUsize,
+    /// PE `src`'s mailbox is the queue's unique producer and this shard's
+    /// owner the unique consumer, so each queue runs the single-producer/
+    /// single-consumer lock-free protocol of [`SpscQueue`].  An idle queue
+    /// owns no heap beyond its table slot.
+    queues: Vec<SpscQueue<Envelope>>,
+    /// Parking cell of the shard's receiver.  Senders (and disconnecting
+    /// peers) wake it with one atomic load in the quiescent case; see
+    /// [`ParkSlot`] for the exactly-once handoff.
+    parked: ParkSlot,
 }
 
 /// Transport state shared by all mailboxes of one SPMD world: `p` shards
@@ -256,31 +277,39 @@ struct SharedMesh {
     alive: Vec<AtomicBool>,
 }
 
-/// Lock a shard's queue table, recovering from poisoning: the lock is only
-/// ever held for queue pushes/pops (no user code), so a poisoned state still
-/// contains a structurally sound table — e.g. a PE thread that panicked in
-/// user code while its peers were mid-receive must not cascade.
-fn lock_queues(shard: &Shard) -> MutexGuard<'_, Vec<VecDeque<Envelope>>> {
-    shard
-        .queues
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+/// Spin iterations of a blocking receive before it parks the thread: a few
+/// busy spins for the multi-core case where the sender is mid-publish,
+/// then scheduler yields that let a sender run on a loaded (or single-CPU)
+/// machine.  Past the budget the receiver parks — collectives block for
+/// whole message latencies, and a parked thread costs nothing.
+const SPIN_BUSY: usize = 16;
+const SPIN_YIELD: usize = 4;
 
 /// The per-PE endpoint of the sharded transport.
 ///
 /// Sending to `dst` appends to this PE's queue inside `dst`'s shard;
 /// receiving from `src` pops this PE's shard's queue for `src` — FIFO order
 /// per ordered pair, exactly like the former channel mesh.
+///
+/// A mailbox is the *unique* endpoint of its rank: it cannot be cloned, and
+/// it is deliberately `!Sync` (calls are serialized by ownership even when
+/// the mailbox moves between threads).  That uniqueness is what upholds the
+/// single-producer/single-consumer contract of the underlying lock-free
+/// queues — every `unsafe` block below discharges its obligation by
+/// pointing at it.
 pub struct Mailbox {
     rank: Rank,
     mesh: Arc<SharedMesh>,
+    /// Opts out of `Sync`: two threads sharing `&Mailbox` could otherwise
+    /// race the producer/consumer cursors of the lock-free queues.
+    _not_sync: PhantomData<Cell<()>>,
 }
 
 impl Mailbox {
     /// Build the sharded transport for `p` PEs and return one mailbox per
-    /// PE.  Allocates `O(p)` shards — one lock + condvar + queue table per
-    /// destination — not the `O(p²)` channels of a full mesh (pinned by the
+    /// PE.  Allocates `O(p)` shards — one queue table per destination; the
+    /// lock-free queues themselves defer all allocation to the first send —
+    /// not the `O(p²)` channels of a full mesh (pinned by the
     /// allocation-counting integration test `transport_alloc.rs` and the
     /// `transport_setup` criterion bench).
     pub fn full_mesh(p: usize) -> Vec<Mailbox> {
@@ -288,9 +317,8 @@ impl Mailbox {
         let mesh = Arc::new(SharedMesh {
             shards: (0..p)
                 .map(|_| Shard {
-                    queues: Mutex::new((0..p).map(|_| VecDeque::new()).collect()),
-                    ready: Condvar::new(),
-                    waiters: AtomicUsize::new(0),
+                    queues: (0..p).map(|_| SpscQueue::new()).collect(),
+                    parked: ParkSlot::new(),
                 })
                 .collect(),
             alive: (0..p).map(|_| AtomicBool::new(true)).collect(),
@@ -299,6 +327,7 @@ impl Mailbox {
             .map(|rank| Mailbox {
                 rank,
                 mesh: Arc::clone(&mesh),
+                _not_sync: PhantomData,
             })
             .collect()
     }
@@ -313,7 +342,16 @@ impl Mailbox {
         self.mesh.shards.len()
     }
 
-    /// Send an envelope to `dst` (never blocks; queues are unbounded).
+    /// Number of inbox shards — one per destination PE, i.e. the same
+    /// quantity as [`Mailbox::size`], under the name the structural pin
+    /// test asserts on: the inbox stays `O(p)` shards (the *queues* inside
+    /// them are per-pair, but own no heap until used).
+    pub fn shard_count(&self) -> usize {
+        self.size()
+    }
+
+    /// Send an envelope to `dst` (never blocks; queues are unbounded and
+    /// the sender takes no lock).
     pub fn send(&self, dst: Rank, env: Envelope) -> CommResult<()> {
         let size = self.size();
         let shard = self
@@ -321,29 +359,27 @@ impl Mailbox {
             .shards
             .get(dst)
             .ok_or(CommError::InvalidRank { rank: dst, size })?;
-        {
-            // Liveness is checked under the shard lock so a send sequenced
-            // after the destination's teardown reliably fails.  A send
-            // racing *concurrently* with the teardown may still win the
-            // race and park the envelope in the dead shard — harmless (it
-            // is freed with the mesh) and no worse than a message an mpsc
-            // receiver never drained before hanging up.
-            let mut queues = lock_queues(shard);
-            if !self.mesh.alive[dst].load(Ordering::Acquire) {
-                return Err(CommError::Disconnected { from: dst });
-            }
-            queues[self.rank].push_back(env);
+        // A send sequenced after the destination's teardown (program order
+        // or any happens-before edge) sees `alive == false` and fails.  A
+        // send racing *concurrently* with the teardown may still win and
+        // park the envelope in the dead shard — harmless (it is freed with
+        // the mesh) and no worse than a message an mpsc receiver never
+        // drained before hanging up.
+        if !self.mesh.alive[dst].load(Ordering::SeqCst) {
+            return Err(CommError::Disconnected { from: dst });
         }
-        // Condvar broadcast only when a receiver is actually registered as
-        // blocked: a receiver holds the shard lock from its fast-path pop
-        // through `waiters` registration until it enters `wait`, so either
-        // our push (under that lock) happened first and its re-pop finds the
-        // message, or our lock acquisition synchronised with its wait-entry
-        // release and this load sees the registration.  The common
-        // send-before-recv case skips the broadcast entirely.
-        if shard.waiters.load(Ordering::SeqCst) > 0 {
-            shard.ready.notify_all();
-        }
+        // SAFETY: this mailbox is the unique endpoint of rank `self.rank`
+        // (unclonable, `!Sync`), so it is the unique producer of the
+        // `(self.rank, dst)` queue.
+        unsafe { shard.queues[self.rank].push(env) };
+        // Publish-then-check: the queue's publish increment and the
+        // receiver's park registration are both `SeqCst`, so either this
+        // load sees a registration for our rank (and `wake` unparks
+        // exactly one receiver), or the receiver's post-registration
+        // re-pop sees our message.  A receiver blocked on a *different*
+        // source is deliberately left asleep.  The common send-before-recv
+        // case is one atomic load.
+        shard.parked.wake(self.rank);
         Ok(())
     }
 
@@ -358,28 +394,55 @@ impl Mailbox {
             return Err(CommError::InvalidRank { rank: src, size });
         }
         let shard = &self.mesh.shards[self.rank];
-        let mut queues = lock_queues(shard);
-        if let Some(env) = queues[src].pop_front() {
+        let queue = &shard.queues[src];
+        // SAFETY (here and below): this mailbox is the unique endpoint of
+        // its rank, hence the unique consumer of every queue in its shard.
+        if let Some(env) = unsafe { queue.pop() } {
             return Ok(env);
         }
-        // Slow path: register as a waiter *before* checking liveness (see
-        // the `Shard::waiters` docs for why this order closes the race
-        // against a concurrently dropping sender), then block.
-        shard.waiters.fetch_add(1, Ordering::SeqCst);
-        let result = loop {
-            if let Some(env) = queues[src].pop_front() {
-                break Ok(env);
+        // Spin-then-park.  Spin phase: cheap busy spins, then yields.
+        for spin in 0..(SPIN_BUSY + SPIN_YIELD) {
+            if spin < SPIN_BUSY {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            if let Some(env) = unsafe { queue.pop() } {
+                return Ok(env);
             }
             if !self.mesh.alive[src].load(Ordering::SeqCst) {
-                break Err(CommError::Disconnected { from: src });
+                return self.drain_disconnected(queue, src);
             }
-            queues = shard
-                .ready
-                .wait(queues)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        };
-        shard.waiters.fetch_sub(1, Ordering::SeqCst);
-        result
+        }
+        // Park phase: register, re-check (the Dekker pair with senders and
+        // with a disconnecting peer), park; repeat on spurious or
+        // wrong-source wakeups.  `register` replaces any handle a previous
+        // iteration left behind.
+        loop {
+            shard.parked.register(src);
+            if let Some(env) = unsafe { queue.pop() } {
+                shard.parked.clear();
+                return Ok(env);
+            }
+            if !self.mesh.alive[src].load(Ordering::SeqCst) {
+                let result = self.drain_disconnected(queue, src);
+                shard.parked.clear();
+                return result;
+            }
+            std::thread::park();
+        }
+    }
+
+    /// Final pop after observing `src` dead: the liveness store is the last
+    /// thing a dropping mailbox does after its sends, so one more pop after
+    /// seeing `alive == false` is guaranteed to surface anything still
+    /// queued — only then is the hang-up reported.
+    fn drain_disconnected(&self, queue: &SpscQueue<Envelope>, src: Rank) -> CommResult<Envelope> {
+        // SAFETY: unique consumer, as in `recv`.
+        match unsafe { queue.pop() } {
+            Some(env) => Ok(env),
+            None => Err(CommError::Disconnected { from: src }),
+        }
     }
 
     /// Non-blocking receive of the next message from `src`, if one is queued.
@@ -388,39 +451,32 @@ impl Mailbox {
         if src >= size {
             return Err(CommError::InvalidRank { rank: src, size });
         }
-        let shard = &self.mesh.shards[self.rank];
-        match lock_queues(shard)[src].pop_front() {
-            Some(env) => Ok(Some(env)),
-            None if !self.mesh.alive[src].load(Ordering::Acquire) => {
-                Err(CommError::Disconnected { from: src })
-            }
-            None => Ok(None),
+        let queue = &self.mesh.shards[self.rank].queues[src];
+        // SAFETY: unique consumer, as in `recv`.
+        if let Some(env) = unsafe { queue.pop() } {
+            return Ok(Some(env));
         }
+        if !self.mesh.alive[src].load(Ordering::SeqCst) {
+            return self.drain_disconnected(queue, src).map(Some);
+        }
+        Ok(None)
     }
 }
 
 impl Drop for Mailbox {
     fn drop(&mut self) {
-        // Mark this sender dead and wake every blocked receiver so a peer
-        // waiting on a message that can no longer arrive fails fast with
-        // `Disconnected` instead of hanging (mirrors mpsc channel hang-up).
+        // Mark this sender dead and wake every registered receiver so a
+        // peer waiting on a message that can no longer arrive fails fast
+        // with `Disconnected` instead of hanging (mirrors mpsc hang-up).
         //
-        // Only shards with a registered waiter need the lock + notify; the
-        // Dekker pairing with `Shard::waiters` (both sides `SeqCst`: a
-        // receiver increments before loading `alive`, we store `alive`
-        // before loading `waiters`) guarantees that a receiver which saw
-        // `alive == true` is visible here — so a quiescent world tears down
-        // with one atomic load per shard instead of `p` lock acquisitions
-        // per mailbox.  Taking the lock before notifying in the non-empty
-        // case closes the check-to-wait window: a registered receiver still
-        // holds the shard lock until it enters `Condvar::wait`, so the
-        // notification cannot be lost.
+        // The store and the receivers' registrations are `SeqCst` Dekker
+        // pairs: a receiver registers before loading `alive`, we store
+        // `alive` before loading the park slots — so a receiver that saw
+        // `alive == true` is visible here and gets unparked, while a
+        // quiescent world tears down with one atomic load per shard.
         self.mesh.alive[self.rank].store(false, Ordering::SeqCst);
         for shard in &self.mesh.shards {
-            if shard.waiters.load(Ordering::SeqCst) > 0 {
-                let _guard = lock_queues(shard);
-                shard.ready.notify_all();
-            }
+            shard.parked.wake(ParkSlot::ANY);
         }
     }
 }
@@ -601,6 +657,60 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn shard_count_is_one_per_destination() {
+        for p in [1usize, 2, 16, 64] {
+            let boxes = Mailbox::full_mesh(p);
+            assert_eq!(boxes[0].shard_count(), p, "shards must stay O(p)");
+        }
+    }
+
+    #[test]
+    fn fifo_survives_segment_boundaries() {
+        // Push far more messages than one queue segment holds before
+        // draining, so the chain allocation/linking/freeing paths of the
+        // lock-free queue all run.
+        let mut boxes = Mailbox::full_mesh(2);
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        let n = 1000u64;
+        for i in 0..n {
+            b0.send(1, Envelope::new(i, 0, i)).unwrap();
+        }
+        for i in 0..n {
+            let env = b1.recv(0).unwrap();
+            assert_eq!(env.tag, i);
+            let (_, _, v): (_, _, u64) = env.open().unwrap();
+            assert_eq!(v, i);
+        }
+        assert!(b1.try_recv(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn park_and_wake_churn_delivers_every_message() {
+        // The receiver blocks before each message exists, so every recv
+        // exercises the spin→park→wake path rather than the fast path.
+        let mut boxes = Mailbox::full_mesh(2);
+        let b1 = boxes.pop().unwrap();
+        let b0 = boxes.pop().unwrap();
+        let rounds = 200u64;
+        let receiver = thread::spawn(move || {
+            for i in 0..rounds {
+                let env = b1.recv(0).unwrap();
+                assert_eq!(env.tag, i);
+            }
+            b1
+        });
+        for i in 0..rounds {
+            b0.send(1, Envelope::new(i, 0, i)).unwrap();
+            // Let the receiver drain and (usually) park again.
+            if i % 7 == 0 {
+                thread::yield_now();
+            }
+        }
+        receiver.join().unwrap();
     }
 
     #[test]

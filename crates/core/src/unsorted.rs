@@ -17,7 +17,7 @@
 use commsim::{CommData, Communicator, ReduceOp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use seqkit::sampling::bernoulli_sample;
+use seqkit::sampling::{bernoulli_sample, bernoulli_sample_retain};
 use seqkit::select::partition_three_way_counts;
 
 use crate::util::tag_unique;
@@ -174,18 +174,54 @@ fn global_max<C: Communicator, K: Ord + Clone + CommData>(comm: &C, value: Optio
     )
 }
 
+/// Stable in-place narrowing of the level buffer, optionally fused with the
+/// *next* level's Bernoulli sampling: with `rho = Some(ρ)` the survivors
+/// are skip-sampled during the same sweep ([`bernoulli_sample_retain`], one
+/// pass over the buffer instead of narrow-then-sample); with `None` it is a
+/// plain `Vec::retain`.
+fn narrow_level<K, F>(
+    s: &mut Vec<K>,
+    keep: F,
+    retained_len: usize,
+    rho: Option<f64>,
+    rng: &mut StdRng,
+) -> Option<Vec<K>>
+where
+    K: Clone,
+    F: FnMut(&K) -> bool,
+{
+    match rho {
+        Some(rho) => Some(bernoulli_sample_retain(s, keep, retained_len, rho, rng)),
+        None => {
+            s.retain(keep);
+            None
+        }
+    }
+}
+
 /// Core recursion of Algorithm 1 on tie-broken keys.
 ///
 /// The remaining local input lives in one owned buffer `s` that only ever
-/// *shrinks*: each level counts the three pivot ranges without moving
-/// anything ([`partition_three_way_counts`]) and then narrows `s` to the
-/// range containing the target rank with a stable, in-place `Vec::retain`.
+/// *shrinks*, and each level performs exactly **two sweeps** over it:
+///
+/// 1. a branchless counting pass over the three pivot ranges
+///    ([`partition_three_way_counts`] — two `0/1` comparisons per element,
+///    no data-dependent branches, autovectorized for scalar keys), and
+/// 2. a stable in-place `Vec::retain` narrowing to the range containing
+///    the target rank, **fused with the next level's Bernoulli sampling**:
+///    the globally agreed range counts determine the next level's total
+///    (and hence its sampling rate ρ) before the narrowing runs, so the
+///    skip sampler rides along in the retain sweep instead of re-scanning
+///    the narrowed buffer at the next loop top.
+///
 /// No per-level heap allocation is performed for the data itself — for
 /// `Copy` keys such as `u64` the whole recursion reuses the level-0 buffer.
-/// (The previous implementation cloned every surviving element into three
-/// fresh vectors per level.)  Because `retain` preserves relative order
-/// exactly like the old cloning partition did, the Bernoulli pivot samples —
-/// and therefore every message on the wire — are bit-identical to before.
+/// Because `retain` preserves relative order and the fused sampler consumes
+/// the RNG exactly as sampling the narrowed buffer afterwards would
+/// (pinned by `seqkit::sampling` tests and by
+/// `fused_level_is_bit_identical_to_the_two_pass_reference` below), the
+/// pivot samples — and therefore every message on the wire — are
+/// bit-identical to the PR-3 two-pass implementation.
 fn select_recursive<C, K>(
     comm: &C,
     mut s: Vec<K>,
@@ -199,12 +235,16 @@ where
     K: Ord + Clone + CommData,
 {
     let p = comm.size();
+    // Sample pre-drawn by the previous level's fused narrowing sweep.
+    let mut pending_sample: Option<Vec<K>> = None;
     loop {
         *levels += 1;
         let total = comm.allreduce_sum(s.len() as u64) as usize;
         debug_assert!(k >= 1 && k <= total);
 
         // Cheap base cases: the extremes need only a single reduction.
+        // (The previous level predicts these and skips its pre-sampling, so
+        // `pending_sample` is always `None` here.)
         if k == 1 {
             return global_min(comm, s.iter().min().cloned())
                 .expect("k = 1 requires a non-empty input");
@@ -221,10 +261,16 @@ where
             return all[k - 1].clone();
         }
 
-        // Bernoulli sample with expected total size `sample_factor · √p`.
+        // Bernoulli sample with expected total size `sample_factor · √p`:
+        // pre-drawn by the previous level's narrowing sweep when possible
+        // (bit-identical to sampling here — same ρ, same buffer order, same
+        // RNG stream), drawn on the spot at level 0 and on retries.
         let mut rho = (config.sample_factor * (p as f64).sqrt() / total as f64).clamp(0.0, 1.0);
         let sample = loop {
-            let local_sample = bernoulli_sample(&s, rho, rng);
+            let local_sample = match pending_sample.take() {
+                Some(pre_drawn) => pre_drawn,
+                None => bernoulli_sample(&s, rho, rng),
+            };
             let mut sample: Vec<K> = comm.allgather(local_sample).into_iter().flatten().collect();
             if !sample.is_empty() {
                 sample.sort();
@@ -245,42 +291,251 @@ where
         let lo_pivot = sample[lo_idx].clone();
         let hi_pivot = sample[hi_idx].clone();
 
-        // Local three-way range sizes (one counting pass, nothing moves) and
-        // the global range sizes.
+        // Local three-way range sizes (one branchless counting pass,
+        // nothing moves) and the global range sizes.
         let (la, lb, lc) = partition_three_way_counts(&s, &lo_pivot, &hi_pivot);
         let counts = comm.allreduce_vec_sum(vec![la as u64, lb as u64, lc as u64]);
-        let (na, nb) = (counts[0] as usize, counts[1] as usize);
+        let (na, nb, nc) = (counts[0] as usize, counts[1] as usize, counts[2] as usize);
+
+        // The next iteration is fully determined by the globally agreed
+        // counts: its rank, its total, and therefore its sampling rate and
+        // whether it takes a base-case shortcut.  (When `nb == total` the
+        // pivots span the whole remaining input — a tiny sample on a highly
+        // concentrated distribution.  Narrowing to the middle range is
+        // never wrong because it contains both pivots, but the rank does
+        // not shift; the `max_levels` cap guarantees termination once the
+        // allowance for such no-progress rounds is used up.)
+        let (next_k, next_total) = if k <= na {
+            (k, na)
+        } else if k <= na + nb {
+            (if nb != total { k - na } else { k }, nb)
+        } else {
+            (k - na - nb, nc)
+        };
+        let takes_base_case = next_k == 1
+            || next_k == next_total
+            || next_total <= config.base_case_size
+            || *levels + 1 >= config.max_levels;
+        // Pre-draw the next level's sample during the narrowing sweep —
+        // one pass instead of narrow-then-sample — unless that level takes
+        // a base case (its sample would never be used).
+        let next_rho = (!takes_base_case).then(|| {
+            (config.sample_factor * (p as f64).sqrt() / next_total as f64).clamp(0.0, 1.0)
+        });
 
         // Narrow `s` to the range containing rank k: a stable in-place
         // filter, so the surviving elements keep their relative order and
         // no new buffer is allocated.
         if k <= na {
-            s.retain(|e| *e < lo_pivot);
+            pending_sample = narrow_level(&mut s, |e| *e < lo_pivot, la, next_rho, rng);
             debug_assert_eq!(s.len(), la);
         } else if k <= na + nb {
-            s.retain(|e| lo_pivot <= *e && *e <= hi_pivot);
+            pending_sample = narrow_level(
+                &mut s,
+                |e| lo_pivot <= *e && *e <= hi_pivot,
+                lb,
+                next_rho,
+                rng,
+            );
             debug_assert_eq!(s.len(), lb);
-            if nb != total {
-                k -= na;
-            }
-            // else: the pivots span the whole remaining input (tiny sample on
-            // a highly concentrated distribution) — no progress this round.
-            // The middle range always contains both pivots, so narrowing to
-            // it is never wrong; the `max_levels` cap above guarantees
-            // termination once the allowance for such rounds is used up.
         } else {
-            s.retain(|e| *e > hi_pivot);
+            pending_sample = narrow_level(&mut s, |e| *e > hi_pivot, lc, next_rho, rng);
             debug_assert_eq!(s.len(), lc);
-            k -= na + nb;
         }
+        k = next_k;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use commsim::run_spmd;
+    use commsim::{run_spmd, run_spmd_seq};
     use rand::Rng;
+
+    /// The PR-3 two-pass recursion (count, narrow with a plain `retain`,
+    /// sample the narrowed buffer at the next loop top), kept verbatim as
+    /// the reference the fused count-while-sampling level is pinned
+    /// against: identical thresholds, identical selected sets, identical
+    /// recursion depth and — crucially — identical metered traffic.
+    fn select_recursive_two_pass<C, K>(
+        comm: &C,
+        mut s: Vec<K>,
+        mut k: usize,
+        rng: &mut StdRng,
+        levels: &mut usize,
+        config: &UnsortedSelectionConfig,
+    ) -> K
+    where
+        C: Communicator,
+        K: Ord + Clone + CommData,
+    {
+        let p = comm.size();
+        loop {
+            *levels += 1;
+            let total = comm.allreduce_sum(s.len() as u64) as usize;
+            if k == 1 {
+                return global_min(comm, s.iter().min().cloned()).unwrap();
+            }
+            if k == total {
+                return global_max(comm, s.iter().max().cloned()).unwrap();
+            }
+            if total <= config.base_case_size || *levels >= config.max_levels {
+                let mut all: Vec<K> = comm.allgather(s).into_iter().flatten().collect();
+                all.sort();
+                return all[k - 1].clone();
+            }
+            let mut rho = (config.sample_factor * (p as f64).sqrt() / total as f64).clamp(0.0, 1.0);
+            let sample = loop {
+                let local_sample = bernoulli_sample(&s, rho, rng);
+                let mut sample: Vec<K> =
+                    comm.allgather(local_sample).into_iter().flatten().collect();
+                if !sample.is_empty() {
+                    sample.sort();
+                    break sample;
+                }
+                rho = (rho * 2.0).clamp(f64::MIN_POSITIVE, 1.0);
+            };
+            let m = sample.len();
+            let pos = (k as f64 / total as f64) * m as f64;
+            let delta = (m as f64).powf(config.bracket_exponent).max(1.0);
+            let lo_idx = ((pos - delta).floor().max(0.0) as usize).min(m - 1);
+            let hi_idx = ((pos + delta).ceil().max(0.0) as usize).min(m - 1);
+            let lo_pivot = sample[lo_idx].clone();
+            let hi_pivot = sample[hi_idx].clone();
+            let (la, lb, _lc) = partition_three_way_counts(&s, &lo_pivot, &hi_pivot);
+            let counts = comm.allreduce_vec_sum(vec![la as u64, lb as u64, _lc as u64]);
+            let (na, nb) = (counts[0] as usize, counts[1] as usize);
+            if k <= na {
+                s.retain(|e| *e < lo_pivot);
+            } else if k <= na + nb {
+                s.retain(|e| lo_pivot <= *e && *e <= hi_pivot);
+                if nb != total {
+                    k -= na;
+                }
+            } else {
+                s.retain(|e| *e > hi_pivot);
+                k -= na + nb;
+            }
+        }
+    }
+
+    /// `select_k_smallest_with` rebuilt on the two-pass reference recursion.
+    fn select_k_smallest_two_pass<C, T>(
+        comm: &C,
+        local: &[T],
+        k: usize,
+        seed: u64,
+        config: UnsortedSelectionConfig,
+    ) -> UnsortedSelectionResult<T>
+    where
+        C: Communicator,
+        T: Ord + Clone + CommData,
+    {
+        // Mirror the real entry point's up-front size check so the metered
+        // traffic of the two variants is comparable one-to-one.
+        let total = comm.allreduce_sum(local.len() as u64) as usize;
+        assert!(k >= 1 && k <= total);
+        let offset = comm.prefix_sum_exclusive(local.len() as u64);
+        let tagged = crate::util::tag_unique(local, offset);
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (comm.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut levels = 0usize;
+        let threshold_tagged =
+            select_recursive_two_pass(comm, tagged, k, &mut rng, &mut levels, &config);
+        let local_selected: Vec<T> = local
+            .iter()
+            .enumerate()
+            .filter(|&(i, v)| (v, offset + i as u64) <= (&threshold_tagged.0, threshold_tagged.1))
+            .map(|(_, v)| v.clone())
+            .collect();
+        UnsortedSelectionResult {
+            threshold: threshold_tagged.0,
+            local_selected,
+            recursion_levels: levels,
+        }
+    }
+
+    /// The fused count-while-sampling level must leave everything the
+    /// driver can observe — threshold, selected sets, recursion depth and
+    /// per-PE metered words/messages (the fig6 words/PE columns) —
+    /// bit-identical to the PR-3 two-pass implementation, across input
+    /// shapes, PE counts, ranks and seeds.
+    #[test]
+    fn fused_level_is_bit_identical_to_the_two_pass_reference() {
+        // Small base case so the recursion actually runs several fused
+        // levels instead of short-circuiting into the gather.
+        let config = UnsortedSelectionConfig {
+            base_case_size: 64,
+            ..UnsortedSelectionConfig::default()
+        };
+        let shapes: Vec<(&str, Vec<Vec<u64>>)> = vec![
+            ("uniform", random_parts(4, 2000, 1 << 40, 11)),
+            ("dupes", random_parts(3, 1500, 7, 23)),
+            (
+                "skewed",
+                (0..4)
+                    .map(|r| {
+                        if r == 0 {
+                            (0..3000u64).collect()
+                        } else {
+                            (1_000_000..1_001_000u64).collect()
+                        }
+                    })
+                    .collect(),
+            ),
+        ];
+        for (name, parts) in shapes {
+            let n: usize = parts.iter().map(Vec::len).sum();
+            let p = parts.len();
+            for k in [2usize, n / 3, n / 2, n - 1] {
+                for seed in [1u64, 99] {
+                    let parts_a = parts.clone();
+                    let fused = run_spmd_seq(p, move |comm| {
+                        let before = comm.stats_snapshot();
+                        let r =
+                            select_k_smallest_with(comm, &parts_a[comm.rank()], k, seed, config);
+                        (r, comm.stats_snapshot().since(&before))
+                    });
+                    let parts_b = parts.clone();
+                    let two_pass = run_spmd_seq(p, move |comm| {
+                        let before = comm.stats_snapshot();
+                        let r = select_k_smallest_two_pass(
+                            comm,
+                            &parts_b[comm.rank()],
+                            k,
+                            seed,
+                            config,
+                        );
+                        (r, comm.stats_snapshot().since(&before))
+                    });
+                    for ((f, fs), (t, ts)) in fused.results.iter().zip(two_pass.results.iter()) {
+                        assert_eq!(f.threshold, t.threshold, "{name} k={k} seed={seed}");
+                        assert_eq!(
+                            f.local_selected, t.local_selected,
+                            "{name} k={k} seed={seed}"
+                        );
+                        assert_eq!(
+                            f.recursion_levels, t.recursion_levels,
+                            "{name} k={k} seed={seed}"
+                        );
+                        assert_eq!(
+                            fs.sent_words, ts.sent_words,
+                            "metered words diverged: {name} k={k} seed={seed}"
+                        );
+                        assert_eq!(
+                            fs.sent_messages, ts.sent_messages,
+                            "metered messages diverged: {name} k={k} seed={seed}"
+                        );
+                    }
+                    assert_eq!(
+                        fused.stats.bottleneck_words(),
+                        two_pass.stats.bottleneck_words(),
+                        "{name} k={k} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
 
     /// Reference: sort the union and take the k-th smallest.
     fn reference_threshold(parts: &[Vec<u64>], k: usize) -> u64 {

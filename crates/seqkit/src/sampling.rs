@@ -116,6 +116,57 @@ pub fn bernoulli_sample<T: Clone, R: Rng + ?Sized>(data: &[T], rho: f64, rng: &m
     out
 }
 
+/// Fused narrow-and-sample sweep: retain only the elements matching `keep`
+/// (stable, in place, like [`Vec::retain`]) and, in the same pass, draw a
+/// Bernoulli(ρ) sample of the *surviving* elements with geometric skips.
+///
+/// `retained_len` must be the exact number of survivors (callers in the
+/// distributed selection know it ahead of the sweep from the counting
+/// pass); it seeds the skip sampler's index space so that the returned
+/// sample — and crucially the *sequence of RNG draws* — is bit-identical to
+/// `bernoulli_sample(&retained, rho, rng)` run over the retained vector
+/// afterwards.  One sweep instead of two, same distribution, same stream.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `retained_len` does not match the actual
+/// number of survivors.
+pub fn bernoulli_sample_retain<T: Clone, F, R>(
+    data: &mut Vec<T>,
+    mut keep: F,
+    retained_len: usize,
+    rho: f64,
+    rng: &mut R,
+) -> Vec<T>
+where
+    F: FnMut(&T) -> bool,
+    R: Rng + ?Sized,
+{
+    let mut sampler = BernoulliSampler::new(retained_len, rho);
+    let mut target = sampler.next_index(rng);
+    let mut survivor = 0usize;
+    let mut out = Vec::with_capacity(((retained_len as f64) * rho).ceil() as usize + 1);
+    data.retain(|e| {
+        let kept = keep(e);
+        if kept {
+            if target == Some(survivor) {
+                out.push(e.clone());
+                target = sampler.next_index(rng);
+            }
+            survivor += 1;
+        }
+        kept
+    });
+    debug_assert_eq!(
+        survivor, retained_len,
+        "retained_len must equal the number of survivors"
+    );
+    // Every sampled index is < retained_len == survivor count, so the
+    // sampler is necessarily exhausted by the end of the sweep.
+    debug_assert!(target.is_none());
+    out
+}
+
 /// Value-proportional sample count for sum aggregation (paper Section 8.1):
 /// an object with value `v` yields `⌊v / v_avg⌋` samples plus one more with
 /// probability `v/v_avg − ⌊v/v_avg⌋`, so the expected count is exactly
@@ -237,6 +288,52 @@ mod tests {
         let mut r = rng();
         let sample = bernoulli_sample::<u64, _>(&[], 0.5, &mut r);
         assert!(sample.is_empty());
+    }
+
+    /// The fused sweep must be indistinguishable — output, retained buffer
+    /// *and* RNG stream — from retain-then-sample in two passes.
+    #[test]
+    fn fused_retain_sample_matches_two_pass_bit_for_bit() {
+        for seed in 0..20u64 {
+            for rho in [0.0, 0.01, 0.1, 0.5, 1.0] {
+                let data: Vec<u64> = (0..500).map(|i| (i * 7919) % 1000).collect();
+                let keep = |e: &u64| *e % 3 != 0;
+
+                // Two-pass reference.
+                let mut two_pass = data.clone();
+                two_pass.retain(keep);
+                let mut rng_ref = StdRng::seed_from_u64(seed);
+                let sample_ref = bernoulli_sample(&two_pass, rho, &mut rng_ref);
+
+                // Fused sweep.
+                let mut fused = data.clone();
+                let mut rng_fused = StdRng::seed_from_u64(seed);
+                let sample =
+                    bernoulli_sample_retain(&mut fused, keep, two_pass.len(), rho, &mut rng_fused);
+
+                assert_eq!(fused, two_pass, "retained buffers diverged");
+                assert_eq!(
+                    sample, sample_ref,
+                    "samples diverged (seed={seed} rho={rho})"
+                );
+                // Same number of draws consumed: the next value of both
+                // generators must coincide.
+                assert_eq!(
+                    rng_fused.gen::<u64>(),
+                    rng_ref.gen::<u64>(),
+                    "RNG streams diverged (seed={seed} rho={rho})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_retain_sample_handles_empty_survivor_sets() {
+        let mut rng = rng();
+        let mut data: Vec<u64> = (0..100).collect();
+        let sample = bernoulli_sample_retain(&mut data, |_| false, 0, 0.5, &mut rng);
+        assert!(sample.is_empty());
+        assert!(data.is_empty());
     }
 
     #[test]

@@ -205,7 +205,55 @@ pub fn partition_three_way_in_place<T: Ord>(
 /// recursion range (the global range sizes come from a vector all-reduction);
 /// combined with a stable `Vec::retain` narrowing this makes its per-level
 /// local work allocation-free.
+///
+/// The loop is **branchless**: each element contributes two comparison
+/// results (`e < ℓ` and `e > r`) as `0/1` arithmetic — no data-dependent
+/// branch, so the branch predictor has nothing to mispredict no matter how
+/// the input interleaves the three ranges, and for scalar keys the compiler
+/// autovectorizes the accumulation.  The middle count follows as
+/// `n − |a| − |c|`.  A fourfold unroll with independent accumulators breaks
+/// the add dependency chain; `chunks_exact` keeps the bound checks out of
+/// the hot loop.  The branchy original is kept as
+/// [`partition_three_way_counts_branchy`] — the `partition_kernel` bench
+/// compares the two on uniform and duplicate-heavy inputs.
 pub fn partition_three_way_counts<T: Ord>(
+    data: &[T],
+    lo_pivot: &T,
+    hi_pivot: &T,
+) -> (usize, usize, usize) {
+    debug_assert!(lo_pivot <= hi_pivot);
+    let mut below = [0usize; 4];
+    let mut above = [0usize; 4];
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        below[0] += usize::from(chunk[0] < *lo_pivot);
+        above[0] += usize::from(chunk[0] > *hi_pivot);
+        below[1] += usize::from(chunk[1] < *lo_pivot);
+        above[1] += usize::from(chunk[1] > *hi_pivot);
+        below[2] += usize::from(chunk[2] < *lo_pivot);
+        above[2] += usize::from(chunk[2] > *hi_pivot);
+        below[3] += usize::from(chunk[3] < *lo_pivot);
+        above[3] += usize::from(chunk[3] > *hi_pivot);
+    }
+    let mut a = below[0] + below[1] + below[2] + below[3];
+    let mut c = above[0] + above[1] + above[2] + above[3];
+    for e in chunks.remainder() {
+        a += usize::from(e < lo_pivot);
+        c += usize::from(e > hi_pivot);
+    }
+    (a, data.len() - a - c, c)
+}
+
+/// The pre-optimisation counting kernel: one data-dependent three-way
+/// branch per element.
+///
+/// Kept as the reference implementation the branchless
+/// [`partition_three_way_counts`] is property-tested against, and as the
+/// baseline row of the `partition_kernel` criterion bench (branch
+/// misprediction makes this kernel slow exactly when the three ranges
+/// interleave unpredictably, which is the common case for the selection's
+/// pivot brackets).
+pub fn partition_three_way_counts_branchy<T: Ord>(
     data: &[T],
     lo_pivot: &T,
     hi_pivot: &T,
@@ -426,6 +474,27 @@ mod tests {
                     (a.len(), b.len(), c.len()),
                     "n={n} pivots=({lo},{hi})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_counts_match_the_branchy_reference() {
+        // Sweep lengths across the unroll boundary (0..=9 covers every
+        // remainder class twice) plus larger sizes, on uniform and
+        // duplicate-heavy data.
+        let mut r = rng();
+        for n in (0usize..=9).chain([100, 1023, 1024, 1025]) {
+            let uniform: Vec<u64> = (0..n).map(|_| r.gen_range(0..1000)).collect();
+            let dupes: Vec<u64> = (0..n).map(|_| r.gen_range(0..3)).collect();
+            for data in [&uniform, &dupes] {
+                for (lo, hi) in [(0u64, 999u64), (1, 1), (250, 750), (2, 2), (999, 999)] {
+                    assert_eq!(
+                        partition_three_way_counts(data, &lo, &hi),
+                        partition_three_way_counts_branchy(data, &lo, &hi),
+                        "n={n} pivots=({lo},{hi})"
+                    );
+                }
             }
         }
     }

@@ -492,6 +492,85 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property (lock-free shards): for an arbitrary interleaved schedule of
+    /// multi-source sends — every PE sends to an arbitrary sequence of
+    /// destinations, concurrently with every other PE — the transport
+    /// delivers **every** message (the exact per-pair counts are known from
+    /// the schedule, and each receiver drains exactly that many) in
+    /// **per-pair FIFO order** (each message carries its per-pair sequence
+    /// number as tag and payload, asserted on receipt), with nothing left
+    /// over afterwards.
+    #[test]
+    fn lockfree_shards_preserve_fifo_and_lose_no_message_under_interleaving(
+        raw_schedules in vec(vec(0usize..8, 0..80), 2..5),
+    ) {
+        use topk_selection::commsim::transport::{Envelope, Mailbox};
+        use topk_selection::commsim::CommError;
+
+        let p = raw_schedules.len();
+        // Fold the generated destinations into range.
+        let schedules: Vec<Vec<usize>> = raw_schedules
+            .iter()
+            .map(|s| s.iter().map(|d| d % p).collect())
+            .collect();
+        // expected[src][dst] = messages src sends to dst, from the schedule.
+        let mut expected = vec![vec![0u64; p]; p];
+        for (src, sched) in schedules.iter().enumerate() {
+            for &dst in sched {
+                expected[src][dst] += 1;
+            }
+        }
+
+        let boxes = Mailbox::full_mesh(p);
+        let handles: Vec<_> = boxes
+            .into_iter()
+            .map(|b| {
+                let sched = schedules[b.rank()].clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let me = b.rank();
+                    // Send phase: the whole schedule, interleaved with every
+                    // other PE's sends (sends never block, so the phases
+                    // cannot deadlock).
+                    let mut seq = vec![0u64; p];
+                    for &dst in &sched {
+                        let payload = ((me as u64) << 32) | seq[dst];
+                        b.send(dst, Envelope::new(seq[dst], me, payload)).unwrap();
+                        seq[dst] += 1;
+                    }
+                    // Drain phase: exactly the scheduled count per source,
+                    // in exact per-pair send order.
+                    for (src, sent_by_src) in expected.iter().enumerate() {
+                        for i in 0..sent_by_src[me] {
+                            let env = b.recv(src).unwrap();
+                            assert_eq!(env.from, src, "message from the wrong queue");
+                            assert_eq!(env.tag, i, "per-pair FIFO order violated");
+                            let (_, _, v): (_, _, u64) = env.open().unwrap();
+                            assert_eq!(v, ((src as u64) << 32) | i, "payload corrupted");
+                        }
+                        // Nothing beyond the schedule may be queued.  The
+                        // peer may or may not have hung up already, so both
+                        // "empty" and "disconnected" are correct here.
+                        assert!(
+                            matches!(
+                                b.try_recv(src),
+                                Ok(None) | Err(CommError::Disconnected { .. })
+                            ),
+                            "unexpected extra message from {src}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
+
 /// p = 16 stress of the sharded transport: the full collective battery must
 /// produce bit-identical results *and* bit-identical metered traffic on the
 /// threaded backend (sharded inboxes, 16 OS threads) and the sequential

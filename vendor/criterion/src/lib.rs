@@ -42,6 +42,20 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`], mirroring criterion's
+/// enum.  The shim always runs one fresh input per timed call (criterion's
+/// `PerIteration` behaviour), which is the only semantics its benches need;
+/// the other variants are accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small input: criterion would batch many per allocation.
+    SmallInput,
+    /// Large input: criterion would batch few per allocation.
+    LargeInput,
+    /// One input per iteration (exactly what the shim does).
+    PerIteration,
+}
+
 /// Timing loop handed to every benchmark closure.
 pub struct Bencher {
     iterations: u64,
@@ -58,6 +72,30 @@ impl Bencher {
             let start = Instant::now();
             black_box(routine());
             self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Calls `setup` untimed to produce an input, times `routine` consuming
+    /// it, and drops the routine's output *outside* the timed region —
+    /// criterion's `iter_batched`.  This is how a bench isolates one phase
+    /// of a construct/use/teardown cycle: pass the phases before the
+    /// measured one as `setup`, and let the output drop untimed (e.g.
+    /// `iter_batched(construct, drop, ...)` times teardown alone, while
+    /// `iter_batched(|| (), |()| construct(), ...)` times construction
+    /// without its teardown).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Untimed warm-up, as in `iter`.
+        black_box(routine(setup()));
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            let output = black_box(routine(input));
+            self.samples.push(start.elapsed());
+            drop(output);
         }
     }
 }
@@ -286,6 +324,29 @@ mod tests {
         b.iter(|| calls += 1);
         assert_eq!(b.samples.len(), 5);
         assert_eq!(calls, 6, "5 timed + 1 warm-up");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_timed_call_and_drops_output_untimed() {
+        let mut b = Bencher {
+            iterations: 4,
+            samples: Vec::new(),
+        };
+        let mut setups = 0u32;
+        let mut routines = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+            },
+            |()| {
+                routines += 1;
+            },
+            BatchSize::PerIteration,
+        );
+        assert_eq!(b.samples.len(), 4);
+        // 4 timed + 1 warm-up, with exactly one setup per routine call.
+        assert_eq!(setups, 5);
+        assert_eq!(routines, 5);
     }
 
     #[test]
