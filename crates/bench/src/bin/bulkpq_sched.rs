@@ -12,7 +12,7 @@
 //! ```bash
 //! cargo run -p bench --release --bin bulkpq_sched -- \
 //!     [--max-pes 8] [--rounds 8] [--jobs 4096] [--batch 1024] \
-//!     [--reps 2] [--seed 7] [--backend threaded|seq] [--json]
+//!     [--reps 2] [--seed 7] [--backend threaded|seq|mux] [--json]
 //! ```
 
 use bench::report::fmt_duration;

@@ -9,27 +9,54 @@
 //! of the input.
 //!
 //! ```bash
-//! cargo run -p bench --release --bin fig6 -- [--per-pe 18] [--max-pes 16] [--reps 3]
+//! cargo run -p bench --release --bin fig6 -- [--per-pe 18] [--max-pes 16] \
+//!     [--min-pes 1] [--reps 3] [--k K] [--backend threaded|seq|mux]
 //! ```
+//!
+//! `--backend mux` multiplexes the PEs over a worker pool, which is what
+//! makes massive-p rows (p = 16 384 with a reduced `--per-pe`) finish; the
+//! words/PE and startups/PE columns are bit-identical across backends
+//! (regression-tested in `tests/mux_backend.rs`).  `--min-pes` skips the
+//! small rows of the sweep, so a single big-p row can be produced in CI.
 
 use bench::report::fmt_duration;
-use bench::scaling::{measure_repeated, pe_sweep};
-use bench::Table;
+use bench::scaling::{pe_sweep, Backend, Measurement};
+use bench::{run_on, Table};
 use commsim::Communicator;
 use datagen::SkewedSelectionInput;
 use topk::unsorted::select_k_smallest;
+
+/// One PE's share of the figure-6 workload: generate the skewed local
+/// input, then select the k-th largest (via the dual order) cooperatively.
+fn fig6_body<C: Communicator>(comm: &C, generator: &SkewedSelectionInput, per_pe: usize, k: usize) {
+    let local = generator.generate(comm.rank(), per_pe);
+    // The paper selects from the high tail (the k-th *largest*);
+    // selecting the k largest = selecting with the dual order.
+    let _ = select_k_smallest(
+        comm,
+        &local.iter().map(|&v| u64::MAX - v).collect::<Vec<_>>(),
+        k,
+        0xF166 + comm.size() as u64,
+    );
+}
 
 fn main() {
     let args = Args::parse();
     let per_pe = 1usize << args.log_per_pe;
     // The paper's k values span tiny to a large fraction of n/p; keep the
-    // same spirit relative to the scaled-down input.
-    let ks: Vec<usize> = vec![1 << 6, 1 << 10, per_pe / 4];
+    // same spirit relative to the scaled-down input.  `--k` pins a single
+    // value instead (massive-p rows, CI smoke).
+    let ks: Vec<usize> = match args.k {
+        Some(k) => vec![k],
+        None => vec![1 << 6, 1 << 10, per_pe / 4],
+    };
 
     println!("Figure 6 reproduction: weak scaling of unsorted selection");
     println!(
-        "n/p = 2^{} = {per_pe} elements per PE, skewed per-PE Zipf inputs, k ∈ {ks:?}\n",
-        args.log_per_pe
+        "n/p = 2^{} = {per_pe} elements per PE, skewed per-PE Zipf inputs, k ∈ {ks:?}, \
+         backend = {}\n",
+        args.log_per_pe,
+        args.backend.name()
     );
 
     let mut table = Table::new(
@@ -45,19 +72,25 @@ fn main() {
     );
 
     for &k in &ks {
-        for p in pe_sweep(args.max_pes) {
+        for p in pe_sweep(args.max_pes)
+            .into_iter()
+            .filter(|&p| p >= args.min_pes)
+        {
+            if k == 0 || k > p * per_pe {
+                // Infeasible point at reduced smoke scales: the global input
+                // holds fewer than k elements (or per-pe/4 rounded to 0).
+                continue;
+            }
             let generator = SkewedSelectionInput::default();
-            let m = measure_repeated(p, args.reps, |comm| {
-                let local = generator.generate(comm.rank(), per_pe);
-                // The paper selects from the high tail (the k-th *largest*);
-                // selecting the k largest = selecting with the dual order.
-                let _ = select_k_smallest(
-                    comm,
-                    &local.iter().map(|&v| u64::MAX - v).collect::<Vec<_>>(),
-                    k,
-                    0xF166 + p as u64,
-                );
-            });
+            let reps = (0..args.reps)
+                .map(|_| {
+                    let out = run_on!(args.backend, p, |comm| {
+                        fig6_body(comm, &generator, per_pe, k)
+                    });
+                    Measurement::from_stats(p, out.elapsed, out.stats)
+                })
+                .collect();
+            let m = Measurement::averaged(reps);
             table.add_row(vec![
                 k.to_string(),
                 p.to_string(),
@@ -80,7 +113,10 @@ fn main() {
 struct Args {
     log_per_pe: u32,
     max_pes: usize,
+    min_pes: usize,
     reps: usize,
+    k: Option<usize>,
+    backend: Backend,
 }
 
 impl Args {
@@ -88,7 +124,10 @@ impl Args {
         let mut args = Args {
             log_per_pe: 18,
             max_pes: 16,
+            min_pes: 1,
             reps: 3,
+            k: None,
+            backend: Backend::Threaded,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -102,8 +141,20 @@ impl Args {
                     args.max_pes = argv[i + 1].parse().expect("--max-pes takes a number");
                     i += 2;
                 }
+                "--min-pes" => {
+                    args.min_pes = argv[i + 1].parse().expect("--min-pes takes a number");
+                    i += 2;
+                }
                 "--reps" => {
                     args.reps = argv[i + 1].parse().expect("--reps takes a number");
+                    i += 2;
+                }
+                "--k" => {
+                    args.k = Some(argv[i + 1].parse().expect("--k takes a number"));
+                    i += 2;
+                }
+                "--backend" => {
+                    args.backend = Backend::parse(&argv[i + 1]);
                     i += 2;
                 }
                 other => panic!("unknown argument {other}"),

@@ -9,13 +9,18 @@
 //! that makes it slower at this (loose) accuracy.
 //!
 //! ```bash
-//! cargo run -p bench --release --bin fig7 -- [--per-pe 18] [--max-pes 16] [--reps 2] \
-//!     [--eps-cap 0.05] [--epsilon E]
+//! cargo run -p bench --release --bin fig7 -- [--per-pe 18] [--max-pes 16] \
+//!     [--min-pes 1] [--reps 2] [--eps-cap 0.05] [--epsilon E] \
+//!     [--backend threaded|seq|mux]
 //! ```
+//!
+//! `--backend mux` runs the PEs as cooperative tasks over a worker pool
+//! (massive-p rows at reduced `--per-pe`); words/PE and startups/PE are
+//! bit-identical across backends.
 
 use bench::report::fmt_duration;
-use bench::scaling::{measure_repeated, pe_sweep, scaled_epsilon};
-use bench::Table;
+use bench::scaling::{pe_sweep, scaled_epsilon, Backend, Measurement};
+use bench::{run_on, Table};
 use commsim::Communicator;
 use datagen::Zipf;
 use rand::rngs::StdRng;
@@ -43,8 +48,10 @@ fn main() {
 
     println!("Figure 7 reproduction: top-32 most frequent objects, moderate accuracy");
     println!(
-        "n/p = 2^{} = {per_pe}, Zipf(1.0) over 2^20 values, ε = {epsilon:.2e}, δ = 1e-4\n",
-        args.log_per_pe
+        "n/p = 2^{} = {per_pe}, Zipf(1.0) over 2^20 values, ε = {epsilon:.2e}, δ = 1e-4, \
+         backend = {}\n",
+        args.log_per_pe,
+        args.backend.name()
     );
 
     let mut table = Table::new(
@@ -59,41 +66,28 @@ fn main() {
         ],
     );
 
-    let algorithms: Vec<(&str, Algo)> = vec![
-        (
-            "PAC",
-            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
-                pac_top_k(comm, data, &params).sample_size
-            }),
-        ),
-        (
-            "EC",
-            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
-                ec_top_k(comm, data, &params).sample_size
-            }),
-        ),
-        (
-            "Naive",
-            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
-                naive_top_k(comm, data, &params).sample_size
-            }),
-        ),
-        (
-            "Naive Tree",
-            Box::new(move |comm: &commsim::Comm, data: &[u64]| {
-                naive_tree_top_k(comm, data, &params).sample_size
-            }),
-        ),
-    ];
-
-    for (name, algo) in &algorithms {
-        for p in pe_sweep(args.max_pes) {
+    for &(name, algo) in &[
+        ("PAC", Algo::Pac),
+        ("EC", Algo::Ec),
+        ("Naive", Algo::Naive),
+        ("Naive Tree", Algo::NaiveTree),
+    ] {
+        for p in pe_sweep(args.max_pes)
+            .into_iter()
+            .filter(|&p| p >= args.min_pes)
+        {
             let sample = std::sync::atomic::AtomicU64::new(0);
-            let m = measure_repeated(p, args.reps, |comm| {
-                let local = local_input(comm.rank(), per_pe);
-                let s = algo(comm, &local);
-                sample.store(s, std::sync::atomic::Ordering::Relaxed);
-            });
+            let reps = (0..args.reps)
+                .map(|_| {
+                    let out = run_on!(args.backend, p, |comm| {
+                        let local = local_input(comm.rank(), per_pe);
+                        let s = algo.run(comm, &local, &params);
+                        sample.store(s, std::sync::atomic::Ordering::Relaxed);
+                    });
+                    Measurement::from_stats(p, out.elapsed, out.stats)
+                })
+                .collect();
+            let m = Measurement::averaged(reps);
             table.add_row(vec![
                 name.to_string(),
                 p.to_string(),
@@ -116,7 +110,27 @@ fn main() {
     );
 }
 
-type Algo = Box<dyn Fn(&commsim::Comm, &[u64]) -> u64 + Send + Sync>;
+/// The four contenders, as a copyable tag so one generic closure can be
+/// handed to any backend (a `Box<dyn Fn(&Comm, ...)>` would pin the
+/// communicator type to the threaded backend).
+#[derive(Clone, Copy)]
+enum Algo {
+    Pac,
+    Ec,
+    Naive,
+    NaiveTree,
+}
+
+impl Algo {
+    fn run<C: Communicator>(self, comm: &C, data: &[u64], params: &FrequentParams) -> u64 {
+        match self {
+            Algo::Pac => pac_top_k(comm, data, params).sample_size,
+            Algo::Ec => ec_top_k(comm, data, params).sample_size,
+            Algo::Naive => naive_top_k(comm, data, params).sample_size,
+            Algo::NaiveTree => naive_tree_top_k(comm, data, params).sample_size,
+        }
+    }
+}
 
 /// Zipf(1.0) input over 2^20 possible values, per-PE deterministic.
 fn local_input(rank: usize, per_pe: usize) -> Vec<u64> {
@@ -128,9 +142,11 @@ fn local_input(rank: usize, per_pe: usize) -> Vec<u64> {
 struct Args {
     log_per_pe: u32,
     max_pes: usize,
+    min_pes: usize,
     reps: usize,
     eps_cap: f64,
     epsilon: Option<f64>,
+    backend: Backend,
 }
 
 impl Args {
@@ -138,9 +154,11 @@ impl Args {
         let mut args = Args {
             log_per_pe: 18,
             max_pes: 16,
+            min_pes: 1,
             reps: 2,
             eps_cap: 0.05,
             epsilon: None,
+            backend: Backend::Threaded,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -154,6 +172,10 @@ impl Args {
                     args.max_pes = argv[i + 1].parse().expect("--max-pes takes a number");
                     i += 2;
                 }
+                "--min-pes" => {
+                    args.min_pes = argv[i + 1].parse().expect("--min-pes takes a number");
+                    i += 2;
+                }
                 "--reps" => {
                     args.reps = argv[i + 1].parse().expect("--reps takes a number");
                     i += 2;
@@ -164,6 +186,10 @@ impl Args {
                 }
                 "--epsilon" => {
                     args.epsilon = Some(argv[i + 1].parse().expect("--epsilon takes a float"));
+                    i += 2;
+                }
+                "--backend" => {
+                    args.backend = Backend::parse(&argv[i + 1]);
                     i += 2;
                 }
                 other => panic!("unknown argument {other}"),

@@ -14,7 +14,7 @@
 //! cargo run -p bench --release --bin wordfreq_text -- \
 //!     [--pes 8] [--per-pe 15] [--vocab 4096] [--zipf 1.05] [--k 16] \
 //!     [--epsilon 0.03] [--reps 2] [--seed 42] [--text FILE] \
-//!     [--backend threaded|seq] [--json]
+//!     [--backend threaded|seq|mux] [--json]
 //! ```
 
 use bench::report::fmt_duration;

@@ -27,14 +27,16 @@ pub use report::Table;
 pub use scaling::{measure_spmd, pe_sweep, scaled_epsilon, Backend, Measurement, ScaledEpsilon};
 
 /// Run the same generic SPMD closure on the backend picked on the CLI; the
-/// macro duplicates the closure literal into both match arms so each
-/// backend infers its own communicator type (`&Comm` vs `&SeqComm`).
+/// macro duplicates the closure literal into each match arm so each
+/// backend infers its own communicator type (`&Comm` vs `&SeqComm` vs
+/// `&MuxComm`).
 #[macro_export]
 macro_rules! run_on {
     ($backend:expr, $p:expr, $f:expr) => {
         match $backend {
             $crate::Backend::Threaded => ::commsim::run_spmd($p, $f),
             $crate::Backend::Seq => ::commsim::run_spmd_seq($p, $f),
+            $crate::Backend::Mux => ::commsim::run_spmd_mux($p, $f),
         }
     };
 }

@@ -39,6 +39,24 @@ impl Measurement {
             stats,
         }
     }
+
+    /// Collapse repetitions of one configuration into a single measurement:
+    /// wall time is averaged, communication counters (identical across
+    /// repetitions up to sampling randomness) are taken from the last.
+    /// Backend-agnostic companion to [`measure_repeated`] — the bins build
+    /// the per-repetition measurements with [`crate::run_on!`] and reduce
+    /// them here.
+    pub fn averaged(mut repetitions: Vec<Measurement>) -> Self {
+        assert!(!repetitions.is_empty(), "need at least one repetition");
+        let avg_nanos = repetitions
+            .iter()
+            .map(|m| m.wall_time.as_nanos())
+            .sum::<u128>()
+            / repetitions.len() as u128;
+        let mut last = repetitions.pop().expect("non-empty");
+        last.wall_time = Duration::from_nanos(avg_nanos as u64);
+        last
+    }
 }
 
 /// Run `body` as an SPMD region on `p` PEs and collect a [`Measurement`].
@@ -55,24 +73,38 @@ where
 }
 
 /// Which [`commsim::Communicator`] backend an experiment binary drives
-/// (selected with `--backend threaded|seq` on the workload bins); dispatch
-/// a generic SPMD closure onto it with the [`crate::run_on!`] macro.
+/// (selected with `--backend threaded|seq|mux` on the bins); dispatch a
+/// generic SPMD closure onto it with the [`crate::run_on!`] macro.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// One OS thread per PE (`run_spmd`) — wall-clock measurements.
     Threaded,
     /// Deterministic single-threaded replay (`run_spmd_seq`).
     Seq,
+    /// Cooperative tasks over a worker pool (`run_spmd_mux`) — massive-p
+    /// sweeps (p = 16 384 and beyond) with bit-identical traffic metering.
+    Mux,
 }
 
 impl Backend {
     /// Parse a `--backend` CLI value; panics on anything but
-    /// `threaded`/`seq` (matching the bins' argument-error convention).
+    /// `threaded`/`seq`/`mux` (matching the bins' argument-error
+    /// convention).
     pub fn parse(value: &str) -> Self {
         match value {
             "threaded" => Backend::Threaded,
             "seq" => Backend::Seq,
-            other => panic!("unknown backend {other} (threaded|seq)"),
+            "mux" => Backend::Mux,
+            other => panic!("unknown backend {other} (threaded|seq|mux)"),
+        }
+    }
+
+    /// The CLI name (for report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Threaded => "threaded",
+            Backend::Seq => "seq",
+            Backend::Mux => "mux",
         }
     }
 }
@@ -141,18 +173,7 @@ where
     F: Fn(&Comm) + Send + Sync,
 {
     assert!(repetitions >= 1);
-    let mut measurements: Vec<Measurement> =
-        (0..repetitions).map(|_| measure_spmd(p, &body)).collect();
-    // Wall time: average; communication counters are identical across
-    // repetitions up to sampling randomness, so report the last.
-    let avg_nanos = measurements
-        .iter()
-        .map(|m| m.wall_time.as_nanos())
-        .sum::<u128>()
-        / repetitions as u128;
-    let mut last = measurements.pop().expect("at least one repetition");
-    last.wall_time = Duration::from_nanos(avg_nanos as u64);
-    last
+    Measurement::averaged((0..repetitions).map(|_| measure_spmd(p, &body)).collect())
 }
 
 #[cfg(test)]

@@ -15,16 +15,22 @@
 //!   of size `mp`).
 //!
 //! The machine model is captured by the [`Communicator`] trait, and every
-//! algorithm built on this crate is generic over it.  Two backends are
-//! provided:
+//! algorithm built on this crate is generic over it.  Three backends are
+//! provided (see `ARCHITECTURE.md` at the repository root for the full
+//! side-by-side treatment):
 //!
 //! * **threaded** ([`Comm`], via [`run_spmd`]) — one OS thread per PE over a
 //!   lock-free sharded inbox transport (one shard of per-source SPSC queues
-//!   per destination PE, `O(p)` setup, park/unpark blocking); real
+//!   per destination PE, lazily materialised, park/unpark blocking); real
 //!   parallelism and wall-clock timings;
 //! * **sequential** ([`SeqComm`], via [`run_spmd_seq`]) — the same SPMD
 //!   closures executed deterministically on a single thread by round-based
-//!   replay; fast tests, reproducible debugging, no stack-size tuning.
+//!   replay; fast tests, reproducible debugging, no stack-size tuning;
+//! * **multiplexed** ([`MuxComm`], via [`run_spmd_mux`]) — the replay
+//!   execution model scheduled as cooperative tasks over a small worker
+//!   pool with park/wake bookkeeping; thousands of simulated PEs
+//!   (p = 16 384 and beyond) with traffic metering bit-identical to the
+//!   other two backends.
 //!
 //! Every message that crosses the "network" is metered: the number of
 //! machine words, the number of message start-ups, and per-PE send/receive
@@ -82,6 +88,7 @@ pub mod cost;
 pub mod error;
 pub mod message;
 pub mod metrics;
+pub mod mux;
 pub mod runner;
 pub mod seq;
 mod spsc;
@@ -96,6 +103,7 @@ pub use cost::CostModel;
 pub use error::{CommError, CommResult};
 pub use message::CommData;
 pub use metrics::{PeStats, StatsSnapshot, WorldStats};
+pub use mux::{run_spmd_mux, run_spmd_mux_with, MuxComm, MuxConfig};
 pub use runner::{run_spmd, run_spmd_with, SpmdConfig, SpmdOutput};
 pub use seq::{run_spmd_seq, SeqComm};
 pub use transport::BufferPool;

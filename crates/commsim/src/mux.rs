@@ -1,0 +1,953 @@
+//! The multiplexed massive-p SPMD backend.
+//!
+//! [`run_spmd_mux`] executes the same SPMD closures as
+//! [`crate::runner::run_spmd`] and [`crate::seq::run_spmd_seq`], but
+//! multiplexes **thousands of simulated PEs as cooperative tasks over a
+//! small worker pool**.  The threaded backend pins one OS thread (with an
+//! 8 MiB stack) per PE, which caps honest sweeps near p = 1024; this
+//! backend's cost per PE is one queue entry plus the messages it touches,
+//! so the paper's asymptotic claims — words/PE shrinking and start-ups
+//! staying polylogarithmic as p grows — can be *measured* at p = 16 384
+//! and beyond instead of extrapolated.
+//!
+//! # Execution model: replay with park/wake instead of rounds
+//!
+//! A closure cannot be suspended mid-execution without a dedicated stack,
+//! so this backend reuses the sequential backend's **re-execution** trick
+//! (see [`crate::seq`] for the full model): a receive whose message has not
+//! arrived aborts the current execution via a sentinel panic, and the
+//! closure is later re-run from the beginning, deterministically replaying
+//! everything it already did.  What changes is the *scheduler* around that
+//! trick:
+//!
+//! * a pool of N workers pulls runnable tasks (PEs) from a shared
+//!   ready-queue instead of iterating rank order once per round;
+//! * a task that blocks on `(src, index)` **parks**: it is stored off to
+//!   the side and consumes no worker until the matching send arrives;
+//! * a send that produces the message a parked task waits for **wakes** it
+//!   by moving it back onto the ready-queue.
+//!
+//! Because tasks re-execute from scratch, sent messages cannot be consumed
+//! destructively (a finished sender will never run again to refill a
+//! slot, unlike in the round-based backend where every PE re-runs every
+//! round).  Messages are therefore stored **permanently** as their typed
+//! word encodings and receives decode them *by reference*; a replayed send
+//! that hits an already-stored index is metered without re-encoding.  This
+//! is why the multiplexed backend requires every payload type to implement
+//! the typed hooks ([`CommData::TYPED`]) — a `Box<dyn Any>` payload can be
+//! consumed only once and would break replay.  All scalar and container
+//! payloads in this crate, and every message type used by the selection
+//! algorithms, are typed.
+//!
+//! # Lazily materialised pair state
+//!
+//! The whole point of this backend is massive p, so nothing may cost
+//! O(p²): per-destination message tables are `HashMap`s keyed by source
+//! rank and materialise only for pairs that actually communicate, and the
+//! per-task send/receive cursors are maps too.  World construction is
+//! O(p) (one empty shard + one scheduler slot per PE) and total memory is
+//! O(p + touched pairs + stored traffic).
+//!
+//! # Determinism and metering
+//!
+//! Communication counters are reset at the start of every execution and
+//! the scheduler keeps each PE's counters from its final, complete
+//! execution — exactly like the sequential backend — so words/PE and
+//! start-up counts are **bit-identical** across all three backends on the
+//! deterministic algorithms in this workspace (pinned by regression
+//! tests).  Scheduling order is *not* deterministic (workers race for
+//! tasks), but message matching per ordered pair is FIFO by index, so
+//! deterministic closures produce identical results and identical traffic
+//! regardless of the schedule.  Two caveats, both shared with or analogous
+//! to the other backends:
+//!
+//! * [`Communicator::try_recv`] outcomes depend on arrival timing (as on
+//!   the threaded backend); first-execution outcomes are recorded in a
+//!   decision log and replayed verbatim so each task stays internally
+//!   consistent, and a busy-poll loop of empty probes is cut off after
+//!   [`BUSY_POLL_LIMIT`] probes (a spinning task never yields its worker,
+//!   so with few workers such a loop can livelock the pool);
+//! * the `pooled_reuses` statistic is always zero here — stored word
+//!   buffers are kept for replay, never recycled through a
+//!   [`crate::transport::BufferPool`].
+//!
+//! A blocked receive that no send can ever satisfy is reported as a
+//! deadlock with who-waits-on-whom diagnostics: when every task is either
+//! finished or parked and the ready-queue is empty, no progress is
+//! possible.
+//!
+//! # Example
+//!
+//! ```
+//! use commsim::{run_spmd_mux, Communicator};
+//!
+//! // 512 simulated PEs run on a handful of worker threads.
+//! let out = run_spmd_mux(512, |comm| comm.allreduce_sum(1u64));
+//! assert!(out.results.iter().all(|&s| s == 512));
+//! ```
+
+use std::any::TypeId;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Instant;
+
+use crate::codec::WordReader;
+use crate::communicator::{Communicator, COLLECTIVE_TAG_BASE};
+use crate::error::CommError;
+use crate::message::CommData;
+use crate::metrics::{StatsRegistry, StatsSnapshot};
+use crate::runner::SpmdOutput;
+use crate::seq::{install_quiet_block_hook, Blocked, BUSY_POLL_LIMIT};
+use crate::{Rank, Tag};
+
+/// Configuration for [`run_spmd_mux_with`].
+#[derive(Debug, Clone)]
+pub struct MuxConfig {
+    /// Number of simulated PEs (tasks).
+    pub num_pes: usize,
+    /// Number of OS worker threads the tasks are multiplexed over.
+    /// Defaults to the machine's available parallelism, capped at
+    /// `num_pes`; clamped to at least 1 at run time.
+    pub num_workers: usize,
+    /// Stack size per *worker* (closures execute on worker stacks; the
+    /// same algorithms that need deep stacks under
+    /// [`crate::runner::run_spmd`] need them here).
+    pub stack_size: usize,
+}
+
+impl MuxConfig {
+    /// Default configuration for `num_pes` simulated PEs.
+    pub fn new(num_pes: usize) -> Self {
+        let workers = thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        MuxConfig {
+            num_pes,
+            num_workers: workers.min(num_pes.max(1)),
+            stack_size: 8 * 1024 * 1024,
+        }
+    }
+
+    /// Override the worker-pool size (mainly for tests that force real
+    /// multiplexing with `num_workers << num_pes`).
+    pub fn with_workers(mut self, num_workers: usize) -> Self {
+        self.num_workers = num_workers;
+        self
+    }
+}
+
+/// One message, stored permanently as its typed word encoding so that
+/// every re-execution of the receiving task can decode it again.
+struct StoredMsg {
+    tag: Tag,
+    /// Metered size — equals `buf.len()` by the `CommData` contract.
+    words: usize,
+    type_id: TypeId,
+    /// For diagnostics on type mismatch.
+    type_name: &'static str,
+    buf: Vec<u64>,
+}
+
+/// All messages ever sent from one source to this shard's destination,
+/// in send order.  Never truncated: replayed executions re-read them.
+#[derive(Default)]
+struct MuxPair {
+    msgs: Vec<StoredMsg>,
+}
+
+/// Per-destination message state, lazily keyed by source rank so that a
+/// p-PE world only pays for pairs that actually communicate.
+#[derive(Default)]
+struct MuxShard {
+    pairs: HashMap<Rank, MuxPair>,
+    /// The destination task, parked waiting for `(src, index)`.  At most
+    /// one waiter exists per shard (the shard's destination PE); it is
+    /// registered and observed only under the shard lock, so a send can
+    /// never slip between a task's empty check and its registration.
+    waiter: Option<(Rank, usize)>,
+}
+
+/// A suspended PE: everything that must survive between executions.
+struct TaskState {
+    rank: Rank,
+    /// `try_recv` decision log (recorded once, replayed verbatim).
+    try_log: Vec<bool>,
+}
+
+/// Scheduler state: the ready-queue plus park/progress bookkeeping.
+struct Sched {
+    ready: VecDeque<TaskState>,
+    /// Parked task storage, indexed by rank.
+    parked: Vec<Option<TaskState>>,
+    /// What each parked task waits for (deadlock diagnostics only; the
+    /// authoritative wake bookkeeping is `MuxShard::waiter`).
+    waiting: Vec<Option<(Rank, usize)>>,
+    /// Tasks currently executing on a worker.
+    active: usize,
+    /// Tasks that ran to completion.
+    done: usize,
+    /// First fatal error (PE panic or deadlock); ends the run.
+    failure: Option<String>,
+}
+
+/// State shared by all workers of one multiplexed run.
+struct MuxWorld {
+    p: usize,
+    stats: StatsRegistry,
+    shards: Vec<Mutex<MuxShard>>,
+    sched: Mutex<Sched>,
+    /// Signals "ready-queue non-empty, or run over".
+    cv: Condvar,
+}
+
+/// Mutex poisoning is not an error state here: a panic inside a critical
+/// section is either the `Blocked` sentinel (never raised while a lock is
+/// held) or a genuine failure that is separately recorded and terminates
+/// the run — the guarded data itself is never left mid-update.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MuxWorld {
+    fn new(p: usize) -> Self {
+        MuxWorld {
+            p,
+            stats: StatsRegistry::new(p),
+            shards: (0..p).map(|_| Mutex::new(MuxShard::default())).collect(),
+            sched: Mutex::new(Sched {
+                ready: VecDeque::with_capacity(p),
+                parked: (0..p).map(|_| None).collect(),
+                waiting: vec![None; p],
+                active: 0,
+                done: 0,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Must be called with the sched lock held, after `active` was
+    /// decremented: if nothing runs, nothing is runnable and tasks remain,
+    /// no send can ever arrive — the run is deadlocked.
+    fn check_deadlock(&self, sched: &mut Sched) {
+        if sched.active == 0 && sched.ready.is_empty() && sched.done < self.p {
+            let waits: Vec<String> = sched
+                .waiting
+                .iter()
+                .enumerate()
+                .filter_map(|(dst, w)| {
+                    w.map(|(src, index)| {
+                        format!("PE {dst} waits for message #{index} from PE {src}")
+                    })
+                })
+                .collect();
+            if sched.failure.is_none() {
+                sched.failure = Some(format!(
+                    "multiplexed SPMD run deadlocked: {}",
+                    waits.join("; ")
+                ));
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Communicator handle of one PE during one execution of its task on the
+/// multiplexed backend.
+///
+/// Created by [`run_spmd_mux`]; user code only ever sees `&MuxComm`.
+pub struct MuxComm {
+    world: Arc<MuxWorld>,
+    rank: Rank,
+    collective_seq: Cell<u64>,
+    /// Next send index per destination (this execution).  A map, not a
+    /// vector: a PE touching O(log p) peers must not pay O(p) per replay.
+    send_cursor: RefCell<HashMap<Rank, usize>>,
+    /// Next receive index per source (this execution).
+    recv_cursor: RefCell<HashMap<Rank, usize>>,
+    /// Index of the next `try_recv` call into the decision log.
+    try_calls: Cell<usize>,
+    /// This task's `try_recv` decision log (moved in/out around each
+    /// execution by the worker).
+    try_log: RefCell<Vec<bool>>,
+    /// Freshly recorded empty `try_recv` probes since the last successful
+    /// receive — busy-poll cut-off (a spinning task never yields its
+    /// worker, so unbounded spinning can livelock a small pool).
+    empty_probe_streak: Cell<u64>,
+}
+
+impl MuxComm {
+    fn new(world: Arc<MuxWorld>, rank: Rank, try_log: Vec<bool>) -> Self {
+        MuxComm {
+            world,
+            rank,
+            collective_seq: Cell::new(0),
+            send_cursor: RefCell::new(HashMap::new()),
+            recv_cursor: RefCell::new(HashMap::new()),
+            try_calls: Cell::new(0),
+            try_log: RefCell::new(try_log),
+            empty_probe_streak: Cell::new(0),
+        }
+    }
+
+    fn check_rank(&self, rank: Rank, role: &str) {
+        let size = self.world.p;
+        if rank >= size {
+            let err = CommError::InvalidRank { rank, size };
+            panic!("{role} {rank}: {err}");
+        }
+    }
+
+    /// Decode the message at this execution's cursor for `src`, or abort
+    /// the execution (park) when it has not been produced yet.
+    fn take_next<T: CommData>(&self, src: Rank, expected: Option<Tag>) -> (Tag, T) {
+        let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
+        let decoded = {
+            let shard = lock(&self.world.shards[self.rank]);
+            match shard.pairs.get(&src).and_then(|pair| pair.msgs.get(idx)) {
+                Some(msg) => {
+                    // Counters are reset at the start of every execution,
+                    // so each receive is metered unconditionally: after
+                    // the final (complete) execution they describe exactly
+                    // one run of the closure.
+                    self.world.stats.pe(self.rank).record_recv(msg.words);
+                    if let Some(expected) = expected {
+                        if msg.tag != expected {
+                            let err = CommError::TagMismatch {
+                                expected,
+                                got: msg.tag,
+                                from: src,
+                            };
+                            panic!("recv from {src}: {err}");
+                        }
+                    }
+                    Some((msg.tag, self.open::<T>(msg, src)))
+                }
+                None => None,
+            }
+        };
+        match decoded {
+            Some(result) => {
+                self.recv_cursor.borrow_mut().insert(src, idx + 1);
+                self.empty_probe_streak.set(0);
+                result
+            }
+            // The shard lock is released before the sentinel unwinds (the
+            // scheduler re-locks the shard to re-check and park).
+            None => panic::panic_any(Blocked {
+                src,
+                dst: self.rank,
+                index: idx,
+            }),
+        }
+    }
+
+    /// Decode a stored message *by reference* — the store keeps it for
+    /// future replays.
+    fn open<T: CommData>(&self, msg: &StoredMsg, src: Rank) -> T {
+        if msg.type_id != TypeId::of::<T>() {
+            let err = CommError::TypeMismatch {
+                tag: msg.tag,
+                expected: std::any::type_name::<T>(),
+            };
+            panic!("recv from {src}: {err} (message holds `{}`)", msg.type_name);
+        }
+        let mut r = WordReader::new(&msg.buf);
+        let value = T::decode_typed(&mut r).unwrap_or_else(|e| panic!("recv from {src}: {e}"));
+        debug_assert_eq!(r.remaining(), 0, "typed payload not fully consumed");
+        value
+    }
+}
+
+impl Communicator for MuxComm {
+    #[inline]
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.world.p
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.world.stats.pe(self.rank).snapshot()
+    }
+
+    fn next_collective_tag(&self) -> Tag {
+        let seq = self.collective_seq.get();
+        self.collective_seq.set(seq + 1);
+        COLLECTIVE_TAG_BASE + seq
+    }
+
+    fn send_raw<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
+        self.check_rank(dst, "send to");
+        assert!(
+            T::TYPED,
+            "MuxComm: payload type `{}` has no word codec (`CommData::TYPED` is \
+             false). The multiplexed backend stores every message as a reusable \
+             word buffer so parked tasks can replay their receives; implement the \
+             typed hooks (see commsim::message) or run on run_spmd / run_spmd_seq",
+            std::any::type_name::<T>()
+        );
+        let idx = {
+            let mut cursors = self.send_cursor.borrow_mut();
+            let cursor = cursors.entry(dst).or_insert(0);
+            let idx = *cursor;
+            *cursor += 1;
+            idx
+        };
+        let mut shard = lock(&self.world.shards[dst]);
+        let pair = shard.pairs.entry(self.rank).or_default();
+        let pe = self.world.stats.pe(self.rank);
+        if let Some(stored) = pair.msgs.get(idx) {
+            // Replay of a message that is already in the store: the
+            // closure is deterministic, so the contents are identical —
+            // skip the redundant re-encode, but still meter it (counters
+            // describe the current execution).
+            debug_assert_eq!(stored.tag, tag, "replayed send diverged");
+            pe.record_send(stored.words);
+            return;
+        }
+        debug_assert_eq!(idx, pair.msgs.len(), "send indices are dense");
+        let words = value.word_count();
+        let mut buf = Vec::with_capacity(words);
+        value.encode_typed(&mut buf);
+        debug_assert_eq!(
+            buf.len(),
+            words,
+            "encode_typed must append exactly word_count words"
+        );
+        pe.record_send(words);
+        pair.msgs.push(StoredMsg {
+            tag,
+            words,
+            type_id: TypeId::of::<T>(),
+            type_name: std::any::type_name::<T>(),
+            buf,
+        });
+        // Wake the destination if it parked waiting for exactly this
+        // message.  Registration happens under this shard's lock, so the
+        // waiter is either visible here or has re-checked after this push.
+        let wake = match shard.waiter {
+            Some((src, windex)) if src == self.rank && windex <= idx => {
+                shard.waiter = None;
+                true
+            }
+            _ => false,
+        };
+        if wake {
+            // Lock order is always shard → sched.
+            let mut sched = lock(&self.world.sched);
+            sched.waiting[dst] = None;
+            let task = sched.parked[dst]
+                .take()
+                .expect("a registered waiter must have a parked task");
+            sched.ready.push_back(task);
+            self.world.cv.notify_one();
+        }
+    }
+
+    fn recv_raw<T: CommData>(&self, src: Rank, expected_tag: Tag) -> T {
+        self.check_rank(src, "recv from");
+        self.take_next(src, Some(expected_tag)).1
+    }
+
+    fn recv_any_tag<T: CommData>(&self, src: Rank) -> (Tag, T) {
+        self.check_rank(src, "recv from");
+        self.take_next(src, None)
+    }
+
+    fn try_recv<T: CommData>(&self, src: Rank) -> Option<(Tag, T)> {
+        self.check_rank(src, "try_recv from");
+        let call = self.try_calls.get();
+        self.try_calls.set(call + 1);
+        let decision = {
+            let mut log = self.try_log.borrow_mut();
+            if call < log.len() {
+                // Replay: keep this execution consistent with the one
+                // that recorded the decision, whatever has arrived since.
+                log[call]
+            } else {
+                let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
+                let available = {
+                    let shard = lock(&self.world.shards[self.rank]);
+                    shard
+                        .pairs
+                        .get(&src)
+                        .is_some_and(|pair| pair.msgs.len() > idx)
+                };
+                log.push(available);
+                if !available {
+                    let streak = self.empty_probe_streak.get() + 1;
+                    self.empty_probe_streak.set(streak);
+                    assert!(
+                        streak <= BUSY_POLL_LIMIT,
+                        "PE {}: {streak} consecutive empty try_recv probes without \
+                         a successful receive — a busy-poll loop never parks, so it \
+                         occupies a worker indefinitely; use a blocking recv \
+                         between probes, or run on the threaded backend (run_spmd)",
+                        self.rank
+                    );
+                }
+                available
+            }
+        };
+        if decision {
+            // The message is in the permanent store (a logged `true` can
+            // never become stale), so this cannot park.
+            let (tag, value) = self.take_next(src, None);
+            Some((tag, value))
+        } else {
+            None
+        }
+    }
+}
+
+/// One worker: pull a runnable task, execute it, classify the outcome
+/// (complete / parked / failed), repeat until the run is over.
+fn worker_loop<T, F>(world: &Arc<MuxWorld>, f: &F, results: &Mutex<Vec<Option<T>>>)
+where
+    T: Send,
+    F: Fn(&MuxComm) -> T + Send + Sync,
+{
+    loop {
+        let mut task = {
+            let mut sched = lock(&world.sched);
+            loop {
+                if sched.failure.is_some() || sched.done == world.p {
+                    return;
+                }
+                if let Some(task) = sched.ready.pop_front() {
+                    sched.active += 1;
+                    break task;
+                }
+                sched = world.cv.wait(sched).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let rank = task.rank;
+        // Each execution starts from a clean counter set; the run only
+        // ends once every task ran to completion, so the surviving
+        // counters describe exactly one complete execution per PE.
+        world.stats.pe(rank).reset();
+        let comm = MuxComm::new(Arc::clone(world), rank, std::mem::take(&mut task.try_log));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
+        task.try_log = comm.try_log.into_inner();
+        match outcome {
+            Ok(value) => {
+                lock(results)[rank] = Some(value);
+                let mut sched = lock(&world.sched);
+                sched.active -= 1;
+                sched.done += 1;
+                if sched.done == world.p {
+                    world.cv.notify_all();
+                } else {
+                    // A completion can strand the rest: everyone else may
+                    // be parked waiting for a send this task never did.
+                    world.check_deadlock(&mut sched);
+                }
+            }
+            Err(payload) => match payload.downcast::<Blocked>() {
+                Ok(blocked) => {
+                    let Blocked { src, index, .. } = *blocked;
+                    let mut shard = lock(&world.shards[rank]);
+                    // Re-check under the shard lock: the message may have
+                    // arrived between the abort and now, in which case the
+                    // task is immediately runnable again.
+                    let arrived = shard
+                        .pairs
+                        .get(&src)
+                        .is_some_and(|pair| pair.msgs.len() > index);
+                    let mut sched = lock(&world.sched);
+                    sched.active -= 1;
+                    if arrived {
+                        sched.ready.push_back(task);
+                        world.cv.notify_one();
+                    } else {
+                        shard.waiter = Some((src, index));
+                        sched.waiting[rank] = Some((src, index));
+                        sched.parked[rank] = Some(task);
+                        world.check_deadlock(&mut sched);
+                    }
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic payload>");
+                    let mut sched = lock(&world.sched);
+                    sched.active -= 1;
+                    if sched.failure.is_none() {
+                        sched.failure = Some(format!("PE {rank} panicked: {msg}"));
+                    }
+                    world.cv.notify_all();
+                    return;
+                }
+            },
+        }
+    }
+}
+
+/// Run `f` on `p` simulated PEs multiplexed over a default-sized worker
+/// pool.
+///
+/// Drop-in alternative to [`crate::runner::run_spmd`] and
+/// [`crate::seq::run_spmd_seq`]: same SPMD programming model, same
+/// [`SpmdOutput`], but PEs are cooperative tasks over
+/// `available_parallelism()` workers, so p can reach into the tens of
+/// thousands (see the module docs for the execution model and the purity
+/// requirements on `f` — the closure is executed multiple times).
+///
+/// # Panics
+///
+/// Panics if `p == 0`, if any PE panics (propagated with the rank of the
+/// offending PE), if the program deadlocks (reported with
+/// who-waits-on-whom diagnostics), or if a payload type without a word
+/// codec is sent (the replay store needs re-decodable messages).
+pub fn run_spmd_mux<T, F>(p: usize, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&MuxComm) -> T + Send + Sync,
+{
+    run_spmd_mux_with(MuxConfig::new(p), f)
+}
+
+/// Like [`run_spmd_mux`], with explicit worker-pool and stack-size
+/// configuration.
+pub fn run_spmd_mux_with<T, F>(config: MuxConfig, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&MuxComm) -> T + Send + Sync,
+{
+    let p = config.num_pes;
+    assert!(p > 0, "an SPMD region needs at least one PE");
+    let workers = config.num_workers.clamp(1, p);
+    install_quiet_block_hook();
+
+    let start = Instant::now();
+    let world = Arc::new(MuxWorld::new(p));
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..p).map(|_| None).collect());
+    {
+        let mut sched = lock(&world.sched);
+        for rank in 0..p {
+            sched.ready.push_back(TaskState {
+                rank,
+                try_log: Vec::new(),
+            });
+        }
+    }
+
+    thread::scope(|scope| {
+        for w in 0..workers {
+            let world = &world;
+            let f = &f;
+            let results = &results;
+            thread::Builder::new()
+                .name(format!("mux-worker-{w}"))
+                .stack_size(config.stack_size)
+                .spawn_scoped(scope, move || worker_loop(world, f, results))
+                .expect("failed to spawn mux worker thread");
+        }
+    });
+
+    {
+        let sched = lock(&world.sched);
+        if let Some(msg) = &sched.failure {
+            panic!("{msg}");
+        }
+        assert_eq!(sched.done, p, "run ended with unfinished tasks");
+    }
+    let elapsed = start.elapsed();
+    SpmdOutput {
+        results: results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|v| v.expect("completed run must have all results"))
+            .collect(),
+        stats: world.stats.world(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ReduceOp;
+    use crate::runner::run_spmd;
+    use crate::seq::run_spmd_seq;
+
+    /// A couple of workers force real multiplexing in the small-p tests.
+    fn mux_with_workers<T: Send>(
+        p: usize,
+        workers: usize,
+        f: impl Fn(&MuxComm) -> T + Send + Sync,
+    ) -> SpmdOutput<T> {
+        run_spmd_mux_with(MuxConfig::new(p).with_workers(workers), f)
+    }
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let out = run_spmd_mux(5, |comm| comm.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn point_to_point_works_in_both_directions() {
+        let out = mux_with_workers(2, 1, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u64);
+                let v: u64 = comm.recv(1, 2);
+                v
+            } else {
+                let v: u64 = comm.recv(0, 1);
+                comm.send(0, 2, v * 2);
+                v
+            }
+        });
+        assert_eq!(out.results, vec![20, 10]);
+    }
+
+    #[test]
+    fn self_send_does_not_park() {
+        let out = run_spmd_mux(3, |comm| {
+            comm.send(comm.rank(), 9, comm.rank() as u64);
+            let v: u64 = comm.recv(comm.rank(), 9);
+            v
+        });
+        assert_eq!(out.results, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_collectives_run_on_the_mux_backend() {
+        for p in [1, 2, 3, 5, 8] {
+            let out = mux_with_workers(p, 2, move |comm| {
+                let r = comm.rank() as u64;
+                let root_value = comm.is_root().then_some(41u64);
+                (
+                    comm.allreduce_sum(r),
+                    comm.prefix_sum_exclusive(1),
+                    comm.broadcast(0, root_value),
+                    comm.allgather(r),
+                    comm.alltoall((0..comm.size() as u64).collect()),
+                    comm.scatter(0, comm.is_root().then(|| (0..comm.size() as u64).collect())),
+                )
+            });
+            let expected_sum: u64 = (0..p as u64).sum();
+            for (rank, (sum, prefix, bcast, all, a2a, scat)) in out.results.iter().enumerate() {
+                assert_eq!(*sum, expected_sum, "p={p}");
+                assert_eq!(*prefix, rank as u64);
+                assert_eq!(*bcast, 41);
+                assert_eq!(*all, (0..p as u64).collect::<Vec<_>>());
+                assert_eq!(*a2a, vec![rank as u64; p]);
+                assert_eq!(*scat, rank as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_match_threaded_and_sequential_backends() {
+        let program_results = |p: usize| {
+            let threaded = run_spmd(p, |comm| {
+                comm.allreduce_vec_sum(vec![comm.rank() as u64; 16]);
+                comm.barrier();
+                comm.prefix_sum_inclusive(1)
+            });
+            let sequential = run_spmd_seq(p, |comm| {
+                comm.allreduce_vec_sum(vec![comm.rank() as u64; 16]);
+                comm.barrier();
+                comm.prefix_sum_inclusive(1)
+            });
+            let mux = mux_with_workers(p, 3, |comm| {
+                comm.allreduce_vec_sum(vec![comm.rank() as u64; 16]);
+                comm.barrier();
+                comm.prefix_sum_inclusive(1)
+            });
+            (threaded, sequential, mux)
+        };
+        for p in [2, 6, 13] {
+            let (threaded, sequential, mux) = program_results(p);
+            assert_eq!(mux.results, threaded.results);
+            assert_eq!(mux.results, sequential.results);
+            assert_eq!(mux.stats.total_words(), sequential.stats.total_words());
+            assert_eq!(
+                mux.stats.total_messages(),
+                sequential.stats.total_messages()
+            );
+            assert_eq!(
+                mux.stats.bottleneck_words(),
+                sequential.stats.bottleneck_words()
+            );
+            assert_eq!(mux.stats.total_words(), threaded.stats.total_words());
+        }
+    }
+
+    #[test]
+    fn many_pes_multiplex_over_two_workers() {
+        // p far above the pool size: tasks must genuinely park and wake.
+        let p = 64;
+        let out = mux_with_workers(p, 2, move |comm| {
+            let r = comm.rank() as u64;
+            (comm.allreduce_sum(r), comm.prefix_sum_exclusive(r))
+        });
+        let total: u64 = (0..p as u64).sum();
+        let mut running = 0;
+        for (rank, (sum, prefix)) in out.results.iter().enumerate() {
+            assert_eq!(*sum, total);
+            assert_eq!(*prefix, running);
+            running += rank as u64;
+        }
+    }
+
+    #[test]
+    fn ring_pass_completes_on_a_single_worker() {
+        // A dependency chain around the whole ring, serialised onto one
+        // worker: completion proves park/wake does real scheduling work.
+        let p = 16;
+        let out = mux_with_workers(p, 1, move |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, comm.rank() as u64);
+            let v: u64 = comm.recv(prev, 7);
+            v
+        });
+        for (rank, v) in out.results.iter().enumerate() {
+            assert_eq!(*v as usize, (rank + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_results_and_traffic() {
+        let run = || {
+            mux_with_workers(7, 3, |comm| {
+                let v = comm.rank() as u64 * 3 + 1;
+                let s = comm.allreduce(v, ReduceOp::custom(|a, b| a ^ b));
+                (s, comm.prefix_sum_exclusive(v))
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.stats.total_words(), b.stats.total_words());
+        assert_eq!(a.stats.total_messages(), b.stats.total_messages());
+    }
+
+    #[test]
+    fn mid_closure_snapshot_deltas_survive_replay() {
+        // Phase metering: the snapshot delta across one collective must
+        // describe that collective alone, despite replays.
+        let out = run_spmd_mux(4, |comm| {
+            comm.barrier();
+            let before = comm.stats_snapshot();
+            comm.allreduce_sum(comm.rank() as u64);
+            comm.stats_snapshot().since(&before).sent_words
+        });
+        let seq = run_spmd_seq(4, |comm| {
+            comm.barrier();
+            let before = comm.stats_snapshot();
+            comm.allreduce_sum(comm.rank() as u64);
+            comm.stats_snapshot().since(&before).sent_words
+        });
+        assert_eq!(out.results, seq.results);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn deadlock_is_detected() {
+        let _ = mux_with_workers(2, 2, |comm| {
+            if comm.rank() == 0 {
+                let _: u64 = comm.recv(1, 1);
+            } else {
+                let _: u64 = comm.recv(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "waits for message #0 from PE 0")]
+    fn completion_of_the_last_sender_triggers_deadlock_diagnostics() {
+        // PE 0 finishes without sending; PE 1 is then parked forever.
+        let _ = mux_with_workers(2, 1, |comm| {
+            if comm.rank() == 1 {
+                let _: u64 = comm.recv(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "PE 1 panicked")]
+    fn pe_panics_are_propagated_with_rank() {
+        let _ = run_spmd_mux(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "has no word codec")]
+    fn untyped_payloads_are_rejected_with_a_clear_message() {
+        // A type that deliberately leaves the typed hooks at their
+        // defaults: fine on the other backends, rejected here.
+        struct Opaque;
+        impl CommData for Opaque {
+            fn word_count(&self) -> usize {
+                1
+            }
+        }
+        let _ = run_spmd_mux(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, Opaque);
+            } else {
+                let _: Opaque = comm.recv(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_decisions_replay_consistently() {
+        // PE 1 probes (logging a decision), then blocks on a real recv
+        // (parking + replaying the probe), then probes again.
+        let out = mux_with_workers(2, 1, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, 77u64);
+                0
+            } else {
+                let mut polled = 0u64;
+                while comm.try_recv::<u64>(0).is_none() {
+                    polled += 1;
+                    if polled > 3 {
+                        // Fall back to blocking; the logged empty probes
+                        // replay verbatim after the park.
+                        let v: u64 = comm.recv(0, 5);
+                        return v;
+                    }
+                }
+                // First probe already saw the message.
+                77
+            }
+        });
+        assert_eq!(out.results[1], 77);
+    }
+
+    #[test]
+    fn world_construction_is_lazy() {
+        // Two PEs out of 4096 talk; the run must not materialise state for
+        // the silent pairs (this is a smoke test that big-p worlds are
+        // cheap — the allocation-counting pin lives in tests/).
+        let out = run_spmd_mux(4096, |comm| match comm.rank() {
+            0 => {
+                comm.send(1, 1, 42u64);
+                0u64
+            }
+            1 => comm.recv(0, 1),
+            _ => 0,
+        });
+        assert_eq!(out.results[1], 42);
+        assert_eq!(out.stats.total_messages(), 1);
+    }
+}

@@ -26,6 +26,13 @@
 //! completes in the same round, and a round in which nobody advances is a
 //! genuine deadlock (reported with who-waits-on-whom diagnostics).
 //!
+//! The same replay model — the `Blocked` sentinel, the replay rules for
+//! sends, the `try_recv` decision log and the busy-poll cut-off — also
+//! powers the *multiplexed* backend ([`crate::mux`]), which schedules the
+//! replayed closures as cooperative tasks over a worker pool instead of a
+//! single loop.  ARCHITECTURE.md walks through all three backends side by
+//! side.
+//!
 //! # Requirements on the closure
 //!
 //! The closure is executed **multiple times** per PE, so it must be
@@ -60,6 +67,7 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::Once;
@@ -74,16 +82,19 @@ use crate::transport::{BufferPool, Envelope};
 use crate::{Rank, Tag};
 
 /// Sentinel panic payload: "this PE cannot make progress this round".
-struct Blocked {
-    src: Rank,
-    dst: Rank,
-    index: usize,
+///
+/// Shared with the multiplexed backend ([`crate::mux`]), whose worker pool
+/// catches the same sentinel to park a task instead of ending a round.
+pub(crate) struct Blocked {
+    pub(crate) src: Rank,
+    pub(crate) dst: Rank,
+    pub(crate) index: usize,
 }
 
 /// Teach the process-wide panic hook to stay silent for [`Blocked`]
 /// sentinels (they are control flow, not failures); everything else is
 /// forwarded to the previously installed hook.
-fn install_quiet_block_hook() {
+pub(crate) fn install_quiet_block_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = panic::take_hook();
@@ -111,8 +122,12 @@ struct PairState {
 struct SeqWorld {
     p: usize,
     stats: StatsRegistry,
-    /// Pair states, indexed `src * p + dst`.
-    pairs: RefCell<Vec<PairState>>,
+    /// Pair states: `pairs[dst]` maps a source rank to the state of the
+    /// ordered pair `(src, dst)`.  Lazily keyed by source so that world
+    /// setup is O(p) and memory is O(touched pairs) — a PE talking to
+    /// O(log p) peers (every tree collective) must not pay O(p) state, or
+    /// massive-p sweeps would pay O(p²) before the first message.
+    pairs: RefCell<Vec<HashMap<Rank, PairState>>>,
     /// Per-PE `try_recv` decision log (recorded once, replayed forever).
     try_log: RefCell<Vec<Vec<bool>>>,
     /// Shared typed-path buffer pool (one thread, so one pool suffices).
@@ -124,7 +139,7 @@ impl SeqWorld {
         SeqWorld {
             p,
             stats: StatsRegistry::new(p),
-            pairs: RefCell::new((0..p * p).map(|_| PairState::default()).collect()),
+            pairs: RefCell::new((0..p).map(|_| HashMap::new()).collect()),
             try_log: RefCell::new(vec![Vec::new(); p]),
             pool: BufferPool::new(),
         }
@@ -139,10 +154,12 @@ pub struct SeqComm {
     world: Rc<SeqWorld>,
     rank: Rank,
     collective_seq: Cell<u64>,
-    /// Next send index per destination (this round).
-    send_cursor: RefCell<Vec<usize>>,
+    /// Next send index per destination (this round).  A map, not a
+    /// vector: a fresh handle is built for every PE in every round, so an
+    /// O(p) vector here would make each *round* O(p²).
+    send_cursor: RefCell<HashMap<Rank, usize>>,
     /// Next receive index per source (this round).
-    recv_cursor: RefCell<Vec<usize>>,
+    recv_cursor: RefCell<HashMap<Rank, usize>>,
     /// Index of the next `try_recv` call into the decision log.
     try_calls: Cell<usize>,
     /// Freshly recorded empty `try_recv` probes since the last successful
@@ -160,13 +177,12 @@ pub const BUSY_POLL_LIMIT: u64 = 1 << 20;
 
 impl SeqComm {
     fn new(world: Rc<SeqWorld>, rank: Rank) -> Self {
-        let p = world.p;
         SeqComm {
             world,
             rank,
             collective_seq: Cell::new(0),
-            send_cursor: RefCell::new(vec![0; p]),
-            recv_cursor: RefCell::new(vec![0; p]),
+            send_cursor: RefCell::new(HashMap::new()),
+            recv_cursor: RefCell::new(HashMap::new()),
             try_calls: Cell::new(0),
             empty_probe_streak: Cell::new(0),
             ops: Cell::new(0),
@@ -184,11 +200,12 @@ impl SeqComm {
     /// Consume the next message from `src`, or abort this round's execution
     /// when it has not been produced (yet).
     fn take_next(&self, src: Rank) -> Envelope {
-        let idx = self.recv_cursor.borrow()[src];
+        let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
         let taken = {
             let mut pairs = self.world.pairs.borrow_mut();
-            let pair = &mut pairs[src * self.world.p + self.rank];
-            let env = pair.slots.get_mut(idx).and_then(Option::take);
+            let env = pairs[self.rank]
+                .get_mut(&src)
+                .and_then(|pair| pair.slots.get_mut(idx).and_then(Option::take));
             if let Some(env) = &env {
                 // Counters are reset at the start of every replay execution,
                 // so each receive is metered unconditionally: after the
@@ -200,7 +217,7 @@ impl SeqComm {
         };
         match taken {
             Some(env) => {
-                self.recv_cursor.borrow_mut()[src] = idx + 1;
+                self.recv_cursor.borrow_mut().insert(src, idx + 1);
                 self.empty_probe_streak.set(0);
                 self.ops.set(self.ops.get() + 1);
                 env
@@ -246,20 +263,25 @@ impl Communicator for SeqComm {
         self.check_rank(dst, "send to");
         let idx = {
             let mut cursors = self.send_cursor.borrow_mut();
-            let idx = cursors[dst];
-            cursors[dst] = idx + 1;
+            let cursor = cursors.entry(dst).or_insert(0);
+            let idx = *cursor;
+            *cursor += 1;
             idx
         };
         {
             let pairs = self.world.pairs.borrow();
-            let pair = &pairs[self.rank * self.world.p + dst];
-            if pair.slots.get(idx).is_some_and(Option::is_some) {
+            let replayed = pairs[dst].get(&self.rank).and_then(|pair| {
+                pair.slots
+                    .get(idx)
+                    .is_some_and(Option::is_some)
+                    .then(|| pair.sent_meta[idx])
+            });
+            if let Some((words, reused)) = replayed {
                 // Replay of a message whose previous copy was never
                 // consumed: the closure is deterministic, so the contents
                 // are identical — skip the redundant re-encode, but still
                 // meter it (counters describe the current execution),
                 // including the pooled-reuse flag the original encode had.
-                let (words, reused) = pair.sent_meta[idx];
                 let pe = self.world.stats.pe(self.rank);
                 pe.record_send(words);
                 if reused {
@@ -271,7 +293,7 @@ impl Communicator for SeqComm {
         }
         let (env, reused) = Envelope::encode(tag, self.rank, value, Some(&self.world.pool));
         let mut pairs = self.world.pairs.borrow_mut();
-        let pair = &mut pairs[self.rank * self.world.p + dst];
+        let pair = pairs[dst].entry(self.rank).or_default();
         let pe = self.world.stats.pe(self.rank);
         pe.record_send(env.words);
         if reused {
@@ -318,12 +340,11 @@ impl Communicator for SeqComm {
             if call < log.len() {
                 log[call]
             } else {
-                let idx = self.recv_cursor.borrow()[src];
+                let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
                 let pairs = self.world.pairs.borrow();
-                let available = pairs[src * self.world.p + self.rank]
-                    .slots
-                    .get(idx)
-                    .is_some_and(Option::is_some);
+                let available = pairs[self.rank]
+                    .get(&src)
+                    .is_some_and(|pair| pair.slots.get(idx).is_some_and(Option::is_some));
                 log.push(available);
                 if !available {
                     // Busy-poll detector: within one round no other PE can

@@ -12,9 +12,38 @@
 //! compare-and-swap loop, and therefore no convoying when a thousand
 //! senders target the same destination.
 //!
-//! This is the only module in the crate that uses `unsafe`; the crate-level
-//! lint opt-out is scoped to it and to the `transport` module that upholds
-//! the uniqueness contract documented on every `unsafe fn` here.
+//! # Safety argument
+//!
+//! This module (with the `transport` module that upholds its contracts) is
+//! the only `unsafe` in the crate; the argument for why it is sound has
+//! three legs:
+//!
+//! 1. **Endpoint uniqueness is structural, not disciplined.**  The queue's
+//!    `unsafe fn push`/`unsafe fn pop` require a unique producer and a
+//!    unique consumer, and the caller can only obtain them through a
+//!    [`Mailbox`] — unclonable, `!Sync`, minted exactly once per rank by
+//!    `full_mesh`.  There is no code path that hands two threads the same
+//!    endpoint of one queue, so the requirement is discharged by ownership
+//!    rather than by callers promising to behave.
+//! 2. **Initialisation is published before it is read.**  A producer fully
+//!    writes a slot (`MaybeUninit` write into an `UnsafeCell`), *then*
+//!    increments the `published` counter with `Release`; the consumer reads
+//!    the counter with `Acquire` and only then dereferences slots it
+//!    covers.  A slot is read exactly once (the consumer's cursor is
+//!    monotone), so the `MaybeUninit::assume_init` on the pop side always
+//!    sees a fully initialised value and never sees it twice.
+//! 3. **Segment lifetime ends on exactly one side.**  Segments are
+//!    allocated by the producer, linked via a once-written `next` pointer
+//!    (release-stored before any successor slot is published), and freed by
+//!    the consumer strictly after its cursor has drained past them;
+//!    whatever remains at drop time is freed by the queue's owner.  No
+//!    segment is reachable from both a freeing consumer and a pushing
+//!    producer at once.
+//!
+//! The park/unpark cell beside the queue ([`ParkSlot`]) carries the
+//! blocking-receive handshake; its lost-wakeup-freedom argument (a `SeqCst`
+//! Dekker pair) lives on its methods and in ARCHITECTURE.md's
+//! message-lifecycle walkthrough.
 //!
 //! [`Mailbox`]: crate::transport::Mailbox
 #![allow(unsafe_code)]

@@ -1,12 +1,21 @@
 //! Point-to-point transport between simulated PEs.
 //!
 //! The transport is a **lock-free sharded inbox**: one shard per
-//! *destination* PE, each holding `p` per-source single-producer/
-//! single-consumer segmented queues (`spsc::SpscQueue`) plus a
-//! one-slot parking cell for the shard's blocked receiver.  Constructing
-//! the transport for `p` PEs allocates `O(p)` shards (one queue *table* per
-//! PE; the queues themselves own no heap until the first message), pinned
-//! by the counting-allocator test `transport_alloc.rs`.
+//! *destination* PE, each holding a table of `p` per-source queue slots
+//! plus a one-slot parking cell for the shard's blocked receiver.  A slot
+//! is one lazily installed pointer (`LazyQueue`): the single-producer/
+//! single-consumer segmented queue (`spsc::SpscQueue`) behind it is
+//! heap-allocated by the pair's (unique) producer on the pair's **first
+//! send**, so constructing the transport for `p` PEs allocates `O(p)`
+//! shards and the per-pair cost — queue header and segments alike — is
+//! paid only for pairs that actually communicate (pinned by the
+//! counting-allocator test `transport_alloc.rs` and measured by the
+//! `transport_setup` bench).  What remains eager is the pointer *table*
+//! itself (`p` words per shard): lock-free slot addressing needs stable
+//! addresses senders can reach without synchronising on the table, so the
+//! table is the price of the no-lock send path — `ARCHITECTURE.md`
+//! discusses the trade-off and why truly O(touched-pairs) worlds are the
+//! multiplexed backend's job ([`crate::mux`]).
 //!
 //! There is no mutex and no condvar anywhere on the message path:
 //!
@@ -45,7 +54,7 @@
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 
 use crate::codec::{decode_error, WordReader};
@@ -251,20 +260,107 @@ impl Envelope {
     }
 }
 
+/// A lazily materialised per-pair queue slot: one pointer word until the
+/// pair's first message, then the pair's [`SpscQueue`], heap-allocated and
+/// installed by the pair's unique producer.
+///
+/// The slot itself is the only thing allocated eagerly (as part of the
+/// shard's table); an ordered pair that never communicates costs exactly
+/// these 8 bytes.  The pointer is written at most once (null → queue) and
+/// freed only when the shard drops, so a reference derived from a non-null
+/// load stays valid for the life of the mesh.
+///
+/// Ordering: install (`SeqCst` store) happens before the producer's first
+/// publish increment, and every consumer attempt re-loads the pointer
+/// (`SeqCst`), so the existing Dekker-pair argument between publish and
+/// park-registration (see the module docs) extends unchanged — a consumer
+/// that misses the install also misses the publish, re-checks after
+/// registering, and cannot lose a wakeup.
+struct LazyQueue {
+    ptr: AtomicPtr<SpscQueue<Envelope>>,
+}
+
+impl LazyQueue {
+    fn new() -> Self {
+        LazyQueue {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Producer side: the pair's queue, installed on first use.
+    ///
+    /// # Safety
+    ///
+    /// Only the pair's unique producer may call this: the slot is written
+    /// with a plain store (no CAS), which is race-free precisely because
+    /// each `(src, dst)` slot has exactly one writer — PE `src`'s mailbox,
+    /// which is unclonable and `!Sync`.
+    unsafe fn get_or_install(&self) -> &SpscQueue<Envelope> {
+        let p = self.ptr.load(Ordering::SeqCst);
+        if !p.is_null() {
+            // SAFETY: non-null means installed; never freed before drop.
+            return unsafe { &*p };
+        }
+        let fresh = Box::into_raw(Box::new(SpscQueue::new()));
+        self.ptr.store(fresh, Ordering::SeqCst);
+        // SAFETY: just leaked from a live Box; freed only in Drop.
+        unsafe { &*fresh }
+    }
+
+    /// Consumer side: the pair's queue, or `None` while the pair has never
+    /// sent (an unmaterialised queue is indistinguishable from an empty
+    /// one).  Re-loads the pointer so a concurrent install becomes visible.
+    fn get(&self) -> Option<&SpscQueue<Envelope>> {
+        let p = self.ptr.load(Ordering::SeqCst);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: non-null means installed; never freed before drop.
+            Some(unsafe { &*p })
+        }
+    }
+}
+
+impl Drop for LazyQueue {
+    fn drop(&mut self) {
+        let p = *self.ptr.get_mut();
+        if !p.is_null() {
+            // SAFETY: installed exactly once by the producer and never
+            // freed elsewhere; `&mut self` proves no reference survives.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
 /// One destination's inbox shard: every message addressed to that PE, held
-/// in `p` lock-free per-source FIFO queues, plus the parking cell its
-/// (unique) receiver blocks in.
+/// in lazily materialised lock-free per-source FIFO queues, plus the
+/// parking cell its (unique) receiver blocks in.
 struct Shard {
     /// `queues[src]` holds the messages sent by PE `src`, in send order.
     /// PE `src`'s mailbox is the queue's unique producer and this shard's
     /// owner the unique consumer, so each queue runs the single-producer/
-    /// single-consumer lock-free protocol of [`SpscQueue`].  An idle queue
-    /// owns no heap beyond its table slot.
-    queues: Vec<SpscQueue<Envelope>>,
+    /// single-consumer lock-free protocol of [`SpscQueue`].  A pair that
+    /// never communicates owns no heap beyond its pointer slot.
+    queues: Vec<LazyQueue>,
     /// Parking cell of the shard's receiver.  Senders (and disconnecting
     /// peers) wake it with one atomic load in the quiescent case; see
     /// [`ParkSlot`] for the exactly-once handoff.
     parked: ParkSlot,
+}
+
+impl Shard {
+    /// One pop attempt from `src`'s queue (`None`: never materialised or
+    /// currently empty).
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the shard's unique consumer (the mailbox of the
+    /// shard's destination rank).
+    unsafe fn try_pop(&self, src: Rank) -> Option<Envelope> {
+        let queue = self.queues[src].get()?;
+        // SAFETY: unique consumer per the caller's contract.
+        unsafe { queue.pop() }
+    }
 }
 
 /// Transport state shared by all mailboxes of one SPMD world: `p` shards
@@ -307,17 +403,17 @@ pub struct Mailbox {
 
 impl Mailbox {
     /// Build the sharded transport for `p` PEs and return one mailbox per
-    /// PE.  Allocates `O(p)` shards — one queue table per destination; the
-    /// lock-free queues themselves defer all allocation to the first send —
-    /// not the `O(p²)` channels of a full mesh (pinned by the
-    /// allocation-counting integration test `transport_alloc.rs` and the
-    /// `transport_setup` criterion bench).
+    /// PE.  Allocates `O(p)` shards — one pointer table per destination;
+    /// each pair's lock-free queue (header and segments alike) is deferred
+    /// to that pair's first send — not the `O(p²)` channels of a full mesh
+    /// (pinned by the allocation-counting integration test
+    /// `transport_alloc.rs` and the `transport_setup` criterion bench).
     pub fn full_mesh(p: usize) -> Vec<Mailbox> {
         assert!(p > 0, "need at least one PE");
         let mesh = Arc::new(SharedMesh {
             shards: (0..p)
                 .map(|_| Shard {
-                    queues: (0..p).map(|_| SpscQueue::new()).collect(),
+                    queues: (0..p).map(|_| LazyQueue::new()).collect(),
                     parked: ParkSlot::new(),
                 })
                 .collect(),
@@ -370,8 +466,9 @@ impl Mailbox {
         }
         // SAFETY: this mailbox is the unique endpoint of rank `self.rank`
         // (unclonable, `!Sync`), so it is the unique producer of the
-        // `(self.rank, dst)` queue.
-        unsafe { shard.queues[self.rank].push(env) };
+        // `(self.rank, dst)` queue — which covers both the lazy install
+        // (single writer of the slot) and the push.
+        unsafe { shard.queues[self.rank].get_or_install().push(env) };
         // Publish-then-check: the queue's publish increment and the
         // receiver's park registration are both `SeqCst`, so either this
         // load sees a registration for our rank (and `wake` unparks
@@ -394,10 +491,11 @@ impl Mailbox {
             return Err(CommError::InvalidRank { rank: src, size });
         }
         let shard = &self.mesh.shards[self.rank];
-        let queue = &shard.queues[src];
         // SAFETY (here and below): this mailbox is the unique endpoint of
         // its rank, hence the unique consumer of every queue in its shard.
-        if let Some(env) = unsafe { queue.pop() } {
+        // Each attempt re-loads the pair's lazy slot, so a queue installed
+        // by the sender mid-wait becomes visible.
+        if let Some(env) = unsafe { shard.try_pop(src) } {
             return Ok(env);
         }
         // Spin-then-park.  Spin phase: cheap busy spins, then yields.
@@ -407,11 +505,11 @@ impl Mailbox {
             } else {
                 std::thread::yield_now();
             }
-            if let Some(env) = unsafe { queue.pop() } {
+            if let Some(env) = unsafe { shard.try_pop(src) } {
                 return Ok(env);
             }
             if !self.mesh.alive[src].load(Ordering::SeqCst) {
-                return self.drain_disconnected(queue, src);
+                return self.drain_disconnected(shard, src);
             }
         }
         // Park phase: register, re-check (the Dekker pair with senders and
@@ -420,12 +518,12 @@ impl Mailbox {
         // iteration left behind.
         loop {
             shard.parked.register(src);
-            if let Some(env) = unsafe { queue.pop() } {
+            if let Some(env) = unsafe { shard.try_pop(src) } {
                 shard.parked.clear();
                 return Ok(env);
             }
             if !self.mesh.alive[src].load(Ordering::SeqCst) {
-                let result = self.drain_disconnected(queue, src);
+                let result = self.drain_disconnected(shard, src);
                 shard.parked.clear();
                 return result;
             }
@@ -437,9 +535,9 @@ impl Mailbox {
     /// thing a dropping mailbox does after its sends, so one more pop after
     /// seeing `alive == false` is guaranteed to surface anything still
     /// queued — only then is the hang-up reported.
-    fn drain_disconnected(&self, queue: &SpscQueue<Envelope>, src: Rank) -> CommResult<Envelope> {
+    fn drain_disconnected(&self, shard: &Shard, src: Rank) -> CommResult<Envelope> {
         // SAFETY: unique consumer, as in `recv`.
-        match unsafe { queue.pop() } {
+        match unsafe { shard.try_pop(src) } {
             Some(env) => Ok(env),
             None => Err(CommError::Disconnected { from: src }),
         }
@@ -451,13 +549,13 @@ impl Mailbox {
         if src >= size {
             return Err(CommError::InvalidRank { rank: src, size });
         }
-        let queue = &self.mesh.shards[self.rank].queues[src];
+        let shard = &self.mesh.shards[self.rank];
         // SAFETY: unique consumer, as in `recv`.
-        if let Some(env) = unsafe { queue.pop() } {
+        if let Some(env) = unsafe { shard.try_pop(src) } {
             return Ok(Some(env));
         }
         if !self.mesh.alive[src].load(Ordering::SeqCst) {
-            return self.drain_disconnected(queue, src).map(Some);
+            return self.drain_disconnected(shard, src).map(Some);
         }
         Ok(None)
     }

@@ -15,7 +15,7 @@
 //! baseline and the parallel algorithm are provided so that the `K = m +
 //! O(hp)` claim can be measured (bench `bnb_expansions`).
 
-use commsim::{CommData, Communicator};
+use commsim::{CommData, CommResult, Communicator, WordReader};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -125,6 +125,32 @@ pub struct BnbNode {
 impl CommData for BnbNode {
     fn word_count(&self) -> usize {
         4
+    }
+
+    // Typed word codec so branch-and-bound nodes can travel on every
+    // backend, including the multiplexed one (which rejects payloads
+    // without a codec).  Field order matches the struct; the bound uses
+    // its IEEE-754 bit pattern (exact round-trip, NaNs included).
+    const TYPED: bool = true;
+
+    fn encode_typed(&self, out: &mut Vec<u64>) {
+        out.push(self.neg_bound.0.to_bits());
+        out.push(u64::from(self.level));
+        out.push(self.value);
+        out.push(self.weight);
+    }
+
+    fn decode_typed(r: &mut WordReader<'_>) -> CommResult<Self> {
+        let mut word = || {
+            r.next_word()
+                .ok_or_else(commsim::codec::decode_error::<Self>)
+        };
+        Ok(BnbNode {
+            neg_bound: OrderedF64(f64::from_bits(word()?)),
+            level: u32::try_from(word()?).map_err(|_| commsim::codec::decode_error::<Self>())?,
+            value: word()?,
+            weight: word()?,
+        })
     }
 }
 
@@ -274,6 +300,26 @@ pub fn knapsack_branch_bound_parallel<C: Communicator>(
 mod tests {
     use super::*;
     use commsim::run_spmd;
+
+    #[test]
+    fn bnb_node_word_codec_round_trips_exactly() {
+        let node = BnbNode {
+            neg_bound: OrderedF64(-12.75),
+            level: 7,
+            value: u64::MAX - 3,
+            weight: 42,
+        };
+        let mut words = Vec::new();
+        node.encode_typed(&mut words);
+        assert_eq!(words.len(), node.word_count());
+        let mut r = WordReader::new(&words);
+        let back = BnbNode::decode_typed(&mut r).expect("decode");
+        assert_eq!(back.neg_bound.0.to_bits(), node.neg_bound.0.to_bits());
+        assert_eq!(
+            (back.level, back.value, back.weight),
+            (node.level, node.value, node.weight)
+        );
+    }
 
     #[test]
     fn instance_construction_orders_by_density_and_validates() {

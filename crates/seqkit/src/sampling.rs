@@ -8,6 +8,24 @@
 //! Bernoulli sample with probability `ρ` can be drawn in expected time
 //! `O(ρ·|M|)` rather than `O(|M|)` by generating geometric *skip* distances
 //! between successive sampled elements.
+//!
+//! # RNG identity of the fused sweep
+//!
+//! The distributed unsorted selection narrows its candidate vector and
+//! draws the *next* level's pivot sample in a single pass
+//! ([`bernoulli_sample_retain`]).  Fusing the two sweeps is only sound
+//! because it is **RNG-identical** to the two-pass formulation: the skip
+//! sampler's index space is seeded with the exact survivor count (known
+//! ahead of the sweep from the counting pass), so the fused sweep consumes
+//! the generator in precisely the draws, in precisely the order, that
+//! `bernoulli_sample` over the narrowed vector would have.  Identical RNG
+//! stream ⇒ identical pivot samples ⇒ identical recursion path ⇒ identical
+//! metered words/PE — which is what lets the experiment tables treat the
+//! fusion as a pure local-CPU optimisation (pinned by the
+//! `fused_retain_sample_matches_two_pass_bit_for_bit` regression test
+//! below).
+//! Change the draw order and every words/PE column in EXPERIMENTS.md
+//! silently shifts.
 
 use rand::Rng;
 

@@ -1,13 +1,16 @@
-//! Backend walkthrough: one SPMD program, two execution backends.
+//! Backend walkthrough: one SPMD program, three execution backends.
 //!
 //! Demonstrates the `Communicator` trait introduced with the API redesign:
 //! the same generic closure runs on the threaded backend (`run_spmd`, one OS
-//! thread per PE) and on the deterministic sequential backend
-//! (`run_spmd_seq`, round-based replay on a single thread), producing
-//! identical results and identical metered traffic.  Also shows the typed
-//! message path at work: `Vec<u64>` payloads cross the transport as pooled
-//! word buffers, and the `pooled_reuses` counter proves the allocations are
-//! being recycled.
+//! thread per PE), on the deterministic sequential backend (`run_spmd_seq`,
+//! round-based replay on a single thread), and on the multiplexed backend
+//! (`run_spmd_mux`, thousands of PEs as cooperative tasks over a small
+//! worker pool), producing identical results and identical metered traffic.
+//! Also shows the typed message path at work: `Vec<u64>` payloads cross the
+//! transport as pooled word buffers, and the `pooled_reuses` counter proves
+//! the allocations are being recycled on the threaded/sequential backends
+//! (the multiplexed backend's permanent message store makes it honestly 0 —
+//! see ARCHITECTURE.md).
 //!
 //! ```bash
 //! cargo run --release --example backends
@@ -33,24 +36,34 @@ fn main() {
 
     let threaded = run_spmd(p, program::<Comm>);
     let sequential = run_spmd_seq(p, program::<SeqComm>);
+    let muxed = run_spmd_mux(p, program::<MuxComm>);
 
     assert_eq!(threaded.results, sequential.results);
+    assert_eq!(threaded.results, muxed.results);
     assert_eq!(threaded.stats.total_words(), sequential.stats.total_words());
+    assert_eq!(threaded.stats.total_words(), muxed.stats.total_words());
 
-    println!("same program, two backends, p = {p}:");
+    println!("same program, three backends, p = {p}:");
     println!(
-        "  threaded   {:>9} words {:>5} msgs {:>5} pooled reuses   {:?}",
+        "  threaded    {:>9} words {:>5} msgs {:>5} pooled reuses   {:?}",
         threaded.stats.total_words(),
         threaded.stats.total_messages(),
         threaded.stats.total_pooled_reuses(),
         threaded.elapsed
     );
     println!(
-        "  sequential {:>9} words {:>5} msgs {:>5} pooled reuses   {:?}",
+        "  sequential  {:>9} words {:>5} msgs {:>5} pooled reuses   {:?}",
         sequential.stats.total_words(),
         sequential.stats.total_messages(),
         sequential.stats.total_pooled_reuses(),
         sequential.elapsed
+    );
+    println!(
+        "  multiplexed {:>9} words {:>5} msgs {:>5} pooled reuses   {:?}",
+        muxed.stats.total_words(),
+        muxed.stats.total_messages(),
+        muxed.stats.total_pooled_reuses(),
+        muxed.elapsed
     );
     println!(
         "  results agree on all {} PEs; typed Vec<u64> payloads never touched Box<dyn Any>",

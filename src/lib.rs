@@ -38,8 +38,8 @@ pub use workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use commsim::{
-        run_spmd, run_spmd_seq, run_spmd_with, Comm, Communicator, CostModel, ReduceOp, SeqComm,
-        SpmdConfig, SpmdOutput, WordCodec,
+        run_spmd, run_spmd_mux, run_spmd_mux_with, run_spmd_seq, run_spmd_with, Comm, Communicator,
+        CostModel, MuxComm, MuxConfig, ReduceOp, SeqComm, SpmdConfig, SpmdOutput, WordCodec,
     };
     pub use datagen::{
         MulticriteriaWorkload, NegativeBinomial, SkewedSelectionInput, UniformInput,

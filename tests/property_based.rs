@@ -11,7 +11,9 @@
 //! * the typed word codec round-trips every implementing type, with the
 //!   wire length equal to the metered word count;
 //! * the SPMD collective suite gives identical results and identical metered
-//!   traffic on **both** backends (threaded `Comm` and sequential `SeqComm`).
+//!   traffic on **all three** backends (threaded `Comm`, sequential
+//!   `SeqComm`, multiplexed `MuxComm` — the latter with fewer workers than
+//!   PEs, so cooperative park/wake multiplexing is actually exercised).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -275,22 +277,30 @@ proptest! {
     }
 
     #[test]
-    fn collectives_match_sequential_oracles_on_both_backends(
+    fn collectives_match_sequential_oracles_on_all_backends(
         values in vec(0u64..1_000_000, 1..9),
         root_frac in 0.0f64..1.0,
     ) {
+        use topk_selection::commsim::{run_spmd_mux_with, MuxConfig};
+
         let p = values.len();
         let root = ((root_frac * p as f64) as usize).min(p - 1);
-        // The same generic program on both backends.
+        // The same generic program on all three backends.  The mux run pins
+        // num_workers = 2 so that for p > 2 the test exercises genuine
+        // multiplexing (several PEs sharing one worker, park/wake on block).
         let vals = values.clone();
         let threaded = run_spmd(p, move |comm| collective_program(comm, &vals, root));
         let vals = values.clone();
         let sequential = run_spmd_seq(p, move |comm| collective_program(comm, &vals, root));
+        let vals = values.clone();
+        let muxed = run_spmd_mux_with(MuxConfig::new(p).with_workers(2), move |comm| {
+            collective_program(comm, &vals, root)
+        });
 
         let total: u64 = values.iter().sum();
         let min = *values.iter().min().expect("non-empty");
         let max = *values.iter().max().expect("non-empty");
-        for out in [&threaded, &sequential] {
+        for out in [&threaded, &sequential, &muxed] {
             let mut running = 0u64;
             for (rank, result) in out.results.iter().enumerate() {
                 let (sum, mn, mx, excl, incl, bcast, ref gathered, ref all, ref a2a, scat, ref a2ai) =
@@ -316,17 +326,22 @@ proptest! {
                 prop_assert_eq!(a2ai, &expect_a2ai);
             }
         }
-        // The two backends must agree bit-for-bit, including metered traffic.
-        prop_assert_eq!(&threaded.results, &sequential.results);
-        prop_assert_eq!(threaded.stats.total_words(), sequential.stats.total_words());
-        prop_assert_eq!(
-            threaded.stats.total_messages(),
-            sequential.stats.total_messages()
-        );
-        prop_assert_eq!(
-            threaded.stats.bottleneck_words(),
-            sequential.stats.bottleneck_words()
-        );
+        // All backends must agree bit-for-bit, including metered traffic.
+        // (Pool-reuse counters are exempt: the mux backend stores messages
+        // permanently for replay and never recycles buffers, a documented
+        // divergence — see the commsim::mux module docs.)
+        for other in [&sequential, &muxed] {
+            prop_assert_eq!(&threaded.results, &other.results);
+            prop_assert_eq!(threaded.stats.total_words(), other.stats.total_words());
+            prop_assert_eq!(
+                threaded.stats.total_messages(),
+                other.stats.total_messages()
+            );
+            prop_assert_eq!(
+                threaded.stats.bottleneck_words(),
+                other.stats.bottleneck_words()
+            );
+        }
     }
 
     #[test]
@@ -347,7 +362,12 @@ proptest! {
         let sequential = run_spmd_seq(p, move |comm| {
             select_k_smallest(comm, &parts_b[comm.rank()], k, seed).threshold
         });
+        let parts_c = parts.clone();
+        let muxed = topk_selection::commsim::run_spmd_mux(p, move |comm| {
+            select_k_smallest(comm, &parts_c[comm.rank()], k, seed).threshold
+        });
         prop_assert_eq!(&threaded.results, &sequential.results);
+        prop_assert_eq!(&threaded.results, &muxed.results);
         let reference = sorted_union(&parts);
         prop_assert!(sequential.results.iter().all(|&t| t == reference[k - 1]));
     }

@@ -1,10 +1,21 @@
-//! Pins the sharded transport's O(p) setup with a *counting allocator*: the
-//! former full mesh minted `p²` mpsc channels (≈ one heap allocation each),
-//! so constructing a 1024-PE world performed over a million allocations;
-//! the sharded inbox needs one queue table per destination plus a handful
-//! of fixed vectors, i.e. `p + O(1)` allocations.  Counting real allocator
-//! traffic (instead of asserting on a struct field) means a regression back
-//! to quadratic setup fails this test no matter how it is implemented.
+//! Pins the sharded transport's lazy setup with a *counting allocator*.
+//!
+//! History: the original full mesh minted `p²` mpsc channels (≈ one heap
+//! allocation each), so constructing a 1024-PE world performed over a
+//! million allocations.  The sharded inbox brought that down to one queue
+//! table per destination (`p + O(1)` allocations), but each table still
+//! held `p` *eager* ~64-byte queue headers — `p²` bytes of headers paid at
+//! construction.  Since the lazy-materialisation pass, a table slot is a
+//! single pointer word and the queue behind it (header and segments alike)
+//! is allocated by the pair's producer on the pair's **first send**, so
+//! construction performs `p + O(1)` allocations totalling ~8 bytes per
+//! pair, and the remaining per-pair cost is paid only for pairs that
+//! actually communicate.
+//!
+//! Counting real allocator traffic (instead of asserting on a struct
+//! field) means a regression back to quadratic setup — in allocation
+//! *count* or in per-pair header *bytes* — fails this test no matter how
+//! it is implemented.
 //!
 //! The counting `#[global_allocator]` needs `unsafe`; the workspace denies
 //! it by default, so this one test crate opts out explicitly.
@@ -15,14 +26,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use topk_selection::commsim::transport::Mailbox;
 
-/// Forwards to the system allocator, counting every `alloc` call.
+/// Forwards to the system allocator, counting every `alloc` call and the
+/// bytes it requests.
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
@@ -34,24 +48,27 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-/// Allocations performed while constructing (not dropping) a `p`-PE world.
-fn allocations_for(p: usize) -> usize {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+/// `(allocation count, bytes)` requested while constructing (not dropping)
+/// a `p`-PE world.
+fn construction_cost(p: usize) -> (usize, usize) {
+    let count_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let bytes_before = ALLOCATED_BYTES.load(Ordering::Relaxed);
     let boxes = Mailbox::full_mesh(p);
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let count = ALLOCATIONS.load(Ordering::Relaxed) - count_before;
+    let bytes = ALLOCATED_BYTES.load(Ordering::Relaxed) - bytes_before;
     drop(boxes);
-    after - before
+    (count, bytes)
 }
 
 #[test]
 fn transport_construction_allocates_linearly_not_quadratically() {
     // Warm up any lazy runtime allocations before measuring.
-    let _ = allocations_for(2);
+    let _ = construction_cost(2);
 
-    let a64 = allocations_for(64);
-    let a1024 = allocations_for(1024);
+    let (a64, _) = construction_cost(64);
+    let (a1024, _) = construction_cost(1024);
 
-    // Expected: p queue tables + the shard/alive/mailbox vectors + Arc,
+    // Expected: p pointer tables + the shard/alive/mailbox vectors + Arc,
     // i.e. p + O(1).  Generous absolute bound: 4p + 64, which the old p²
     // channel mesh (≥ p² allocations: 4096 at p = 64, over a million at
     // p = 1024) fails by orders of magnitude.
@@ -66,5 +83,55 @@ fn transport_construction_allocates_linearly_not_quadratically() {
     assert!(
         a1024 <= 20 * a64.max(1),
         "allocation growth is super-linear: {a64} at p=64 vs {a1024} at p=1024"
+    );
+}
+
+#[test]
+fn transport_construction_pays_one_pointer_not_a_header_per_pair() {
+    let _ = construction_cost(2);
+
+    // The pointer *table* is the one deliberately-eager p² cost (8 bytes
+    // per ordered pair, needed for lock-free slot addressing — see the
+    // transport module docs and ARCHITECTURE.md).  Before the lazy pass
+    // each pair held a full ~64-byte queue header instead, so a bound of
+    // 16 bytes/pair both admits the table (plus O(p) slack) and fails any
+    // regression back to eager headers.
+    for p in [64usize, 1024] {
+        let (_, bytes) = construction_cost(p);
+        let budget = 16 * p * p + 512 * p;
+        assert!(
+            bytes <= budget,
+            "p={p} construction requested {bytes} bytes (> {budget}): \
+             per-pair state is being allocated eagerly again"
+        );
+    }
+}
+
+#[test]
+fn queue_heap_is_deferred_to_the_first_send() {
+    use topk_selection::commsim::transport::Envelope;
+
+    let _ = construction_cost(2);
+    let boxes = Mailbox::full_mesh(8);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    // First message of the pair (0, 1): installs that queue (header +
+    // first segment + envelope internals) — allocation happens *now*, not
+    // at construction.
+    boxes[0]
+        .send(1, Envelope::new(0, 0, 7u64))
+        .expect("send to live peer");
+    let first = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(first > 0, "first send of a pair must materialise its queue");
+    // Steady state: the second message reuses the installed queue; it may
+    // allocate envelope internals but not another queue's worth of state.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    boxes[0]
+        .send(1, Envelope::new(1, 0, 7u64))
+        .expect("send to live peer");
+    let second = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(
+        second < first,
+        "second send ({second} allocations) should be cheaper than the \
+         installing send ({first} allocations)"
     );
 }
