@@ -3,18 +3,21 @@
 //! `h` the depth of the optimal solution.
 //!
 //! ```bash
-//! cargo run -p bench --release --bin bnb_expansions -- [--items 28] [--instances 5]
+//! cargo run -p bench --release --bin bnb_expansions -- \
+//!     [--items 28] [--instances 5] [--min-pes 2] [--max-pes 8] \
+//!     [--backend threaded|seq|mux]
 //! ```
 
-use bench::Table;
-use commsim::run_spmd;
+use bench::{run_on, Backend, Table};
 use topk::{knapsack_branch_bound_parallel, knapsack_branch_bound_sequential, KnapsackInstance};
 
 fn main() {
     let args = Args::parse();
     println!(
-        "Branch-and-bound expansion overhead (K = m + O(hp)), {} random knapsack instances with {} items\n",
-        args.instances, args.items
+        "Branch-and-bound expansion overhead (K = m + O(hp)), {} random knapsack instances with {} items, backend: {}\n",
+        args.instances,
+        args.items,
+        args.backend.name()
     );
 
     let mut table = Table::new(
@@ -31,9 +34,10 @@ fn main() {
         assert_eq!(sequential.optimum, dp);
         let h = instance.len() as u64;
 
-        for p in [2usize, 4, 8] {
+        let mut p = args.min_pes;
+        while p <= args.max_pes {
             let instance_ref = instance.clone();
-            let out = run_spmd(p, move |comm| {
+            let out = run_on!(args.backend, p, move |comm| {
                 knapsack_branch_bound_parallel(comm, &instance_ref, 1, seed)
             });
             let parallel = out.results[0];
@@ -47,6 +51,7 @@ fn main() {
                 (parallel.expanded as i64 - sequential.expanded as i64).to_string(),
                 (h * p as u64).to_string(),
             ]);
+            p *= 2;
         }
     }
 
@@ -62,6 +67,9 @@ fn main() {
 struct Args {
     items: usize,
     instances: usize,
+    min_pes: usize,
+    max_pes: usize,
+    backend: Backend,
 }
 
 impl Args {
@@ -69,6 +77,9 @@ impl Args {
         let mut args = Args {
             items: 28,
             instances: 5,
+            min_pes: 2,
+            max_pes: 8,
+            backend: Backend::Threaded,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -82,9 +93,26 @@ impl Args {
                     args.instances = argv[i + 1].parse().expect("--instances takes a number");
                     i += 2;
                 }
+                "--min-pes" => {
+                    args.min_pes = argv[i + 1].parse().expect("--min-pes takes a number");
+                    i += 2;
+                }
+                "--max-pes" => {
+                    args.max_pes = argv[i + 1].parse().expect("--max-pes takes a number");
+                    i += 2;
+                }
+                "--backend" => {
+                    args.backend = Backend::parse(&argv[i + 1]);
+                    i += 2;
+                }
                 other => panic!("unknown argument {other}"),
             }
         }
+        assert!(args.min_pes >= 1, "--min-pes must be at least 1");
+        assert!(
+            args.max_pes >= args.min_pes,
+            "--max-pes must be at least --min-pes"
+        );
         args
     }
 }

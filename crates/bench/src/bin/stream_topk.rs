@@ -1,0 +1,340 @@
+//! Streaming top-k service benchmark — the never-terminating workload.
+//!
+//! Drives [`workloads::StreamService`] over a non-stationary synthetic
+//! document stream: topic drift rotates the Zipf rank → word mapping every
+//! `--drift-every` batches, and one flash-crowd burst spikes a tail word for
+//! `--burst-len` batches.  Every PE ingests `--words-per-batch` words per
+//! mini-batch, the service publishes a global top-k every `--refresh-every`
+//! batches through the DHT aggregation + counts-only threshold kernel, and
+//! point queries are served between batches from the published snapshot.
+//!
+//! Scored metrics (per the ROADMAP's "millions of users" scenario): **p95
+//! answer staleness** in globally ingested items, and **words per ingested
+//! item** (world bottleneck communication / items).  Both are deterministic
+//! in `(seed, rank, batch)`, so any two backends — and any two runs — agree
+//! bit for bit; `--reps > 1` checks that instead of assuming it.
+//!
+//! ```bash
+//! cargo run -p bench --release --bin stream_topk -- \
+//!     [--pes 8] [--batches 60] [--words-per-batch 500] [--vocab 2000] \
+//!     [--zipf 1.05] [--k 10] [--window 8] [--capacity 64] \
+//!     [--refresh-every 4] [--queries 4] [--drift-every 10] [--drift-step 25] \
+//!     [--burst-start 30] [--burst-len 5] [--burst-rank 150] \
+//!     [--burst-intensity 0.4] [--reps 1] [--seed 42] \
+//!     [--backend threaded|seq|mux] [--json]
+//! ```
+
+use bench::report::fmt_duration;
+use bench::{run_on, Backend, Table};
+use datagen::{FlashCrowd, StreamProfile, TextCorpus};
+use workloads::{BatchReport, StreamConfig, StreamReport, StreamService};
+
+/// One PE's observable outcome of a full service run (summary report,
+/// per-batch reports, final published top-k).
+type PeOutcome = (StreamReport, Vec<BatchReport>, Vec<(String, u64)>);
+
+fn main() {
+    let args = Args::parse();
+    let p = args.pes;
+    let config = StreamConfig {
+        k: args.k,
+        window: args.window,
+        sketch_capacity: args.capacity,
+        decay: 0.9,
+        refresh_every: args.refresh_every,
+        queries_per_batch: args.queries,
+        words_per_batch: args.words_per_batch,
+        seed: args.seed,
+    };
+    let profile = StreamProfile {
+        drift_every: args.drift_every,
+        drift_step: args.drift_step,
+        burst: (args.burst_len > 0).then_some(FlashCrowd {
+            start: args.burst_start,
+            len: args.burst_len,
+            rank: args.burst_rank,
+            intensity: args.burst_intensity,
+        }),
+    };
+    let corpus = TextCorpus::new(args.vocab, args.zipf, args.seed);
+
+    println!(
+        "Streaming top-{} service: {p} PEs x {} batches x {} words/batch, backend: {:?}",
+        args.k, args.batches, args.words_per_batch, args.backend
+    );
+    println!(
+        "window {} batches, refresh every {}, drift every {} (+{} ranks), burst: {}",
+        args.window,
+        args.refresh_every,
+        args.drift_every,
+        args.drift_step,
+        match profile.burst {
+            Some(b) => format!(
+                "{:?} at batches {}..{} ({:.0}% of traffic)",
+                corpus.word_for_rank(b.rank),
+                b.start,
+                b.start + b.len,
+                b.intensity * 100.0
+            ),
+            None => "none".to_string(),
+        }
+    );
+
+    let mut wall = std::time::Duration::ZERO;
+    let mut runs: Vec<Vec<PeOutcome>> = Vec::new();
+    for _ in 0..args.reps {
+        let batches = args.batches;
+        let corpus = corpus.clone();
+        let out = run_on!(args.backend, p, move |comm| {
+            let mut service = StreamService::new(config);
+            for _ in 0..batches {
+                service.ingest_batch(comm, &corpus, &profile);
+            }
+            (
+                service.report(),
+                service.batch_reports().to_vec(),
+                service.serving_topk().to_vec(),
+            )
+        });
+        wall += out.elapsed;
+        runs.push(out.results);
+    }
+    // Reproducibility: repeated runs must meter identical traffic per batch.
+    for (rep, run) in runs.iter().enumerate().skip(1) {
+        for (pe, ((_, b, _), (_, b0, _))) in run.iter().zip(runs[0].iter()).enumerate() {
+            assert_eq!(
+                b, b0,
+                "rep {rep} PE {pe}: per-batch reports must be bit-identical across runs"
+            );
+        }
+    }
+    let (report, batch_reports, topk) = &runs[0][0];
+
+    // ----- per-batch trace (sampled rows; refresh batches always shown) ----
+    let mut trace = Table::new(
+        "Streaming service — per-batch trace (sampled)",
+        &[
+            "batch",
+            "new vocab",
+            "refreshed",
+            "staleness (items)",
+            "bottleneck words",
+        ],
+    );
+    let step = (args.batches / 12).max(1);
+    for b in batch_reports {
+        if b.batch % step == 0 || b.refreshed || b.batch + 1 == args.batches {
+            trace.add_row(vec![
+                b.batch.to_string(),
+                b.new_vocab.to_string(),
+                if b.refreshed { "yes" } else { "" }.to_string(),
+                b.staleness_items.to_string(),
+                b.bottleneck_words.to_string(),
+            ]);
+        }
+    }
+    trace.print();
+
+    // ----- summary ---------------------------------------------------------
+    let mut summary = Table::new(
+        "Streaming service — scored metrics",
+        &[
+            "PEs",
+            "batches",
+            "items",
+            "vocab",
+            "queries/PE",
+            "p95 staleness (items)",
+            "max staleness (items)",
+            "total words",
+            "words/item",
+            "wall time",
+        ],
+    );
+    summary.add_row(vec![
+        p.to_string(),
+        report.batches.to_string(),
+        report.items_global.to_string(),
+        report.vocab_size.to_string(),
+        report.queries.to_string(),
+        report.p95_staleness_items.to_string(),
+        report.max_staleness_items.to_string(),
+        report.total_bottleneck_words.to_string(),
+        format!("{:.4}", report.words_per_item),
+        fmt_duration(wall / args.reps as u32),
+    ]);
+    summary.print();
+    println!("{}", summary.to_markdown());
+    if args.json {
+        print!("{}", trace.to_json_lines());
+        print!("{}", summary.to_json_lines());
+    }
+
+    let top: Vec<String> = topk
+        .iter()
+        .take(5)
+        .map(|(w, c)| format!("{w}:{c}"))
+        .collect();
+    println!(
+        "final published top-{}: {} (drift hot word at batch {}: {:?})",
+        args.k,
+        top.join(" "),
+        args.batches - 1,
+        corpus.stream_hot_word(&profile, args.batches - 1)
+    );
+    if args.reps > 1 {
+        println!(
+            "per-batch words/PE bit-identical across {} repetitions on the {:?} backend.",
+            args.reps, args.backend
+        );
+    }
+}
+
+struct Args {
+    pes: usize,
+    batches: usize,
+    words_per_batch: usize,
+    vocab: usize,
+    zipf: f64,
+    k: usize,
+    window: usize,
+    capacity: usize,
+    refresh_every: usize,
+    queries: usize,
+    drift_every: usize,
+    drift_step: usize,
+    burst_start: usize,
+    burst_len: usize,
+    burst_rank: usize,
+    burst_intensity: f64,
+    reps: usize,
+    seed: u64,
+    backend: Backend,
+    json: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            pes: 8,
+            batches: 60,
+            words_per_batch: 500,
+            vocab: 2000,
+            zipf: 1.05,
+            k: 10,
+            window: 8,
+            capacity: 64,
+            refresh_every: 4,
+            queries: 4,
+            drift_every: 10,
+            drift_step: 25,
+            burst_start: 30,
+            burst_len: 5,
+            burst_rank: 150,
+            burst_intensity: 0.4,
+            reps: 1,
+            seed: 42,
+            backend: Backend::Threaded,
+            json: false,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--pes" => {
+                    args.pes = argv[i + 1].parse().expect("--pes takes a number");
+                    i += 2;
+                }
+                "--batches" => {
+                    args.batches = argv[i + 1].parse().expect("--batches takes a number");
+                    i += 2;
+                }
+                "--words-per-batch" => {
+                    args.words_per_batch = argv[i + 1]
+                        .parse()
+                        .expect("--words-per-batch takes a number");
+                    i += 2;
+                }
+                "--vocab" => {
+                    args.vocab = argv[i + 1].parse().expect("--vocab takes a number");
+                    i += 2;
+                }
+                "--zipf" => {
+                    args.zipf = argv[i + 1].parse().expect("--zipf takes a float");
+                    i += 2;
+                }
+                "--k" => {
+                    args.k = argv[i + 1].parse().expect("--k takes a number");
+                    i += 2;
+                }
+                "--window" => {
+                    args.window = argv[i + 1].parse().expect("--window takes a number");
+                    i += 2;
+                }
+                "--capacity" => {
+                    args.capacity = argv[i + 1].parse().expect("--capacity takes a number");
+                    i += 2;
+                }
+                "--refresh-every" => {
+                    args.refresh_every =
+                        argv[i + 1].parse().expect("--refresh-every takes a number");
+                    i += 2;
+                }
+                "--queries" => {
+                    args.queries = argv[i + 1].parse().expect("--queries takes a number");
+                    i += 2;
+                }
+                "--drift-every" => {
+                    args.drift_every = argv[i + 1].parse().expect("--drift-every takes a number");
+                    i += 2;
+                }
+                "--drift-step" => {
+                    args.drift_step = argv[i + 1].parse().expect("--drift-step takes a number");
+                    i += 2;
+                }
+                "--burst-start" => {
+                    args.burst_start = argv[i + 1].parse().expect("--burst-start takes a number");
+                    i += 2;
+                }
+                "--burst-len" => {
+                    args.burst_len = argv[i + 1].parse().expect("--burst-len takes a number");
+                    i += 2;
+                }
+                "--burst-rank" => {
+                    args.burst_rank = argv[i + 1].parse().expect("--burst-rank takes a number");
+                    i += 2;
+                }
+                "--burst-intensity" => {
+                    args.burst_intensity = argv[i + 1]
+                        .parse()
+                        .expect("--burst-intensity takes a float");
+                    i += 2;
+                }
+                "--reps" => {
+                    args.reps = argv[i + 1].parse().expect("--reps takes a number");
+                    i += 2;
+                }
+                "--seed" => {
+                    args.seed = argv[i + 1].parse().expect("--seed takes a number");
+                    i += 2;
+                }
+                "--backend" => {
+                    args.backend = Backend::parse(&argv[i + 1]);
+                    i += 2;
+                }
+                "--json" => {
+                    args.json = true;
+                    i += 1;
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        assert!(args.reps >= 1, "--reps must be at least 1");
+        assert!(args.batches >= 1, "--batches must be at least 1");
+        assert!(
+            args.burst_rank <= args.vocab && args.burst_rank >= 1,
+            "--burst-rank must be a valid 1-based vocabulary rank"
+        );
+        args
+    }
+}

@@ -9,15 +9,18 @@
 //! checked line by line.
 //!
 //! ```bash
-//! cargo run -p bench --release --bin table1 -- [--quick] [--section all|unsorted|sorted|pq|frequent|sumagg|multicriteria|redistribution]
+//! cargo run -p bench --release --bin table1 -- [--quick] \
+//!     [--section all|unsorted|sorted|pq|frequent|sumagg|multicriteria|redistribution] \
+//!     [--backend threaded|seq|mux]
 //! ```
 //!
 //! `--quick` (or `TABLE1_QUICK=1`) shrinks the instance to a CI-friendly
 //! smoke size; the separations stay visible, the absolute numbers shrink.
+//! The metered words/startups columns are bit-identical on every backend;
+//! only the wall-time column depends on `--backend`.
 
 use bench::report::fmt_duration;
-use bench::scaling::measure_spmd;
-use bench::Table;
+use bench::{Backend, Table};
 use commsim::Communicator;
 use datagen::{MulticriteriaWorkload, SkewedSelectionInput, UniformInput, WeightedZipfInput, Zipf};
 use rand::rngs::StdRng;
@@ -55,22 +58,46 @@ impl Scale {
     };
 }
 
+/// Run a section body on the CLI-selected backend and collect a
+/// [`bench::Measurement`] — the backend-parametric analogue of
+/// [`bench::measure_spmd`], kept as a macro so the closure literal reaches
+/// each backend's run function for independent type inference.
+macro_rules! measure_on {
+    ($backend:expr, $p:expr, $f:expr) => {{
+        let out = bench::run_on!($backend, $p, $f);
+        bench::Measurement::from_stats($p, out.elapsed, out.stats)
+    }};
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick")
         || std::env::var("TABLE1_QUICK").is_ok_and(|v| v != "0");
     let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    let backend_pos = args.iter().position(|a| a == "--backend");
+    let backend = backend_pos
+        .map(|i| Backend::parse(args.get(i + 1).expect("--backend takes threaded|seq|mux")))
+        .unwrap_or(Backend::Threaded);
     let section = args
         .iter()
         .position(|a| a == "--section")
         .and_then(|i| args.get(i + 1).cloned())
-        .or_else(|| args.iter().find(|a| !a.starts_with("--")).cloned())
+        .or_else(|| {
+            // Positional section name; skip the value that belongs to
+            // `--backend` so `table1 --backend seq` does not read "seq" as a
+            // section.
+            args.iter()
+                .enumerate()
+                .find(|&(i, a)| !a.starts_with("--") && Some(i) != backend_pos.map(|b| b + 1))
+                .map(|(_, a)| a.clone())
+        })
         .unwrap_or_default();
     let want = |name: &str| section.is_empty() || section == "all" || section == name;
 
     let Scale { p, per_pe, k } = scale;
     println!(
-        "Table 1 reproduction: measured communication cost, {p} PEs, n/p = {per_pe}, k = {k}\n"
+        "Table 1 reproduction: measured communication cost, {p} PEs, n/p = {per_pe}, k = {k}, backend: {}\n",
+        backend.name()
     );
     let mut table = Table::new(
         "Table 1 — bottleneck communication, old (baseline) vs new (this paper)",
@@ -85,25 +112,25 @@ fn main() {
     );
 
     if want("unsorted") {
-        unsorted_selection(&mut table, scale);
+        unsorted_selection(&mut table, scale, backend);
     }
     if want("sorted") {
-        sorted_selection(&mut table, scale);
+        sorted_selection(&mut table, scale, backend);
     }
     if want("pq") {
-        bulk_priority_queue(&mut table, scale);
+        bulk_priority_queue(&mut table, scale, backend);
     }
     if want("frequent") {
-        top_k_frequent(&mut table, scale);
+        top_k_frequent(&mut table, scale, backend);
     }
     if want("sumagg") {
-        sum_aggregation(&mut table, scale);
+        sum_aggregation(&mut table, scale, backend);
     }
     if want("multicriteria") {
-        multicriteria(&mut table, scale);
+        multicriteria(&mut table, scale, backend);
     }
     if want("redistribution") {
-        redistribution(&mut table, scale);
+        redistribution(&mut table, scale, backend);
     }
 
     table.print();
@@ -122,15 +149,15 @@ fn add(table: &mut Table, problem: &str, algorithm: &str, m: bench::Measurement)
 }
 
 /// §4.1 — new: Algorithm 1; old: gather everything onto one PE.
-fn unsorted_selection(table: &mut Table, s: Scale) {
+fn unsorted_selection(table: &mut Table, s: Scale, backend: Backend) {
     let generator = SkewedSelectionInput::default();
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = generator.generate(comm.rank(), s.per_pe);
         let _ = select_k_smallest(comm, &local, s.k, 1);
     });
     add(table, "unsorted selection", "new: Algorithm 1", m);
 
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = generator.generate(comm.rank(), s.per_pe);
         // Baseline: ship all data to PE 0 and select there.
         let gathered = comm.gather(0, local);
@@ -145,15 +172,15 @@ fn unsorted_selection(table: &mut Table, s: Scale) {
 
 /// §4.2/§4.3 — exact multisequence selection vs the flexible-k variant
 /// (the "old vs new" here is the latency: O(log² kp) vs O(log kp) rounds).
-fn sorted_selection(table: &mut Table, s: Scale) {
+fn sorted_selection(table: &mut Table, s: Scale, backend: Backend) {
     let generator = UniformInput::new(1 << 30, 2);
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = generator.generate_sorted(comm.rank(), s.per_pe);
         let _ = multisequence_select(comm, &local, s.k, 3);
     });
     add(table, "sorted selection", "exact k (Algorithm 9)", m);
 
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = generator.generate_sorted(comm.rank(), s.per_pe);
         let _ = approx_multisequence_select(comm, &local, s.k as u64, 2 * s.k as u64, 3);
     });
@@ -162,8 +189,8 @@ fn sorted_selection(table: &mut Table, s: Scale) {
 
 /// §5 — bulk queue: local insertion + selection-based deleteMin* vs a queue
 /// that sends every inserted element to a random PE (the prior approach).
-fn bulk_priority_queue(table: &mut Table, s: Scale) {
-    let m = measure_spmd(s.p, |comm| {
+fn bulk_priority_queue(table: &mut Table, s: Scale, backend: Backend) {
+    let m = measure_on!(backend, s.p, |comm| {
         let mut q = BulkParallelQueue::new(comm);
         let rank = comm.rank() as u64;
         q.insert_bulk((0..s.per_pe as u64 / 8).map(|i| i * 17 + rank));
@@ -176,7 +203,7 @@ fn bulk_priority_queue(table: &mut Table, s: Scale) {
         m,
     );
 
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         // Baseline: every inserted element is sent to a random PE first
         // (the element-moving design of earlier parallel queues).
         let rank = comm.rank() as u64;
@@ -201,24 +228,24 @@ fn bulk_priority_queue(table: &mut Table, s: Scale) {
 }
 
 /// §7 — PAC and EC vs the centralized Naive baseline.
-fn top_k_frequent(table: &mut Table, s: Scale) {
+fn top_k_frequent(table: &mut Table, s: Scale, backend: Backend) {
     let params = FrequentParams::new(32, 3e-3, 1e-3, 11);
     let input = |rank: usize| {
         let zipf = Zipf::new(1 << 16, 1.0);
         let mut rng = StdRng::seed_from_u64(0x7AB1E + rank as u64);
         zipf.sample_many(s.per_pe, &mut rng)
     };
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = input(comm.rank());
         let _ = pac_top_k(comm, &local, &params);
     });
     add(table, "top-k most frequent", "new: PAC", m);
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = input(comm.rank());
         let _ = ec_top_k(comm, &local, &params);
     });
     add(table, "top-k most frequent", "new: EC", m);
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = input(comm.rank());
         let _ = naive_top_k(comm, &local, &params);
     });
@@ -226,10 +253,10 @@ fn top_k_frequent(table: &mut Table, s: Scale) {
 }
 
 /// §8 — sampled sum aggregation vs exchanging every distinct key's sum.
-fn sum_aggregation(table: &mut Table, s: Scale) {
+fn sum_aggregation(table: &mut Table, s: Scale, backend: Backend) {
     let params = FrequentParams::new(32, 3e-3, 1e-3, 13);
     let generator = WeightedZipfInput::new(1 << 16, 1.0, 10.0, 17);
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = generator.generate(comm.rank(), s.per_pe);
         let _ = sum_top_k(comm, &local, &params);
     });
@@ -240,7 +267,7 @@ fn sum_aggregation(table: &mut Table, s: Scale) {
         m,
     );
 
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local = generator.generate(comm.rank(), s.per_pe);
         // Baseline: aggregate every distinct key exactly at a coordinator.
         let agg = seqkit::hashagg::sum_by_key(local.iter().copied());
@@ -263,7 +290,7 @@ fn sum_aggregation(table: &mut Table, s: Scale) {
 }
 
 /// §6 — DTA vs shipping every list to a coordinator.
-fn multicriteria(table: &mut Table, s: Scale) {
+fn multicriteria(table: &mut Table, s: Scale, backend: Backend) {
     let objects = if s.per_pe >= 1 << 17 {
         1 << 14
     } else {
@@ -274,14 +301,14 @@ fn multicriteria(table: &mut Table, s: Scale) {
     let additive = MulticriteriaWorkload::additive_score;
 
     let lists = per_pe.clone();
-    let m = measure_spmd(s.p, move |comm| {
+    let m = measure_on!(backend, s.p, move |comm| {
         let local = LocalMulticriteria::new(lists[comm.rank()].clone());
         let _ = dta_top_k(comm, &local, &additive, 32, 23);
     });
     add(table, "multicriteria top-k", "new: DTA (Algorithm 3)", m);
 
     let lists = per_pe.clone();
-    let m = measure_spmd(s.p, move |comm| {
+    let m = measure_on!(backend, s.p, move |comm| {
         // Baseline: a master–worker threshold algorithm — every PE ships its
         // complete lists to the coordinator, which solves sequentially.
         let local = &lists[comm.rank()];
@@ -311,7 +338,7 @@ fn multicriteria(table: &mut Table, s: Scale) {
 /// The input is mildly unbalanced (±5% around the target), which is the
 /// common case after a selection: the adaptive algorithm moves only the small
 /// surplus, the baseline reshuffles everything.
-fn redistribution(table: &mut Table, s: Scale) {
+fn redistribution(table: &mut Table, s: Scale, backend: Backend) {
     let imbalance = s.per_pe / 80;
     let local_size = move |rank: usize| {
         if rank % 2 == 0 {
@@ -320,7 +347,7 @@ fn redistribution(table: &mut Table, s: Scale) {
             s.per_pe / 4 - imbalance
         }
     };
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local: Vec<u64> = (0..local_size(comm.rank()) as u64).collect();
         let _ = redistribute(comm, local);
     });
@@ -331,7 +358,7 @@ fn redistribution(table: &mut Table, s: Scale) {
         m,
     );
 
-    let m = measure_spmd(s.p, |comm| {
+    let m = measure_on!(backend, s.p, |comm| {
         let local: Vec<u64> = (0..local_size(comm.rank()) as u64).collect();
         // Baseline: round-robin all-to-all regardless of need.
         let p = comm.size();

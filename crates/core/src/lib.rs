@@ -66,6 +66,7 @@ pub use multicriteria::{dta_top_k, rdta_top_k, LocalMulticriteria, Multicriteria
 pub use redistribute::{redistribute, RedistributionReport};
 pub use sum_agg::{sum_top_k, sum_top_k_exact, TopKSumResult};
 pub use unsorted::{
-    select_k_largest, select_k_smallest, select_threshold, UnsortedSelectionResult,
+    select_k_largest, select_k_smallest, select_threshold, select_threshold_with,
+    UnsortedSelectionResult,
 };
 pub use util::OrderedF64;

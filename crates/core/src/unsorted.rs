@@ -14,10 +14,12 @@
 //! rank `k` under a tie-broken total order) and each PE's local part of the
 //! selected set, whose sizes sum to exactly `k` across all PEs.
 
+use std::ops::Bound;
+
 use commsim::{CommData, Communicator, ReduceOp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use seqkit::sampling::{bernoulli_sample, bernoulli_sample_retain};
+use seqkit::sampling::{bernoulli_sample, bernoulli_sample_retain, BernoulliSampler};
 use seqkit::select::partition_three_way_counts;
 
 use crate::util::tag_unique;
@@ -125,12 +127,218 @@ where
 
 /// Select only the threshold (the element of global rank `k`), without
 /// materialising the selected set.
+///
+/// Unlike [`select_k_smallest`], this runs a **counts-only** recursion
+/// (`threshold_recursive`): the input is never tagged, cloned or narrowed —
+/// the survivor set is tracked as an interval of the tie-broken total order
+/// and re-derived on the fly during each level's counting sweep.  Elements
+/// are only ever cloned when they go on the wire (pivot samples and the
+/// final base-case gather), so non-`Copy` payloads pay zero local copies on
+/// the narrowing path.  The RNG stream, recursion path and every message on
+/// the wire are bit-identical to [`select_k_smallest`] with the same
+/// arguments (pinned by `threshold_only_path_is_bit_identical_to_the_full_path`
+/// below), so the fig6 words/PE columns apply to both entry points.
 pub fn select_threshold<C, T>(comm: &C, local: &[T], k: usize, seed: u64) -> T
 where
     C: Communicator,
     T: Ord + Clone + CommData,
 {
-    select_k_smallest(comm, local, k, seed).threshold
+    select_threshold_with(comm, local, k, seed, UnsortedSelectionConfig::default())
+}
+
+/// [`select_threshold`] with explicit tuning parameters.
+pub fn select_threshold_with<C, T>(
+    comm: &C,
+    local: &[T],
+    k: usize,
+    seed: u64,
+    config: UnsortedSelectionConfig,
+) -> T
+where
+    C: Communicator,
+    T: Ord + Clone + CommData,
+{
+    let total = comm.allreduce_sum(local.len() as u64) as usize;
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k <= total, "k = {k} exceeds the global input size {total}");
+
+    let offset = comm.prefix_sum_exclusive(local.len() as u64);
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (comm.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut levels = 0usize;
+    threshold_recursive(comm, local, offset, k, &mut rng, &mut levels, &config)
+}
+
+/// Does the tie-broken pair `(value, global index)` lie inside the current
+/// survivor interval?
+fn in_bounds<T: Ord>(v: &T, gi: u64, lower: &Bound<(T, u64)>, upper: &Bound<(T, u64)>) -> bool {
+    let above = match lower {
+        Bound::Unbounded => true,
+        Bound::Included(b) => (v, gi) >= (&b.0, b.1),
+        Bound::Excluded(b) => (v, gi) > (&b.0, b.1),
+    };
+    above
+        && match upper {
+            Bound::Unbounded => true,
+            Bound::Included(b) => (v, gi) <= (&b.0, b.1),
+            Bound::Excluded(b) => (v, gi) < (&b.0, b.1),
+        }
+}
+
+/// The surviving elements of `local` under the current interval, in stable
+/// input order, as borrowed tie-broken pairs — the counts-only recursion's
+/// replacement for the materialised level buffer `s`.
+fn survivors<'a, T: Ord>(
+    local: &'a [T],
+    offset: u64,
+    lower: &'a Bound<(T, u64)>,
+    upper: &'a Bound<(T, u64)>,
+) -> impl Iterator<Item = (&'a T, u64)> {
+    local.iter().enumerate().filter_map(move |(i, v)| {
+        let gi = offset + i as u64;
+        in_bounds(v, gi, lower, upper).then_some((v, gi))
+    })
+}
+
+/// Bernoulli(ρ) sample of the survivor sequence, bit-identical — output
+/// *and* RNG draw sequence — to `bernoulli_sample(&s, rho, rng)` over the
+/// materialised survivor buffer: the skip sampler runs over the survivor
+/// *ordinals* (the exact count is known from the previous level's counting
+/// sweep), and elements are cloned only when sampled.
+fn sample_survivors<T: Ord + Clone>(
+    local: &[T],
+    offset: u64,
+    lower: &Bound<(T, u64)>,
+    upper: &Bound<(T, u64)>,
+    survivor_count: usize,
+    rho: f64,
+    rng: &mut StdRng,
+) -> Vec<(T, u64)> {
+    let mut sampler = BernoulliSampler::new(survivor_count, rho);
+    let mut target = sampler.next_index(rng);
+    let mut out = Vec::with_capacity(((survivor_count as f64) * rho).ceil() as usize + 1);
+    if target.is_none() {
+        return out;
+    }
+    for (ordinal, (v, gi)) in survivors(local, offset, lower, upper).enumerate() {
+        if target == Some(ordinal) {
+            out.push((v.clone(), gi));
+            target = sampler.next_index(rng);
+            if target.is_none() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Counts-only core recursion of Algorithm 1: identical communication and
+/// RNG schedule to [`select_recursive`], but the per-level state is just an
+/// interval `(lower, upper]`-style pair of [`Bound`]s over the tie-broken
+/// order plus the local survivor count — no tagged copy of the input, no
+/// per-level `retain`, no cloning of non-`Copy` payloads except onto the
+/// wire.
+fn threshold_recursive<C, T>(
+    comm: &C,
+    local: &[T],
+    offset: u64,
+    mut k: usize,
+    rng: &mut StdRng,
+    levels: &mut usize,
+    config: &UnsortedSelectionConfig,
+) -> T
+where
+    C: Communicator,
+    T: Ord + Clone + CommData,
+{
+    let p = comm.size();
+    let mut lower: Bound<(T, u64)> = Bound::Unbounded;
+    let mut upper: Bound<(T, u64)> = Bound::Unbounded;
+    let mut cur_local = local.len();
+    loop {
+        *levels += 1;
+        debug_assert_eq!(survivors(local, offset, &lower, &upper).count(), cur_local);
+        let total = comm.allreduce_sum(cur_local as u64) as usize;
+        debug_assert!(k >= 1 && k <= total);
+
+        if k == 1 {
+            let local_min = survivors(local, offset, &lower, &upper)
+                .min()
+                .map(|(v, gi)| (v.clone(), gi));
+            return global_min(comm, local_min)
+                .expect("k = 1 requires a non-empty input")
+                .0;
+        }
+        if k == total {
+            let local_max = survivors(local, offset, &lower, &upper)
+                .max()
+                .map(|(v, gi)| (v.clone(), gi));
+            return global_max(comm, local_max)
+                .expect("k = total requires a non-empty input")
+                .0;
+        }
+        if total <= config.base_case_size || *levels >= config.max_levels {
+            let mine: Vec<(T, u64)> = survivors(local, offset, &lower, &upper)
+                .map(|(v, gi)| (v.clone(), gi))
+                .collect();
+            let mut all: Vec<(T, u64)> = comm.allgather(mine).into_iter().flatten().collect();
+            all.sort();
+            return all.swap_remove(k - 1).0;
+        }
+
+        // Same sampling schedule as the full path: the skip sampler runs
+        // over the survivor ordinals, so the RNG stream matches
+        // `bernoulli_sample` over the materialised buffer draw for draw.
+        let mut rho = (config.sample_factor * (p as f64).sqrt() / total as f64).clamp(0.0, 1.0);
+        let sample = loop {
+            let local_sample = sample_survivors(local, offset, &lower, &upper, cur_local, rho, rng);
+            let mut sample: Vec<(T, u64)> =
+                comm.allgather(local_sample).into_iter().flatten().collect();
+            if !sample.is_empty() {
+                sample.sort();
+                break sample;
+            }
+            rho = (rho * 2.0).clamp(f64::MIN_POSITIVE, 1.0);
+        };
+
+        let m = sample.len();
+        let pos = (k as f64 / total as f64) * m as f64;
+        let delta = (m as f64).powf(config.bracket_exponent).max(1.0);
+        let lo_idx = ((pos - delta).floor().max(0.0) as usize).min(m - 1);
+        let hi_idx = ((pos + delta).ceil().max(0.0) as usize).min(m - 1);
+        let lo_pivot = sample[lo_idx].clone();
+        let hi_pivot = sample[hi_idx].clone();
+
+        // Counting sweep over the survivor sequence (the counts-only twin of
+        // `partition_three_way_counts`; comparisons only, nothing moves).
+        let (mut la, mut lc) = (0u64, 0u64);
+        for (v, gi) in survivors(local, offset, &lower, &upper) {
+            la += u64::from((v, gi) < (&lo_pivot.0, lo_pivot.1));
+            lc += u64::from((v, gi) > (&hi_pivot.0, hi_pivot.1));
+        }
+        let lb = cur_local as u64 - la - lc;
+        let counts = comm.allreduce_vec_sum(vec![la, lb, lc]);
+        let (na, nb) = (counts[0] as usize, counts[1] as usize);
+
+        // Narrow the *interval* (both pivots lie inside the current bounds,
+        // so plain replacement is the intersection) — the buffer-narrowing
+        // `retain` of the full path becomes two `Bound` assignments.
+        if k <= na {
+            upper = Bound::Excluded(lo_pivot);
+            cur_local = la as usize;
+        } else if k <= na + nb {
+            lower = Bound::Included(lo_pivot);
+            upper = Bound::Included(hi_pivot);
+            if nb != total {
+                k -= na;
+            }
+            cur_local = lb as usize;
+        } else {
+            lower = Bound::Excluded(hi_pivot);
+            k -= na + nb;
+            cur_local = lc as usize;
+        }
+    }
 }
 
 /// Select the `k` globally **largest** elements (dual problem, used by the
@@ -533,6 +741,95 @@ mod tests {
                         "{name} k={k} seed={seed}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The counts-only threshold path must leave everything the driver can
+    /// observe — threshold and per-PE metered words/messages — bit-identical
+    /// to the full `select_k_smallest` path with the same arguments, across
+    /// input shapes, PE counts, ranks and seeds (the RNG streams overlap in
+    /// full, so the wire traffic must too).
+    #[test]
+    fn threshold_only_path_is_bit_identical_to_the_full_path() {
+        let config = UnsortedSelectionConfig {
+            base_case_size: 64,
+            ..UnsortedSelectionConfig::default()
+        };
+        let shapes: Vec<(&str, Vec<Vec<u64>>)> = vec![
+            ("uniform", random_parts(4, 2000, 1 << 40, 17)),
+            ("dupes", random_parts(3, 1500, 7, 29)),
+            (
+                "skewed",
+                (0..4)
+                    .map(|r| {
+                        if r == 0 {
+                            (0..3000u64).collect()
+                        } else {
+                            (1_000_000..1_001_000u64).collect()
+                        }
+                    })
+                    .collect(),
+            ),
+            (
+                "empty_pe",
+                vec![vec![], (0..2000).collect(), vec![], (2000..4000).collect()],
+            ),
+        ];
+        for (name, parts) in shapes {
+            let n: usize = parts.iter().map(Vec::len).sum();
+            let p = parts.len();
+            for k in [1usize, 2, n / 3, n / 2, n - 1, n] {
+                for seed in [1u64, 99] {
+                    let parts_a = parts.clone();
+                    let full = run_spmd_seq(p, move |comm| {
+                        let before = comm.stats_snapshot();
+                        let r =
+                            select_k_smallest_with(comm, &parts_a[comm.rank()], k, seed, config);
+                        (r.threshold, comm.stats_snapshot().since(&before))
+                    });
+                    let parts_b = parts.clone();
+                    let thresh = run_spmd_seq(p, move |comm| {
+                        let before = comm.stats_snapshot();
+                        let t = select_threshold_with(comm, &parts_b[comm.rank()], k, seed, config);
+                        (t, comm.stats_snapshot().since(&before))
+                    });
+                    for ((ft, fs), (tt, ts)) in full.results.iter().zip(thresh.results.iter()) {
+                        assert_eq!(ft, tt, "{name} k={k} seed={seed}");
+                        assert_eq!(
+                            fs.sent_words, ts.sent_words,
+                            "metered words diverged: {name} k={k} seed={seed}"
+                        );
+                        assert_eq!(
+                            fs.sent_messages, ts.sent_messages,
+                            "metered messages diverged: {name} k={k} seed={seed}"
+                        );
+                    }
+                    assert_eq!(
+                        full.stats.bottleneck_words(),
+                        thresh.stats.bottleneck_words(),
+                        "{name} k={k} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The counts-only path on its own against the brute-force oracle,
+    /// including duplicate-heavy input (the interval bounds must tie-break
+    /// correctly on global indices).
+    #[test]
+    fn threshold_only_path_selects_correct_thresholds() {
+        for p in [1usize, 3, 5] {
+            let parts = random_parts(p, 400, 40, 77); // heavy duplication
+            let n = 400 * p;
+            for k in [1usize, 17, n / 2, n] {
+                let parts_ref = parts.clone();
+                let out = run_spmd(p, move |comm| {
+                    select_threshold(comm, &parts_ref[comm.rank()], k, 13)
+                });
+                let expected = reference_threshold(&parts, k);
+                assert!(out.results.iter().all(|&t| t == expected), "p={p} k={k}");
             }
         }
     }

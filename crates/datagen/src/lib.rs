@@ -17,7 +17,10 @@
 //! * [`weighted`] — key/value workloads for the sum aggregation of Section 8;
 //! * [`text`] — seedable synthetic-English corpora (Zipf word frequencies
 //!   over an embedded word list, rendered with sentence structure) for the
-//!   real-text word-frequency workload of Section 7 / Figure 4.
+//!   real-text word-frequency workload of Section 7 / Figure 4, including a
+//!   **time-varying streaming mode** ([`text::StreamProfile`]: topic drift by
+//!   rotating the rank → word permutation, flash-crowd bursts that spike one
+//!   key) for the never-terminating top-k service workload.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +35,6 @@ pub mod zipf;
 pub use multicriteria::MulticriteriaWorkload;
 pub use negbin::NegativeBinomial;
 pub use selection::{SkewedSelectionInput, UniformInput};
-pub use text::TextCorpus;
+pub use text::{FlashCrowd, StreamProfile, TextCorpus};
 pub use weighted::WeightedZipfInput;
 pub use zipf::Zipf;

@@ -354,6 +354,67 @@ pub const BASE_WORDS: &[&str] = &[
     "free",
 ];
 
+/// Non-stationarity profile of a streaming corpus (the time-varying mode of
+/// [`TextCorpus`]): **topic drift** rotates the rank → word permutation every
+/// `drift_every` mini-batches, so the identity of the hot words changes over
+/// time while the *shape* of the frequency distribution stays Zipf; a
+/// **flash crowd** ([`FlashCrowd`]) additionally spikes one fixed word during
+/// a contiguous batch window.  Everything is a pure function of the batch
+/// index, so any two PEs (and any two backends) agree on the drift state
+/// without communicating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamProfile {
+    /// Rotate the permutation every this many batches (`0` = stationary).
+    pub drift_every: usize,
+    /// How many vocabulary positions each rotation shifts by.
+    pub drift_step: usize,
+    /// Optional flash-crowd burst.
+    pub burst: Option<FlashCrowd>,
+}
+
+/// A flash-crowd burst: during batches `start .. start + len`, each drawn
+/// word is replaced by the word of vocabulary rank `rank` with probability
+/// `intensity` — one key suddenly dominates the stream, then vanishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// First batch of the burst.
+    pub start: usize,
+    /// Number of batches the burst lasts.
+    pub len: usize,
+    /// 1-based vocabulary rank of the spiking word (un-rotated: the burst
+    /// pins one *fixed* word regardless of drift state).
+    pub rank: usize,
+    /// Probability that a drawn word is replaced by the burst word.
+    pub intensity: f64,
+}
+
+impl FlashCrowd {
+    /// `true` iff `batch` falls inside the burst window.
+    pub fn active_at(&self, batch: usize) -> bool {
+        batch >= self.start && batch < self.start + self.len
+    }
+}
+
+impl StreamProfile {
+    /// A profile with no drift and no burst (each batch is a fresh draw from
+    /// the same stationary distribution — still deterministic per batch).
+    pub fn stationary() -> Self {
+        StreamProfile {
+            drift_every: 0,
+            drift_step: 0,
+            burst: None,
+        }
+    }
+
+    /// The permutation rotation in effect at `batch` (number of vocabulary
+    /// positions Zipf rank 1 has shifted by).
+    pub fn rotation_at(&self, batch: usize) -> usize {
+        batch
+            .checked_div(self.drift_every)
+            .map_or(0, |steps| steps * self.drift_step)
+    }
+}
+
 /// A seedable synthetic-English corpus generator with Zipf word frequencies.
 #[derive(Debug, Clone)]
 pub struct TextCorpus {
@@ -422,40 +483,60 @@ impl TextCorpus {
         // Structure randomness is drawn from a *separate* stream so that the
         // word sequence stays byte-identical to `shard_words`.
         let mut rng = self.shard_rng(rank, SENTENCE_STREAM);
-        let mut out = String::with_capacity(num_words * 7);
-        let mut remaining_in_sentence = 0usize;
-        let mut sentences_in_paragraph = 0usize;
-        for (i, word) in words.iter().enumerate() {
-            if remaining_in_sentence == 0 {
-                // Start a new sentence.
-                if i > 0 {
-                    out.push_str(terminal_punctuation(&mut rng));
-                    sentences_in_paragraph += 1;
-                    if sentences_in_paragraph >= 5 && rng.gen_range(0..4) == 0 {
-                        out.push_str("\n\n");
-                        sentences_in_paragraph = 0;
-                    } else {
-                        out.push(' ');
-                    }
-                }
-                remaining_in_sentence = rng.gen_range(4..=12);
-                push_capitalised(&mut out, word);
-            } else {
-                out.push(' ');
-                out.push_str(word);
-                // An occasional comma mid-sentence (never before the final
-                // word, where terminal punctuation follows).
-                if remaining_in_sentence > 1 && rng.gen_range(0..8) == 0 {
-                    out.push(',');
-                }
-            }
-            remaining_in_sentence -= 1;
-        }
-        if !words.is_empty() {
-            out.push_str(terminal_punctuation(&mut rng));
-            out.push('\n');
-        }
-        out
+        render_words(&words, &mut rng)
+    }
+
+    /// Draw the word sequence of one PE's mini-batch of an **unbounded
+    /// stream**: `num_words` words, deterministic in `(seed, rank, batch)`
+    /// only, with the non-stationarity of `profile` applied — the Zipf rank
+    /// → word mapping rotated by [`StreamProfile::rotation_at`], and the
+    /// flash-crowd word substituted with probability `intensity` during the
+    /// burst window.
+    pub fn stream_batch_words(
+        &self,
+        profile: &StreamProfile,
+        rank: usize,
+        batch: usize,
+        num_words: usize,
+    ) -> Vec<&str> {
+        let mut rng = self.batch_rng(rank, batch, WORD_STREAM);
+        let vocab_len = self.vocab.len();
+        let rotation = profile.rotation_at(batch);
+        let burst = profile.burst.filter(|b| b.active_at(batch));
+        (0..num_words)
+            .map(|_| {
+                let drawn = self.zipf.sample(&mut rng) as usize;
+                let rotated = (drawn - 1 + rotation) % vocab_len + 1;
+                let rank = match burst {
+                    Some(b) if rng.gen::<f64>() < b.intensity => b.rank.clamp(1, vocab_len),
+                    _ => rotated,
+                };
+                self.word_for_rank(rank)
+            })
+            .collect()
+    }
+
+    /// Render one PE's mini-batch as English-looking text (the streaming
+    /// analogue of [`shard_text`](Self::shard_text)): tokenizing the result
+    /// recovers exactly the [`stream_batch_words`](Self::stream_batch_words)
+    /// sequence.
+    pub fn stream_batch_text(
+        &self,
+        profile: &StreamProfile,
+        rank: usize,
+        batch: usize,
+        num_words: usize,
+    ) -> String {
+        let words = self.stream_batch_words(profile, rank, batch, num_words);
+        let mut rng = self.batch_rng(rank, batch, SENTENCE_STREAM);
+        render_words(&words, &mut rng)
+    }
+
+    /// The word of *effective* rank 1 at `batch` under `profile`'s drift —
+    /// the expected hottest word of that batch (ignoring any burst).
+    pub fn stream_hot_word(&self, profile: &StreamProfile, batch: usize) -> &str {
+        let rotated = profile.rotation_at(batch) % self.vocab.len() + 1;
+        self.word_for_rank(rotated)
     }
 
     fn shard_rng(&self, rank: usize, stream: u64) -> StdRng {
@@ -463,6 +544,55 @@ impl TextCorpus {
             self.seed ^ stream ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         )
     }
+
+    fn batch_rng(&self, rank: usize, batch: usize, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                ^ stream
+                ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (batch as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        )
+    }
+}
+
+/// Dress a word sequence with sentence structure (capitalised sentence
+/// starts, occasional commas, terminal `.`/`!`/`?` and paragraph breaks); a
+/// lowercasing alphabetic tokenizer recovers exactly the input sequence.
+fn render_words<R: Rng + ?Sized>(words: &[&str], rng: &mut R) -> String {
+    let mut out = String::with_capacity(words.len() * 7);
+    let mut remaining_in_sentence = 0usize;
+    let mut sentences_in_paragraph = 0usize;
+    for (i, word) in words.iter().enumerate() {
+        if remaining_in_sentence == 0 {
+            // Start a new sentence.
+            if i > 0 {
+                out.push_str(terminal_punctuation(rng));
+                sentences_in_paragraph += 1;
+                if sentences_in_paragraph >= 5 && rng.gen_range(0..4) == 0 {
+                    out.push_str("\n\n");
+                    sentences_in_paragraph = 0;
+                } else {
+                    out.push(' ');
+                }
+            }
+            remaining_in_sentence = rng.gen_range(4..=12);
+            push_capitalised(&mut out, word);
+        } else {
+            out.push(' ');
+            out.push_str(word);
+            // An occasional comma mid-sentence (never before the final
+            // word, where terminal punctuation follows).
+            if remaining_in_sentence > 1 && rng.gen_range(0..8) == 0 {
+                out.push(',');
+            }
+        }
+        remaining_in_sentence -= 1;
+    }
+    if !words.is_empty() {
+        out.push_str(terminal_punctuation(rng));
+        out.push('\n');
+    }
+    out
 }
 
 /// Distinct seed streams so the sentence-structure randomness never perturbs
@@ -598,5 +728,127 @@ mod tests {
         let corpus = TextCorpus::new(10, 1.0, 1);
         assert_eq!(corpus.shard_text(0, 0), "");
         assert!(corpus.shard_words(0, 0).is_empty());
+    }
+
+    fn count_word(words: &[&str], needle: &str) -> usize {
+        words.iter().filter(|&&w| w == needle).count()
+    }
+
+    #[test]
+    fn stream_batches_are_deterministic_in_rank_and_batch() {
+        let corpus = TextCorpus::new(500, 1.0, 42);
+        let profile = StreamProfile {
+            drift_every: 3,
+            drift_step: 7,
+            burst: None,
+        };
+        assert_eq!(
+            corpus.stream_batch_words(&profile, 1, 5, 200),
+            corpus.stream_batch_words(&profile, 1, 5, 200)
+        );
+        assert_ne!(
+            corpus.stream_batch_words(&profile, 0, 5, 200),
+            corpus.stream_batch_words(&profile, 1, 5, 200),
+            "different ranks must draw different batches"
+        );
+        assert_ne!(
+            corpus.stream_batch_words(&profile, 0, 5, 200),
+            corpus.stream_batch_words(&profile, 0, 6, 200),
+            "different batches must draw different words"
+        );
+    }
+
+    #[test]
+    fn stream_batch_text_tokenizes_back_to_the_word_sequence() {
+        let corpus = TextCorpus::new(400, 1.0, 9);
+        let profile = StreamProfile {
+            drift_every: 2,
+            drift_step: 5,
+            burst: Some(FlashCrowd {
+                start: 1,
+                len: 2,
+                rank: 17,
+                intensity: 0.5,
+            }),
+        };
+        for batch in 0..4 {
+            let words = corpus.stream_batch_words(&profile, 0, batch, 500);
+            let tokens = tokenize(&corpus.stream_batch_text(&profile, 0, batch, 500));
+            assert!(
+                tokens.iter().map(String::as_str).eq(words.iter().copied()),
+                "batch {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn topic_drift_rotates_the_hot_word() {
+        let corpus = TextCorpus::new(200, 1.1, 3);
+        let profile = StreamProfile {
+            drift_every: 4,
+            drift_step: 11,
+            burst: None,
+        };
+        assert_eq!(profile.rotation_at(0), 0);
+        assert_eq!(profile.rotation_at(3), 0);
+        assert_eq!(profile.rotation_at(4), 11);
+        assert_eq!(profile.rotation_at(9), 22);
+        assert_eq!(corpus.stream_hot_word(&profile, 0), corpus.word_for_rank(1));
+        assert_eq!(
+            corpus.stream_hot_word(&profile, 4),
+            corpus.word_for_rank(12)
+        );
+        // The rotated hot word dominates its batch, and the old hot word has
+        // fallen far down the frequency order.
+        let before = corpus.stream_batch_words(&profile, 0, 0, 20_000);
+        let after = corpus.stream_batch_words(&profile, 0, 4, 20_000);
+        let hot0 = corpus.stream_hot_word(&profile, 0);
+        let hot4 = corpus.stream_hot_word(&profile, 4);
+        assert!(count_word(&before, hot0) > 2 * count_word(&before, hot4));
+        assert!(count_word(&after, hot4) > 2 * count_word(&after, hot0));
+    }
+
+    #[test]
+    fn stationary_profile_matches_unrotated_frequencies() {
+        let corpus = TextCorpus::new(100, 1.0, 5);
+        let profile = StreamProfile::stationary();
+        assert_eq!(profile.rotation_at(999), 0);
+        let words = corpus.stream_batch_words(&profile, 0, 7, 30_000);
+        let top = corpus.word_for_rank(1);
+        let expected = corpus.zipf().expected_count(1, words.len());
+        let got = count_word(&words, top) as f64;
+        assert!((got - expected).abs() < 0.1 * expected + 100.0);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_exactly_its_window() {
+        let corpus = TextCorpus::new(300, 1.0, 21);
+        let burst = FlashCrowd {
+            start: 5,
+            len: 2,
+            rank: 250,
+            intensity: 0.6,
+        };
+        let profile = StreamProfile {
+            drift_every: 0,
+            drift_step: 0,
+            burst: Some(burst),
+        };
+        assert!(!burst.active_at(4) && burst.active_at(5));
+        assert!(burst.active_at(6) && !burst.active_at(7));
+        let n = 10_000;
+        let burst_word = corpus.word_for_rank(250);
+        let quiet = corpus.stream_batch_words(&profile, 0, 4, n);
+        let spiked = corpus.stream_batch_words(&profile, 0, 5, n);
+        let quiet_count = count_word(&quiet, burst_word);
+        let spiked_count = count_word(&spiked, burst_word);
+        assert!(
+            quiet_count < n / 100,
+            "rank-250 word should be rare outside the burst, saw {quiet_count}"
+        );
+        assert!(
+            spiked_count > n / 2,
+            "intensity 0.6 should make the burst word dominate, saw {spiked_count}"
+        );
     }
 }

@@ -19,6 +19,9 @@
 //!   that the distributed multicriteria top-k approximates (Section 6),
 //! * [`heavy_hitters`] — classical deterministic frequent-object summaries
 //!   (Misra–Gries, Space-Saving) used as sequential baselines for Section 7,
+//! * [`windowed`] — sliding-window (ring of mergeable sub-sketches) and
+//!   exponentially-decaying (scaled counters) variants of the above for the
+//!   never-terminating streaming top-k service,
 //! * [`hashagg`] — hash-based key aggregation used for local counting in the
 //!   frequent-objects and sum-aggregation algorithms (Sections 7 and 8),
 //! * [`intern`] — dense string ↔ `u64` id interning, the sequential half of
@@ -37,6 +40,7 @@ pub mod select;
 pub mod sorted;
 pub mod threshold;
 pub mod treap;
+pub mod windowed;
 
 pub use heavy_hitters::{MisraGries, SpaceSaving};
 pub use intern::Interner;
@@ -48,3 +52,4 @@ pub use select::{
 pub use sorted::{merge_sorted, rank_in_sorted, select_in_sorted_union};
 pub use threshold::{ScoreList, ThresholdAlgorithm, ThresholdResult};
 pub use treap::Treap;
+pub use windowed::{DecayingTopK, SlidingWindowTopK};

@@ -1,0 +1,628 @@
+//! Streaming top-k service — the "millions of users" scenario.
+//!
+//! The batch pipeline of [`crate::text`] answers *one* question about *one*
+//! corpus and terminates.  This module turns it into a long-running service:
+//! every PE ingests an unbounded document stream in mini-batches
+//! ([`datagen::TextCorpus::stream_batch_text`] with a non-stationary
+//! [`datagen::StreamProfile`]), maintains **sliding-window** and
+//! **exponentially-decaying** top-k summaries
+//! ([`seqkit::SlidingWindowTopK`] / [`seqkit::DecayingTopK`] over interned
+//! ids), re-interns newly seen vocabulary incrementally ([`StreamVocab`] —
+//! ids are append-only and stable, unlike the batch
+//! [`crate::text::distributed_intern`] which renumbers on every call), and
+//! periodically **refreshes a published global top-k** with the paper's §6
+//! machinery: per-PE window candidates are DHT-aggregated
+//! ([`topk::frequent::dht::aggregate_counts`]) and the global cut is made by
+//! the counts-only [`topk::select_threshold`] kernel.  Point queries
+//! ("current top-k", "count of X") are answered *between* batches from the
+//! last published snapshot — exactly how a serving system trades freshness
+//! for communication.
+//!
+//! Two scored metrics fall out, both reported by [`StreamReport`]:
+//!
+//! * **p95 answer staleness**, measured in *globally ingested items* since
+//!   the serving snapshot was published (item counts, not wall clock, so the
+//!   metric is bit-identical across backends), and
+//! * **words per ingested item**, the world bottleneck communication volume
+//!   divided by the number of items ingested — the streaming analogue of the
+//!   paper's words/PE columns.
+//!
+//! Everything the service communicates is a deterministic function of
+//! `(seed, rank, batch)`, so per-batch metered words/PE are bit-identical
+//! across the threaded, seq and mux backends (pinned by
+//! `tests/streaming_integration.rs`).
+
+use std::cmp::Reverse;
+use std::collections::HashMap;
+
+use commsim::{Communicator, StatsSnapshot};
+use datagen::{StreamProfile, TextCorpus};
+use seqkit::{DecayingTopK, SlidingWindowTopK};
+use topk::frequent::dht;
+use topk::select_threshold;
+
+use crate::text::tokenize;
+
+/// Tuning knobs of the streaming service.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Size of the published global top-k.
+    pub k: usize,
+    /// Sliding-window length in mini-batches.
+    pub window: usize,
+    /// Counters per Misra–Gries sub-sketch (and per merged window summary).
+    pub sketch_capacity: usize,
+    /// Per-batch decay factor of the exponentially-decaying summary.
+    pub decay: f64,
+    /// Publish a fresh global top-k every this many batches (`1` = every
+    /// batch; larger trades staleness for communication).
+    pub refresh_every: usize,
+    /// Point queries served per PE between consecutive batches.
+    pub queries_per_batch: usize,
+    /// Words each PE ingests per mini-batch.
+    pub words_per_batch: usize,
+    /// Seed of the selection kernel's RNG (the corpus has its own seed).
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            k: 10,
+            window: 8,
+            sketch_capacity: 64,
+            decay: 0.9,
+            refresh_every: 4,
+            queries_per_batch: 4,
+            words_per_batch: 1000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Incremental distributed interning: a global `word → u64 id` map that only
+/// ever **grows**, kept identical on every PE.
+///
+/// The batch [`crate::text::distributed_intern`] assigns ids by rank in the
+/// sorted global vocabulary — re-running it after new words arrive renumbers
+/// everything, which would invalidate every id already inside the window
+/// sketches.  Here ids are *append-only*: each batch gathers only the words
+/// no PE has seen before (sorted and deduplicated, so the delta is canonical)
+/// and appends them in that order, so existing ids are stable forever and the
+/// per-batch communication is proportional to the *new* vocabulary, which
+/// under Zipf traffic decays rapidly after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct StreamVocab {
+    /// id → word; the id of a word is its index, identical on every PE.
+    vocab: Vec<String>,
+    /// word → id (the inverse map).
+    index: HashMap<String, u64>,
+}
+
+impl StreamVocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        StreamVocab::default()
+    }
+
+    /// Number of interned words.
+    pub fn len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// `true` if no word has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.vocab.is_empty()
+    }
+
+    /// The word behind `id`.
+    pub fn resolve(&self, id: u64) -> Option<&str> {
+        self.vocab.get(id as usize).map(String::as_str)
+    }
+
+    /// The id of `word`, if it has been interned.
+    pub fn id_of(&self, word: &str) -> Option<u64> {
+        self.index.get(word).copied()
+    }
+
+    /// Intern a batch of tokens, growing the global vocabulary by exactly the
+    /// words *no* PE had seen before (collective — all PEs must call this
+    /// together).  Returns the token stream mapped to ids.
+    ///
+    /// Because the vocabulary is identical on every PE, "unknown locally"
+    /// equals "unknown globally", so the allgathered delta is precisely the
+    /// set of globally new words; sorting and deduplicating the union makes
+    /// the appended order canonical regardless of which PE contributed what.
+    pub fn ingest<C: Communicator>(&mut self, comm: &C, tokens: &[String]) -> Vec<u64> {
+        let mut fresh: Vec<String> = tokens
+            .iter()
+            .filter(|t| !self.index.contains_key(*t))
+            .cloned()
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        let mut delta: Vec<String> = comm.allgather(fresh).into_iter().flatten().collect();
+        delta.sort_unstable();
+        delta.dedup();
+        for word in delta {
+            let id = self.vocab.len() as u64;
+            self.index.insert(word.clone(), id);
+            self.vocab.push(word);
+        }
+        tokens.iter().map(|t| self.index[t.as_str()]).collect()
+    }
+}
+
+/// Per-batch record of the service loop (one entry per ingested mini-batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Batch index (0-based).
+    pub batch: usize,
+    /// Globally new words interned during this batch.
+    pub new_vocab: usize,
+    /// Whether this batch published a fresh global top-k.
+    pub refreshed: bool,
+    /// Staleness (in globally ingested items) of the answers served after
+    /// this batch.
+    pub staleness_items: u64,
+    /// Words this PE sent during the batch (ingest + refresh traffic).
+    pub sent_words: u64,
+    /// Messages this PE sent during the batch.
+    pub sent_messages: u64,
+    /// World bottleneck words of this batch (`max` over PEs of
+    /// `max(sent, received)` — identical on every PE).
+    pub bottleneck_words: u64,
+}
+
+/// Summary of a service run (identical on every PE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Mini-batches ingested.
+    pub batches: usize,
+    /// Items ingested globally (all PEs, all batches).
+    pub items_global: u64,
+    /// Final global vocabulary size.
+    pub vocab_size: usize,
+    /// Point queries served per PE.
+    pub queries: usize,
+    /// 95th percentile of answer staleness, in globally ingested items.
+    pub p95_staleness_items: u64,
+    /// Worst-case answer staleness, in globally ingested items.
+    pub max_staleness_items: u64,
+    /// Sum over batches of the world bottleneck words.
+    pub total_bottleneck_words: u64,
+    /// `total_bottleneck_words / items_global` — the scored communication
+    /// metric of the streaming scenario.
+    pub words_per_item: f64,
+}
+
+/// The streaming top-k service state of one PE.
+///
+/// Drive it by calling [`ingest_batch`](Self::ingest_batch) once per
+/// mini-batch on every PE (collective).  The service never terminates on its
+/// own — the caller decides how many batches to run.
+#[derive(Debug)]
+pub struct StreamService {
+    config: StreamConfig,
+    vocab: StreamVocab,
+    sliding: SlidingWindowTopK<u64>,
+    decaying: DecayingTopK<u64>,
+    /// The published global top-k: `(word, windowed count estimate)`, most
+    /// frequent first; identical on every PE.
+    snapshot: Vec<(String, u64)>,
+    /// Globally ingested items when the snapshot was published.
+    snapshot_items: u64,
+    /// Globally ingested items so far.
+    items_global: u64,
+    batches_done: usize,
+    /// Staleness of every query served, in globally ingested items.
+    staleness: Vec<u64>,
+    batch_reports: Vec<BatchReport>,
+    total_bottleneck_words: u64,
+    /// Metering baseline for the next batch; set *after* the per-batch
+    /// `allreduce_max` so the metering collective itself is not scored.
+    meter_base: Option<StatsSnapshot>,
+}
+
+impl StreamService {
+    /// A fresh service (empty vocabulary, empty window, nothing published).
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(config.k >= 1, "k must be at least 1");
+        assert!(
+            config.refresh_every >= 1,
+            "refresh_every must be at least 1"
+        );
+        assert!(config.words_per_batch >= 1, "batches must be non-empty");
+        StreamService {
+            sliding: SlidingWindowTopK::new(config.window, config.sketch_capacity),
+            decaying: DecayingTopK::new(config.sketch_capacity, config.decay),
+            config,
+            vocab: StreamVocab::new(),
+            snapshot: Vec::new(),
+            snapshot_items: 0,
+            items_global: 0,
+            batches_done: 0,
+            staleness: Vec::new(),
+            batch_reports: Vec::new(),
+            total_bottleneck_words: 0,
+            meter_base: None,
+        }
+    }
+
+    /// Ingest the next mini-batch of the stream (collective — all PEs must
+    /// call this together, with the same corpus and profile).
+    ///
+    /// One call = one full service cycle: generate this PE's documents,
+    /// tokenize, intern new vocabulary, update both windowed sketches,
+    /// publish a fresh global top-k if the refresh cadence says so, serve
+    /// the configured point queries from the current snapshot, and meter the
+    /// batch's communication.
+    pub fn ingest_batch<C: Communicator>(
+        &mut self,
+        comm: &C,
+        corpus: &TextCorpus,
+        profile: &StreamProfile,
+    ) -> &BatchReport {
+        let t = self.batches_done;
+        let before = self
+            .meter_base
+            .take()
+            .unwrap_or_else(|| comm.stats_snapshot());
+
+        // Ingest: generate → tokenize → intern → sketch.
+        let text = corpus.stream_batch_text(profile, comm.rank(), t, self.config.words_per_batch);
+        let tokens = tokenize(&text);
+        debug_assert_eq!(tokens.len(), self.config.words_per_batch);
+        let vocab_before = self.vocab.len();
+        let ids = self.vocab.ingest(comm, &tokens);
+        for &id in &ids {
+            self.sliding.insert(id);
+            self.decaying.insert(id);
+        }
+        self.items_global += (self.config.words_per_batch * comm.size()) as u64;
+
+        // Periodic refresh: publish a fresh global top-k (batch 0 always
+        // refreshes, so the service is never serving from nothing).
+        let refreshed = t % self.config.refresh_every == 0;
+        if refreshed {
+            self.refresh(comm, t);
+        }
+
+        // Serve the between-batch point queries from the published snapshot.
+        // In this discrete-time model every query after batch `t` sees the
+        // same ingest state, so they share one staleness value — recorded
+        // once per query so the percentile weighs batches by query volume.
+        let staleness_now = self.items_global - self.snapshot_items;
+        for q in 0..self.config.queries_per_batch {
+            if q % 2 == 0 {
+                let _ = self.query_topk();
+            } else {
+                let _ = self.query_count(corpus.stream_hot_word(profile, t));
+            }
+        }
+
+        // Meter the batch, then reset the baseline *after* the metering
+        // collective so its own traffic is never scored.
+        let delta = comm.stats_snapshot().since(&before);
+        let world = comm.allreduce_max(delta.bottleneck_words());
+        self.meter_base = Some(comm.stats_snapshot());
+        self.total_bottleneck_words += world;
+
+        // Close the batch: both sketches advance one step.
+        self.sliding.advance();
+        self.decaying.advance();
+        self.batches_done += 1;
+
+        self.batch_reports.push(BatchReport {
+            batch: t,
+            new_vocab: self.vocab.len() - vocab_before,
+            refreshed,
+            staleness_items: staleness_now,
+            sent_words: delta.sent_words,
+            sent_messages: delta.sent_messages,
+            bottleneck_words: world,
+        });
+        self.batch_reports.last().expect("just pushed")
+    }
+
+    /// Publish a fresh global top-k: DHT-aggregate the per-PE window
+    /// candidates, cut at rank k with the counts-only threshold kernel, and
+    /// gather the winners.
+    fn refresh<C: Communicator>(&mut self, comm: &C, t: usize) {
+        let owned = dht::aggregate_counts(comm, self.sliding.candidate_counts());
+        // Deterministic order before selection: the kernel's Bernoulli
+        // sampling is position-based, so hash-map iteration order must not
+        // leak into the buffer it samples.
+        let mut items: Vec<(u64, u64)> = owned.into_iter().map(|(id, c)| (c, id)).collect();
+        items.sort_unstable_by(|a, b| b.cmp(a));
+        let distinct = comm.allreduce_sum(items.len() as u64) as usize;
+        let take = self.config.k.min(distinct);
+        let winners: Vec<(u64, u64)> = if take == 0 {
+            Vec::new()
+        } else {
+            let reversed: Vec<Reverse<(u64, u64)>> = items.iter().map(|&it| Reverse(it)).collect();
+            let threshold = select_threshold(
+                comm,
+                &reversed,
+                take,
+                self.config.seed ^ (t as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            );
+            // `(count, id)` pairs are unique, so exactly `take` items lie at
+            // or above the threshold across all PEs.
+            items
+                .into_iter()
+                .filter(|&it| Reverse(it) <= threshold)
+                .collect()
+        };
+        let mut all: Vec<(u64, u64)> = comm.allgather(winners).into_iter().flatten().collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        self.snapshot = all
+            .into_iter()
+            .map(|(c, id)| {
+                let word = self
+                    .vocab
+                    .resolve(id)
+                    .expect("published ids come from the vocabulary")
+                    .to_string();
+                (word, c)
+            })
+            .collect();
+        self.snapshot_items = self.items_global;
+    }
+
+    /// Serve a "current top-k" query from the published snapshot.  Returns
+    /// the answer and its staleness in globally ingested items; records the
+    /// staleness for the report's percentiles.
+    pub fn query_topk(&mut self) -> (Vec<(String, u64)>, u64) {
+        let staleness = self.items_global - self.snapshot_items;
+        self.staleness.push(staleness);
+        (self.snapshot.clone(), staleness)
+    }
+
+    /// Serve a "windowed count of `word`" query from the published snapshot
+    /// (`0` if the word is below the published top-k — the serving answer, a
+    /// lower bound, not the oracle).  Returns the answer and its staleness.
+    pub fn query_count(&mut self, word: &str) -> (u64, u64) {
+        let staleness = self.items_global - self.snapshot_items;
+        self.staleness.push(staleness);
+        let count = self
+            .snapshot
+            .iter()
+            .find(|(w, _)| w == word)
+            .map_or(0, |&(_, c)| c);
+        (count, staleness)
+    }
+
+    /// The published global top-k (identical on every PE).
+    pub fn serving_topk(&self) -> &[(String, u64)] {
+        &self.snapshot
+    }
+
+    /// The sliding-window sketch (for oracle tests and local introspection).
+    pub fn sliding(&self) -> &SlidingWindowTopK<u64> {
+        &self.sliding
+    }
+
+    /// The exponentially-decaying sketch.
+    pub fn decaying(&self) -> &DecayingTopK<u64> {
+        &self.decaying
+    }
+
+    /// The incremental vocabulary.
+    pub fn vocab(&self) -> &StreamVocab {
+        &self.vocab
+    }
+
+    /// Per-batch records so far.
+    pub fn batch_reports(&self) -> &[BatchReport] {
+        &self.batch_reports
+    }
+
+    /// Summarise the run so far (identical on every PE).
+    pub fn report(&self) -> StreamReport {
+        let mut sorted = self.staleness.clone();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+                sorted[idx.min(sorted.len() - 1)]
+            }
+        };
+        StreamReport {
+            batches: self.batches_done,
+            items_global: self.items_global,
+            vocab_size: self.vocab.len(),
+            queries: self.staleness.len(),
+            p95_staleness_items: pct(0.95),
+            max_staleness_items: sorted.last().copied().unwrap_or(0),
+            total_bottleneck_words: self.total_bottleneck_words,
+            words_per_item: if self.items_global == 0 {
+                0.0
+            } else {
+                self.total_bottleneck_words as f64 / self.items_global as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsim::run_spmd_seq;
+
+    type PeOutcome = (StreamReport, Vec<BatchReport>, Vec<(String, u64)>);
+
+    fn drive(
+        p: usize,
+        batches: usize,
+        config: StreamConfig,
+        profile: StreamProfile,
+    ) -> Vec<PeOutcome> {
+        run_spmd_seq(p, move |comm| {
+            let corpus = TextCorpus::new(500, 1.05, 42);
+            let mut service = StreamService::new(config);
+            for _ in 0..batches {
+                service.ingest_batch(comm, &corpus, &profile);
+            }
+            (
+                service.report(),
+                service.batch_reports().to_vec(),
+                service.serving_topk().to_vec(),
+            )
+        })
+        .results
+    }
+
+    fn quick_config() -> StreamConfig {
+        StreamConfig {
+            k: 5,
+            window: 4,
+            sketch_capacity: 48,
+            refresh_every: 3,
+            queries_per_batch: 2,
+            words_per_batch: 300,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn incremental_interning_is_id_stable_and_global() {
+        let out = run_spmd_seq(3, |comm| {
+            let mut vocab = StreamVocab::new();
+            let batch1: Vec<String> = match comm.rank() {
+                0 => vec!["bee", "ant"],
+                1 => vec!["cat", "ant"],
+                _ => vec!["dog"],
+            }
+            .into_iter()
+            .map(String::from)
+            .collect();
+            let ids1 = vocab.ingest(comm, &batch1);
+            let snapshot: Vec<String> = (0..vocab.len())
+                .map(|i| vocab.resolve(i as u64).unwrap().to_string())
+                .collect();
+            // Second batch: one genuinely new word plus repeats.
+            let batch2: Vec<String> = vec!["emu".to_string(), "ant".to_string()];
+            let ids2 = vocab.ingest(comm, &batch2);
+            (ids1, snapshot, ids2, vocab.len())
+        });
+        // Batch-1 vocabulary is the sorted union: ant bee cat dog.
+        let expect = ["ant", "bee", "cat", "dog"].map(String::from).to_vec();
+        for (ids1, snapshot, ids2, len) in &out.results {
+            assert_eq!(snapshot, &expect);
+            // Existing ids survived the second ingest; emu was appended.
+            assert_eq!(ids2, &vec![4, 0]);
+            assert_eq!(*len, 5);
+            assert!(!ids1.is_empty());
+        }
+        assert_eq!(out.results[0].0, vec![1, 0]);
+        assert_eq!(out.results[1].0, vec![2, 0]);
+        assert_eq!(out.results[2].0, vec![3]);
+    }
+
+    #[test]
+    fn service_publishes_the_hot_word_and_reports_are_global() {
+        let profile = StreamProfile::stationary();
+        let results = drive(4, 7, quick_config(), profile);
+        let (r0, b0, top0) = &results[0];
+        for (r, b, top) in &results {
+            assert_eq!(r, r0, "summary must be identical on every PE");
+            assert_eq!(top, top0, "published top-k must be identical");
+            assert_eq!(b.len(), 7);
+            // World bottleneck columns agree even though local sent_words
+            // differ per PE.
+            for (mine, first) in b.iter().zip(b0.iter()) {
+                assert_eq!(mine.bottleneck_words, first.bottleneck_words);
+                assert_eq!(mine.refreshed, first.refreshed);
+                assert_eq!(mine.staleness_items, first.staleness_items);
+            }
+        }
+        // Zipf rank 1 ("the") dominates a stationary stream.
+        assert_eq!(top0[0].0, "the");
+        assert_eq!(r0.batches, 7);
+        assert_eq!(r0.items_global, 7 * 4 * 300);
+        assert_eq!(r0.queries, 7 * 2);
+        assert!(r0.words_per_item > 0.0);
+    }
+
+    #[test]
+    fn staleness_follows_the_refresh_cadence() {
+        let profile = StreamProfile::stationary();
+        let config = quick_config(); // refresh_every = 3, p = 2 below
+        let results = drive(2, 6, config, profile);
+        let (r, b, _) = &results[0];
+        let per_batch_items = (config.words_per_batch * 2) as u64;
+        // Batches 0 and 3 refresh: staleness 0.  Batches 2 and 5 are two
+        // batches past their snapshot.
+        let expect: Vec<u64> = vec![0, 1, 2, 0, 1, 2]
+            .into_iter()
+            .map(|lag| lag * per_batch_items)
+            .collect();
+        let got: Vec<u64> = b.iter().map(|br| br.staleness_items).collect();
+        assert_eq!(got, expect);
+        assert_eq!(r.max_staleness_items, 2 * per_batch_items);
+        assert_eq!(r.p95_staleness_items, 2 * per_batch_items);
+    }
+
+    #[test]
+    fn vocabulary_growth_decays_after_warmup() {
+        let profile = StreamProfile::stationary();
+        let results = drive(2, 8, quick_config(), profile);
+        let (_, b, _) = &results[0];
+        // Zipf traffic: almost the whole working vocabulary arrives in the
+        // first batches; later batches intern close to nothing.
+        let early: usize = b[..2].iter().map(|br| br.new_vocab).sum();
+        let late: usize = b[6..].iter().map(|br| br.new_vocab).sum();
+        assert!(
+            early > 5 * late.max(1),
+            "vocab growth did not decay: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_reaches_the_published_topk() {
+        let config = StreamConfig {
+            refresh_every: 1, // publish every batch so the burst is visible
+            ..quick_config()
+        };
+        let profile = StreamProfile {
+            drift_every: 0,
+            drift_step: 0,
+            burst: Some(datagen::FlashCrowd {
+                start: 3,
+                len: 3,
+                rank: 200, // a tail word that is nowhere near the top-k
+                intensity: 0.5,
+            }),
+        };
+        let results = drive(2, 6, config, profile);
+        let (_, _, top) = &results[0];
+        let corpus = TextCorpus::new(500, 1.05, 42);
+        let burst_word = corpus.word_for_rank(200);
+        assert!(
+            top.iter().any(|(w, _)| w == burst_word),
+            "burst word {burst_word:?} missing from published top-k {top:?}"
+        );
+    }
+
+    #[test]
+    fn count_queries_answer_from_the_snapshot() {
+        let profile = StreamProfile::stationary();
+        let out = run_spmd_seq(2, move |comm| {
+            let corpus = TextCorpus::new(500, 1.05, 42);
+            let mut service = StreamService::new(quick_config());
+            for _ in 0..4 {
+                service.ingest_batch(comm, &corpus, &profile);
+            }
+            let (hot_count, _) = service.query_count("the");
+            let (missing_count, stale) = service.query_count("zzzznotaword");
+            (hot_count, missing_count, stale)
+        });
+        for &(hot, missing, _) in &out.results {
+            assert!(hot > 0, "the hottest word must have a published count");
+            assert_eq!(missing, 0);
+        }
+    }
+}

@@ -25,7 +25,8 @@
 //!   evaluation section,
 //! * [`topk`] — the paper's distributed algorithms themselves,
 //! * [`workloads`] — end-to-end application scenarios (real-text word
-//!   frequency, multi-round bulk-queue scheduling) built on all of the above.
+//!   frequency, the streaming top-k service, multi-round bulk-queue
+//!   scheduling) built on all of the above.
 
 #![forbid(unsafe_code)]
 
@@ -57,6 +58,7 @@ pub mod prelude {
     };
     pub use workloads::{
         distributed_intern, run_scheduler, split_text_shards, tokenize, ArrivalPattern,
-        BatchPolicy, InternedShard, SchedulerOutcome, SchedulerParams, TextAlgorithm,
+        BatchPolicy, InternedShard, SchedulerOutcome, SchedulerParams, StreamConfig, StreamService,
+        StreamVocab, TextAlgorithm,
     };
 }

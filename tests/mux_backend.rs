@@ -109,6 +109,63 @@ fn fig6_path_multiplexes_many_pes_over_few_workers() {
     }
 }
 
+#[test]
+fn fig6_on_a_two_worker_pool_is_bit_identical_to_seq() {
+    // Reduced-scale fig6 smoke with an actual multi-worker pool (CI runs
+    // this on every push; the p = 512 test above covers many-PEs-few-workers,
+    // this one covers the smallest genuinely concurrent pool).
+    let (per_pe, k) = (128usize, 32usize);
+    for p in [4usize, 8] {
+        let seq = run_spmd_seq(p, |comm| fig6_body(comm, per_pe, k));
+        let mux = run_spmd_mux_with(MuxConfig::new(p).with_workers(2), |comm| {
+            fig6_body(comm, per_pe, k)
+        });
+        assert_eq!(seq.results, mux.results, "p={p}: results diverge");
+        for rank in 0..p {
+            assert_eq!(
+                traffic(seq.stats.pe(rank)),
+                traffic(mux.stats.pe(rank)),
+                "p={p} rank={rank}: traffic diverges under the 2-worker pool"
+            );
+        }
+    }
+}
+
+/// Not a regression test — a worker-pool speedup harness for ROADMAP item
+/// 1's remainder (showing pool speedup > 1 needs a multi-core container).
+/// Run with:
+///
+/// ```bash
+/// cargo test --release --test mux_backend -- --ignored --nocapture \
+///     measure_worker_pool_speedup
+/// ```
+///
+/// Times the same fig6 workload through pools of doubling width.  On a
+/// multi-core machine the wall time should drop until the pool saturates
+/// the cores; on a single core it stays flat (the cooperative scheduler
+/// adds no contention).  Traffic is asserted identical either way.
+#[test]
+#[ignore = "measurement harness, run explicitly with --ignored --nocapture"]
+fn measure_worker_pool_speedup() {
+    let (p, per_pe, k) = (2048usize, 64usize, 32usize);
+    let baseline = run_spmd_mux_with(MuxConfig::new(p).with_workers(1), |comm| {
+        fig6_body(comm, per_pe, k)
+    });
+    for workers in [1usize, 2, 4, 8] {
+        let t = std::time::Instant::now();
+        let out = run_spmd_mux_with(MuxConfig::new(p).with_workers(workers), |comm| {
+            fig6_body(comm, per_pe, k)
+        });
+        let elapsed = t.elapsed();
+        assert_eq!(out.results, baseline.results);
+        assert_eq!(
+            out.stats.bottleneck_words(),
+            baseline.stats.bottleneck_words()
+        );
+        println!("p = {p}, workers = {workers}: {elapsed:?}");
+    }
+}
+
 /// Not a regression test — a measurement harness for EXPERIMENTS.md's
 /// construct-time table.  Run with:
 ///

@@ -1,0 +1,186 @@
+//! End-to-end pins for the streaming top-k service.
+//!
+//! Two properties carry the subsystem:
+//!
+//! 1. **Backend equivalence** — the service's *per-batch* metered traffic
+//!    (not just run totals) is bit-identical on the threaded, seq and mux
+//!    backends, under full non-stationarity (topic drift + a flash-crowd
+//!    burst).  This is what lets EXPERIMENTS.md's staleness/words-per-item
+//!    tables cite one backend and mean all three.
+//! 2. **Oracle accuracy** — the published sliding-window top-k counts stay
+//!    within the merged Misra–Gries error bound of the brute-force window
+//!    counts recomputed from the (deterministic) stream itself.
+
+use topk_selection::commsim::{run_spmd, run_spmd_mux, run_spmd_seq};
+use topk_selection::datagen::{FlashCrowd, StreamProfile, TextCorpus};
+use topk_selection::prelude::*;
+use topk_selection::workloads::BatchReport;
+
+fn corpus() -> TextCorpus {
+    TextCorpus::new(600, 1.05, 2024)
+}
+
+fn profile() -> StreamProfile {
+    StreamProfile {
+        drift_every: 5,
+        drift_step: 40,
+        burst: Some(FlashCrowd {
+            start: 9,
+            len: 4,
+            rank: 250,
+            intensity: 0.4,
+        }),
+    }
+}
+
+fn config() -> StreamConfig {
+    StreamConfig {
+        k: 8,
+        window: 4,
+        sketch_capacity: 48,
+        decay: 0.9,
+        refresh_every: 3,
+        queries_per_batch: 2,
+        words_per_batch: 250,
+        seed: 0xBEEF,
+    }
+}
+
+/// One PE's full service run; returns everything the driver can observe.
+fn service_body<C: Communicator>(
+    comm: &C,
+    batches: usize,
+) -> (Vec<BatchReport>, Vec<(String, u64)>, u64) {
+    let corpus = corpus();
+    let profile = profile();
+    let mut service = StreamService::new(config());
+    for _ in 0..batches {
+        service.ingest_batch(comm, &corpus, &profile);
+    }
+    let report = service.report();
+    (
+        service.batch_reports().to_vec(),
+        service.serving_topk().to_vec(),
+        report.p95_staleness_items,
+    )
+}
+
+#[test]
+fn streaming_traffic_is_bit_identical_across_all_three_backends() {
+    let (p, batches) = (4usize, 20usize);
+    let threaded = run_spmd(p, move |comm| service_body(comm, batches));
+    let seq = run_spmd_seq(p, move |comm| service_body(comm, batches));
+    let mux = run_spmd_mux(p, move |comm| service_body(comm, batches));
+
+    for rank in 0..p {
+        let (tb, tt, ts) = &threaded.results[rank];
+        for (name, out) in [("seq", &seq), ("mux", &mux)] {
+            let (ob, ot, os) = &out.results[rank];
+            // Per-batch reports carry this PE's sent words/messages and the
+            // world bottleneck for every batch — all must match exactly.
+            assert_eq!(tb, ob, "{name} rank {rank}: per-batch reports diverge");
+            assert_eq!(tt, ot, "{name} rank {rank}: published top-k diverges");
+            assert_eq!(ts, os, "{name} rank {rank}: staleness diverges");
+        }
+    }
+    // The raw transport counters agree too (not just the service's view).
+    for rank in 0..p {
+        let t = threaded.stats.pe(rank);
+        let s = seq.stats.pe(rank);
+        let m = mux.stats.pe(rank);
+        assert_eq!(
+            (t.sent_messages, t.sent_words),
+            (s.sent_messages, s.sent_words)
+        );
+        assert_eq!(
+            (t.sent_messages, t.sent_words),
+            (m.sent_messages, m.sent_words)
+        );
+    }
+}
+
+#[test]
+fn published_window_counts_match_the_brute_force_oracle_within_bound() {
+    let (p, batches) = (4usize, 14usize);
+    let out = run_spmd_seq(p, move |comm| service_body(comm, batches));
+    let (_, topk, _) = &out.results[0];
+    assert!(!topk.is_empty(), "the service must have published a top-k");
+
+    // The final publish happened at the last refresh batch; recompute the
+    // exact global window counts over the batches its window covered.
+    let cfg = config();
+    let last_refresh = ((batches - 1) / cfg.refresh_every) * cfg.refresh_every;
+    let window_start = (last_refresh + 1).saturating_sub(cfg.window);
+    let corpus = corpus();
+    let profile = profile();
+    let mut exact: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for rank in 0..p {
+        for batch in window_start..=last_refresh {
+            for word in corpus.stream_batch_words(&profile, rank, batch, cfg.words_per_batch) {
+                *exact.entry(word.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Each PE's merged-window error is bounded by its window item count /
+    // (capacity + 1); the published count sums p under-estimates.
+    let window_batches = last_refresh - window_start + 1;
+    let per_pe_bound =
+        (window_batches * cfg.words_per_batch) as u64 / (cfg.sketch_capacity as u64 + 1);
+    let global_bound = per_pe_bound * p as u64;
+    for (word, published) in topk {
+        let truth = exact.get(word).copied().unwrap_or(0);
+        assert!(
+            *published <= truth,
+            "{word}: published {published} exceeds exact window count {truth}"
+        );
+        assert!(
+            truth - published <= global_bound,
+            "{word}: error {} exceeds the sketch bound {global_bound}",
+            truth - published
+        );
+    }
+
+    // And the published list must actually contain the true hottest word of
+    // the window (its margin dwarfs the sketch error at these settings).
+    let hottest = exact
+        .iter()
+        .max_by_key(|&(w, c)| (c, std::cmp::Reverse(w.clone())))
+        .map(|(w, _)| w.clone())
+        .unwrap();
+    assert!(
+        topk.iter().any(|(w, _)| *w == hottest),
+        "true hottest window word {hottest:?} missing from published top-k {topk:?}"
+    );
+}
+
+#[test]
+fn streaming_on_a_mux_worker_pool_matches_seq() {
+    // The never-terminating workload squeezed through a 2-worker pool: the
+    // cooperative scheduler must not perturb a single metered word.
+    let (p, batches) = (4usize, 10usize);
+    let seq = run_spmd_seq(p, move |comm| service_body(comm, batches));
+    let mux = run_spmd_mux_with(MuxConfig::new(p).with_workers(2), move |comm| {
+        service_body(comm, batches)
+    });
+    assert_eq!(seq.results, mux.results);
+    for rank in 0..p {
+        let s = seq.stats.pe(rank);
+        let m = mux.stats.pe(rank);
+        assert_eq!(
+            (
+                s.sent_messages,
+                s.sent_words,
+                s.received_messages,
+                s.received_words
+            ),
+            (
+                m.sent_messages,
+                m.sent_words,
+                m.received_messages,
+                m.received_words
+            ),
+            "rank {rank} traffic diverges under the worker pool"
+        );
+    }
+}
