@@ -14,6 +14,16 @@
 //! in `(seed, rank, batch)`, so any two backends — and any two runs — agree
 //! bit for bit; `--reps > 1` checks that instead of assuming it.
 //!
+//! With `--replication r` the service runs failure-tolerant: per-batch
+//! membership rounds, serving shards replicated to `r` ring buddies, and
+//! degraded refreshes over the survivor subgroup.  `--query-lambda` scores a
+//! modeled Poisson point-query stream (availability + latency percentiles)
+//! against the α/β cost model.  `--chaos` sweeps crash-stops calibrated to
+//! batch boundaries: a fault-free calibration rep records every PE's
+//! cumulative send count per batch, so a victim's `at_send_count` lands it
+//! exactly at its first send — the membership probe — of the batch after
+//! `--crash-batch`.
+//!
 //! ```bash
 //! cargo run -p bench --release --bin stream_topk -- \
 //!     [--pes 8] [--batches 60] [--words-per-batch 500] [--vocab 2000] \
@@ -21,11 +31,14 @@
 //!     [--refresh-every 4] [--queries 4] [--drift-every 10] [--drift-step 25] \
 //!     [--burst-start 30] [--burst-len 5] [--burst-rank 150] \
 //!     [--burst-intensity 0.4] [--reps 1] [--seed 42] \
-//!     [--backend threaded|seq|mux] [--json]
+//!     [--backend threaded|seq|mux] [--json] \
+//!     [--replication 2] [--query-lambda 8] \
+//!     [--chaos] [--crashes 1] [--crash-batch 30] [--assert-available 1.0]
 //! ```
 
 use bench::report::fmt_duration;
-use bench::{run_on, Backend, Table};
+use bench::{run_on, run_on_faulty, Backend, Table};
+use commsim::{FaultEvent, FaultPlan};
 use datagen::{FlashCrowd, StreamProfile, TextCorpus};
 use workloads::{BatchReport, StreamConfig, StreamReport, StreamService};
 
@@ -45,6 +58,8 @@ fn main() {
         queries_per_batch: args.queries,
         words_per_batch: args.words_per_batch,
         seed: args.seed,
+        replication: args.replication,
+        query_lambda: args.query_lambda,
     };
     let profile = StreamProfile {
         drift_every: args.drift_every,
@@ -62,6 +77,16 @@ fn main() {
         "Streaming top-{} service: {p} PEs x {} batches x {} words/batch, backend: {:?}",
         args.k, args.batches, args.words_per_batch, args.backend
     );
+    if args.replication > 0 {
+        println!(
+            "failure tolerance: replication r = {}, Poisson query stream λ = {}/batch",
+            args.replication, args.query_lambda
+        );
+    }
+    if args.chaos {
+        chaos(&args, config, &profile, &corpus);
+        return;
+    }
     println!(
         "window {} batches, refresh every {}, drift every {} (+{} ranks), burst: {}",
         args.window,
@@ -165,9 +190,17 @@ fn main() {
     ]);
     summary.print();
     println!("{}", summary.to_markdown());
+
+    let queries = query_table(args.query_lambda, report);
+    if let Some(q) = &queries {
+        q.print();
+    }
     if args.json {
         print!("{}", trace.to_json_lines());
         print!("{}", summary.to_json_lines());
+        if let Some(q) = &queries {
+            print!("{}", q.to_json_lines());
+        }
     }
 
     let top: Vec<String> = topk
@@ -187,6 +220,184 @@ fn main() {
             "per-batch words/PE bit-identical across {} repetitions on the {:?} backend.",
             args.reps, args.backend
         );
+    }
+}
+
+/// The availability / modeled-latency table of the Poisson query stream,
+/// or `None` when the stream is disabled (`λ = 0`).
+fn query_table(lambda: f64, report: &StreamReport) -> Option<Table> {
+    if lambda <= 0.0 {
+        return None;
+    }
+    let mut table = Table::new(
+        "Poisson query stream — availability and modeled latency",
+        &[
+            "lambda/batch",
+            "routed",
+            "answered",
+            "availability",
+            "p50 latency (s)",
+            "p95 latency (s)",
+            "p99 latency (s)",
+        ],
+    );
+    table.add_row(vec![
+        format!("{lambda:.1}"),
+        report.routed_queries.to_string(),
+        report.answered_queries.to_string(),
+        format!("{:.4}", report.availability),
+        format!("{:.3e}", report.p50_query_latency),
+        format!("{:.3e}", report.p95_query_latency),
+        format!("{:.3e}", report.p99_query_latency),
+    ]);
+    Some(table)
+}
+
+/// The chaos sweep: one fault-free calibration/baseline rep, then one run
+/// per crash count in `1..=--crashes`, each with victims picked by
+/// [`FaultPlan::seeded_crashes`] and `at_send_count` calibrated so every
+/// victim dies at its first send (the membership probe) of the batch after
+/// `--crash-batch`.
+fn chaos(args: &Args, config: StreamConfig, profile: &StreamProfile, corpus: &TextCorpus) {
+    let p = args.pes;
+    assert!(
+        config.replication >= 1,
+        "--chaos needs --replication >= 1 (survivors must hold replicas)"
+    );
+    assert!(p <= 64, "--chaos requires --pes <= 64 (membership bitmaps)");
+    assert!(
+        args.crashes < p,
+        "--crashes must leave at least one survivor"
+    );
+    let crash_batch = args
+        .crash_batch
+        .unwrap_or(args.batches / 2)
+        .min(args.batches.saturating_sub(2));
+    println!(
+        "chaos: up to {} crash-stop(s) at the boundary of batch {} (victims die at \
+         their first send of batch {})",
+        args.crashes,
+        crash_batch,
+        crash_batch + 1
+    );
+
+    let batches = args.batches;
+    let base = run_on!(args.backend, p, {
+        let corpus = corpus.clone();
+        let profile = *profile;
+        move |comm| {
+            let mut service = StreamService::new(config);
+            for _ in 0..batches {
+                service.ingest_batch(comm, &corpus, &profile);
+            }
+            (
+                service.report(),
+                service.batch_reports().to_vec(),
+                service.serving_topk().to_vec(),
+            )
+        }
+    });
+
+    // Calibration: a victim that completes exactly its end-of-batch total
+    // send count dies immediately before its next send, which is its first
+    // send — the membership heartbeat — of batch `crash_batch + 1`.
+    let candidates: Vec<(usize, u64)> = base
+        .results
+        .iter()
+        .enumerate()
+        .map(|(rank, (_, batch_reports, _))| (rank, batch_reports[crash_batch].sends_total))
+        .collect();
+
+    let mut sweep = Table::new(
+        "Chaos sweep — crash-stops vs availability and overhead",
+        &[
+            "crashes",
+            "victims",
+            "survivors",
+            "coverage",
+            "degraded",
+            "availability",
+            "p95 staleness (items)",
+            "words/item",
+            "repl words/item",
+            "p95 query latency (s)",
+        ],
+    );
+    let add_row =
+        |sweep: &mut Table, crashes: usize, victims: &str, survivors: usize, r: &StreamReport| {
+            sweep.add_row(vec![
+                crashes.to_string(),
+                victims.to_string(),
+                survivors.to_string(),
+                format!("{:.3}", r.coverage),
+                if r.degraded { "yes" } else { "" }.to_string(),
+                format!("{:.4}", r.availability),
+                r.p95_staleness_items.to_string(),
+                format!("{:.4}", r.words_per_item),
+                format!(
+                    "{:.4}",
+                    r.total_replication_words as f64 / r.items_global as f64
+                ),
+                format!("{:.3e}", r.p95_query_latency),
+            ]);
+        };
+    let (base_report, _, _) = &base.results[0];
+    add_row(&mut sweep, 0, "-", p, base_report);
+    if let Some(min) = args.assert_available {
+        assert!(
+            base_report.availability >= min,
+            "fault-free availability {:.4} below required {min}",
+            base_report.availability
+        );
+    }
+
+    for crashes in 1..=args.crashes {
+        let plan =
+            FaultPlan::seeded_crashes(args.seed.wrapping_add(crashes as u64), &candidates, crashes);
+        let victims: Vec<String> = plan
+            .events()
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::CrashPe { rank, .. } => rank.to_string(),
+                _ => unreachable!("seeded_crashes only schedules crashes"),
+            })
+            .collect();
+        let out = run_on_faulty!(args.backend, p, plan, {
+            let corpus = corpus.clone();
+            let profile = *profile;
+            move |comm| {
+                let mut service = StreamService::new(config);
+                for _ in 0..batches {
+                    service.ingest_batch(comm, &corpus, &profile);
+                }
+                (
+                    service.report(),
+                    service.batch_reports().to_vec(),
+                    service.serving_topk().to_vec(),
+                )
+            }
+        });
+        let survivors = out.results.iter().filter(|r| r.is_some()).count();
+        let (report, _, _) = out
+            .results
+            .iter()
+            .flatten()
+            .next()
+            .expect("at least one PE survives the sweep");
+        add_row(&mut sweep, crashes, &victims.join("+"), survivors, report);
+        if let Some(min) = args.assert_available {
+            assert!(
+                report.availability >= min,
+                "availability {:.4} with {crashes} crash(es) below required {min}",
+                report.availability
+            );
+        }
+    }
+
+    sweep.print();
+    println!("{}", sweep.to_markdown());
+    if args.json {
+        print!("{}", sweep.to_json_lines());
     }
 }
 
@@ -211,6 +422,12 @@ struct Args {
     seed: u64,
     backend: Backend,
     json: bool,
+    replication: usize,
+    query_lambda: f64,
+    chaos: bool,
+    crashes: usize,
+    crash_batch: Option<usize>,
+    assert_available: Option<f64>,
 }
 
 impl Args {
@@ -236,6 +453,12 @@ impl Args {
             seed: 42,
             backend: Backend::Threaded,
             json: false,
+            replication: 0,
+            query_lambda: 0.0,
+            chaos: false,
+            crashes: 1,
+            crash_batch: None,
+            assert_available: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -326,7 +549,46 @@ impl Args {
                     args.json = true;
                     i += 1;
                 }
+                "--replication" => {
+                    args.replication = argv[i + 1].parse().expect("--replication takes a number");
+                    i += 2;
+                }
+                "--query-lambda" => {
+                    args.query_lambda = argv[i + 1].parse().expect("--query-lambda takes a float");
+                    i += 2;
+                }
+                "--chaos" => {
+                    args.chaos = true;
+                    i += 1;
+                }
+                "--crashes" => {
+                    args.crashes = argv[i + 1].parse().expect("--crashes takes a number");
+                    i += 2;
+                }
+                "--crash-batch" => {
+                    args.crash_batch =
+                        Some(argv[i + 1].parse().expect("--crash-batch takes a number"));
+                    i += 2;
+                }
+                "--assert-available" => {
+                    args.assert_available = Some(
+                        argv[i + 1]
+                            .parse()
+                            .expect("--assert-available takes a float"),
+                    );
+                    i += 2;
+                }
                 other => panic!("unknown argument {other}"),
+            }
+        }
+        if args.chaos {
+            // Chaos without failure tolerance (or a query stream to score)
+            // is pointless; pick serviceable defaults instead of erroring.
+            if args.replication == 0 {
+                args.replication = 2;
+            }
+            if args.query_lambda <= 0.0 {
+                args.query_lambda = 8.0;
             }
         }
         assert!(args.reps >= 1, "--reps must be at least 1");

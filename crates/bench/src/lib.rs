@@ -40,3 +40,23 @@ macro_rules! run_on {
         }
     };
 }
+
+/// Fault-injecting counterpart of [`run_on!`]: run the closure on the CLI
+/// backend under a `commsim::FaultPlan`.  Yields `SpmdOutput<Option<T>>` —
+/// crashed PEs contribute `None`, survivors `Some(T)`.
+#[macro_export]
+macro_rules! run_on_faulty {
+    ($backend:expr, $p:expr, $plan:expr, $f:expr) => {
+        match $backend {
+            $crate::Backend::Threaded => {
+                ::commsim::run_spmd_faulty(::commsim::SpmdConfig::new($p).with_faults($plan), $f)
+            }
+            $crate::Backend::Seq => {
+                ::commsim::run_spmd_seq_faulty(::commsim::SeqConfig::new($p).with_faults($plan), $f)
+            }
+            $crate::Backend::Mux => {
+                ::commsim::run_spmd_mux_faulty(::commsim::MuxConfig::new($p).with_faults($plan), $f)
+            }
+        }
+    };
+}

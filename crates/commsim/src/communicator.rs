@@ -125,6 +125,25 @@ pub trait Communicator {
     /// message is currently queued.
     fn try_recv<T: CommData>(&self, src: Rank) -> Option<(Tag, T)>;
 
+    /// Failure-detecting receive: like [`Communicator::recv`], but instead of
+    /// blocking forever on a peer that will never answer it returns
+    /// [`crate::CommError::PeerDead`] (the backend *proved* the peer crashed
+    /// with its send log exhausted — definitive, never spurious) or
+    /// [`crate::CommError::Timeout`] (the detection window elapsed; the peer
+    /// may merely be slow, so retrying is legitimate).  A tag or type
+    /// mismatch on a message that *does* arrive is still a programming error
+    /// and panics, exactly as [`Communicator::recv`] does.
+    ///
+    /// The default implementation simply blocks (fault-free backends cannot
+    /// observe failures); the three bundled backends override it with their
+    /// fault-aware paths.  Deterministic backends (seq/mux) resolve timeouts
+    /// only at whole-world quiescence and replay the verdict verbatim, so
+    /// fault schedules stay reproducible.
+    fn recv_failable<T: CommData>(&self, src: Rank, tag: Tag) -> crate::CommResult<T> {
+        validate_user_tag(tag);
+        Ok(self.recv_raw(src, tag))
+    }
+
     // ----- provided: validated point-to-point messaging -----
 
     /// `true` iff this PE is rank 0.

@@ -59,6 +59,21 @@ pub enum CommError {
         /// Rust type name the receiver asked for.
         expected: &'static str,
     },
+    /// The peer is known to have crash-stopped (fault injection) and will
+    /// never produce the awaited message.  Unlike [`CommError::Disconnected`]
+    /// this is a *definitive* failure-detector verdict: the backend proved
+    /// the peer's send log is exhausted.
+    PeerDead {
+        /// Rank of the crashed peer.
+        rank: usize,
+    },
+    /// A failure-detecting receive gave up waiting: the awaited message had
+    /// not arrived within the backend's detection window.  The peer may be
+    /// slow rather than dead — retrying is legitimate.
+    Timeout {
+        /// Rank the receive was waiting on.
+        from: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -94,6 +109,18 @@ impl fmt::Display for CommError {
             CommError::Decode { expected } => {
                 write!(f, "typed payload could not be decoded as {expected}")
             }
+            CommError::PeerDead { rank } => {
+                write!(
+                    f,
+                    "PE {rank} crashed and will never send the awaited message"
+                )
+            }
+            CommError::Timeout { from } => {
+                write!(
+                    f,
+                    "timed out waiting for a message from PE {from} (peer slow or dead)"
+                )
+            }
         }
     }
 }
@@ -123,6 +150,10 @@ mod tests {
             expected: "u64",
         };
         assert!(e.to_string().contains("u64"));
+        let e = CommError::PeerDead { rank: 5 };
+        assert!(e.to_string().contains("crashed"));
+        let e = CommError::Timeout { from: 2 };
+        assert!(e.to_string().contains("timed out"));
     }
 
     #[test]

@@ -86,12 +86,14 @@ pub mod comm;
 pub mod communicator;
 pub mod cost;
 pub mod error;
+pub mod faults;
 pub mod message;
 pub mod metrics;
 pub mod mux;
 pub mod runner;
 pub mod seq;
 mod spsc;
+pub mod subgroup;
 pub mod topology;
 pub mod transport;
 
@@ -101,11 +103,13 @@ pub use comm::Comm;
 pub use communicator::{Communicator, COLLECTIVE_TAG_BASE};
 pub use cost::CostModel;
 pub use error::{CommError, CommResult};
+pub use faults::{FaultEvent, FaultPlan};
 pub use message::CommData;
 pub use metrics::{PeStats, StatsSnapshot, WorldStats};
-pub use mux::{run_spmd_mux, run_spmd_mux_with, MuxComm, MuxConfig};
-pub use runner::{run_spmd, run_spmd_with, SpmdConfig, SpmdOutput};
-pub use seq::{run_spmd_seq, SeqComm};
+pub use mux::{run_spmd_mux, run_spmd_mux_faulty, run_spmd_mux_with, MuxComm, MuxConfig};
+pub use runner::{run_spmd, run_spmd_faulty, run_spmd_with, SpmdConfig, SpmdOutput};
+pub use seq::{run_spmd_seq, run_spmd_seq_faulty, SeqComm, SeqConfig};
+pub use subgroup::SubComm;
 pub use transport::BufferPool;
 
 /// Rank of a processing element, `0..p`.

@@ -90,13 +90,15 @@ use std::any::TypeId;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::Instant;
 
 use crate::codec::WordReader;
-use crate::communicator::{Communicator, COLLECTIVE_TAG_BASE};
-use crate::error::CommError;
+use crate::communicator::{validate_user_tag, Communicator, COLLECTIVE_TAG_BASE};
+use crate::error::{CommError, CommResult};
+use crate::faults::{CompiledFaults, Crashed, FaultPlan};
 use crate::message::CommData;
 use crate::metrics::{StatsRegistry, StatsSnapshot};
 use crate::runner::SpmdOutput;
@@ -116,6 +118,10 @@ pub struct MuxConfig {
     /// same algorithms that need deep stacks under
     /// [`crate::runner::run_spmd`] need them here).
     pub stack_size: usize,
+    /// Fault schedule to inject; only honoured by [`run_spmd_mux_faulty`]
+    /// (the fault-free entry points reject a non-empty plan, because their
+    /// return type cannot express crashed PEs).
+    pub faults: Option<FaultPlan>,
 }
 
 impl MuxConfig {
@@ -128,6 +134,7 @@ impl MuxConfig {
             num_pes,
             num_workers: workers.min(num_pes.max(1)),
             stack_size: 8 * 1024 * 1024,
+            faults: None,
         }
     }
 
@@ -135,6 +142,12 @@ impl MuxConfig {
     /// multiplexing with `num_workers << num_pes`).
     pub fn with_workers(mut self, num_workers: usize) -> Self {
         self.num_workers = num_workers;
+        self
+    }
+
+    /// Attach a fault plan (run with [`run_spmd_mux_faulty`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -149,6 +162,9 @@ struct StoredMsg {
     /// For diagnostics on type mismatch.
     type_name: &'static str,
     buf: Vec<u64>,
+    /// Sender send-op counter value when this message was produced; drives
+    /// `DelayPair` release under a fault plan (0 on fault-free runs).
+    sent_at_op: u64,
 }
 
 /// All messages ever sent from one source to this shard's destination,
@@ -175,6 +191,23 @@ struct TaskState {
     rank: Rank,
     /// `try_recv` decision log (recorded once, replayed verbatim).
     try_log: Vec<bool>,
+    /// Forced-`Timeout` verdicts for `recv_failable`, by failable-call
+    /// index (written by the stall resolver, replayed verbatim).
+    timeout_log: Vec<bool>,
+}
+
+/// What a parked task is waiting for — kept in the scheduler for deadlock
+/// diagnostics and stall resolution (the authoritative wake bookkeeping is
+/// `MuxShard::waiter`).
+#[derive(Clone, Copy)]
+struct WaitInfo {
+    src: Rank,
+    index: usize,
+    /// `Some(call)` when the park came from `recv_failable` — the stall
+    /// resolver may force that call to a `Timeout` verdict.
+    failable: Option<usize>,
+    /// Messages the pair had produced when the task parked (diagnostics).
+    produced: usize,
 }
 
 /// Scheduler state: the ready-queue plus park/progress bookkeeping.
@@ -184,11 +217,13 @@ struct Sched {
     parked: Vec<Option<TaskState>>,
     /// What each parked task waits for (deadlock diagnostics only; the
     /// authoritative wake bookkeeping is `MuxShard::waiter`).
-    waiting: Vec<Option<(Rank, usize)>>,
+    waiting: Vec<Option<WaitInfo>>,
     /// Tasks currently executing on a worker.
     active: usize,
     /// Tasks that ran to completion.
     done: usize,
+    /// Tasks that hit their scheduled crash point (terminal, like `done`).
+    crashed_count: usize,
     /// First fatal error (PE panic or deadlock); ends the run.
     failure: Option<String>,
 }
@@ -201,6 +236,19 @@ struct MuxWorld {
     sched: Mutex<Sched>,
     /// Signals "ready-queue non-empty, or run over".
     cv: Condvar,
+    /// Compiled fault schedule; `None` on the fault-free path, which then
+    /// skips every fault check (the zero-cost-when-`None` hook).
+    faults: Option<CompiledFaults>,
+    /// Ranks that hit their scheduled crash point.  Set (release) after the
+    /// crashing execution unwound, so an observer that loads `true`
+    /// (acquire) also sees every pre-crash message in the store.
+    crashed: Vec<AtomicBool>,
+    /// Ranks whose send log is final — finished or crashed.  Releases
+    /// delayed pairs and finalises dead-peer verdicts.
+    terminal: Vec<AtomicBool>,
+    /// Furthest send-op counter each rank has reached (monotone,
+    /// `fetch_max`); the release clock for `DelayPair` hold-backs.
+    max_send_ops: Vec<AtomicU64>,
 }
 
 /// Mutex poisoning is not an error state here: a panic inside a critical
@@ -212,7 +260,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl MuxWorld {
-    fn new(p: usize) -> Self {
+    fn new(p: usize, faults: Option<CompiledFaults>) -> Self {
         MuxWorld {
             p,
             stats: StatsRegistry::new(p),
@@ -223,36 +271,152 @@ impl MuxWorld {
                 waiting: vec![None; p],
                 active: 0,
                 done: 0,
+                crashed_count: 0,
                 failure: None,
             }),
             cv: Condvar::new(),
+            faults,
+            crashed: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            terminal: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            max_send_ops: (0..p).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// Terminal tasks (finished or crashed) — the run is over when this
+    /// reaches `p`.
+    fn finished(&self, sched: &Sched) -> usize {
+        sched.done + sched.crashed_count
     }
 
     /// Must be called with the sched lock held, after `active` was
     /// decremented: if nothing runs, nothing is runnable and tasks remain,
-    /// no send can ever arrive — the run is deadlocked.
+    /// no send can ever arrive — the world is quiescent.  Under a fault
+    /// plan, failure-detecting receives parked at quiescence are *timed
+    /// out* (a recorded, replayable verdict) and their tasks resumed; only
+    /// if nothing can be timed out is the run declared deadlocked.
     fn check_deadlock(&self, sched: &mut Sched) {
-        if sched.active == 0 && sched.ready.is_empty() && sched.done < self.p {
-            let waits: Vec<String> = sched
-                .waiting
-                .iter()
-                .enumerate()
-                .filter_map(|(dst, w)| {
-                    w.map(|(src, index)| {
-                        format!("PE {dst} waits for message #{index} from PE {src}")
-                    })
-                })
-                .collect();
-            if sched.failure.is_none() {
-                sched.failure = Some(format!(
-                    "multiplexed SPMD run deadlocked: {}",
-                    waits.join("; ")
-                ));
+        if sched.active != 0 || !sched.ready.is_empty() || self.finished(sched) >= self.p {
+            return;
+        }
+        if self.faults.is_some() {
+            let mut forced = false;
+            for rank in 0..self.p {
+                if let Some(info) = sched.waiting[rank] {
+                    if let Some(call) = info.failable {
+                        if let Some(mut task) = sched.parked[rank].take() {
+                            if task.timeout_log.len() <= call {
+                                task.timeout_log.resize(call + 1, false);
+                            }
+                            task.timeout_log[call] = true;
+                            sched.waiting[rank] = None;
+                            // The shard's waiter registration goes stale
+                            // here (lock order forbids clearing it while
+                            // holding sched); the wake path tolerates it.
+                            sched.ready.push_back(task);
+                            forced = true;
+                        }
+                    }
+                }
             }
-            self.cv.notify_all();
+            if forced {
+                self.cv.notify_all();
+                return;
+            }
+        }
+        let waits: Vec<String> = sched
+            .waiting
+            .iter()
+            .enumerate()
+            .filter_map(|(dst, w)| {
+                w.map(|info| {
+                    let peer = if self.crashed[info.src].load(Ordering::Acquire) {
+                        "crashed"
+                    } else if self.terminal[info.src].load(Ordering::Acquire) {
+                        "finished"
+                    } else {
+                        "blocked too"
+                    };
+                    format!(
+                        "PE {dst} waits for message #{} from PE {} [pair produced {} \
+                         message(s); peer {peer}{}]",
+                        info.index,
+                        info.src,
+                        info.produced,
+                        if info.failable.is_some() {
+                            "; waiter is failure-detecting"
+                        } else {
+                            ""
+                        }
+                    )
+                })
+            })
+            .collect();
+        if sched.failure.is_none() {
+            sched.failure = Some(format!(
+                "multiplexed SPMD run deadlocked:\n  {}",
+                waits.join("\n  ")
+            ));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Resume every parked task waiting on `src` (tolerantly: stale shard
+    /// registrations are fine, resumed tasks re-check and re-park if still
+    /// blocked).  Called with the sched lock held when `src` turned
+    /// terminal — its death or completion releases delayed pairs and
+    /// finalises dead-peer verdicts, so its waiters must re-evaluate.
+    fn resume_waiters_on(&self, sched: &mut Sched, src: Rank) {
+        for rank in 0..self.p {
+            if sched.waiting[rank].is_some_and(|info| info.src == src) {
+                if let Some(task) = sched.parked[rank].take() {
+                    sched.waiting[rank] = None;
+                    sched.ready.push_back(task);
+                    self.cv.notify_one();
+                }
+            }
         }
     }
+
+    /// With `dst`'s shard lock held: how the message at effective index
+    /// `idx` of the pair `(src, dst)` looks right now.
+    fn availability(&self, shard: &MuxShard, dst: Rank, src: Rank, idx: usize) -> MuxAvail {
+        let _ = dst; // identity of the shard, for readability at call sites
+        let pair = shard.pairs.get(&src);
+        let pair_len = pair.map_or(0, |p| p.msgs.len());
+        if idx < pair_len {
+            if let Some(f) = self.faults.as_ref() {
+                if let Some(delay) = f.delay_for(src, dst) {
+                    let sent_at = pair.expect("idx < len implies pair exists").msgs[idx].sent_at_op;
+                    let released = self.max_send_ops[src].load(Ordering::Acquire)
+                        >= sent_at + delay
+                        || self.terminal[src].load(Ordering::Acquire);
+                    if !released {
+                        return MuxAvail::NotYet;
+                    }
+                }
+            }
+            return MuxAvail::Ready;
+        }
+        // A crashed task never runs again and the store is permanent, so
+        // once the crashed flag is visible the pair's length is final: an
+        // index at or past it will never be produced.
+        if self.faults.is_some() && self.crashed[src].load(Ordering::Acquire) {
+            MuxAvail::Dead
+        } else {
+            MuxAvail::NotYet
+        }
+    }
+}
+
+/// How a probed message index looks to its receiver right now (mux flavour
+/// of the sequential backend's availability verdict).
+enum MuxAvail {
+    /// Present and (if the pair is delayed) released for delivery.
+    Ready,
+    /// Not there yet, or held back by an injected delay — park and retry.
+    NotYet,
+    /// Never coming: the sender crash-stopped with a shorter send log.
+    Dead,
 }
 
 /// Communicator handle of one PE during one execution of its task on the
@@ -277,10 +441,19 @@ pub struct MuxComm {
     /// receive — busy-poll cut-off (a spinning task never yields its
     /// worker, so unbounded spinning can livelock a small pool).
     empty_probe_streak: Cell<u64>,
+    /// Send operations performed this execution; drives the `CrashPe`
+    /// trigger and the `DelayPair` release clock.  Only maintained under a
+    /// fault plan.
+    send_ops: Cell<u64>,
+    /// Index of the next `recv_failable` call into the timeout log.
+    failable_calls: Cell<usize>,
+    /// This task's forced-`Timeout` verdict log (moved in/out around each
+    /// execution by the worker, like `try_log`).
+    timeout_log: RefCell<Vec<bool>>,
 }
 
 impl MuxComm {
-    fn new(world: Arc<MuxWorld>, rank: Rank, try_log: Vec<bool>) -> Self {
+    fn new(world: Arc<MuxWorld>, rank: Rank, try_log: Vec<bool>, timeout_log: Vec<bool>) -> Self {
         MuxComm {
             world,
             rank,
@@ -290,6 +463,9 @@ impl MuxComm {
             try_calls: Cell::new(0),
             try_log: RefCell::new(try_log),
             empty_probe_streak: Cell::new(0),
+            send_ops: Cell::new(0),
+            failable_calls: Cell::new(0),
+            timeout_log: RefCell::new(timeout_log),
         }
     }
 
@@ -301,14 +477,30 @@ impl MuxComm {
         }
     }
 
+    /// This execution's effective receive index for `src`: the pair cursor
+    /// skipped past any injected drops (lost messages were paid for by the
+    /// sender but never arrive; the receive sequence steps over them).
+    fn effective_idx(&self, src: Rank) -> usize {
+        let mut idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
+        if let Some(f) = self.world.faults.as_ref() {
+            while f.is_dropped(src, self.rank, idx as u64) {
+                idx += 1;
+            }
+        }
+        idx
+    }
+
     /// Decode the message at this execution's cursor for `src`, or abort
-    /// the execution (park) when it has not been produced yet.
+    /// the execution (park) when it has not been produced yet.  A receive
+    /// from a crashed peer whose send log is exhausted fails fast with a
+    /// descriptive panic (a plain `recv` cannot handle the failure).
     fn take_next<T: CommData>(&self, src: Rank, expected: Option<Tag>) -> (Tag, T) {
-        let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
+        let idx = self.effective_idx(src);
         let decoded = {
             let shard = lock(&self.world.shards[self.rank]);
-            match shard.pairs.get(&src).and_then(|pair| pair.msgs.get(idx)) {
-                Some(msg) => {
+            match self.world.availability(&shard, self.rank, src, idx) {
+                MuxAvail::Ready => {
+                    let msg = &shard.pairs[&src].msgs[idx];
                     // Counters are reset at the start of every execution,
                     // so each receive is metered unconditionally: after
                     // the final (complete) execution they describe exactly
@@ -326,7 +518,11 @@ impl MuxComm {
                     }
                     Some((msg.tag, self.open::<T>(msg, src)))
                 }
-                None => None,
+                MuxAvail::NotYet => None,
+                MuxAvail::Dead => {
+                    let err = CommError::PeerDead { rank: src };
+                    panic!("recv from {src}: {err} (use recv_failable to handle peer crashes)");
+                }
             }
         };
         match decoded {
@@ -341,6 +537,7 @@ impl MuxComm {
                 src,
                 dst: self.rank,
                 index: idx,
+                failable: None,
             }),
         }
     }
@@ -393,6 +590,20 @@ impl Communicator for MuxComm {
              typed hooks (see commsim::message) or run on run_spmd / run_spmd_seq",
             std::any::type_name::<T>()
         );
+        // Fault hook (zero-cost when no plan is loaded): a scheduled crash
+        // fires immediately before the task's `at_send_count`-th send, and
+        // the send-op clock drives `DelayPair` release.
+        let op = if let Some(f) = self.world.faults.as_ref() {
+            let op = self.send_ops.get();
+            if f.crash_at(self.rank) == Some(op) {
+                panic::panic_any(Crashed { rank: self.rank });
+            }
+            self.send_ops.set(op + 1);
+            self.world.max_send_ops[self.rank].fetch_max(op + 1, Ordering::AcqRel);
+            op
+        } else {
+            0
+        };
         let idx = {
             let mut cursors = self.send_cursor.borrow_mut();
             let cursor = cursors.entry(dst).or_insert(0);
@@ -400,54 +611,88 @@ impl Communicator for MuxComm {
             *cursor += 1;
             idx
         };
-        let mut shard = lock(&self.world.shards[dst]);
-        let pair = shard.pairs.entry(self.rank).or_default();
-        let pe = self.world.stats.pe(self.rank);
-        if let Some(stored) = pair.msgs.get(idx) {
-            // Replay of a message that is already in the store: the
-            // closure is deterministic, so the contents are identical —
-            // skip the redundant re-encode, but still meter it (counters
-            // describe the current execution).
-            debug_assert_eq!(stored.tag, tag, "replayed send diverged");
-            pe.record_send(stored.words);
-            return;
-        }
-        debug_assert_eq!(idx, pair.msgs.len(), "send indices are dense");
-        let words = value.word_count();
-        let mut buf = Vec::with_capacity(words);
-        value.encode_typed(&mut buf);
-        debug_assert_eq!(
-            buf.len(),
-            words,
-            "encode_typed must append exactly word_count words"
-        );
-        pe.record_send(words);
-        pair.msgs.push(StoredMsg {
-            tag,
-            words,
-            type_id: TypeId::of::<T>(),
-            type_name: std::any::type_name::<T>(),
-            buf,
-        });
-        // Wake the destination if it parked waiting for exactly this
-        // message.  Registration happens under this shard's lock, so the
-        // waiter is either visible here or has re-checked after this push.
-        let wake = match shard.waiter {
-            Some((src, windex)) if src == self.rank && windex <= idx => {
-                shard.waiter = None;
-                true
+        {
+            let mut shard = lock(&self.world.shards[dst]);
+            let pair = shard.pairs.entry(self.rank).or_default();
+            let pe = self.world.stats.pe(self.rank);
+            if let Some(stored) = pair.msgs.get(idx) {
+                // Replay of a message that is already in the store: the
+                // closure is deterministic, so the contents are identical —
+                // skip the redundant re-encode, but still meter it (counters
+                // describe the current execution).
+                debug_assert_eq!(stored.tag, tag, "replayed send diverged");
+                pe.record_send(stored.words);
+                return;
             }
-            _ => false,
-        };
-        if wake {
-            // Lock order is always shard → sched.
-            let mut sched = lock(&self.world.sched);
-            sched.waiting[dst] = None;
-            let task = sched.parked[dst]
-                .take()
-                .expect("a registered waiter must have a parked task");
-            sched.ready.push_back(task);
-            self.world.cv.notify_one();
+            debug_assert_eq!(idx, pair.msgs.len(), "send indices are dense");
+            let words = value.word_count();
+            let mut buf = Vec::with_capacity(words);
+            value.encode_typed(&mut buf);
+            debug_assert_eq!(
+                buf.len(),
+                words,
+                "encode_typed must append exactly word_count words"
+            );
+            pe.record_send(words);
+            pair.msgs.push(StoredMsg {
+                tag,
+                words,
+                type_id: TypeId::of::<T>(),
+                type_name: std::any::type_name::<T>(),
+                buf,
+                sent_at_op: op,
+            });
+            // Wake the destination if it parked waiting for exactly this
+            // message.  Registration happens under this shard's lock, so the
+            // waiter is either visible here or has re-checked after this
+            // push.
+            let wake = match shard.waiter {
+                Some((src, windex)) if src == self.rank && windex <= idx => {
+                    shard.waiter = None;
+                    true
+                }
+                _ => false,
+            };
+            if wake {
+                // Lock order is always shard → sched.
+                let mut sched = lock(&self.world.sched);
+                // Tolerant take: the stall resolver resumes tasks without
+                // clearing their shard registration, so a registered waiter
+                // may have no parked task — it is already running again.
+                if let Some(task) = sched.parked[dst].take() {
+                    sched.waiting[dst] = None;
+                    sched.ready.push_back(task);
+                    self.world.cv.notify_one();
+                }
+            }
+        }
+        // Under a fault plan, this send advanced the sender's op clock,
+        // which may have released held-back messages on *other* delayed
+        // pairs from this rank; their parked receivers re-evaluate.  Both
+        // shard locks above are released first (shards are never nested).
+        if let Some(f) = self.world.faults.as_ref() {
+            for delayed_dst in f.delayed_dsts(self.rank) {
+                if delayed_dst == dst {
+                    continue; // the primary wake above covered this shard
+                }
+                let mut shard = lock(&self.world.shards[delayed_dst]);
+                let woken = match shard.waiter {
+                    Some((src, windex)) if src == self.rank => matches!(
+                        self.world.availability(&shard, delayed_dst, src, windex),
+                        MuxAvail::Ready
+                    ),
+                    _ => false,
+                };
+                if woken {
+                    shard.waiter = None;
+                    let mut sched = lock(&self.world.sched);
+                    if let Some(task) = sched.parked[delayed_dst].take() {
+                        sched.waiting[delayed_dst] = None;
+                        sched.ready.push_back(task);
+                        self.world.cv.notify_one();
+                    }
+                }
+            }
         }
     }
 
@@ -472,13 +717,13 @@ impl Communicator for MuxComm {
                 // that recorded the decision, whatever has arrived since.
                 log[call]
             } else {
-                let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
+                let idx = self.effective_idx(src);
                 let available = {
                     let shard = lock(&self.world.shards[self.rank]);
-                    shard
-                        .pairs
-                        .get(&src)
-                        .is_some_and(|pair| pair.msgs.len() > idx)
+                    matches!(
+                        self.world.availability(&shard, self.rank, src, idx),
+                        MuxAvail::Ready
+                    )
                 };
                 log.push(available);
                 if !available {
@@ -498,11 +743,65 @@ impl Communicator for MuxComm {
         };
         if decision {
             // The message is in the permanent store (a logged `true` can
-            // never become stale), so this cannot park.
+            // never become stale — delay release is monotone too), so this
+            // cannot park.
             let (tag, value) = self.take_next(src, None);
             Some((tag, value))
         } else {
             None
+        }
+    }
+
+    fn recv_failable<T: CommData>(&self, src: Rank, tag: Tag) -> CommResult<T> {
+        validate_user_tag(tag);
+        self.check_rank(src, "recv from");
+        let call = self.failable_calls.get();
+        self.failable_calls.set(call + 1);
+        // A verdict forced by the stall resolver replays verbatim, even if
+        // the message has arrived since: later executions must follow the
+        // exact control flow of the one that recorded it.
+        let forced = self
+            .timeout_log
+            .borrow()
+            .get(call)
+            .copied()
+            .unwrap_or(false);
+        if forced {
+            return Err(CommError::Timeout { from: src });
+        }
+        let idx = self.effective_idx(src);
+        let decoded = {
+            let shard = lock(&self.world.shards[self.rank]);
+            match self.world.availability(&shard, self.rank, src, idx) {
+                MuxAvail::Ready => {
+                    let msg = &shard.pairs[&src].msgs[idx];
+                    self.world.stats.pe(self.rank).record_recv(msg.words);
+                    if msg.tag != tag {
+                        let err = CommError::TagMismatch {
+                            expected: tag,
+                            got: msg.tag,
+                            from: src,
+                        };
+                        panic!("recv_failable from {src}: {err}");
+                    }
+                    Some(self.open::<T>(msg, src))
+                }
+                MuxAvail::NotYet => None,
+                MuxAvail::Dead => return Err(CommError::PeerDead { rank: src }),
+            }
+        };
+        match decoded {
+            Some(value) => {
+                self.recv_cursor.borrow_mut().insert(src, idx + 1);
+                self.empty_probe_streak.set(0);
+                Ok(value)
+            }
+            None => panic::panic_any(Blocked {
+                src,
+                dst: self.rank,
+                index: idx,
+                failable: Some(call),
+            }),
         }
     }
 }
@@ -518,7 +817,7 @@ where
         let mut task = {
             let mut sched = lock(&world.sched);
             loop {
-                if sched.failure.is_some() || sched.done == world.p {
+                if sched.failure.is_some() || world.finished(&sched) == world.p {
                     return;
                 }
                 if let Some(task) = sched.ready.pop_front() {
@@ -530,19 +829,34 @@ where
         };
         let rank = task.rank;
         // Each execution starts from a clean counter set; the run only
-        // ends once every task ran to completion, so the surviving
-        // counters describe exactly one complete execution per PE.
+        // ends once every task ran to completion (or to its crash point),
+        // so the surviving counters describe exactly one complete
+        // execution per PE.
         world.stats.pe(rank).reset();
-        let comm = MuxComm::new(Arc::clone(world), rank, std::mem::take(&mut task.try_log));
+        let comm = MuxComm::new(
+            Arc::clone(world),
+            rank,
+            std::mem::take(&mut task.try_log),
+            std::mem::take(&mut task.timeout_log),
+        );
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
         task.try_log = comm.try_log.into_inner();
+        task.timeout_log = comm.timeout_log.into_inner();
         match outcome {
             Ok(value) => {
                 lock(results)[rank] = Some(value);
+                // Completion is terminal: it releases this rank's delayed
+                // pairs (so waiters must re-evaluate under fault injection)
+                // and lets the deadlock dump report the peer as finished
+                // rather than blocked.
+                world.terminal[rank].store(true, Ordering::Release);
                 let mut sched = lock(&world.sched);
                 sched.active -= 1;
                 sched.done += 1;
-                if sched.done == world.p {
+                if world.faults.is_some() {
+                    world.resume_waiters_on(&mut sched, rank);
+                }
+                if world.finished(&sched) == world.p {
                     world.cv.notify_all();
                 } else {
                     // A completion can strand the rest: everyone else may
@@ -552,15 +866,25 @@ where
             }
             Err(payload) => match payload.downcast::<Blocked>() {
                 Ok(blocked) => {
-                    let Blocked { src, index, .. } = *blocked;
+                    let Blocked {
+                        src,
+                        index,
+                        failable,
+                        ..
+                    } = *blocked;
                     let mut shard = lock(&world.shards[rank]);
                     // Re-check under the shard lock: the message may have
-                    // arrived between the abort and now, in which case the
-                    // task is immediately runnable again.
-                    let arrived = shard
-                        .pairs
-                        .get(&src)
-                        .is_some_and(|pair| pair.msgs.len() > index);
+                    // arrived (or a held-back one been released) between
+                    // the abort and now, in which case the task is
+                    // immediately runnable again.  The probe must be the
+                    // fault-aware one — a present-but-delayed message is
+                    // NOT arrived, or the task would requeue-spin.
+                    let arrived = matches!(
+                        world.availability(&shard, rank, src, index),
+                        MuxAvail::Ready
+                    ) || (world.faults.is_some()
+                        && world.crashed[src].load(Ordering::Acquire));
+                    let produced = shard.pairs.get(&src).map_or(0, |pair| pair.msgs.len());
                     let mut sched = lock(&world.sched);
                     sched.active -= 1;
                     if arrived {
@@ -568,12 +892,36 @@ where
                         world.cv.notify_one();
                     } else {
                         shard.waiter = Some((src, index));
-                        sched.waiting[rank] = Some((src, index));
+                        sched.waiting[rank] = Some(WaitInfo {
+                            src,
+                            index,
+                            failable,
+                            produced,
+                        });
                         sched.parked[rank] = Some(task);
                         world.check_deadlock(&mut sched);
                     }
                 }
                 Err(payload) => {
+                    if let Some(crash) = payload.downcast_ref::<Crashed>() {
+                        // Scheduled crash-stop: terminal like a completion
+                        // (pre-crash sends stand; the store is final), but
+                        // the rank produces no result.  Waiters on this
+                        // rank re-evaluate — they may now resolve PeerDead
+                        // or see a delayed pair released.
+                        world.crashed[crash.rank].store(true, Ordering::Release);
+                        world.terminal[crash.rank].store(true, Ordering::Release);
+                        let mut sched = lock(&world.sched);
+                        sched.active -= 1;
+                        sched.crashed_count += 1;
+                        world.resume_waiters_on(&mut sched, crash.rank);
+                        if world.finished(&sched) == world.p {
+                            world.cv.notify_all();
+                        } else {
+                            world.check_deadlock(&mut sched);
+                        }
+                        continue;
+                    }
                     let msg = payload
                         .downcast_ref::<String>()
                         .map(String::as_str)
@@ -617,8 +965,55 @@ where
 }
 
 /// Like [`run_spmd_mux`], with explicit worker-pool and stack-size
-/// configuration.
+/// configuration.  Rejects a non-empty fault plan — crashed PEs cannot be
+/// expressed in `SpmdOutput<T>`; use [`run_spmd_mux_faulty`] for that.
 pub fn run_spmd_mux_with<T, F>(config: MuxConfig, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&MuxComm) -> T + Send + Sync,
+{
+    assert!(
+        config.faults.as_ref().is_none_or(FaultPlan::is_empty),
+        "run_spmd_mux_with cannot express crashed PEs; use run_spmd_mux_faulty"
+    );
+    let out = run_mux_core(config, None, f);
+    SpmdOutput {
+        results: out
+            .results
+            .into_iter()
+            .map(|v| v.expect("fault-free run cannot crash a PE"))
+            .collect(),
+        stats: out.stats,
+        elapsed: out.elapsed,
+    }
+}
+
+/// Run `f` under a fault schedule (see [`crate::faults`]): the multiplexed
+/// counterpart of [`run_spmd_mux`] for chaos testing at scale.
+///
+/// `results[rank]` is `None` exactly for the PEs that crash-stopped; every
+/// surviving PE ran its closure to completion.  An empty (or absent) fault
+/// plan is bit-identical — results and metered words per PE — to
+/// [`run_spmd_mux_with`].
+pub fn run_spmd_mux_faulty<T, F>(config: MuxConfig, f: F) -> SpmdOutput<Option<T>>
+where
+    T: Send,
+    F: Fn(&MuxComm) -> T + Send + Sync,
+{
+    let compiled = config
+        .faults
+        .as_ref()
+        .and_then(|plan| plan.compile(config.num_pes));
+    run_mux_core(config, compiled, f)
+}
+
+/// The worker-pool scheduler shared by the fault-free and fault-injecting
+/// entry points.  Returns `None` for PEs that crash-stopped.
+fn run_mux_core<T, F>(
+    config: MuxConfig,
+    faults: Option<CompiledFaults>,
+    f: F,
+) -> SpmdOutput<Option<T>>
 where
     T: Send,
     F: Fn(&MuxComm) -> T + Send + Sync,
@@ -629,7 +1024,7 @@ where
     install_quiet_block_hook();
 
     let start = Instant::now();
-    let world = Arc::new(MuxWorld::new(p));
+    let world = Arc::new(MuxWorld::new(p, faults));
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..p).map(|_| None).collect());
     {
         let mut sched = lock(&world.sched);
@@ -637,6 +1032,7 @@ where
             sched.ready.push_back(TaskState {
                 rank,
                 try_log: Vec::new(),
+                timeout_log: Vec::new(),
             });
         }
     }
@@ -659,7 +1055,7 @@ where
         if let Some(msg) = &sched.failure {
             panic!("{msg}");
         }
-        assert_eq!(sched.done, p, "run ended with unfinished tasks");
+        assert_eq!(world.finished(&sched), p, "run ended with unfinished tasks");
     }
     let elapsed = start.elapsed();
     SpmdOutput {
@@ -667,7 +1063,14 @@ where
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
-            .map(|v| v.expect("completed run must have all results"))
+            .enumerate()
+            .map(|(rank, v)| {
+                if world.crashed[rank].load(Ordering::Acquire) {
+                    None
+                } else {
+                    Some(v.expect("non-crashed PE of a completed run must have a result"))
+                }
+            })
             .collect(),
         stats: world.stats.world(),
         elapsed,

@@ -11,11 +11,16 @@
 //! [`SpmdOutput`] shape, and closures written against the
 //! [`crate::Communicator`] trait work with either.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::comm::Comm;
+use crate::faults::{Crashed, FaultPlan};
 use crate::metrics::{StatsRegistry, WorldStats};
+use crate::seq::install_quiet_block_hook;
 use crate::transport::Mailbox;
 
 /// Configuration of an SPMD run.
@@ -27,6 +32,9 @@ pub struct SpmdConfig {
     /// all algorithms in this repository; deep recursions on huge local
     /// inputs may want more.
     pub stack_size: usize,
+    /// Fault schedule to inject (see [`crate::faults`]).  `None` — and an
+    /// empty plan — leave the run bit-identical to a fault-free one.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SpmdConfig {
@@ -35,12 +43,19 @@ impl SpmdConfig {
         SpmdConfig {
             num_pes,
             stack_size: 8 * 1024 * 1024,
+            faults: None,
         }
     }
 
     /// Override the per-PE stack size.
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = bytes;
+        self
+    }
+
+    /// Attach a fault schedule (used with [`run_spmd_faulty`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -89,30 +104,113 @@ where
     run_spmd_with(SpmdConfig::new(p), f)
 }
 
-/// Like [`run_spmd`] but with explicit configuration.
+/// Like [`run_spmd`] but with explicit configuration.  Rejects a non-empty
+/// fault plan — crashed PEs cannot be expressed in `SpmdOutput<T>`; use
+/// [`run_spmd_faulty`] for that.
 pub fn run_spmd_with<T, F>(config: SpmdConfig, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Send + Sync,
+{
+    assert!(
+        config.faults.as_ref().is_none_or(FaultPlan::is_empty),
+        "run_spmd_with cannot express crashed PEs; use run_spmd_faulty"
+    );
+    let out = run_threaded_core(config, None, f);
+    SpmdOutput {
+        results: out
+            .results
+            .into_iter()
+            .map(|v| v.expect("fault-free run cannot crash a PE"))
+            .collect(),
+        stats: out.stats,
+        elapsed: out.elapsed,
+    }
+}
+
+/// Run `f` under a fault schedule (see [`crate::faults`]): the threaded
+/// counterpart of [`run_spmd`] for chaos testing with real concurrency.
+///
+/// `results[rank]` is `None` exactly for the PEs that crash-stopped; every
+/// surviving PE ran its closure to completion.  An empty (or absent) fault
+/// plan is bit-identical — results and metered words per PE — to
+/// [`run_spmd_with`].
+///
+/// Unlike the replay backends ([`crate::run_spmd_seq_faulty`],
+/// [`crate::run_spmd_mux_faulty`]), whose [`CommError::Timeout`] verdicts
+/// are deterministic (forced only at whole-world quiescence and replayed
+/// verbatim), the threaded backend detects slowness with a real wall-clock
+/// window — timeout verdicts here depend on scheduling.  Crash and drop
+/// effects, and all traffic metering, remain deterministic.
+///
+/// [`CommError::Timeout`]: crate::CommError::Timeout
+pub fn run_spmd_faulty<T, F>(config: SpmdConfig, f: F) -> SpmdOutput<Option<T>>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Send + Sync,
+{
+    let compiled = config
+        .faults
+        .as_ref()
+        .and_then(|plan| plan.compile(config.num_pes));
+    run_threaded_core(config, compiled.map(Arc::new), f)
+}
+
+/// The thread-per-PE executor shared by the fault-free and fault-injecting
+/// entry points.  Returns `None` for PEs that crash-stopped.
+fn run_threaded_core<T, F>(
+    config: SpmdConfig,
+    faults: Option<Arc<crate::faults::CompiledFaults>>,
+    f: F,
+) -> SpmdOutput<Option<T>>
 where
     T: Send,
     F: Fn(&Comm) -> T + Send + Sync,
 {
     let p = config.num_pes;
     assert!(p > 0, "an SPMD region needs at least one PE");
+    if faults.is_some() {
+        install_quiet_block_hook();
+    }
     let registry = StatsRegistry::new(p);
     let mailboxes = Mailbox::full_mesh(p);
+    let crashed: Arc<Vec<AtomicBool>> = Arc::new((0..p).map(|_| AtomicBool::new(false)).collect());
     let f = &f;
 
     let start = Instant::now();
-    let results: Vec<T> = thread::scope(|scope| {
+    let results: Vec<Option<T>> = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, mailbox) in mailboxes.into_iter().enumerate() {
             let registry = registry.clone();
+            let faults = faults.clone();
+            let crashed = Arc::clone(&crashed);
             let builder = thread::Builder::new()
                 .name(format!("pe-{rank}"))
                 .stack_size(config.stack_size);
             let handle = builder
                 .spawn_scoped(scope, move || {
-                    let comm = Comm::new(mailbox, registry);
-                    f(&comm)
+                    let comm = match faults {
+                        Some(plan) => {
+                            Comm::new_faulty(mailbox, registry, plan, Arc::clone(&crashed))
+                        }
+                        None => Comm::new(mailbox, registry),
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| f(&comm))) {
+                        Ok(v) => Some(v),
+                        Err(payload) => {
+                            if payload.downcast_ref::<Crashed>().is_some() {
+                                // Publish the crash verdict *before* the
+                                // communicator (and with it the mailbox)
+                                // drops: an observer that sees the teardown
+                                // and then loads this flag cannot miss it.
+                                crashed[rank].store(true, Ordering::SeqCst);
+                                drop(comm);
+                                None
+                            } else {
+                                resume_unwind(payload)
+                            }
+                        }
+                    }
                 })
                 .expect("failed to spawn PE thread");
             handles.push(handle);

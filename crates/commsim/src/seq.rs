@@ -73,8 +73,9 @@ use std::rc::Rc;
 use std::sync::Once;
 use std::time::Instant;
 
-use crate::communicator::{Communicator, COLLECTIVE_TAG_BASE};
-use crate::error::CommError;
+use crate::communicator::{validate_user_tag, Communicator, COLLECTIVE_TAG_BASE};
+use crate::error::{CommError, CommResult};
+use crate::faults::{CompiledFaults, Crashed, FaultPlan};
 use crate::message::CommData;
 use crate::metrics::{StatsRegistry, StatsSnapshot};
 use crate::runner::SpmdOutput;
@@ -89,17 +90,26 @@ pub(crate) struct Blocked {
     pub(crate) src: Rank,
     pub(crate) dst: Rank,
     pub(crate) index: usize,
+    /// `Some(call)` when the block came from the `call`-th
+    /// [`Communicator::recv_failable`] of the PE: the scheduler may resolve
+    /// a whole-world stall by forcing that call to a `Timeout` verdict
+    /// (recorded in the world's timeout log and replayed verbatim).
+    pub(crate) failable: Option<usize>,
 }
 
-/// Teach the process-wide panic hook to stay silent for [`Blocked`]
-/// sentinels (they are control flow, not failures); everything else is
-/// forwarded to the previously installed hook.
+/// Teach the process-wide panic hook to stay silent for [`Blocked`] and
+/// [`Crashed`] sentinels (they are control flow — round scheduling and
+/// injected crash-stops — not failures); everything else is forwarded to the
+/// previously installed hook.
 pub(crate) fn install_quiet_block_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<Blocked>().is_none() {
+            let payload = info.payload();
+            if payload.downcast_ref::<Blocked>().is_none()
+                && payload.downcast_ref::<Crashed>().is_none()
+            {
                 prev(info);
             }
         }));
@@ -116,6 +126,21 @@ struct PairState {
     /// ever produced, by send index — so a replayed send whose previous
     /// copy is still in its slot can be metered without re-encoding.
     sent_meta: Vec<(usize, bool)>,
+    /// Sender send-op counter value at which each message was produced;
+    /// only populated under a fault plan (it drives `DelayPair` release).
+    sent_at_op: Vec<u64>,
+}
+
+/// How a probed message slot looks to its receiver right now.
+enum Avail {
+    /// Present and (if the pair is delayed) released for delivery.
+    Ready,
+    /// Not there yet (unsent, consumed-awaiting-replay, or held back by an
+    /// injected delay) — block and retry in a later round.
+    NotYet,
+    /// Never coming: the sender crash-stopped and its final send log holds
+    /// no message at this index.
+    Dead,
 }
 
 /// State shared by all PEs of one sequential run.
@@ -132,16 +157,38 @@ struct SeqWorld {
     try_log: RefCell<Vec<Vec<bool>>>,
     /// Shared typed-path buffer pool (one thread, so one pool suffices).
     pool: BufferPool,
+    /// Compiled fault schedule; `None` on the fault-free path, which then
+    /// skips every fault check (the zero-cost-when-`None` hook).
+    faults: Option<CompiledFaults>,
+    /// Ranks that have hit their scheduled crash point (monotone).
+    crashed: RefCell<Vec<bool>>,
+    /// Ranks whose send log is final — finished or crashed (monotone).
+    /// Releases delayed pairs and finalises dead-peer verdicts.
+    terminal: RefCell<Vec<bool>>,
+    /// Furthest send-op counter each rank has reached across replay rounds;
+    /// the release clock for `DelayPair` hold-backs.
+    max_send_ops: RefCell<Vec<u64>>,
+    /// Per-PE forced-`Timeout` verdicts for `recv_failable`, indexed by the
+    /// PE's failable-call counter.  Written by the scheduler when a
+    /// whole-world stall is resolved by timing a call out; replayed verbatim
+    /// afterwards even if the awaited message has arrived since (determinism
+    /// beats freshness here).
+    timeout_log: RefCell<Vec<Vec<bool>>>,
 }
 
 impl SeqWorld {
-    fn new(p: usize) -> Self {
+    fn new(p: usize, faults: Option<CompiledFaults>) -> Self {
         SeqWorld {
             p,
             stats: StatsRegistry::new(p),
             pairs: RefCell::new((0..p).map(|_| HashMap::new()).collect()),
             try_log: RefCell::new(vec![Vec::new(); p]),
             pool: BufferPool::new(),
+            faults,
+            crashed: RefCell::new(vec![false; p]),
+            terminal: RefCell::new(vec![false; p]),
+            max_send_ops: RefCell::new(vec![0; p]),
+            timeout_log: RefCell::new(vec![Vec::new(); p]),
         }
     }
 }
@@ -167,6 +214,12 @@ pub struct SeqComm {
     empty_probe_streak: Cell<u64>,
     /// Communication operations completed this round (progress metric).
     ops: Cell<u64>,
+    /// Send operations performed this execution; drives the `CrashPe`
+    /// trigger and the `DelayPair` release clock.  Only maintained under a
+    /// fault plan.
+    send_ops: Cell<u64>,
+    /// Index of the next `recv_failable` call into the timeout log.
+    failable_calls: Cell<usize>,
 }
 
 /// Empty `try_recv` probes tolerated without an intervening successful
@@ -186,6 +239,8 @@ impl SeqComm {
             try_calls: Cell::new(0),
             empty_probe_streak: Cell::new(0),
             ops: Cell::new(0),
+            send_ops: Cell::new(0),
+            failable_calls: Cell::new(0),
         }
     }
 
@@ -197,36 +252,85 @@ impl SeqComm {
         }
     }
 
-    /// Consume the next message from `src`, or abort this round's execution
-    /// when it has not been produced (yet).
-    fn take_next(&self, src: Rank) -> Envelope {
-        let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
-        let taken = {
+    /// Effective receive index for `src` (the pair cursor skipped past any
+    /// injected drops) and how that slot looks right now.
+    fn probe_next(&self, src: Rank) -> (usize, Avail) {
+        let mut idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
+        let faults = self.world.faults.as_ref();
+        if let Some(f) = faults {
+            // Dropped messages were paid for by the sender but never arrive;
+            // the receive sequence skips over them transparently.
+            while f.is_dropped(src, self.rank, idx as u64) {
+                idx += 1;
+            }
+        }
+        let pairs = self.world.pairs.borrow();
+        let pair = pairs[self.rank].get(&src);
+        let present = pair.is_some_and(|pr| pr.slots.get(idx).is_some_and(Option::is_some));
+        if present {
+            if let Some(f) = faults {
+                if let Some(delay) = f.delay_for(src, self.rank) {
+                    let sent_at = pair
+                        .and_then(|pr| pr.sent_at_op.get(idx).copied())
+                        .unwrap_or(0);
+                    let released = self.world.max_send_ops.borrow()[src] >= sent_at + delay
+                        || self.world.terminal.borrow()[src];
+                    if !released {
+                        return (idx, Avail::NotYet);
+                    }
+                }
+            }
+            return (idx, Avail::Ready);
+        }
+        // A crashed peer still replays (and refills) everything below its
+        // crash point, so its per-pair send log is final once it has crashed:
+        // an index at or past the log's end will never be produced.
+        let dead = faults.is_some()
+            && self.world.crashed.borrow()[src]
+            && idx >= pair.map_or(0, |pr| pr.sent_meta.len());
+        (idx, if dead { Avail::Dead } else { Avail::NotYet })
+    }
+
+    /// Consume the message at effective index `idx` from `src` (must be
+    /// `Avail::Ready`).
+    fn consume(&self, src: Rank, idx: usize) -> Envelope {
+        let env = {
             let mut pairs = self.world.pairs.borrow_mut();
             let env = pairs[self.rank]
                 .get_mut(&src)
-                .and_then(|pair| pair.slots.get_mut(idx).and_then(Option::take));
-            if let Some(env) = &env {
-                // Counters are reset at the start of every replay execution,
-                // so each receive is metered unconditionally: after the
-                // final (complete) execution they describe exactly one run
-                // of the closure.
-                self.world.stats.pe(self.rank).record_recv(env.words);
-            }
+                .and_then(|pair| pair.slots.get_mut(idx).and_then(Option::take))
+                .expect("probed Ready slot must hold a message");
+            // Counters are reset at the start of every replay execution,
+            // so each receive is metered unconditionally: after the
+            // final (complete) execution they describe exactly one run
+            // of the closure.
+            self.world.stats.pe(self.rank).record_recv(env.words);
             env
         };
-        match taken {
-            Some(env) => {
-                self.recv_cursor.borrow_mut().insert(src, idx + 1);
-                self.empty_probe_streak.set(0);
-                self.ops.set(self.ops.get() + 1);
-                env
-            }
-            None => panic::panic_any(Blocked {
+        self.recv_cursor.borrow_mut().insert(src, idx + 1);
+        self.empty_probe_streak.set(0);
+        self.ops.set(self.ops.get() + 1);
+        env
+    }
+
+    /// Consume the next message from `src`, or abort this round's execution
+    /// when it has not been produced (yet).  A receive from a crashed peer
+    /// whose send log is exhausted fails fast with a descriptive panic — a
+    /// plain `recv` has no way to handle the failure, and aborting beats
+    /// waiting for the deadlock detector.
+    fn take_next(&self, src: Rank) -> Envelope {
+        match self.probe_next(src) {
+            (idx, Avail::Ready) => self.consume(src, idx),
+            (idx, Avail::NotYet) => panic::panic_any(Blocked {
                 src,
                 dst: self.rank,
                 index: idx,
+                failable: None,
             }),
+            (_, Avail::Dead) => {
+                let err = CommError::PeerDead { rank: src };
+                panic!("recv from {src}: {err} (use recv_failable to handle peer crashes)");
+            }
         }
     }
 
@@ -261,6 +365,21 @@ impl Communicator for SeqComm {
 
     fn send_raw<T: CommData>(&self, dst: Rank, tag: Tag, value: T) {
         self.check_rank(dst, "send to");
+        // Fault hook (zero-cost when no plan is loaded): a scheduled crash
+        // fires immediately before the PE's `at_send_count`-th send, and the
+        // per-execution send-op clock drives `DelayPair` release.
+        let op = if let Some(f) = self.world.faults.as_ref() {
+            let op = self.send_ops.get();
+            if f.crash_at(self.rank) == Some(op) {
+                panic::panic_any(Crashed { rank: self.rank });
+            }
+            self.send_ops.set(op + 1);
+            let mut max_ops = self.world.max_send_ops.borrow_mut();
+            max_ops[self.rank] = max_ops[self.rank].max(op + 1);
+            op
+        } else {
+            0
+        };
         let idx = {
             let mut cursors = self.send_cursor.borrow_mut();
             let cursor = cursors.entry(dst).or_insert(0);
@@ -305,6 +424,12 @@ impl Communicator for SeqComm {
         if pair.sent_meta.len() <= idx {
             pair.sent_meta.resize(idx + 1, (0, false));
         }
+        if self.world.faults.is_some() {
+            if pair.sent_at_op.len() <= idx {
+                pair.sent_at_op.resize(idx + 1, 0);
+            }
+            pair.sent_at_op[idx] = op;
+        }
         pair.sent_meta[idx] = (env.words, reused);
         pair.slots[idx] = Some(env);
         self.ops.set(self.ops.get() + 1);
@@ -340,11 +465,10 @@ impl Communicator for SeqComm {
             if call < log.len() {
                 log[call]
             } else {
-                let idx = self.recv_cursor.borrow().get(&src).copied().unwrap_or(0);
-                let pairs = self.world.pairs.borrow();
-                let available = pairs[self.rank]
-                    .get(&src)
-                    .is_some_and(|pair| pair.slots.get(idx).is_some_and(Option::is_some));
+                // Fault-aware availability: a held-back (delayed) or
+                // never-coming (dropped / dead-peer) message probes as
+                // absent, exactly like an unsent one.
+                let available = matches!(self.probe_next(src), (_, Avail::Ready));
                 log.push(available);
                 if !available {
                     // Busy-poll detector: within one round no other PE can
@@ -375,6 +499,48 @@ impl Communicator for SeqComm {
             None
         }
     }
+
+    fn recv_failable<T: CommData>(&self, src: Rank, tag: Tag) -> CommResult<T> {
+        validate_user_tag(tag);
+        self.check_rank(src, "recv from");
+        let call = self.failable_calls.get();
+        self.failable_calls.set(call + 1);
+        // A verdict forced by the scheduler on an earlier round replays
+        // verbatim, even if the message has arrived since: later executions
+        // must follow the exact control flow of the one that recorded it.
+        let forced = self.world.timeout_log.borrow()[self.rank]
+            .get(call)
+            .copied()
+            .unwrap_or(false);
+        if forced {
+            self.ops.set(self.ops.get() + 1);
+            return Err(CommError::Timeout { from: src });
+        }
+        match self.probe_next(src) {
+            (idx, Avail::Ready) => {
+                let env = self.consume(src, idx);
+                if env.tag != tag {
+                    let err = CommError::TagMismatch {
+                        expected: tag,
+                        got: env.tag,
+                        from: src,
+                    };
+                    panic!("recv_failable from {src}: {err}");
+                }
+                Ok(self.open(env, src).1)
+            }
+            (_, Avail::Dead) => {
+                self.ops.set(self.ops.get() + 1);
+                Err(CommError::PeerDead { rank: src })
+            }
+            (idx, Avail::NotYet) => panic::panic_any(Blocked {
+                src,
+                dst: self.rank,
+                index: idx,
+                failable: Some(call),
+            }),
+        }
+    }
 }
 
 /// Rounds with no progress tolerated before declaring a deadlock (progress
@@ -385,6 +551,198 @@ const STALLED_ROUNDS_LIMIT: usize = 3;
 /// Hard cap on replay rounds — purely a runaway backstop, never reached by
 /// programs the deadlock detector can classify.
 const MAX_ROUNDS: usize = 1 << 24;
+
+/// Configuration for a sequential run, including an optional fault plan.
+#[derive(Debug, Clone, Default)]
+pub struct SeqConfig {
+    /// Number of simulated PEs.
+    pub num_pes: usize,
+    /// Fault schedule to inject; `None` (or an empty plan) runs fault-free
+    /// and is bit-identical to [`run_spmd_seq`].
+    pub faults: Option<FaultPlan>,
+}
+
+impl SeqConfig {
+    /// Fault-free configuration for `num_pes` PEs.
+    pub fn new(num_pes: usize) -> Self {
+        SeqConfig {
+            num_pes,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// Render the per-pair wait map for a stalled round: one line per blocked
+/// PE with the pair's production status and the peer's liveness, so a
+/// fault-induced stall is debuggable in one read.
+fn wait_map_report(world: &SeqWorld, blocked_at: &[Option<Blocked>]) -> String {
+    let pairs = world.pairs.borrow();
+    let crashed = world.crashed.borrow();
+    let terminal = world.terminal.borrow();
+    blocked_at
+        .iter()
+        .flatten()
+        .map(|b| {
+            let produced = pairs[b.dst]
+                .get(&b.src)
+                .map_or(0, |pair| pair.sent_meta.len());
+            let peer = if crashed[b.src] {
+                "crashed".to_string()
+            } else if terminal[b.src] {
+                "finished".to_string()
+            } else {
+                "blocked too".to_string()
+            };
+            format!(
+                "PE {} waits for message #{} from PE {} [pair produced {produced} \
+                 message(s); peer {peer}{}]",
+                b.dst,
+                b.index,
+                b.src,
+                if b.failable.is_some() {
+                    "; waiter is failure-detecting"
+                } else {
+                    ""
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n  ")
+}
+
+/// The round-replay scheduler shared by the fault-free and fault-injecting
+/// entry points.  Returns `None` for PEs that crash-stopped.
+fn run_seq_core<T, F>(p: usize, faults: Option<CompiledFaults>, f: F) -> SpmdOutput<Option<T>>
+where
+    F: Fn(&SeqComm) -> T,
+{
+    assert!(p > 0, "an SPMD region needs at least one PE");
+    install_quiet_block_hook();
+
+    let start = Instant::now();
+    let world = Rc::new(SeqWorld::new(p, faults));
+    let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    let mut best_ops: Vec<u64> = vec![0; p];
+    let mut blocked_at: Vec<Option<Blocked>> = (0..p).map(|_| None).collect();
+    let mut stalled_rounds = 0usize;
+
+    for round in 0.. {
+        assert!(
+            round < MAX_ROUNDS,
+            "sequential SPMD run exceeded {MAX_ROUNDS} replay rounds"
+        );
+        let mut all_done = true;
+        let mut improved = false;
+        for rank in 0..p {
+            // Each execution starts from a clean counter set (see
+            // `PeStats::reset`): the loop only exits after a round in which
+            // *every* PE ran its closure to completion (or to its crash
+            // point), so the surviving counters describe exactly one
+            // complete execution per PE and mid-closure snapshot deltas
+            // agree with the threaded backend.  Crashed PEs keep replaying
+            // every round — consumed slots below the crash point must be
+            // refilled, exactly like those of finished PEs.
+            world.stats.pe(rank).reset();
+            let comm = SeqComm::new(Rc::clone(&world), rank);
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
+            if comm.ops.get() > best_ops[rank] {
+                best_ops[rank] = comm.ops.get();
+                improved = true;
+            }
+            match outcome {
+                Ok(value) => {
+                    results[rank] = Some(value);
+                    blocked_at[rank] = None;
+                    world.terminal.borrow_mut()[rank] = true;
+                }
+                Err(payload) => match payload.downcast::<Blocked>() {
+                    Ok(blocked) => {
+                        all_done = false;
+                        results[rank] = None;
+                        blocked_at[rank] = Some(*blocked);
+                    }
+                    Err(payload) => {
+                        if let Some(crash) = payload.downcast_ref::<Crashed>() {
+                            // Scheduled crash-stop: the PE is terminally
+                            // gone but its pre-crash sends stand.  First
+                            // detection counts as progress (it can unblock
+                            // failure-detecting receivers).
+                            let mut crashed = world.crashed.borrow_mut();
+                            if !crashed[crash.rank] {
+                                crashed[crash.rank] = true;
+                                world.terminal.borrow_mut()[crash.rank] = true;
+                                improved = true;
+                            }
+                            results[rank] = None;
+                            blocked_at[rank] = None;
+                            continue;
+                        }
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic payload>");
+                        panic!("PE {rank} panicked: {msg}");
+                    }
+                },
+            }
+        }
+        if all_done {
+            break;
+        }
+        stalled_rounds = if improved { 0 } else { stalled_rounds + 1 };
+        if stalled_rounds >= STALLED_ROUNDS_LIMIT {
+            // A whole-world stall with failure-detecting receivers parked is
+            // not a deadlock: time those calls out (recording the verdict
+            // for verbatim replay) and let the world try again.
+            let mut forced = false;
+            if world.faults.is_some() {
+                let mut log = world.timeout_log.borrow_mut();
+                for b in blocked_at.iter().flatten() {
+                    if let Some(call) = b.failable {
+                        if log[b.dst].len() <= call {
+                            log[b.dst].resize(call + 1, false);
+                        }
+                        log[b.dst][call] = true;
+                        forced = true;
+                    }
+                }
+            }
+            if forced {
+                stalled_rounds = 0;
+                continue;
+            }
+            panic!(
+                "sequential SPMD run deadlocked after {round} rounds:\n  {}",
+                wait_map_report(&world, &blocked_at)
+            );
+        }
+    }
+
+    let elapsed = start.elapsed();
+    let crashed = world.crashed.borrow();
+    SpmdOutput {
+        results: results
+            .into_iter()
+            .enumerate()
+            .map(|(rank, v)| {
+                if crashed[rank] {
+                    None
+                } else {
+                    Some(v.expect("non-crashed PE of a completed run must have a result"))
+                }
+            })
+            .collect(),
+        stats: world.stats.world(),
+        elapsed,
+    }
+}
 
 /// Run `f` on `p` simulated PEs on the current thread, deterministically.
 ///
@@ -403,89 +761,41 @@ pub fn run_spmd_seq<T, F>(p: usize, f: F) -> SpmdOutput<T>
 where
     F: Fn(&SeqComm) -> T,
 {
-    assert!(p > 0, "an SPMD region needs at least one PE");
-    install_quiet_block_hook();
-
-    let start = Instant::now();
-    let world = Rc::new(SeqWorld::new(p));
-    let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
-    let mut best_ops: Vec<u64> = vec![0; p];
-    let mut blocked_at: Vec<Option<Blocked>> = (0..p).map(|_| None).collect();
-    let mut stalled_rounds = 0usize;
-
-    for round in 0.. {
-        assert!(
-            round < MAX_ROUNDS,
-            "sequential SPMD run exceeded {MAX_ROUNDS} replay rounds"
-        );
-        let mut all_done = true;
-        let mut improved = false;
-        for rank in 0..p {
-            // Each execution starts from a clean counter set (see
-            // `PeStats::reset`): the loop only exits after a round in which
-            // *every* PE ran its closure to completion, so the surviving
-            // counters describe exactly one complete execution per PE and
-            // mid-closure snapshot deltas agree with the threaded backend.
-            world.stats.pe(rank).reset();
-            let comm = SeqComm::new(Rc::clone(&world), rank);
-            let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
-            if comm.ops.get() > best_ops[rank] {
-                best_ops[rank] = comm.ops.get();
-                improved = true;
-            }
-            match outcome {
-                Ok(value) => {
-                    results[rank] = Some(value);
-                    blocked_at[rank] = None;
-                }
-                Err(payload) => match payload.downcast::<Blocked>() {
-                    Ok(blocked) => {
-                        all_done = false;
-                        results[rank] = None;
-                        blocked_at[rank] = Some(*blocked);
-                    }
-                    Err(payload) => {
-                        let msg = payload
-                            .downcast_ref::<String>()
-                            .map(String::as_str)
-                            .or_else(|| payload.downcast_ref::<&str>().copied())
-                            .unwrap_or("<non-string panic payload>");
-                        panic!("PE {rank} panicked: {msg}");
-                    }
-                },
-            }
-        }
-        if all_done {
-            break;
-        }
-        stalled_rounds = if improved { 0 } else { stalled_rounds + 1 };
-        if stalled_rounds >= STALLED_ROUNDS_LIMIT {
-            let waits: Vec<String> = blocked_at
-                .iter()
-                .flatten()
-                .map(|b| {
-                    format!(
-                        "PE {} waits for message #{} from PE {}",
-                        b.dst, b.index, b.src
-                    )
-                })
-                .collect();
-            panic!(
-                "sequential SPMD run deadlocked after {round} rounds: {}",
-                waits.join("; ")
-            );
-        }
-    }
-
-    let elapsed = start.elapsed();
+    let out = run_seq_core(p, None, f);
     SpmdOutput {
-        results: results
+        results: out
+            .results
             .into_iter()
-            .map(|v| v.expect("completed run must have all results"))
+            .map(|v| v.expect("fault-free run cannot crash a PE"))
             .collect(),
-        stats: world.stats.world(),
-        elapsed,
+        stats: out.stats,
+        elapsed: out.elapsed,
     }
+}
+
+/// Run `f` under a fault schedule (see [`crate::faults`]): the sequential
+/// counterpart of [`run_spmd_seq`] for chaos testing.
+///
+/// `results[rank]` is `None` exactly for the PEs that crash-stopped; every
+/// surviving PE ran its closure to completion.  An empty (or absent) fault
+/// plan is bit-identical — results and metered words per PE — to
+/// [`run_spmd_seq`].
+///
+/// # Panics
+///
+/// In addition to [`run_spmd_seq`]'s conditions: a *plain* receive that
+/// provably waits on a crashed peer panics with
+/// [`CommError::PeerDead`] diagnostics (use
+/// [`Communicator::recv_failable`] to observe failures as values instead).
+pub fn run_spmd_seq_faulty<T, F>(config: SeqConfig, f: F) -> SpmdOutput<Option<T>>
+where
+    F: Fn(&SeqComm) -> T,
+{
+    let compiled = config
+        .faults
+        .as_ref()
+        .and_then(|plan| plan.compile(config.num_pes));
+    run_seq_core(config.num_pes, compiled, f)
 }
 
 #[cfg(test)]

@@ -531,6 +531,67 @@ impl Mailbox {
         }
     }
 
+    /// Blocking receive with a deadline: like [`Mailbox::recv`], but gives up
+    /// with [`CommError::Timeout`] once `timeout` has elapsed without a
+    /// message from `src` arriving.
+    ///
+    /// This is the threaded backend's failure-detection window (see
+    /// [`crate::Communicator::recv_failable`]): a peer that crash-stopped
+    /// tears its mailbox down during unwinding, which surfaces here as
+    /// [`CommError::Disconnected`]; a peer that is merely slow surfaces as
+    /// [`CommError::Timeout`], which the caller may retry.
+    pub fn recv_deadline(&self, src: Rank, timeout: std::time::Duration) -> CommResult<Envelope> {
+        let size = self.size();
+        if src >= size {
+            return Err(CommError::InvalidRank { rank: src, size });
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let shard = &self.mesh.shards[self.rank];
+        // SAFETY (here and below): unique consumer, as in `recv`.
+        if let Some(env) = unsafe { shard.try_pop(src) } {
+            return Ok(env);
+        }
+        for spin in 0..(SPIN_BUSY + SPIN_YIELD) {
+            if spin < SPIN_BUSY {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            if let Some(env) = unsafe { shard.try_pop(src) } {
+                return Ok(env);
+            }
+            if !self.mesh.alive[src].load(Ordering::SeqCst) {
+                return self.drain_disconnected(shard, src);
+            }
+        }
+        // Park phase with a clock: identical Dekker pairing to `recv`, plus
+        // a deadline check after every wakeup (park_timeout bounds the wait
+        // so an expired deadline is noticed even without a wakeup).
+        loop {
+            shard.parked.register(src);
+            if let Some(env) = unsafe { shard.try_pop(src) } {
+                shard.parked.clear();
+                return Ok(env);
+            }
+            if !self.mesh.alive[src].load(Ordering::SeqCst) {
+                let result = self.drain_disconnected(shard, src);
+                shard.parked.clear();
+                return result;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                shard.parked.clear();
+                // One last pop: a sender may have published between the
+                // re-check above and the registration clear.
+                return match unsafe { shard.try_pop(src) } {
+                    Some(env) => Ok(env),
+                    None => Err(CommError::Timeout { from: src }),
+                };
+            }
+            std::thread::park_timeout(deadline - now);
+        }
+    }
+
     /// Final pop after observing `src` dead: the liveness store is the last
     /// thing a dropping mailbox does after its sends, so one more pop after
     /// seeing `alive == false` is guaranteed to surface anything still

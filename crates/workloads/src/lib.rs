@@ -41,7 +41,9 @@ pub mod text;
 pub use sched::{
     run_scheduler, ArrivalPattern, BatchPolicy, RoundReport, SchedulerOutcome, SchedulerParams,
 };
-pub use stream::{BatchReport, StreamConfig, StreamReport, StreamService, StreamVocab};
+pub use stream::{
+    BatchReport, ReplicaShard, StreamConfig, StreamReport, StreamService, StreamVocab,
+};
 pub use text::{
     distributed_intern, resolve_items, split_text_shards, tokenize, InternedShard, TextAlgorithm,
     WordFrequencyScore,

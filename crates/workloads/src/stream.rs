@@ -35,13 +35,34 @@
 use std::cmp::Reverse;
 use std::collections::HashMap;
 
-use commsim::{Communicator, StatsSnapshot};
+use commsim::{CommError, Communicator, CostModel, Rank, StatsSnapshot, SubComm, Tag};
 use datagen::{StreamProfile, TextCorpus};
 use seqkit::{DecayingTopK, SlidingWindowTopK};
 use topk::frequent::dht;
 use topk::select_threshold;
+use topk::util::{owner_of, splitmix64};
 
 use crate::text::tokenize;
+
+/// User tag of the per-batch membership heartbeat (`u64` suspicion bitmap).
+const ALIVE_TAG: Tag = 0xF17A;
+/// User tag of the coordinator's membership verdict (`u64` live bitmap).
+const MASK_TAG: Tag = 0xF17B;
+/// User tag of a replica push's numeric part (epoch, log base, counts).
+const REPLICA_META_TAG: Tag = 0xF17C;
+/// User tag of a replica push's vocabulary delta (`Vec<String>`).
+const REPLICA_VOCAB_TAG: Tag = 0xF17D;
+
+/// Consecutive [`CommError::Timeout`] verdicts tolerated per membership
+/// receive before the peer is treated as dead.  On the replay backends a
+/// timeout is forced only at whole-world quiescence, so a live member that
+/// follows the protocol can never exhaust the budget; on the threaded
+/// backend this bounds the wall-clock cost of a dead-slow peer.
+const MEMBERSHIP_RETRIES: usize = 4;
+
+/// Modeled payload of a remote point-query response, in machine words
+/// (word id, count, epoch, staleness).
+const REMOTE_QUERY_WORDS: f64 = 4.0;
 
 /// Tuning knobs of the streaming service.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +84,17 @@ pub struct StreamConfig {
     pub words_per_batch: usize,
     /// Seed of the selection kernel's RNG (the corpus has its own seed).
     pub seed: u64,
+    /// Number of buddy PEs each serving shard is replicated to (ring
+    /// successors in the live group).  `0` — the default — disables the
+    /// whole failure-tolerance machinery: no membership round, no replica
+    /// traffic, communication bit-identical to the pre-FT service.
+    /// Non-zero enables per-batch membership, degraded refreshes over the
+    /// survivor subgroup, and replica failover; requires `p ≤ 64`.
+    pub replication: usize,
+    /// Mean arrivals per batch of the modeled Poisson point-query stream
+    /// (scored analytically against the α/β cost model — zero communication,
+    /// so enabling it never perturbs the metered words).  `0.0` disables it.
+    pub query_lambda: f64,
 }
 
 impl Default for StreamConfig {
@@ -76,6 +108,8 @@ impl Default for StreamConfig {
             queries_per_batch: 4,
             words_per_batch: 1000,
             seed: 0x5EED,
+            replication: 0,
+            query_lambda: 0.0,
         }
     }
 }
@@ -151,6 +185,24 @@ impl StreamVocab {
         }
         tokens.iter().map(|t| self.index[t.as_str()]).collect()
     }
+
+    /// Rebuild a vocabulary by replaying an id-ordered log (a buddy's
+    /// [`ReplicaShard::vocab_log`]): word `log[i]` gets id `i`, exactly as it
+    /// did on the PE that interned it.
+    pub fn from_log(log: &[String]) -> Self {
+        let mut v = StreamVocab::new();
+        for word in log {
+            let id = v.vocab.len() as u64;
+            v.index.insert(word.clone(), id);
+            v.vocab.push(word.clone());
+        }
+        v
+    }
+
+    /// The interned words in id order.
+    pub fn words(&self) -> &[String] {
+        &self.vocab
+    }
 }
 
 /// Per-batch record of the service loop (one entry per ingested mini-batch).
@@ -172,6 +224,22 @@ pub struct BatchReport {
     /// World bottleneck words of this batch (`max` over PEs of
     /// `max(sent, received)` — identical on every PE).
     pub bottleneck_words: u64,
+    /// PEs that participated in this batch (equals the world size until a
+    /// crash is detected; always the world size with `replication == 0`).
+    pub live_pes: usize,
+    /// Bottleneck words this batch spent on replica pushes (the robustness
+    /// tax; `0` with `replication == 0`).
+    pub replication_words: u64,
+    /// This PE's *total* message sends since the service started, sampled
+    /// at the very end of the batch (after the metering collective, whose
+    /// traffic the per-batch `sent_messages` deliberately excludes).  This
+    /// is the calibration hook for boundary-aligned chaos crashes: a
+    /// `FaultEvent::CrashPe` with `at_send_count` equal to this value dies
+    /// exactly at its first send of the *next* batch — the membership
+    /// heartbeat — and is detected cleanly, never mid-collective.
+    ///
+    /// [`FaultEvent::CrashPe`]: commsim::FaultEvent::CrashPe
+    pub sends_total: u64,
 }
 
 /// Summary of a service run (identical on every PE).
@@ -194,6 +262,49 @@ pub struct StreamReport {
     /// `total_bottleneck_words / items_global` — the scored communication
     /// metric of the streaming scenario.
     pub words_per_item: f64,
+    /// Whether the serving snapshot was published by a degraded refresh
+    /// (aggregation over a strict subset of the world's PEs).
+    pub degraded: bool,
+    /// Fraction of the world's PEs that contributed to the serving snapshot
+    /// (`1.0` until a crash is detected).
+    pub coverage: f64,
+    /// Modeled Poisson point queries routed to serving shards.
+    pub routed_queries: u64,
+    /// Routed queries for which the primary shard or one of its replicas was
+    /// alive.
+    pub answered_queries: u64,
+    /// `answered_queries / routed_queries` (`1.0` when none were routed).
+    pub availability: f64,
+    /// Median modeled latency of an answered routed query, in seconds of the
+    /// α/β cost model (`0.0` when the front-end PE held a serving copy).
+    pub p50_query_latency: f64,
+    /// 95th percentile of the modeled routed-query latency.
+    pub p95_query_latency: f64,
+    /// 99th percentile of the modeled routed-query latency.
+    pub p99_query_latency: f64,
+    /// Sum over batches of the bottleneck replica-push words — the total
+    /// robustness tax (`0` with `replication == 0`).
+    pub total_replication_words: u64,
+}
+
+/// A buddy's copy of one PE's serving shard, pushed at every refresh (see
+/// [`StreamConfig::replication`]).
+///
+/// The vocabulary travels as an append-only **delta log**: each push carries
+/// only the ids interned since the previous push to this buddy (a buddy that
+/// became a successor after a membership change receives the full log once).
+/// Replaying the log rebuilds the id → word map exactly, which is what lets
+/// a recovering PE rejoin with stable ids ([`StreamService::rejoin`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaShard {
+    /// World rank of the primary this shard replicates.
+    pub owner: Rank,
+    /// Batch index of the refresh that produced it.
+    pub epoch: usize,
+    /// The primary's DHT-owned windowed aggregate: `(id, count)` pairs.
+    pub counts: Vec<(u64, u64)>,
+    /// Accumulated id-ordered vocabulary log (index = interned id).
+    pub vocab_log: Vec<String>,
 }
 
 /// The streaming top-k service state of one PE.
@@ -222,6 +333,33 @@ pub struct StreamService {
     /// Metering baseline for the next batch; set *after* the per-batch
     /// `allreduce_max` so the metering collective itself is not scored.
     meter_base: Option<StatsSnapshot>,
+    // ----- failure-tolerance state (inert while `replication == 0`) -----
+    /// Presumed-alive world ranks, sorted (empty until the first FT batch
+    /// initialises it to the full world).
+    group: Vec<Rank>,
+    /// Bitmap of world ranks this PE has proven dead.
+    suspected: u64,
+    /// The live group at the last refresh — the ownership map the serving
+    /// shards (and their replicas) were built against.
+    snapshot_group: Vec<Rank>,
+    /// Whether the serving snapshot came from a degraded refresh.
+    degraded: bool,
+    /// Live fraction of the world at the last refresh.
+    coverage: f64,
+    /// This PE's DHT-owned windowed aggregate at the last refresh
+    /// (`(id, count)`, descending by count) — the serving shard replicas
+    /// are made of.
+    shard: Vec<(u64, u64)>,
+    /// Replicas this PE holds for its ring predecessors, keyed by the
+    /// primary's world rank.
+    replicas: HashMap<Rank, ReplicaShard>,
+    /// Per-buddy high-water mark of the vocabulary log already pushed.
+    replica_pushed: HashMap<Rank, usize>,
+    total_replication_words: u64,
+    /// Modeled latency of every answered routed query (cost-model seconds).
+    query_latencies: Vec<f64>,
+    routed_queries: u64,
+    answered_queries: u64,
 }
 
 impl StreamService {
@@ -246,7 +384,32 @@ impl StreamService {
             batch_reports: Vec::new(),
             total_bottleneck_words: 0,
             meter_base: None,
+            group: Vec::new(),
+            suspected: 0,
+            snapshot_group: Vec::new(),
+            degraded: false,
+            coverage: 1.0,
+            shard: Vec::new(),
+            replicas: HashMap::new(),
+            replica_pushed: HashMap::new(),
+            total_replication_words: 0,
+            query_latencies: Vec::new(),
+            routed_queries: 0,
+            answered_queries: 0,
         }
+    }
+
+    /// Bootstrap a recovering PE from a buddy's replica of its shard: the
+    /// vocabulary log is replayed (so every id resolves exactly as it did
+    /// before the crash) and the replicated aggregate becomes the serving
+    /// shard.  The window sketches restart empty — the sliding window
+    /// refills within `config.window` batches, which is the documented
+    /// recovery semantics (windowed counts are transient by design).
+    pub fn rejoin(config: StreamConfig, replica: &ReplicaShard) -> Self {
+        let mut service = StreamService::new(config);
+        service.vocab = StreamVocab::from_log(&replica.vocab_log);
+        service.shard = replica.counts.clone();
+        service
     }
 
     /// Ingest the next mini-batch of the stream (collective — all PEs must
@@ -263,6 +426,9 @@ impl StreamService {
         corpus: &TextCorpus,
         profile: &StreamProfile,
     ) -> &BatchReport {
+        if self.config.replication > 0 {
+            return self.ingest_batch_ft(comm, corpus, profile);
+        }
         let t = self.batches_done;
         let before = self
             .meter_base
@@ -301,12 +467,17 @@ impl StreamService {
             }
         }
 
+        // Score the modeled Poisson query stream (analytic, zero traffic).
+        let world: Vec<Rank> = (0..comm.size()).collect();
+        self.score_routed_queries(t, comm.size(), &world);
+
         // Meter the batch, then reset the baseline *after* the metering
         // collective so its own traffic is never scored.
         let delta = comm.stats_snapshot().since(&before);
-        let world = comm.allreduce_max(delta.bottleneck_words());
-        self.meter_base = Some(comm.stats_snapshot());
-        self.total_bottleneck_words += world;
+        let world_words = comm.allreduce_max(delta.bottleneck_words());
+        let end_of_batch = comm.stats_snapshot();
+        self.meter_base = Some(end_of_batch);
+        self.total_bottleneck_words += world_words;
 
         // Close the batch: both sketches advance one step.
         self.sliding.advance();
@@ -320,9 +491,330 @@ impl StreamService {
             staleness_items: staleness_now,
             sent_words: delta.sent_words,
             sent_messages: delta.sent_messages,
-            bottleneck_words: world,
+            bottleneck_words: world_words,
+            live_pes: comm.size(),
+            replication_words: 0,
+            sends_total: end_of_batch.sent_messages,
         });
         self.batch_reports.last().expect("just pushed")
+    }
+
+    /// The failure-tolerant service cycle (`replication > 0`): membership
+    /// round, ingest + refresh over the survivor subgroup, replica pushes,
+    /// and failover-aware query scoring.
+    fn ingest_batch_ft<C: Communicator>(
+        &mut self,
+        comm: &C,
+        corpus: &TextCorpus,
+        profile: &StreamProfile,
+    ) -> &BatchReport {
+        let t = self.batches_done;
+        let before = self
+            .meter_base
+            .take()
+            .unwrap_or_else(|| comm.stats_snapshot());
+
+        // 1. Membership: agree on the live group before any data traffic.
+        let group = self.membership_round(comm);
+        let sub = SubComm::new(comm, group.clone(), t as u64);
+
+        // 2. Ingest over the survivors (the vocabulary allgather and all
+        //    later collectives run in the subgroup's salted tag stripe).
+        let text = corpus.stream_batch_text(profile, comm.rank(), t, self.config.words_per_batch);
+        let tokens = tokenize(&text);
+        debug_assert_eq!(tokens.len(), self.config.words_per_batch);
+        let vocab_before = self.vocab.len();
+        let ids = self.vocab.ingest(&sub, &tokens);
+        for &id in &ids {
+            self.sliding.insert(id);
+            self.decaying.insert(id);
+        }
+        self.items_global += (self.config.words_per_batch * group.len()) as u64;
+
+        // 3. Refresh over the survivors; a refresh that runs while part of
+        //    the world is dead publishes a *degraded* snapshot — the dead
+        //    PEs' window contributions are simply absent, and the coverage
+        //    fraction says so.
+        let refreshed = t % self.config.refresh_every == 0;
+        let mut replication_words = 0;
+        if refreshed {
+            self.refresh(&sub, t);
+            self.snapshot_group = group.clone();
+            self.degraded = group.len() < comm.size();
+            self.coverage = group.len() as f64 / comm.size() as f64;
+            replication_words = self.replicate(&sub, t, &group);
+        }
+
+        // 4. Serve the between-batch snapshot queries and score the modeled
+        //    routed query stream against the current liveness.
+        let staleness_now = self.items_global - self.snapshot_items;
+        for q in 0..self.config.queries_per_batch {
+            if q % 2 == 0 {
+                let _ = self.query_topk();
+            } else {
+                let _ = self.query_count(corpus.stream_hot_word(profile, t));
+            }
+        }
+        self.score_routed_queries(t, comm.size(), &group);
+
+        // 5. Meter over the survivors (a dead PE cannot join a collective).
+        let delta = comm.stats_snapshot().since(&before);
+        let world_words = sub.allreduce_max(delta.bottleneck_words());
+        let replication_world = sub.allreduce_max(replication_words);
+        let end_of_batch = comm.stats_snapshot();
+        self.meter_base = Some(end_of_batch);
+        self.total_bottleneck_words += world_words;
+        self.total_replication_words += replication_world;
+
+        self.sliding.advance();
+        self.decaying.advance();
+        self.batches_done += 1;
+
+        self.batch_reports.push(BatchReport {
+            batch: t,
+            new_vocab: self.vocab.len() - vocab_before,
+            refreshed,
+            staleness_items: staleness_now,
+            sent_words: delta.sent_words,
+            sent_messages: delta.sent_messages,
+            bottleneck_words: world_words,
+            live_pes: group.len(),
+            replication_words: replication_world,
+            sends_total: end_of_batch.sent_messages,
+        });
+        self.batch_reports.last().expect("just pushed")
+    }
+
+    /// One round of the heartbeat/coordinator membership protocol.
+    ///
+    /// Every presumed-alive member sends an ALIVE heartbeat (its suspicion
+    /// bitmap) to the lowest presumed-alive rank, which collects the
+    /// heartbeats with failure-detecting receives, unions the definitive
+    /// [`CommError::PeerDead`] verdicts into the dead set, and broadcasts
+    /// the resulting live bitmap.  If the coordinator itself is dead, every
+    /// member observes `PeerDead` on the verdict receive and retries with
+    /// the next-lowest rank — the classic rotating-coordinator loop.
+    ///
+    /// Crashes are assumed to fall *between* service batches (a PE's crash
+    /// send-count calibrated to its first send of a batch — exactly what
+    /// [`FaultPlan::seeded_crashes`] plus the chaos harness produce); a PE
+    /// dying midway through a collective leaves the survivors' collective
+    /// unanswerable and fails fast with a `PeerDead` panic instead.
+    ///
+    /// [`FaultPlan::seeded_crashes`]: commsim::FaultPlan::seeded_crashes
+    fn membership_round<C: Communicator>(&mut self, comm: &C) -> Vec<Rank> {
+        assert!(
+            comm.size() <= 64,
+            "failure-tolerant mode needs p <= 64 (membership bitmaps are u64)"
+        );
+        let me = comm.rank();
+        if self.group.is_empty() {
+            self.group = (0..comm.size()).collect();
+        }
+        let mut presumed = self.group.clone();
+        loop {
+            let coord = *presumed.first().expect("this PE is alive and presumed");
+            if coord == me {
+                // Coordinator: collect one heartbeat per presumed member.
+                let mut dead = self.suspected;
+                for &r in presumed.iter().filter(|&&r| r != me) {
+                    let mut timeouts = 0;
+                    loop {
+                        match comm.recv_failable::<u64>(r, ALIVE_TAG) {
+                            Ok(suspicion) => {
+                                dead |= suspicion;
+                                break;
+                            }
+                            Err(CommError::PeerDead { .. }) => {
+                                dead |= 1 << r;
+                                break;
+                            }
+                            Err(CommError::Timeout { .. }) => {
+                                timeouts += 1;
+                                if timeouts > MEMBERSHIP_RETRIES {
+                                    dead |= 1 << r;
+                                    break;
+                                }
+                            }
+                            Err(e) => panic!("membership heartbeat from {r}: {e}"),
+                        }
+                    }
+                }
+                let group: Vec<Rank> = presumed
+                    .iter()
+                    .copied()
+                    .filter(|&r| dead & (1 << r) == 0)
+                    .collect();
+                let mask: u64 = group.iter().fold(0, |m, &r| m | (1 << r));
+                // The verdict goes to every *presumed* member (sends to the
+                // just-declared-dead are lost in flight, which is fine); a
+                // live member must be in the group, and asserts so.
+                for &r in presumed.iter().filter(|&&r| r != me) {
+                    comm.send(r, MASK_TAG, mask);
+                }
+                self.suspected = dead;
+                self.group = group.clone();
+                return group;
+            }
+            // Member: heartbeat, then wait for the coordinator's verdict.
+            comm.send(coord, ALIVE_TAG, self.suspected);
+            let mut timeouts = 0;
+            let verdict = loop {
+                match comm.recv_failable::<u64>(coord, MASK_TAG) {
+                    Ok(mask) => break Some(mask),
+                    Err(CommError::PeerDead { .. }) => break None,
+                    Err(CommError::Timeout { .. }) => {
+                        timeouts += 1;
+                        if timeouts > MEMBERSHIP_RETRIES {
+                            break None;
+                        }
+                    }
+                    Err(e) => panic!("membership verdict from {coord}: {e}"),
+                }
+            };
+            match verdict {
+                Some(mask) => {
+                    assert!(
+                        mask & (1 << me) != 0,
+                        "PE {me} was evicted from the live group while alive \
+                         (a slow PE exhausted the coordinator's timeout budget)"
+                    );
+                    for &r in &presumed {
+                        if mask & (1 << r) == 0 {
+                            self.suspected |= 1 << r;
+                        }
+                    }
+                    let group: Vec<Rank> =
+                        (0..comm.size()).filter(|&r| mask & (1 << r) != 0).collect();
+                    self.group = group.clone();
+                    return group;
+                }
+                None => {
+                    // Coordinator is dead: rotate to the next-lowest rank.
+                    self.suspected |= 1 << coord;
+                    presumed.retain(|&r| r != coord);
+                }
+            }
+        }
+    }
+
+    /// Push this PE's serving shard (aggregate counts + vocabulary delta
+    /// log) to its `r` ring successors in the live group, and store the
+    /// replicas received from its `r` ring predecessors.  Returns the words
+    /// this PE sent on replica traffic (the robustness tax).
+    fn replicate<C: Communicator>(
+        &mut self,
+        sub: &SubComm<'_, C>,
+        t: usize,
+        group: &[Rank],
+    ) -> u64 {
+        let g = group.len();
+        let r = self.config.replication.min(g - 1);
+        if r == 0 {
+            return 0;
+        }
+        let before = sub.stats_snapshot();
+        let mine = sub.rank();
+        // All pushes first (sends never block), then the symmetric receives.
+        for j in 1..=r {
+            let buddy_gidx = (mine + j) % g;
+            let buddy = group[buddy_gidx];
+            // A buddy that has never received from us (or a new successor
+            // after a membership change) gets the full log from zero.
+            let base = self
+                .replica_pushed
+                .get(&buddy)
+                .copied()
+                .unwrap_or(0)
+                .min(self.vocab.len());
+            let delta: Vec<String> = self.vocab.words()[base..].to_vec();
+            let mut meta: Vec<u64> = Vec::with_capacity(4 + 2 * self.shard.len());
+            meta.push(t as u64);
+            meta.push(base as u64);
+            meta.push(self.shard.len() as u64);
+            for &(id, count) in &self.shard {
+                meta.push(id);
+                meta.push(count);
+            }
+            sub.send(buddy_gidx, REPLICA_META_TAG, meta);
+            sub.send(buddy_gidx, REPLICA_VOCAB_TAG, delta);
+            self.replica_pushed.insert(buddy, self.vocab.len());
+        }
+        for j in 1..=r {
+            let pred_gidx = (mine + g - j) % g;
+            let pred = group[pred_gidx];
+            let meta: Vec<u64> = sub.recv(pred_gidx, REPLICA_META_TAG);
+            let delta: Vec<String> = sub.recv(pred_gidx, REPLICA_VOCAB_TAG);
+            let epoch = meta[0] as usize;
+            let base = meta[1] as usize;
+            let n = meta[2] as usize;
+            let counts: Vec<(u64, u64)> =
+                (0..n).map(|i| (meta[3 + 2 * i], meta[4 + 2 * i])).collect();
+            let shard = self.replicas.entry(pred).or_insert_with(|| ReplicaShard {
+                owner: pred,
+                epoch,
+                counts: Vec::new(),
+                vocab_log: Vec::new(),
+            });
+            shard.epoch = epoch;
+            shard.counts = counts;
+            // Align to the sender's base (idempotent under re-pushes of a
+            // suffix we already hold), then append the delta.
+            shard.vocab_log.truncate(base);
+            shard.vocab_log.extend(delta);
+        }
+        sub.stats_snapshot().since(&before).sent_words
+    }
+
+    /// Score the modeled Poisson point-query stream for batch `t`.
+    ///
+    /// The queries are *analytic*: every PE derives the identical stream
+    /// from `(seed, t)` and scores it against the α/β cost model, so the
+    /// exercise is communication-free and cannot perturb the metered words.
+    /// Each query picks a front-end PE (uniform over the live group) and a
+    /// vocabulary id; the serving shard is the id's owner under the
+    /// *snapshot* group (the map the replicas were built against), its
+    /// holders are the owner plus the `replication` ring successors.  A
+    /// query is answered iff some holder is still alive; it is free iff the
+    /// front-end itself holds a copy, and costs one modeled round-trip
+    /// (`2α + βm`) otherwise.
+    fn score_routed_queries(&mut self, t: usize, world_size: usize, live: &[Rank]) {
+        if self.config.query_lambda <= 0.0 || self.vocab.is_empty() {
+            return;
+        }
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E6C_63D0_876A_3F6B)
+            .wrapping_add(t as u64);
+        let arrivals = poisson_count(self.config.query_lambda, seed);
+        let snapshot_group: Vec<Rank> = if self.snapshot_group.is_empty() {
+            (0..world_size).collect()
+        } else {
+            self.snapshot_group.clone()
+        };
+        let g = snapshot_group.len();
+        let r = self.config.replication.min(g - 1);
+        let cost = CostModel::default();
+        for q in 0..arrivals {
+            let h = splitmix64(seed ^ (q.wrapping_mul(0xA076_1D64_78BD_642F)));
+            let front_end = live[(h % live.len() as u64) as usize];
+            let id = splitmix64(h) % self.vocab.len() as u64;
+            let owner_gidx = owner_of(id, g);
+            let holders: Vec<Rank> = (0..=r)
+                .map(|j| snapshot_group[(owner_gidx + j) % g])
+                .collect();
+            self.routed_queries += 1;
+            if holders.iter().any(|h| live.contains(h)) {
+                self.answered_queries += 1;
+                let latency = if holders.contains(&front_end) {
+                    0.0
+                } else {
+                    2.0 * cost.alpha + cost.beta * REMOTE_QUERY_WORDS
+                };
+                self.query_latencies.push(latency);
+            }
+        }
     }
 
     /// Publish a fresh global top-k: DHT-aggregate the per-PE window
@@ -335,6 +827,9 @@ impl StreamService {
         // leak into the buffer it samples.
         let mut items: Vec<(u64, u64)> = owned.into_iter().map(|(id, c)| (c, id)).collect();
         items.sort_unstable_by(|a, b| b.cmp(a));
+        // The owned aggregate *is* this PE's serving shard — kept for the
+        // replica pushes of the failure-tolerant mode.
+        self.shard = items.iter().map(|&(c, id)| (id, c)).collect();
         let distinct = comm.allreduce_sum(items.len() as u64) as usize;
         let take = self.config.k.min(distinct);
         let winners: Vec<(u64, u64)> = if take == 0 {
@@ -418,6 +913,34 @@ impl StreamService {
         &self.batch_reports
     }
 
+    /// The live group as of the last membership round (the full world until
+    /// a crash is detected; meaningful only with `replication > 0`).
+    pub fn live_group(&self) -> &[Rank] {
+        &self.group
+    }
+
+    /// Whether the serving snapshot came from a degraded refresh.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Live fraction of the world at the last refresh.
+    pub fn coverage(&self) -> f64 {
+        self.coverage
+    }
+
+    /// The replicas this PE holds for its ring predecessors, keyed by the
+    /// primary's world rank.
+    pub fn replicas(&self) -> &HashMap<Rank, ReplicaShard> {
+        &self.replicas
+    }
+
+    /// This PE's own serving shard (`(id, count)` of its DHT-owned
+    /// aggregate at the last refresh).
+    pub fn serving_shard(&self) -> &[(u64, u64)] {
+        &self.shard
+    }
+
     /// Summarise the run so far (identical on every PE).
     pub fn report(&self) -> StreamReport {
         let mut sorted = self.staleness.clone();
@@ -428,6 +951,16 @@ impl StreamService {
             } else {
                 let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
                 sorted[idx.min(sorted.len() - 1)]
+            }
+        };
+        let mut latencies = self.query_latencies.clone();
+        latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let lat_pct = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                let idx = ((q * latencies.len() as f64).ceil() as usize).max(1) - 1;
+                latencies[idx.min(latencies.len() - 1)]
             }
         };
         StreamReport {
@@ -443,7 +976,39 @@ impl StreamService {
             } else {
                 self.total_bottleneck_words as f64 / self.items_global as f64
             },
+            degraded: self.degraded,
+            coverage: self.coverage,
+            routed_queries: self.routed_queries,
+            answered_queries: self.answered_queries,
+            availability: if self.routed_queries == 0 {
+                1.0
+            } else {
+                self.answered_queries as f64 / self.routed_queries as f64
+            },
+            p50_query_latency: lat_pct(0.50),
+            p95_query_latency: lat_pct(0.95),
+            p99_query_latency: lat_pct(0.99),
+            total_replication_words: self.total_replication_words,
         }
+    }
+}
+
+/// Deterministic Poisson sample (Knuth's product-of-uniforms method) driven
+/// by a splitmix64 stream — every PE derives the identical arrival count
+/// from the same seed, which is what keeps the query scoring collective-free.
+fn poisson_count(lambda: f64, seed: u64) -> u64 {
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut product = 1.0;
+    let mut state = seed;
+    loop {
+        state = splitmix64(state.wrapping_add(k).wrapping_add(1));
+        let uniform = (state >> 11) as f64 / (1u64 << 53) as f64;
+        product *= uniform;
+        if product <= limit || k > 100_000 {
+            return k;
+        }
+        k += 1;
     }
 }
 

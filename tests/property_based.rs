@@ -645,3 +645,104 @@ fn sharded_transport_preserves_per_source_fifo_at_p16() {
     });
     assert!(out.results.iter().all(|&ok| ok));
 }
+
+/// Crash-tolerant probe used by the fault-plan proptests: every rank fires
+/// a token at every other rank, then failure-detects each incoming token,
+/// so any crash pattern yields a completed (and, on the replay backend,
+/// fully deterministic) run.
+fn fault_probe<C: Communicator>(comm: &C) -> Vec<String> {
+    let (p, me) = (comm.size(), comm.rank());
+    for dst in 0..p {
+        if dst != me {
+            comm.send(dst, 11, me as u64);
+        }
+    }
+    (0..p)
+        .filter(|src| *src != me)
+        .map(|src| match comm.recv_failable::<u64>(src, 11) {
+            Ok(v) => format!("ok {v}"),
+            Err(e) => format!("err {e:?}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// An **empty** `FaultPlan` must be invisible: results and per-PE
+    /// metered traffic bit-identical to a run with no plan at all, on all
+    /// three backends.  This is the property that keeps every fault-free
+    /// experiment valid while the fault hooks sit in the hot path.
+    #[test]
+    fn empty_fault_plan_is_invisible_on_all_backends(
+        values in vec(0u64..1_000_000, 1..7),
+        root_frac in 0.0f64..1.0,
+    ) {
+        use topk_selection::commsim::{
+            run_spmd_faulty, run_spmd_mux_faulty, run_spmd_seq_faulty, FaultPlan, MuxConfig,
+            SeqConfig, SpmdConfig,
+        };
+        let p = values.len();
+        let root = ((root_frac * p as f64) as usize).min(p - 1);
+        let vals = values.clone();
+        let base = run_spmd_seq(p, move |comm| collective_program(comm, &vals, root));
+
+        let vals = values.clone();
+        let threaded = run_spmd_faulty(SpmdConfig::new(p).with_faults(FaultPlan::new()),
+            move |comm| collective_program(comm, &vals, root));
+        let vals = values.clone();
+        let seq = run_spmd_seq_faulty(SeqConfig::new(p).with_faults(FaultPlan::new()),
+            move |comm| collective_program(comm, &vals, root));
+        let vals = values.clone();
+        let mux = run_spmd_mux_faulty(MuxConfig::new(p).with_faults(FaultPlan::new()),
+            move |comm| collective_program(comm, &vals, root));
+
+        for (name, out) in [("threaded", &threaded), ("seq", &seq), ("mux", &mux)] {
+            for rank in 0..p {
+                prop_assert_eq!(
+                    Some(&base.results[rank]),
+                    out.results[rank].as_ref(),
+                    "{} rank {}: results diverge under the empty plan", name, rank
+                );
+                let b = base.stats.pe(rank);
+                let f = out.stats.pe(rank);
+                prop_assert_eq!(
+                    (b.sent_messages, b.sent_words),
+                    (f.sent_messages, f.sent_words),
+                    "{} rank {}: metering diverges under the empty plan", name, rank
+                );
+            }
+        }
+    }
+
+    /// A seeded crash plan is a pure function of its seed, and replaying it
+    /// on the replay backend reproduces the execution bit-for-bit — results
+    /// and metered words alike.
+    #[test]
+    fn seeded_fault_plans_replay_deterministically(
+        seed in 0u64..u64::MAX,
+        count in 0usize..4,
+    ) {
+        use topk_selection::commsim::{run_spmd_seq_faulty, FaultPlan, SeqConfig};
+        let p = 6;
+        let candidates: Vec<(usize, u64)> = (0..p).map(|r| (r, r as u64 % 2)).collect();
+        let a = FaultPlan::seeded_crashes(seed, &candidates, count);
+        let b = FaultPlan::seeded_crashes(seed, &candidates, count);
+        prop_assert_eq!(a.events(), b.events());
+
+        let run = |plan: FaultPlan| {
+            run_spmd_seq_faulty(SeqConfig::new(p).with_faults(plan), fault_probe)
+        };
+        let x = run(a);
+        let y = run(b);
+        prop_assert_eq!(&x.results, &y.results);
+        for rank in 0..p {
+            let (xs, ys) = (x.stats.pe(rank), y.stats.pe(rank));
+            prop_assert_eq!(
+                (xs.sent_messages, xs.sent_words),
+                (ys.sent_messages, ys.sent_words),
+                "rank {}: replayed metering must be deterministic", rank
+            );
+        }
+    }
+}

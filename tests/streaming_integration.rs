@@ -43,6 +43,8 @@ fn config() -> StreamConfig {
         queries_per_batch: 2,
         words_per_batch: 250,
         seed: 0xBEEF,
+        replication: 0,
+        query_lambda: 0.0,
     }
 }
 
@@ -183,4 +185,228 @@ fn streaming_on_a_mux_worker_pool_matches_seq() {
             "rank {rank} traffic diverges under the worker pool"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Failure tolerance (replication > 0) and the fault-injection pins
+// ---------------------------------------------------------------------------
+
+use topk_selection::commsim::{run_spmd_seq_faulty, FaultPlan, SeqConfig};
+use topk_selection::workloads::{ReplicaShard, StreamReport};
+
+fn ft_config() -> StreamConfig {
+    StreamConfig {
+        replication: 2,
+        query_lambda: 6.0,
+        refresh_every: 2,
+        window: 3,
+        words_per_batch: 120,
+        ..config()
+    }
+}
+
+/// One PE's failure-tolerant service run.  Everything the assertions need
+/// comes back: the run summary, the per-batch reports (whose `sends_total`
+/// calibrates boundary-aligned crashes), the published top-k, the final
+/// live group, and this PE's buddy replicas.
+#[allow(clippy::type_complexity)]
+fn ft_service_body<C: Communicator>(
+    comm: &C,
+    batches: usize,
+) -> (
+    StreamReport,
+    Vec<BatchReport>,
+    Vec<(String, u64)>,
+    Vec<usize>,
+    Vec<ReplicaShard>,
+) {
+    let corpus = corpus();
+    let profile = profile();
+    let mut service = StreamService::new(ft_config());
+    for _ in 0..batches {
+        service.ingest_batch(comm, &corpus, &profile);
+    }
+    let mut replicas: Vec<ReplicaShard> = service.replicas().values().cloned().collect();
+    replicas.sort_by_key(|r| r.owner);
+    (
+        service.report(),
+        service.batch_reports().to_vec(),
+        service.serving_topk().to_vec(),
+        service.live_group().to_vec(),
+        replicas,
+    )
+}
+
+/// The acceptance-criteria scenario: crash 1 of p = 16 PEs mid-stream with
+/// r = 2 replicas.  Every routed point query must still be answered
+/// (availability 1.0), the survivors must agree on a degraded snapshot with
+/// 15/16 coverage, and the published counts must stay inside the
+/// merged-sketch oracle bound *over the surviving coverage*.
+#[test]
+fn one_crash_among_sixteen_with_two_replicas_keeps_full_availability() {
+    let (p, batches, victim, crash_batch) = (16usize, 10usize, 5usize, 4usize);
+
+    // Calibration run: a crash pinned to the victim's cumulative send count
+    // at the end of `crash_batch` fires at its first send of the next batch
+    // — the membership heartbeat — so the death is detected cleanly.
+    let base = run_spmd_seq(p, move |comm| ft_service_body(comm, batches));
+    let at = base.results[victim].1[crash_batch].sends_total;
+
+    let plan = FaultPlan::new().crash_pe(victim, at);
+    let out = run_spmd_seq_faulty(SeqConfig::new(p).with_faults(plan), move |comm| {
+        ft_service_body(comm, batches)
+    });
+
+    assert!(out.results[victim].is_none(), "the victim must crash-stop");
+    let survivors: Vec<usize> = (0..p).filter(|r| *r != victim).collect();
+    for &rank in &survivors {
+        assert!(out.results[rank].is_some(), "rank {rank} must survive");
+    }
+
+    let (report, _, topk, group, _) = out.results[0].as_ref().unwrap();
+    assert_eq!(
+        group, &survivors,
+        "the live group must drop exactly the victim"
+    );
+    assert!(
+        report.routed_queries > 0,
+        "the Poisson stream must route queries"
+    );
+    assert_eq!(
+        report.answered_queries, report.routed_queries,
+        "with r = 2 replicas a single crash must not lose a single answer"
+    );
+    assert_eq!(report.availability, 1.0);
+    assert!(
+        report.degraded,
+        "a post-crash refresh must flag degradation"
+    );
+    assert!(
+        (report.coverage - (survivors.len() as f64 / p as f64)).abs() < 1e-12,
+        "coverage must be 15/16, got {}",
+        report.coverage
+    );
+    // Every survivor publishes the same degraded snapshot.
+    for &rank in &survivors {
+        let (r, _, t, g, _) = out.results[rank].as_ref().unwrap();
+        assert_eq!(t, topk, "rank {rank}: snapshot diverges");
+        assert_eq!(g, group, "rank {rank}: live group diverges");
+        assert_eq!(r, report, "rank {rank}: run summary diverges");
+    }
+
+    // Oracle bound over the surviving coverage: the last refresh aggregated
+    // the survivors' window sketches only, so the reference counts are the
+    // exact window counts over the survivors' streams.
+    let cfg = ft_config();
+    let last_refresh = ((batches - 1) / cfg.refresh_every) * cfg.refresh_every;
+    assert!(
+        last_refresh > crash_batch + 1,
+        "the scenario must refresh after the crash"
+    );
+    let window_start = (last_refresh + 1).saturating_sub(cfg.window);
+    let corpus = corpus();
+    let profile = profile();
+    let mut exact: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for &rank in &survivors {
+        for batch in window_start..=last_refresh {
+            for word in corpus.stream_batch_words(&profile, rank, batch, cfg.words_per_batch) {
+                *exact.entry(word.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    let window_batches = last_refresh - window_start + 1;
+    let per_pe_bound =
+        (window_batches * cfg.words_per_batch) as u64 / (cfg.sketch_capacity as u64 + 1);
+    let bound = per_pe_bound * survivors.len() as u64;
+    assert!(!topk.is_empty());
+    for (word, published) in topk {
+        let truth = exact.get(word).copied().unwrap_or(0);
+        assert!(
+            *published <= truth,
+            "{word}: published {published} exceeds the surviving-coverage count {truth}"
+        );
+        assert!(
+            truth - published <= bound,
+            "{word}: error {} exceeds the surviving-coverage sketch bound {bound}",
+            truth - published
+        );
+    }
+}
+
+/// The PR-7 regression pin: with `replication = 0` an **empty** fault plan
+/// must not move a single metered word — per-batch reports, published
+/// top-k and raw transport counters all bit-identical to the plain run.
+#[test]
+fn empty_fault_plan_does_not_perturb_fault_free_streaming() {
+    let (p, batches) = (4usize, 12usize);
+    let base = run_spmd_seq(p, move |comm| service_body(comm, batches));
+    let ft = run_spmd_seq_faulty(
+        SeqConfig::new(p).with_faults(FaultPlan::new()),
+        move |comm| service_body(comm, batches),
+    );
+    for rank in 0..p {
+        assert_eq!(
+            Some(&base.results[rank]),
+            ft.results[rank].as_ref(),
+            "rank {rank}: service outputs diverge under the empty plan"
+        );
+        let b = base.stats.pe(rank);
+        let f = ft.stats.pe(rank);
+        assert_eq!(
+            (b.sent_messages, b.sent_words),
+            (f.sent_messages, f.sent_words),
+            "rank {rank}: fault-free words/PE must be bit-identical"
+        );
+    }
+}
+
+/// A recovering PE rebuilds from a buddy's replica: the replayed vocabulary
+/// log resolves every id exactly as before the crash, and the replicated
+/// aggregate becomes the serving shard.
+#[test]
+fn a_recovering_pe_rejoins_from_a_buddy_replica() {
+    let (p, batches) = (4usize, 6usize);
+    let out = run_spmd_seq(p, move |comm| {
+        let corpus = corpus();
+        let profile = profile();
+        let mut service = StreamService::new(ft_config());
+        for _ in 0..batches {
+            service.ingest_batch(comm, &corpus, &profile);
+        }
+        (
+            service.replicas().clone(),
+            service.vocab().words().to_vec(),
+            service.serving_shard().to_vec(),
+        )
+    });
+
+    // Rank 1 is a ring successor of rank 0, so it buddies rank 0's shard.
+    let (replicas_at_1, _, _) = &out.results[1];
+    let shard = replicas_at_1
+        .get(&0)
+        .expect("rank 1 must hold a replica of rank 0's shard");
+    let (_, vocab_at_0, serving_at_0) = &out.results[0];
+
+    let rejoined = StreamService::rejoin(ft_config(), shard);
+    assert_eq!(
+        rejoined.vocab().words(),
+        &shard.vocab_log[..],
+        "the vocab log must replay verbatim"
+    );
+    assert_eq!(
+        rejoined.serving_shard(),
+        &shard.counts[..],
+        "the replicated aggregate must become the serving shard"
+    );
+    // The replica's log is a prefix of (here: identical to) the primary's
+    // vocabulary at the replicating refresh, so every id resolves exactly
+    // as it did on the primary.
+    for (id, word) in shard.vocab_log.iter().enumerate() {
+        assert_eq!(&vocab_at_0[id], word, "id {id} must resolve identically");
+    }
+    assert_eq!(
+        &shard.counts[..],
+        &serving_at_0[..],
+        "replica counts must match the primary"
+    );
 }
