@@ -11,24 +11,30 @@
 //! ```bash
 //! cargo run -p bench --release --bin fig8 -- [--per-pe 18] [--max-pes 16] \
 //!     [--min-pes 1] [--reps 2] [--eps-cap 0.05] [--epsilon E] \
-//!     [--backend threaded|seq|mux]
+//!     [--backend threaded|seq|mux] \
+//!     [--algo pac|ec|pec|naive|naive-tree|all|auto] [--plan-explain]
 //! ```
 //!
 //! `--backend mux` runs the PEs as cooperative tasks over a worker pool
 //! (massive-p rows at reduced `--per-pe`); words/PE and startups/PE are
 //! bit-identical across backends.
+//!
+//! `--algo auto` hands the dispatch to the cost-model planner
+//! ([`topk::planner`]) and prints a `plan-audit` row per cell; at Figure 8's
+//! strict accuracy the planner should discover EC's 1/ε advantage from the
+//! closed-form predictions alone.  `--plan-explain` prints each cell's full
+//! candidate table.
 
+use bench::planning::{print_audit, print_plan};
 use bench::report::fmt_duration;
 use bench::scaling::{pe_sweep, scaled_epsilon, Backend, Measurement};
-use bench::{run_on, Table};
+use bench::{run_on, AlgoChoice, Table};
 use commsim::Communicator;
 use datagen::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use topk::frequent::{
-    ec::ec_top_k, naive::naive_top_k, naive::naive_tree_top_k, pac::pac_top_k,
-    pac::required_sample_size,
-};
+use topk::frequent::pac::required_sample_size;
+use topk::planner::{Algorithm, Planner};
 use topk::FrequentParams;
 
 fn main() {
@@ -84,38 +90,82 @@ fn main() {
         ],
     );
 
-    for &(name, algo) in &[
-        ("PAC", Algo::Pac),
-        ("EC", Algo::Ec),
-        ("Naive", Algo::Naive),
-        ("Naive Tree", Algo::NaiveTree),
-    ] {
-        for p in pe_sweep(args.max_pes)
-            .into_iter()
-            .filter(|&p| p >= args.min_pes)
-        {
-            let sample = std::sync::atomic::AtomicU64::new(0);
-            let reps = (0..args.reps)
-                .map(|_| {
-                    let out = run_on!(args.backend, p, |comm| {
-                        let local = local_input(comm.rank(), per_pe);
-                        let s = algo.run(comm, &local, &params);
-                        sample.store(s, std::sync::atomic::Ordering::Relaxed);
-                    });
-                    Measurement::from_stats(p, out.elapsed, out.stats)
-                })
-                .collect();
-            let m = Measurement::averaged(reps);
-            table.add_row(vec![
-                name.to_string(),
-                p.to_string(),
-                fmt_duration(m.wall_time),
-                m.bottleneck_words.to_string(),
-                m.bottleneck_messages.to_string(),
-                sample
-                    .load(std::sync::atomic::Ordering::Relaxed)
-                    .to_string(),
-            ]);
+    let pes: Vec<usize> = pe_sweep(args.max_pes)
+        .into_iter()
+        .filter(|&p| p >= args.min_pes)
+        .collect();
+
+    match args.algo {
+        AlgoChoice::Auto => {
+            for &p in &pes {
+                let mut last = None;
+                let reps = (0..args.reps)
+                    .map(|_| {
+                        let out = run_on!(args.backend, p, |comm| {
+                            let local = local_input(comm.rank(), per_pe);
+                            let plan =
+                                Planner::default().plan_for_data(comm, &local, 32, epsilon, delta);
+                            let (result, audit) = plan.execute(comm, &local, 0xF18);
+                            (plan, audit, result.sample_size)
+                        });
+                        let m = Measurement::from_stats(p, out.elapsed, out.stats);
+                        last = out.results.into_iter().next();
+                        m
+                    })
+                    .collect();
+                let m = Measurement::averaged(reps);
+                let (plan, audit, sample) = last.expect("at least one rep");
+                if args.plan_explain {
+                    print_plan(&plan);
+                }
+                print_audit(&audit);
+                table.add_row(vec![
+                    format!("auto({})", plan.algorithm.token()),
+                    p.to_string(),
+                    fmt_duration(m.wall_time),
+                    m.bottleneck_words.to_string(),
+                    m.bottleneck_messages.to_string(),
+                    sample.to_string(),
+                ]);
+            }
+        }
+        _ => {
+            let contenders: Vec<Algorithm> = match args.algo {
+                AlgoChoice::Fixed(a) => vec![a],
+                // The paper's Figure 8 panel; PEC is reachable via --algo pec.
+                _ => vec![
+                    Algorithm::Pac,
+                    Algorithm::Ec,
+                    Algorithm::Naive,
+                    Algorithm::NaiveTree,
+                ],
+            };
+            for &algo in &contenders {
+                for &p in &pes {
+                    let sample = std::sync::atomic::AtomicU64::new(0);
+                    let reps = (0..args.reps)
+                        .map(|_| {
+                            let out = run_on!(args.backend, p, |comm| {
+                                let local = local_input(comm.rank(), per_pe);
+                                let s = algo.run(comm, &local, &params).sample_size;
+                                sample.store(s, std::sync::atomic::Ordering::Relaxed);
+                            });
+                            Measurement::from_stats(p, out.elapsed, out.stats)
+                        })
+                        .collect();
+                    let m = Measurement::averaged(reps);
+                    table.add_row(vec![
+                        algo.name().to_string(),
+                        p.to_string(),
+                        fmt_duration(m.wall_time),
+                        m.bottleneck_words.to_string(),
+                        m.bottleneck_messages.to_string(),
+                        sample
+                            .load(std::sync::atomic::Ordering::Relaxed)
+                            .to_string(),
+                    ]);
+                }
+            }
         }
     }
     table.print();
@@ -138,28 +188,6 @@ fn main() {
     );
 }
 
-/// The four contenders, as a copyable tag so one generic closure can be
-/// handed to any backend (a `Box<dyn Fn(&Comm, ...)>` would pin the
-/// communicator type to the threaded backend).
-#[derive(Clone, Copy)]
-enum Algo {
-    Pac,
-    Ec,
-    Naive,
-    NaiveTree,
-}
-
-impl Algo {
-    fn run<C: Communicator>(self, comm: &C, data: &[u64], params: &FrequentParams) -> u64 {
-        match self {
-            Algo::Pac => pac_top_k(comm, data, params).sample_size,
-            Algo::Ec => ec_top_k(comm, data, params).sample_size,
-            Algo::Naive => naive_top_k(comm, data, params).sample_size,
-            Algo::NaiveTree => naive_tree_top_k(comm, data, params).sample_size,
-        }
-    }
-}
-
 fn local_input(rank: usize, per_pe: usize) -> Vec<u64> {
     let zipf = Zipf::new(1 << 20, 1.0);
     let mut rng = StdRng::seed_from_u64(0xF18_0000 + rank as u64);
@@ -174,6 +202,8 @@ struct Args {
     eps_cap: f64,
     epsilon: Option<f64>,
     backend: Backend,
+    algo: AlgoChoice,
+    plan_explain: bool,
 }
 
 impl Args {
@@ -186,6 +216,8 @@ impl Args {
             eps_cap: 0.05,
             epsilon: None,
             backend: Backend::Threaded,
+            algo: AlgoChoice::All,
+            plan_explain: false,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -218,6 +250,14 @@ impl Args {
                 "--backend" => {
                     args.backend = Backend::parse(&argv[i + 1]);
                     i += 2;
+                }
+                "--algo" => {
+                    args.algo = AlgoChoice::parse(&argv[i + 1]);
+                    i += 2;
+                }
+                "--plan-explain" => {
+                    args.plan_explain = true;
+                    i += 1;
                 }
                 other => panic!("unknown argument {other}"),
             }

@@ -22,7 +22,16 @@
 //! batch boundaries: a fault-free calibration rep records every PE's
 //! cumulative send count per batch, so a victim's `at_send_count` lands it
 //! exactly at its first send — the membership probe — of the batch after
-//! `--crash-batch`.
+//! `--crash-batch`.  `--delays D` extends the sweep with message-delay runs
+//! (one-send-tick holds on D coordinator→member pairs — below the detection
+//! threshold, so staleness and availability must be unaffected) and
+//! `--drops D` with dropped-heartbeat runs (the victim is timeout-evicted
+//! while still alive; coverage shrinks, availability is held up by the
+//! replicas).
+//!
+//! `--plan-explain` switches the periodic refresh onto the cost-model
+//! planner's refresh plan ([`topk::planner::Planner::plan_refresh`]) and
+//! prints one `refresh-audit` row per refresh (predicted vs metered words).
 //!
 //! ```bash
 //! cargo run -p bench --release --bin stream_topk -- \
@@ -31,20 +40,28 @@
 //!     [--refresh-every 4] [--queries 4] [--drift-every 10] [--drift-step 25] \
 //!     [--burst-start 30] [--burst-len 5] [--burst-rank 150] \
 //!     [--burst-intensity 0.4] [--reps 1] [--seed 42] \
-//!     [--backend threaded|seq|mux] [--json] \
+//!     [--backend threaded|seq|mux] [--json] [--plan-explain] \
 //!     [--replication 2] [--query-lambda 8] \
-//!     [--chaos] [--crashes 1] [--crash-batch 30] [--assert-available 1.0]
+//!     [--chaos] [--crashes 1] [--delays 0] [--drops 0] \
+//!     [--crash-batch 30] [--assert-available 1.0]
 //! ```
 
 use bench::report::fmt_duration;
 use bench::{run_on, run_on_faulty, Backend, Table};
 use commsim::{FaultEvent, FaultPlan};
 use datagen::{FlashCrowd, StreamProfile, TextCorpus};
+use topk::planner::RefreshAudit;
 use workloads::{BatchReport, StreamConfig, StreamReport, StreamService};
 
 /// One PE's observable outcome of a full service run (summary report,
-/// per-batch reports, final published top-k).
-type PeOutcome = (StreamReport, Vec<BatchReport>, Vec<(String, u64)>);
+/// per-batch reports, final published top-k, refresh audits — empty unless
+/// `--plan-explain` routes refreshes through the planner).
+type PeOutcome = (
+    StreamReport,
+    Vec<BatchReport>,
+    Vec<(String, u64)>,
+    Vec<RefreshAudit>,
+);
 
 fn main() {
     let args = Args::parse();
@@ -60,6 +77,7 @@ fn main() {
         seed: args.seed,
         replication: args.replication,
         query_lambda: args.query_lambda,
+        planned_refresh: args.plan_explain,
     };
     let profile = StreamProfile {
         drift_every: args.drift_every,
@@ -119,6 +137,7 @@ fn main() {
                 service.report(),
                 service.batch_reports().to_vec(),
                 service.serving_topk().to_vec(),
+                service.refresh_audits().to_vec(),
             )
         });
         wall += out.elapsed;
@@ -126,14 +145,19 @@ fn main() {
     }
     // Reproducibility: repeated runs must meter identical traffic per batch.
     for (rep, run) in runs.iter().enumerate().skip(1) {
-        for (pe, ((_, b, _), (_, b0, _))) in run.iter().zip(runs[0].iter()).enumerate() {
+        for (pe, ((_, b, _, _), (_, b0, _, _))) in run.iter().zip(runs[0].iter()).enumerate() {
             assert_eq!(
                 b, b0,
                 "rep {rep} PE {pe}: per-batch reports must be bit-identical across runs"
             );
         }
     }
-    let (report, batch_reports, topk) = &runs[0][0];
+    let (report, batch_reports, topk, refresh_audits) = &runs[0][0];
+
+    // ----- planner refresh audits (only populated under --plan-explain) ----
+    for audit in refresh_audits {
+        println!("{}", audit.audit_line());
+    }
 
     // ----- per-batch trace (sampled rows; refresh batches always shown) ----
     let mut trace = Table::new(
@@ -254,20 +278,35 @@ fn query_table(lambda: f64, report: &StreamReport) -> Option<Table> {
 }
 
 /// The chaos sweep: one fault-free calibration/baseline rep, then one run
-/// per crash count in `1..=--crashes`, each with victims picked by
-/// [`FaultPlan::seeded_crashes`] and `at_send_count` calibrated so every
-/// victim dies at its first send (the membership probe) of the batch after
-/// `--crash-batch`.
+/// per fault scenario —
+///
+/// * `1..=--crashes` crash-stops, victims picked by
+///   [`FaultPlan::seeded_crashes`] with `at_send_count` calibrated so every
+///   victim dies at its first send (the membership probe) of the batch after
+///   `--crash-batch`;
+/// * `--delays` runs that delay coordinator→member pairs by one send-tick —
+///   below every retry budget, so no verdict changes and
+///   staleness/availability/words must equal the baseline bit for bit;
+/// * `--drops` runs that drop one member's very first heartbeat — the
+///   coordinator times the victim out and evicts it *while it is still
+///   alive*; coverage shrinks like a crash but the victim parks quietly.
 fn chaos(args: &Args, config: StreamConfig, profile: &StreamProfile, corpus: &TextCorpus) {
     let p = args.pes;
     assert!(
         config.replication >= 1,
         "--chaos needs --replication >= 1 (survivors must hold replicas)"
     );
-    assert!(p <= 64, "--chaos requires --pes <= 64 (membership bitmaps)");
     assert!(
         args.crashes < p,
         "--crashes must leave at least one survivor"
+    );
+    assert!(
+        args.delays == 0 || p >= 2,
+        "--delays needs at least one member besides the coordinator"
+    );
+    assert!(
+        args.drops < p,
+        "--drops must leave at least one member besides the coordinator"
     );
     let crash_batch = args
         .crash_batch
@@ -294,6 +333,7 @@ fn chaos(args: &Args, config: StreamConfig, profile: &StreamProfile, corpus: &Te
                 service.report(),
                 service.batch_reports().to_vec(),
                 service.serving_topk().to_vec(),
+                service.refresh_audits().to_vec(),
             )
         }
     });
@@ -305,13 +345,13 @@ fn chaos(args: &Args, config: StreamConfig, profile: &StreamProfile, corpus: &Te
         .results
         .iter()
         .enumerate()
-        .map(|(rank, (_, batch_reports, _))| (rank, batch_reports[crash_batch].sends_total))
+        .map(|(rank, (_, batch_reports, _, _))| (rank, batch_reports[crash_batch].sends_total))
         .collect();
 
     let mut sweep = Table::new(
-        "Chaos sweep — crash-stops vs availability and overhead",
+        "Chaos sweep — faults vs availability and overhead",
         &[
-            "crashes",
+            "fault",
             "victims",
             "survivors",
             "coverage",
@@ -324,9 +364,9 @@ fn chaos(args: &Args, config: StreamConfig, profile: &StreamProfile, corpus: &Te
         ],
     );
     let add_row =
-        |sweep: &mut Table, crashes: usize, victims: &str, survivors: usize, r: &StreamReport| {
+        |sweep: &mut Table, fault: &str, victims: &str, survivors: usize, r: &StreamReport| {
             sweep.add_row(vec![
-                crashes.to_string(),
+                fault.to_string(),
                 victims.to_string(),
                 survivors.to_string(),
                 format!("{:.3}", r.coverage),
@@ -341,27 +381,9 @@ fn chaos(args: &Args, config: StreamConfig, profile: &StreamProfile, corpus: &Te
                 format!("{:.3e}", r.p95_query_latency),
             ]);
         };
-    let (base_report, _, _) = &base.results[0];
-    add_row(&mut sweep, 0, "-", p, base_report);
-    if let Some(min) = args.assert_available {
-        assert!(
-            base_report.availability >= min,
-            "fault-free availability {:.4} below required {min}",
-            base_report.availability
-        );
-    }
-
-    for crashes in 1..=args.crashes {
-        let plan =
-            FaultPlan::seeded_crashes(args.seed.wrapping_add(crashes as u64), &candidates, crashes);
-        let victims: Vec<String> = plan
-            .events()
-            .iter()
-            .map(|e| match *e {
-                FaultEvent::CrashPe { rank, .. } => rank.to_string(),
-                _ => unreachable!("seeded_crashes only schedules crashes"),
-            })
-            .collect();
+    // Run a faulted scenario and return the first live PE's outcome plus the
+    // number of PEs that finished.
+    let run_faulted = |plan: FaultPlan| {
         let out = run_on_faulty!(args.backend, p, plan, {
             let corpus = corpus.clone();
             let profile = *profile;
@@ -374,21 +396,133 @@ fn chaos(args: &Args, config: StreamConfig, profile: &StreamProfile, corpus: &Te
                     service.report(),
                     service.batch_reports().to_vec(),
                     service.serving_topk().to_vec(),
+                    service.refresh_audits().to_vec(),
                 )
             }
         });
         let survivors = out.results.iter().filter(|r| r.is_some()).count();
-        let (report, _, _) = out
+        let first = out
             .results
-            .iter()
+            .into_iter()
             .flatten()
             .next()
             .expect("at least one PE survives the sweep");
-        add_row(&mut sweep, crashes, &victims.join("+"), survivors, report);
+        (first, survivors)
+    };
+    let (base_report, _, base_topk, _) = &base.results[0];
+    add_row(&mut sweep, "none", "-", p, base_report);
+    if let Some(min) = args.assert_available {
+        assert!(
+            base_report.availability >= min,
+            "fault-free availability {:.4} below required {min}",
+            base_report.availability
+        );
+    }
+
+    // ----- crash-stop dimension -------------------------------------------
+    for crashes in 1..=args.crashes {
+        let plan =
+            FaultPlan::seeded_crashes(args.seed.wrapping_add(crashes as u64), &candidates, crashes);
+        let victims: Vec<String> = plan
+            .events()
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::CrashPe { rank, .. } => rank.to_string(),
+                _ => unreachable!("seeded_crashes only schedules crashes"),
+            })
+            .collect();
+        let ((report, _, _, _), survivors) = run_faulted(plan);
+        add_row(
+            &mut sweep,
+            &format!("crash x{crashes}"),
+            &victims.join("+"),
+            survivors,
+            &report,
+        );
         if let Some(min) = args.assert_available {
             assert!(
                 report.availability >= min,
                 "availability {:.4} with {crashes} crash(es) below required {min}",
+                report.availability
+            );
+        }
+    }
+
+    // ----- delay dimension -------------------------------------------------
+    // Delays below the detection threshold must be free: the scored metrics
+    // and the published snapshot equal the baseline bit for bit — asserted,
+    // not assumed.  The injected delay is one send-tick, the largest delay
+    // the service's lock-step collectives can absorb: a held-back message
+    // releases only once its *sender* advances its send clock, so any longer
+    // hold on a ping-pong exchange (the tree allreduces of threshold
+    // selection, a member parked right after its heartbeat) freezes both
+    // ends — plain receives may never time out, and the replay scheduler
+    // reports that as deadlock.  Delays long enough to trip a *failable*
+    // receive instead are indistinguishable from loss: that regime is the
+    // drop dimension below.
+    for d in 1..=args.delays {
+        let mut plan = FaultPlan::new();
+        let mut pairs: Vec<String> = Vec::with_capacity(d);
+        for i in 0..d {
+            let dst = 1 + i % (p - 1);
+            plan = plan.delay_pair(0, dst, 1);
+            pairs.push(format!("0>{dst}"));
+        }
+        let ((report, _, topk, _), survivors) = run_faulted(plan);
+        assert_eq!(
+            (
+                report.availability,
+                report.p95_staleness_items,
+                report.total_bottleneck_words,
+                &topk,
+            ),
+            (
+                base_report.availability,
+                base_report.p95_staleness_items,
+                base_report.total_bottleneck_words,
+                base_topk,
+            ),
+            "delayed messages must not perturb staleness, availability, words, or the snapshot"
+        );
+        add_row(
+            &mut sweep,
+            &format!("delay x{d}"),
+            &pairs.join("+"),
+            survivors,
+            &report,
+        );
+    }
+
+    // ----- drop dimension --------------------------------------------------
+    // Dropping a member's first heartbeat makes the coordinator exhaust its
+    // retry budget and evict the victim *while it is still alive*: coverage
+    // shrinks as if it had crashed, availability is held up by the replicas,
+    // and the victim's own run ends in the quiescent evicted state.
+    for d in 1..=args.drops {
+        let mut plan = FaultPlan::new();
+        let mut victims: Vec<String> = Vec::with_capacity(d);
+        for i in 0..d {
+            let victim = p - 1 - i;
+            plan = plan.drop_message(victim, 0, 0);
+            victims.push(victim.to_string());
+        }
+        let ((report, _, _, _), survivors) = run_faulted(plan);
+        assert!(
+            report.coverage < 1.0,
+            "a dropped heartbeat must evict its sender (coverage stayed {:.3})",
+            report.coverage
+        );
+        add_row(
+            &mut sweep,
+            &format!("drop x{d}"),
+            &victims.join("+"),
+            survivors,
+            &report,
+        );
+        if let Some(min) = args.assert_available {
+            assert!(
+                report.availability >= min,
+                "availability {:.4} with {d} dropped heartbeat(s) below required {min}",
                 report.availability
             );
         }
@@ -426,8 +560,11 @@ struct Args {
     query_lambda: f64,
     chaos: bool,
     crashes: usize,
+    delays: usize,
+    drops: usize,
     crash_batch: Option<usize>,
     assert_available: Option<f64>,
+    plan_explain: bool,
 }
 
 impl Args {
@@ -457,8 +594,11 @@ impl Args {
             query_lambda: 0.0,
             chaos: false,
             crashes: 1,
+            delays: 0,
+            drops: 0,
             crash_batch: None,
             assert_available: None,
+            plan_explain: false,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -564,6 +704,18 @@ impl Args {
                 "--crashes" => {
                     args.crashes = argv[i + 1].parse().expect("--crashes takes a number");
                     i += 2;
+                }
+                "--delays" => {
+                    args.delays = argv[i + 1].parse().expect("--delays takes a number");
+                    i += 2;
+                }
+                "--drops" => {
+                    args.drops = argv[i + 1].parse().expect("--drops takes a number");
+                    i += 2;
+                }
+                "--plan-explain" => {
+                    args.plan_explain = true;
+                    i += 1;
                 }
                 "--crash-batch" => {
                     args.crash_batch =

@@ -11,22 +11,29 @@
 //! ```bash
 //! cargo run -p bench --release --bin table1 -- [--quick] \
 //!     [--section all|unsorted|sorted|pq|frequent|sumagg|multicriteria|redistribution] \
-//!     [--backend threaded|seq|mux]
+//!     [--backend threaded|seq|mux] \
+//!     [--algo pac|ec|pec|naive|naive-tree|all|auto] [--plan-explain]
 //! ```
 //!
 //! `--quick` (or `TABLE1_QUICK=1`) shrinks the instance to a CI-friendly
 //! smoke size; the separations stay visible, the absolute numbers shrink.
 //! The metered words/startups columns are bit-identical on every backend;
 //! only the wall-time column depends on `--backend`.
+//!
+//! `--algo` applies to the `frequent` section only: `auto` replaces the
+//! hand-picked PAC/EC/Naive rows with the cost-model planner's choice and
+//! prints a `plan-audit` row (plus the candidate table under
+//! `--plan-explain`); a concrete token runs just that algorithm.
 
+use bench::planning::{print_audit, print_plan};
 use bench::report::fmt_duration;
-use bench::{Backend, Table};
+use bench::{AlgoChoice, Backend, Table};
 use commsim::Communicator;
 use datagen::{MulticriteriaWorkload, SkewedSelectionInput, UniformInput, WeightedZipfInput, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use topk::frequent::{ec::ec_top_k, naive::naive_top_k, pac::pac_top_k};
 use topk::multicriteria::{dta_top_k, LocalMulticriteria};
+use topk::planner::{Algorithm, Planner};
 use topk::{
     approx_multisequence_select, multisequence_select, redistribute, select_k_smallest, sum_top_k,
     BulkParallelQueue, FrequentParams,
@@ -78,17 +85,26 @@ fn main() {
     let backend = backend_pos
         .map(|i| Backend::parse(args.get(i + 1).expect("--backend takes threaded|seq|mux")))
         .unwrap_or(Backend::Threaded);
+    let algo_pos = args.iter().position(|a| a == "--algo");
+    let algo = algo_pos
+        .map(|i| AlgoChoice::parse(args.get(i + 1).expect("--algo takes an algorithm token")))
+        .unwrap_or(AlgoChoice::All);
+    let plan_explain = args.iter().any(|a| a == "--plan-explain");
     let section = args
         .iter()
         .position(|a| a == "--section")
         .and_then(|i| args.get(i + 1).cloned())
         .or_else(|| {
-            // Positional section name; skip the value that belongs to
-            // `--backend` so `table1 --backend seq` does not read "seq" as a
-            // section.
+            // Positional section name; skip the values that belong to
+            // `--backend`/`--algo` so `table1 --backend seq` does not read
+            // "seq" as a section.
             args.iter()
                 .enumerate()
-                .find(|&(i, a)| !a.starts_with("--") && Some(i) != backend_pos.map(|b| b + 1))
+                .find(|&(i, a)| {
+                    !a.starts_with("--")
+                        && Some(i) != backend_pos.map(|b| b + 1)
+                        && Some(i) != algo_pos.map(|b| b + 1)
+                })
                 .map(|(_, a)| a.clone())
         })
         .unwrap_or_default();
@@ -121,7 +137,7 @@ fn main() {
         bulk_priority_queue(&mut table, scale, backend);
     }
     if want("frequent") {
-        top_k_frequent(&mut table, scale, backend);
+        top_k_frequent(&mut table, scale, backend, algo, plan_explain);
     }
     if want("sumagg") {
         sum_aggregation(&mut table, scale, backend);
@@ -227,29 +243,60 @@ fn bulk_priority_queue(table: &mut Table, s: Scale, backend: Backend) {
     );
 }
 
-/// §7 — PAC and EC vs the centralized Naive baseline.
-fn top_k_frequent(table: &mut Table, s: Scale, backend: Backend) {
+/// §7 — PAC and EC vs the centralized Naive baseline; `--algo` swaps the
+/// fixed panel for the planner's choice (`auto`) or a single algorithm.
+fn top_k_frequent(
+    table: &mut Table,
+    s: Scale,
+    backend: Backend,
+    algo: AlgoChoice,
+    plan_explain: bool,
+) {
     let params = FrequentParams::new(32, 3e-3, 1e-3, 11);
     let input = |rank: usize| {
         let zipf = Zipf::new(1 << 16, 1.0);
         let mut rng = StdRng::seed_from_u64(0x7AB1E + rank as u64);
         zipf.sample_many(s.per_pe, &mut rng)
     };
-    let m = measure_on!(backend, s.p, |comm| {
-        let local = input(comm.rank());
-        let _ = pac_top_k(comm, &local, &params);
-    });
-    add(table, "top-k most frequent", "new: PAC", m);
-    let m = measure_on!(backend, s.p, |comm| {
-        let local = input(comm.rank());
-        let _ = ec_top_k(comm, &local, &params);
-    });
-    add(table, "top-k most frequent", "new: EC", m);
-    let m = measure_on!(backend, s.p, |comm| {
-        let local = input(comm.rank());
-        let _ = naive_top_k(comm, &local, &params);
-    });
-    add(table, "top-k most frequent", "old: Naive (centralized)", m);
+    match algo {
+        AlgoChoice::Auto => {
+            let out = bench::run_on!(backend, s.p, |comm| {
+                let local = input(comm.rank());
+                let plan = Planner::default().plan_for_data(comm, &local, 32, 3e-3, 1e-3);
+                let (_, audit) = plan.execute(comm, &local, 11);
+                (plan, audit)
+            });
+            let m = bench::Measurement::from_stats(s.p, out.elapsed, out.stats);
+            let (plan, audit) = out.results.into_iter().next().expect("p >= 1");
+            if plan_explain {
+                print_plan(&plan);
+            }
+            print_audit(&audit);
+            add(
+                table,
+                "top-k most frequent",
+                &format!("auto({})", plan.algorithm.token()),
+                m,
+            );
+        }
+        _ => {
+            let contenders: Vec<(&str, Algorithm)> = match algo {
+                AlgoChoice::Fixed(a) => vec![(a.name(), a)],
+                _ => vec![
+                    ("new: PAC", Algorithm::Pac),
+                    ("new: EC", Algorithm::Ec),
+                    ("old: Naive (centralized)", Algorithm::Naive),
+                ],
+            };
+            for &(label, a) in &contenders {
+                let m = measure_on!(backend, s.p, |comm| {
+                    let local = input(comm.rank());
+                    let _ = a.run(comm, &local, &params);
+                });
+                add(table, "top-k most frequent", label, m);
+            }
+        }
+    }
 }
 
 /// §8 — sampled sum aggregation vs exchanging every distinct key's sum.

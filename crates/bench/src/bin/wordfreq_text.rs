@@ -14,17 +14,26 @@
 //! cargo run -p bench --release --bin wordfreq_text -- \
 //!     [--pes 8] [--per-pe 15] [--vocab 4096] [--zipf 1.05] [--k 16] \
 //!     [--epsilon 0.03] [--reps 2] [--seed 42] [--text FILE] \
-//!     [--backend threaded|seq|mux] [--json]
+//!     [--backend threaded|seq|mux] [--json] \
+//!     [--algo pac|ec|pec|naive|naive-tree|all|auto] [--plan-explain]
 //! ```
+//!
+//! `--algo auto` replaces the fixed algorithm sweep with the cost-model
+//! planner: the plan is derived from the interned shard's measured skew,
+//! executed, oracle-scored like every other row, and its `plan-audit` row
+//! (prediction vs metered reality) printed; `--plan-explain` also prints the
+//! candidate table.
 
+use bench::planning::{print_audit, print_plan};
 use bench::report::fmt_duration;
-use bench::{run_on, Backend, Table};
+use bench::{run_on, AlgoChoice, Backend, Table};
 use commsim::{Communicator, SpmdOutput};
 use datagen::TextCorpus;
 use topk::frequent::{absolute_error, exact_global_counts, relative_error};
 use topk::{FrequentParams, TopKFrequentResult};
 use workloads::text::{
-    distributed_intern, split_text_shards, tokenize, InternedShard, TextAlgorithm,
+    distributed_intern, plan_word_frequency, run_planned_scored, split_text_shards, tokenize,
+    InternedShard, TextAlgorithm,
 };
 
 fn main() {
@@ -100,47 +109,95 @@ fn main() {
         ],
     );
 
-    for algo in TextAlgorithm::ALL {
+    if matches!(args.algo, AlgoChoice::Auto) {
+        // Planner-driven row: plan from the shard's measured skew, execute,
+        // score against the same oracle, and print the audit row.
         let mut wall = std::time::Duration::ZERO;
-        let mut result: Option<TopKFrequentResult> = None;
+        let mut last = None;
         let mut words_per_rep: Vec<Vec<u64>> = Vec::with_capacity(args.reps);
         for _ in 0..args.reps {
             let out = run_on!(args.backend, p, |comm| {
-                let before = comm.stats_snapshot();
-                let r = algo.run(comm, &interned[comm.rank()].ids, &params);
-                let words = comm.stats_snapshot().since(&before).bottleneck_words();
-                (r, words)
+                let shard = &interned[comm.rank()];
+                let plan = plan_word_frequency(comm, shard, args.k, args.epsilon, 1e-3);
+                let (score, audit) = run_planned_scored(comm, shard, &plan, args.seed);
+                (plan, score, audit)
             });
             wall += out.elapsed;
-            words_per_rep.push(out.results.iter().map(|(_, w)| *w).collect());
-            result = Some(out.results.into_iter().next().unwrap().0);
+            words_per_rep.push(
+                out.results
+                    .iter()
+                    .map(|(_, _, a)| a.measured_words)
+                    .collect(),
+            );
+            last = out.results.into_iter().next();
         }
         assert!(
             words_per_rep.windows(2).all(|w| w[0] == w[1]),
-            "{}: words/PE must be bit-identical across repeated runs",
-            algo.name()
+            "auto: words/PE must be bit-identical across repeated runs"
         );
-        let result = result.unwrap();
-        let bottleneck = *words_per_rep[0].iter().max().unwrap();
-        let reported = result.keys();
-        let abs = absolute_error(&exact, &reported);
-        let rel = relative_error(&exact, &reported, n);
-        let top: Vec<&str> = result
-            .items
-            .iter()
-            .take(3)
-            .map(|&(id, _)| interned[0].resolve(id).unwrap_or("?"))
-            .collect();
+        let (plan, score, audit) = last.expect("at least one rep");
+        if args.plan_explain {
+            print_plan(&plan);
+        }
+        print_audit(&audit);
+        let top: Vec<&str> = score.top.iter().take(3).map(|(w, _)| w.as_str()).collect();
         table.add_row(vec![
-            algo.name().to_string(),
+            format!("auto({})", plan.algorithm.token()),
             p.to_string(),
             fmt_duration(wall / args.reps as u32),
-            bottleneck.to_string(),
-            result.sample_size.to_string(),
-            abs.to_string(),
-            format!("{rel:.2e}"),
+            words_per_rep[0].iter().max().unwrap().to_string(),
+            score.sample_size.to_string(),
+            score.abs_error.to_string(),
+            format!("{:.2e}", score.rel_error),
             top.join(" "),
         ]);
+    } else {
+        let contenders: Vec<TextAlgorithm> = match args.algo {
+            AlgoChoice::Fixed(a) => vec![TextAlgorithm::from_core(a)],
+            _ => TextAlgorithm::ALL.to_vec(),
+        };
+        for algo in contenders {
+            let mut wall = std::time::Duration::ZERO;
+            let mut result: Option<TopKFrequentResult> = None;
+            let mut words_per_rep: Vec<Vec<u64>> = Vec::with_capacity(args.reps);
+            for _ in 0..args.reps {
+                let out = run_on!(args.backend, p, |comm| {
+                    let before = comm.stats_snapshot();
+                    let r = algo.run(comm, &interned[comm.rank()].ids, &params);
+                    let words = comm.stats_snapshot().since(&before).bottleneck_words();
+                    (r, words)
+                });
+                wall += out.elapsed;
+                words_per_rep.push(out.results.iter().map(|(_, w)| *w).collect());
+                result = Some(out.results.into_iter().next().unwrap().0);
+            }
+            assert!(
+                words_per_rep.windows(2).all(|w| w[0] == w[1]),
+                "{}: words/PE must be bit-identical across repeated runs",
+                algo.name()
+            );
+            let result = result.unwrap();
+            let bottleneck = *words_per_rep[0].iter().max().unwrap();
+            let reported = result.keys();
+            let abs = absolute_error(&exact, &reported);
+            let rel = relative_error(&exact, &reported, n);
+            let top: Vec<&str> = result
+                .items
+                .iter()
+                .take(3)
+                .map(|&(id, _)| interned[0].resolve(id).unwrap_or("?"))
+                .collect();
+            table.add_row(vec![
+                algo.name().to_string(),
+                p.to_string(),
+                fmt_duration(wall / args.reps as u32),
+                bottleneck.to_string(),
+                result.sample_size.to_string(),
+                abs.to_string(),
+                format!("{rel:.2e}"),
+                top.join(" "),
+            ]);
+        }
     }
 
     table.print();
@@ -167,6 +224,8 @@ struct Args {
     text: Option<String>,
     backend: Backend,
     json: bool,
+    algo: AlgoChoice,
+    plan_explain: bool,
 }
 
 impl Args {
@@ -183,6 +242,8 @@ impl Args {
             text: None,
             backend: Backend::Threaded,
             json: false,
+            algo: AlgoChoice::All,
+            plan_explain: false,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -230,6 +291,14 @@ impl Args {
                 }
                 "--json" => {
                     args.json = true;
+                    i += 1;
+                }
+                "--algo" => {
+                    args.algo = AlgoChoice::parse(&argv[i + 1]);
+                    i += 2;
+                }
+                "--plan-explain" => {
+                    args.plan_explain = true;
                     i += 1;
                 }
                 other => panic!("unknown argument {other}"),

@@ -20,9 +20,11 @@
 //! curve (who wins, where the crossovers are, what scales and what does not)
 //! is, and EXPERIMENTS.md records both.
 
+pub mod planning;
 pub mod report;
 pub mod scaling;
 
+pub use planning::AlgoChoice;
 pub use report::Table;
 pub use scaling::{measure_spmd, pe_sweep, scaled_epsilon, Backend, Measurement, ScaledEpsilon};
 

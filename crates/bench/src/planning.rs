@@ -1,0 +1,82 @@
+//! CLI glue for the cost-model planner: `--algo` parsing and the
+//! plan-explain / plan-audit printing shared by the bench bins.
+//!
+//! Every bin that runs a §7 frequent-objects algorithm accepts
+//! `--algo <pac|ec|pec|naive|naive-tree|all|auto>`:
+//!
+//! * a concrete token runs that algorithm exactly as earlier revisions did
+//!   (hand-picked dispatch, bit-identical metering — pinned by
+//!   `tests/planner_integration.rs`),
+//! * `all` sweeps the bin's default algorithm list,
+//! * `auto` hands the choice to [`topk::planner::Planner`]: the plan is
+//!   derived from the data, executed, and audited — and the audit row
+//!   (prediction vs metered reality) is printed in the stable
+//!   [`PlanAudit::audit_line`] format the CI smoke checks parse.
+
+use topk::planner::{Algorithm, Plan, PlanAudit};
+
+/// What `--algo` selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Sweep the bin's default algorithm list (the pre-planner behavior).
+    All,
+    /// Let the cost-model planner pick per cell.
+    Auto,
+    /// One hand-picked algorithm.
+    Fixed(Algorithm),
+}
+
+impl AlgoChoice {
+    /// Parse the `--algo` value.  Panics with a usage message on anything
+    /// that is neither `all`, `auto`, nor an [`Algorithm`] token.
+    pub fn parse(s: &str) -> Self {
+        match s.to_ascii_lowercase().as_str() {
+            "all" => AlgoChoice::All,
+            "auto" => AlgoChoice::Auto,
+            other => AlgoChoice::Fixed(Algorithm::parse(other).unwrap_or_else(|| {
+                panic!(
+                    "--algo takes auto, all, or one of pac|ec|pec|naive|naive-tree (got {other})"
+                )
+            })),
+        }
+    }
+}
+
+/// Print a plan's multi-line explanation (the `--plan-explain` output).
+pub fn print_plan(plan: &Plan) {
+    println!("{}", plan.explain());
+}
+
+/// Print a plan audit's one-line row, asserting it round-trips through
+/// [`PlanAudit::parse`] first — the CI smoke checks parse every emitted row,
+/// so an unparseable row is a bug worth failing loudly on.
+pub fn print_audit(audit: &PlanAudit) {
+    let line = audit.audit_line();
+    assert!(
+        PlanAudit::parse(&line).is_some(),
+        "plan audit row must round-trip through the parser: {line}"
+    );
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_choice_parses_all_spellings() {
+        assert_eq!(AlgoChoice::parse("all"), AlgoChoice::All);
+        assert_eq!(AlgoChoice::parse("AUTO"), AlgoChoice::Auto);
+        assert_eq!(AlgoChoice::parse("pac"), AlgoChoice::Fixed(Algorithm::Pac));
+        assert_eq!(
+            AlgoChoice::parse("naive-tree"),
+            AlgoChoice::Fixed(Algorithm::NaiveTree)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--algo takes")]
+    fn algo_choice_rejects_garbage() {
+        AlgoChoice::parse("quicksort");
+    }
+}

@@ -101,7 +101,7 @@ pub use codec::{WordCodec, WordReader};
 pub use collectives::ReduceOp;
 pub use comm::Comm;
 pub use communicator::{Communicator, COLLECTIVE_TAG_BASE};
-pub use cost::CostModel;
+pub use cost::{CostModel, PredictedComm};
 pub use error::{CommError, CommResult};
 pub use faults::{FaultEvent, FaultPlan};
 pub use message::CommData;

@@ -48,6 +48,7 @@ pub mod bulk_pq;
 pub mod frequent;
 pub mod msselect;
 pub mod multicriteria;
+pub mod planner;
 pub mod redistribute;
 pub mod sum_agg;
 pub mod unsorted;
@@ -63,6 +64,9 @@ pub use bulk_pq::BulkParallelQueue;
 pub use frequent::{dht::DhtFanout, FrequentParams, TopKFrequentResult};
 pub use msselect::{multisequence_select, MsSelectResult};
 pub use multicriteria::{dta_top_k, rdta_top_k, LocalMulticriteria, MulticriteriaResult};
+pub use planner::{
+    Algorithm, Plan, PlanAudit, PlanInputs, Planner, RefreshAudit, RefreshPlan, SkewEstimate,
+};
 pub use redistribute::{redistribute, RedistributionReport};
 pub use sum_agg::{sum_top_k, sum_top_k_exact, TopKSumResult};
 pub use unsorted::{

@@ -1,0 +1,924 @@
+//! Cost-model-driven algorithm planner: `plan → execute → audit`.
+//!
+//! The repo has four frequent-objects algorithms ([`Algorithm`]), two
+//! all-to-all routings ([`DhtFanout`]), and a counts-only vs full selection
+//! choice in the streaming refresh — and until this module every caller
+//! picked by hand.  The planner makes the choice the way the paper does in
+//! its analysis: predict the per-PE bottleneck words and start-ups of every
+//! candidate from closed-form formulas, price them with the α/β
+//! [`CostModel`], and dispatch to the argmin.
+//!
+//! The prediction formulas compose the per-collective terms of
+//! [`commsim::cost::predict`] (which match the implemented binomial-tree and
+//! hypercube collectives) with the paper's sample sizes:
+//!
+//! * sample sizes come from the very functions the algorithms call —
+//!   [`pac::required_sample_size`] (Section 7.1), [`ec::optimal_k_star`] +
+//!   [`ec::required_sample_size`] (Section 7.2), and the Zipf closed form
+//!   `k* = (2+√2)^{1/z}·k` of Theorem 14 for PEC's candidate set;
+//! * the number of *distinct* keys a sample contains — the quantity every
+//!   DHT and coordinator volume actually scales with — is the Poissonized
+//!   expectation [`seqkit::skew::expected_distinct`] under a fitted Zipf
+//!   model ([`SkewEstimate`], measured by [`SkewEstimate::measure`] with the
+//!   one-pass estimator of `seqkit::skew` when the caller does not know its
+//!   distribution);
+//! * the §4.1 unsorted selection shared by all sampling algorithms is
+//!   modeled level by level (per-level all-reductions plus the √p̄-sized
+//!   sample all-gather, then the ≤ 1024-element base-case all-gather).
+//!
+//! Every planned execution ([`Plan::execute`]) meters reality with the
+//! existing [`commsim::StatsSnapshot`] deltas and records a [`PlanAudit`] —
+//! predicted
+//! vs measured words/PE and start-ups plus their relative errors — in a
+//! stable, parseable one-line format ([`PlanAudit::audit_line`] /
+//! [`PlanAudit::parse`]).  The audit rows are what EXPERIMENTS.md's
+//! prediction-error table and the CI smoke checks consume: the cost model
+//! the paper's claims rest on is itself under regression test.
+//!
+//! Everything here is deterministic: plans are pure functions of their
+//! inputs, and [`SkewEstimate::measure`] combines the per-PE fits through
+//! fixed-point integer all-reductions, so every PE — and every backend —
+//! derives the *identical* plan (pinned by `tests/planner_integration.rs`).
+
+use commsim::cost::predict;
+use commsim::{Communicator, CostModel, PredictedComm};
+
+use crate::frequent::dht::DhtFanout;
+use crate::frequent::ec::{self, ec_top_k};
+use crate::frequent::naive::{naive_top_k, naive_tree_top_k};
+use crate::frequent::pac::{self, pac_top_k};
+use crate::frequent::pec::pec_top_k;
+use crate::frequent::{FrequentParams, TopKFrequentResult};
+use seqkit::skew::{expected_distinct, fit_zipf_exponent};
+
+/// The §7 top-k most-frequent-objects algorithms as a dispatchable value —
+/// the single shared enum behind `workloads::text::TextAlgorithm` and the
+/// bench bins' `--algo` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Probably approximately correct (Section 7.1).
+    Pac,
+    /// Exact counting of sampled candidates (Section 7.2).
+    Ec,
+    /// Probably exactly correct (Section 7.3); the coarse first-stage ε₀ is
+    /// derived as `min(20·ε, 0.05)`, matching the convention of the existing
+    /// experiments.
+    Pec,
+    /// Centralized baseline: every PE ships its aggregate to a coordinator.
+    Naive,
+    /// Centralized baseline through a merging reduction tree.
+    NaiveTree,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the experiments report them.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Pac,
+        Algorithm::Ec,
+        Algorithm::Pec,
+        Algorithm::Naive,
+        Algorithm::NaiveTree,
+    ];
+
+    /// Display name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Pac => "PAC",
+            Algorithm::Ec => "EC",
+            Algorithm::Pec => "PEC",
+            Algorithm::Naive => "Naive",
+            Algorithm::NaiveTree => "Naive Tree",
+        }
+    }
+
+    /// Single-token lowercase name, stable for CLI flags and audit lines.
+    pub fn token(self) -> &'static str {
+        match self {
+            Algorithm::Pac => "pac",
+            Algorithm::Ec => "ec",
+            Algorithm::Pec => "pec",
+            Algorithm::Naive => "naive",
+            Algorithm::NaiveTree => "naive-tree",
+        }
+    }
+
+    /// Parse a CLI token (case-insensitive; `naive-tree`, `naive_tree` and
+    /// `tree` all name the tree baseline).  `auto` is *not* an algorithm —
+    /// callers handle it before parsing.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "pac" => Some(Algorithm::Pac),
+            "ec" => Some(Algorithm::Ec),
+            "pec" => Some(Algorithm::Pec),
+            "naive" => Some(Algorithm::Naive),
+            "naive-tree" | "naive_tree" | "naivetree" | "tree" => Some(Algorithm::NaiveTree),
+            _ => None,
+        }
+    }
+
+    /// Run this algorithm (collective).  This is the one dispatch point every
+    /// caller — text workload, bench bins, planned executions — goes through.
+    pub fn run<C: Communicator>(
+        self,
+        comm: &C,
+        local_data: &[u64],
+        params: &FrequentParams,
+    ) -> TopKFrequentResult {
+        match self {
+            Algorithm::Pac => pac_top_k(comm, local_data, params),
+            Algorithm::Ec => ec_top_k(comm, local_data, params),
+            Algorithm::Pec => {
+                let epsilon0 = (params.epsilon * 20.0).min(0.05);
+                pec_top_k(comm, local_data, params, epsilon0)
+            }
+            Algorithm::Naive => naive_top_k(comm, local_data, params),
+            Algorithm::NaiveTree => naive_tree_top_k(comm, local_data, params),
+        }
+    }
+}
+
+/// A fitted (or asserted) skew model of the input distribution: Zipf
+/// exponent plus universe size, the two numbers the expected-distinct
+/// predictions need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewEstimate {
+    /// Zipf exponent of the modeled distribution.
+    pub exponent: f64,
+    /// Number of distinct keys in the modeled distribution.
+    pub universe: u64,
+    /// Elements the fit examined globally (`0` when asserted, not measured).
+    pub sampled: u64,
+    /// Mean per-PE distinct keys among the sampled elements (diagnostic).
+    pub distinct: u64,
+}
+
+impl SkewEstimate {
+    /// An asserted skew model, for callers that know their distribution
+    /// (e.g. the bench bins generating their own Zipf input).
+    pub fn known(exponent: f64, universe: u64) -> Self {
+        SkewEstimate {
+            exponent,
+            universe: universe.max(1),
+            sampled: 0,
+            distinct: 0,
+        }
+    }
+
+    /// Measure a skew model from the data (collective): every PE fits the
+    /// one-pass estimator of [`seqkit::skew`] on its local shard, and the
+    /// fits are combined into one global model with a single fixed-point
+    /// integer vector all-reduction — so the result (and therefore every
+    /// plan derived from it) is bit-identical on every PE and backend.
+    pub fn measure<C: Communicator>(comm: &C, local_data: &[u64]) -> Self {
+        let fit = fit_zipf_exponent(local_data, 1 << 16);
+        // Fixed-point weighted sums: exponent and universe weighted by the
+        // local sample size.  Integer sums are associative, so the combined
+        // model cannot depend on reduction order.
+        let combined = comm.allreduce_vec_sum(vec![
+            fit.sampled,
+            fit.distinct,
+            ((fit.exponent * 1e6).round() as u64).saturating_mul(fit.sampled),
+            fit.universe.saturating_mul(fit.sampled),
+            1,
+        ]);
+        let (sampled, distinct_sum, exp_fp, uni_fp, pes) = (
+            combined[0],
+            combined[1],
+            combined[2],
+            combined[3],
+            combined[4].max(1),
+        );
+        if sampled == 0 {
+            return SkewEstimate::known(1.0, 1);
+        }
+        SkewEstimate {
+            exponent: (exp_fp as f64 / sampled as f64) / 1e6,
+            universe: (uni_fp / sampled).max(1),
+            sampled,
+            distinct: distinct_sum / pes,
+        }
+    }
+}
+
+/// Everything a plan is a function of.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanInputs {
+    /// Global input size.
+    pub n: u64,
+    /// Result size.
+    pub k: usize,
+    /// Number of PEs.
+    pub p: usize,
+    /// Relative error bound ε.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+    /// Skew model of the input distribution.
+    pub skew: SkewEstimate,
+}
+
+/// One algorithm's prediction, with the fan-out already optimised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCandidate {
+    /// The algorithm this candidate prices.
+    pub algorithm: Algorithm,
+    /// The cheaper of the two DHT routings under the cost model.
+    pub fanout: DhtFanout,
+    /// Predicted bottleneck words and start-ups per PE.
+    pub predicted: PredictedComm,
+    /// `α·startups + β·words` under the planner's cost model.
+    pub modeled_seconds: f64,
+    /// Predicted global sample size the algorithm will draw.
+    pub sample_target: u64,
+    /// Predicted candidate-set size (`k` itself for PAC and the baselines).
+    pub k_star: u64,
+}
+
+/// A concrete dispatch decision plus the predictions it was made from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The inputs the plan was derived from.
+    pub inputs: PlanInputs,
+    /// Chosen algorithm (argmin of predicted bottleneck words; modeled
+    /// α/β time breaks ties).
+    pub algorithm: Algorithm,
+    /// Chosen DHT routing.
+    pub fanout: DhtFanout,
+    /// Predicted global sample size of the chosen algorithm.
+    pub sample_target: u64,
+    /// Predicted candidate-set size of the chosen algorithm.
+    pub k_star: u64,
+    /// Predicted bottleneck words and start-ups per PE.
+    pub predicted: PredictedComm,
+    /// Modeled time of the chosen algorithm.
+    pub modeled_seconds: f64,
+    /// Every algorithm's prediction, in [`Algorithm::ALL`] order.
+    pub candidates: Vec<PlanCandidate>,
+}
+
+impl Plan {
+    /// The [`FrequentParams`] a planned execution runs with: the caller's
+    /// accuracy targets plus the plan's routing choice.
+    pub fn params(&self, seed: u64) -> FrequentParams {
+        FrequentParams::new(self.inputs.k, self.inputs.epsilon, self.inputs.delta, seed)
+            .with_dht_fanout(self.fanout)
+    }
+
+    /// Execute the plan (collective) and audit the prediction: the algorithm
+    /// phase is metered with [`commsim::StatsSnapshot`] deltas and the world
+    /// bottlenecks are agreed with two max-reductions *after* the metering
+    /// window closes, so the audit traffic never pollutes the measurement.
+    pub fn execute<C: Communicator>(
+        &self,
+        comm: &C,
+        local_data: &[u64],
+        seed: u64,
+    ) -> (TopKFrequentResult, PlanAudit) {
+        let params = self.params(seed);
+        let before = comm.stats_snapshot();
+        let result = self.algorithm.run(comm, local_data, &params);
+        let delta = comm.stats_snapshot().since(&before);
+        let measured_words = comm.allreduce_max(delta.bottleneck_words());
+        let measured_startups = comm.allreduce_max(delta.bottleneck_messages());
+        let audit = PlanAudit {
+            algorithm: self.algorithm,
+            fanout: self.fanout,
+            p: self.inputs.p,
+            n: self.inputs.n,
+            k: self.inputs.k,
+            predicted: self.predicted,
+            measured_words,
+            measured_startups,
+        };
+        (result, audit)
+    }
+
+    /// Multi-line human-readable explanation: the inputs, every candidate's
+    /// prediction, and the chosen dispatch.  Deterministic (pinned across
+    /// backends by the integration tests).
+    pub fn explain(&self) -> String {
+        let i = &self.inputs;
+        let mut out = format!(
+            "plan: n={} p={} k={} eps={:.3e} delta={:.3e} skew={:.2} universe={}\n",
+            i.n, i.p, i.k, i.epsilon, i.delta, i.skew.exponent, i.skew.universe
+        );
+        for c in &self.candidates {
+            let marker = if c.algorithm == self.algorithm {
+                "*"
+            } else {
+                " "
+            };
+            out.push_str(&format!(
+                " {marker} {:<10} fanout={:<9} pred_words={:<12.1} pred_startups={:<6.1} modeled={:.3e}s\n",
+                c.algorithm.token(),
+                fanout_token(c.fanout),
+                c.predicted.words,
+                c.predicted.startups,
+                c.modeled_seconds,
+            ));
+        }
+        out.push_str(&format!(
+            "  chosen algo={} fanout={} sample_target={} k_star={}",
+            self.algorithm.token(),
+            fanout_token(self.fanout),
+            self.sample_target,
+            self.k_star
+        ));
+        out
+    }
+}
+
+/// Prediction vs metered reality of one planned execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanAudit {
+    /// The executed algorithm.
+    pub algorithm: Algorithm,
+    /// The DHT routing it ran with.
+    pub fanout: DhtFanout,
+    /// World size.
+    pub p: usize,
+    /// Global input size.
+    pub n: u64,
+    /// Result size.
+    pub k: usize,
+    /// The plan's prediction.
+    pub predicted: PredictedComm,
+    /// Metered world-bottleneck words of the algorithm phase.
+    pub measured_words: u64,
+    /// Metered world-bottleneck start-ups of the algorithm phase.
+    pub measured_startups: u64,
+}
+
+impl PlanAudit {
+    /// Relative prediction error of the words term:
+    /// `(predicted − measured) / measured` (`0` when nothing was measured).
+    pub fn words_error(&self) -> f64 {
+        relative_error(self.predicted.words, self.measured_words)
+    }
+
+    /// Relative prediction error of the start-ups term.
+    pub fn startups_error(&self) -> f64 {
+        relative_error(self.predicted.startups, self.measured_startups)
+    }
+
+    /// The stable one-line audit format the CI smoke checks grep for:
+    ///
+    /// ```text
+    /// plan-audit algo=pac fanout=direct p=4 n=4096 k=32 pred_words=123.4 \
+    /// meas_words=150 pred_startups=40.0 meas_startups=38 words_err=-17.7% startups_err=5.3%
+    /// ```
+    ///
+    /// (One line; round-trips through [`PlanAudit::parse`].)
+    pub fn audit_line(&self) -> String {
+        format!(
+            "plan-audit algo={} fanout={} p={} n={} k={} pred_words={:.1} meas_words={} \
+             pred_startups={:.1} meas_startups={} words_err={:.1}% startups_err={:.1}%",
+            self.algorithm.token(),
+            fanout_token(self.fanout),
+            self.p,
+            self.n,
+            self.k,
+            self.predicted.words,
+            self.measured_words,
+            self.predicted.startups,
+            self.measured_startups,
+            self.words_error() * 100.0,
+            self.startups_error() * 100.0,
+        )
+    }
+
+    /// Parse an [`audit_line`](Self::audit_line) back.  Returns `None` for
+    /// anything that is not a well-formed audit row (the CI smokes parse
+    /// every emitted row and fail on `None`).
+    pub fn parse(line: &str) -> Option<PlanAudit> {
+        let rest = line.trim().strip_prefix("plan-audit ")?;
+        let mut algorithm = None;
+        let mut fanout = None;
+        let (mut p, mut n, mut k) = (None, None, None);
+        let (mut pred_words, mut meas_words) = (None, None);
+        let (mut pred_startups, mut meas_startups) = (None, None);
+        for field in rest.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "algo" => algorithm = Algorithm::parse(value),
+                "fanout" => fanout = parse_fanout(value),
+                "p" => p = value.parse::<usize>().ok(),
+                "n" => n = value.parse::<u64>().ok(),
+                "k" => k = value.parse::<usize>().ok(),
+                "pred_words" => pred_words = value.parse::<f64>().ok(),
+                "meas_words" => meas_words = value.parse::<u64>().ok(),
+                "pred_startups" => pred_startups = value.parse::<f64>().ok(),
+                "meas_startups" => meas_startups = value.parse::<u64>().ok(),
+                // The error fields are derived; tolerate and ignore them
+                // (and any future additions).
+                _ => {}
+            }
+        }
+        Some(PlanAudit {
+            algorithm: algorithm?,
+            fanout: fanout?,
+            p: p?,
+            n: n?,
+            k: k?,
+            predicted: PredictedComm::new(pred_words?, pred_startups?),
+            measured_words: meas_words?,
+            measured_startups: meas_startups?,
+        })
+    }
+}
+
+fn relative_error(predicted: f64, measured: u64) -> f64 {
+    if measured == 0 {
+        0.0
+    } else {
+        (predicted - measured as f64) / measured as f64
+    }
+}
+
+fn fanout_token(f: DhtFanout) -> &'static str {
+    match f {
+        DhtFanout::Auto => "auto",
+        DhtFanout::Direct => "direct",
+        DhtFanout::Hypercube => "hypercube",
+    }
+}
+
+fn parse_fanout(s: &str) -> Option<DhtFanout> {
+    match s {
+        "auto" => Some(DhtFanout::Auto),
+        "direct" => Some(DhtFanout::Direct),
+        "hypercube" => Some(DhtFanout::Hypercube),
+        _ => None,
+    }
+}
+
+/// A planned streaming refresh: the DHT routing plus the counts-only vs
+/// full-gather choice for publishing the global top-k (see
+/// `workloads::stream`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshPlan {
+    /// World (or live-group) size the plan was made for.
+    pub p: usize,
+    /// Published top-k size.
+    pub k: usize,
+    /// Global candidate-pair count the plan assumed (sum of per-PE window
+    /// candidates; an upper bound on the distinct aggregate).
+    pub global_candidates: u64,
+    /// Chosen DHT routing for the aggregation.
+    pub fanout: DhtFanout,
+    /// `true` — cut with the §4.1 counts-only threshold kernel and gather
+    /// only the `k` winners; `false` — all-gather the whole aggregate and
+    /// cut locally (cheaper in start-ups when the aggregate is tiny).
+    pub counts_only: bool,
+    /// Prediction of the chosen path.
+    pub predicted: PredictedComm,
+    /// Prediction of the counts-only path (for the audit trail).
+    pub counts_only_predicted: PredictedComm,
+    /// Prediction of the full-gather path.
+    pub full_gather_predicted: PredictedComm,
+    /// Modeled time of the chosen path.
+    pub modeled_seconds: f64,
+}
+
+/// Prediction vs metered reality of one planned refresh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshAudit {
+    /// Batch index of the refresh.
+    pub batch: usize,
+    /// Whether the counts-only path was taken.
+    pub counts_only: bool,
+    /// The routing the aggregation ran with.
+    pub fanout: DhtFanout,
+    /// The refresh plan's prediction.
+    pub predicted: PredictedComm,
+    /// This PE's metered bottleneck words of the refresh phase.
+    pub measured_words: u64,
+    /// This PE's metered bottleneck start-ups of the refresh phase.
+    pub measured_startups: u64,
+}
+
+impl RefreshAudit {
+    /// One-line parseable audit row (same conventions as
+    /// [`PlanAudit::audit_line`], prefix `refresh-audit`).
+    pub fn audit_line(&self) -> String {
+        format!(
+            "refresh-audit batch={} path={} fanout={} pred_words={:.1} meas_words={} \
+             pred_startups={:.1} meas_startups={} words_err={:.1}%",
+            self.batch,
+            if self.counts_only {
+                "counts-only"
+            } else {
+                "full-gather"
+            },
+            fanout_token(self.fanout),
+            self.predicted.words,
+            self.measured_words,
+            self.predicted.startups,
+            self.measured_startups,
+            relative_error(self.predicted.words, self.measured_words) * 100.0,
+        )
+    }
+}
+
+/// The planner: a [`CostModel`] plus the closed-form prediction formulas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Planner {
+    /// The machine model predictions are priced with.
+    pub cost: CostModel,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new(CostModel::default())
+    }
+}
+
+impl Planner {
+    /// A planner over an explicit machine model.
+    pub fn new(cost: CostModel) -> Self {
+        Planner { cost }
+    }
+
+    /// Plan from known inputs — pure, deterministic, communication-free.
+    pub fn plan(&self, inputs: PlanInputs) -> Plan {
+        let candidates: Vec<PlanCandidate> = Algorithm::ALL
+            .iter()
+            .map(|&algorithm| self.candidate(algorithm, &inputs))
+            .collect();
+        // The paper's claims — and the bound the planner is held to — are
+        // about communication *volume*, so the pick is the words argmin;
+        // the modeled α/β time only breaks ties (e.g. the two centralized
+        // baselines at p ≤ 2, whose volumes coincide).
+        let best = candidates
+            .iter()
+            .copied()
+            .reduce(|best, c| {
+                if c.predicted.words < best.predicted.words
+                    || (c.predicted.words == best.predicted.words
+                        && c.modeled_seconds < best.modeled_seconds)
+                {
+                    c
+                } else {
+                    best
+                }
+            })
+            .expect("Algorithm::ALL is non-empty");
+        Plan {
+            inputs,
+            algorithm: best.algorithm,
+            fanout: best.fanout,
+            sample_target: best.sample_target,
+            k_star: best.k_star,
+            predicted: best.predicted,
+            modeled_seconds: best.modeled_seconds,
+            candidates,
+        }
+    }
+
+    /// Plan for concrete data (collective): global `n` by sum-reduction, the
+    /// skew model by [`SkewEstimate::measure`], then the pure [`plan`].
+    ///
+    /// [`plan`]: Self::plan
+    pub fn plan_for_data<C: Communicator>(
+        &self,
+        comm: &C,
+        local_data: &[u64],
+        k: usize,
+        epsilon: f64,
+        delta: f64,
+    ) -> Plan {
+        let n = comm.allreduce_sum(local_data.len() as u64);
+        let skew = SkewEstimate::measure(comm, local_data);
+        self.plan(PlanInputs {
+            n,
+            k,
+            p: comm.size(),
+            epsilon,
+            delta,
+            skew,
+        })
+    }
+
+    /// Plan a streaming refresh over `global_candidates` candidate pairs
+    /// (summed over PEs) publishing a top-`k` — pure and deterministic, so
+    /// every PE derives the identical [`RefreshPlan`] from the same inputs.
+    pub fn plan_refresh(&self, p: usize, global_candidates: u64, k: usize) -> RefreshPlan {
+        let d_local = global_candidates as f64 / p.max(1) as f64;
+        // Aggregation: route everyone's candidate pairs to their owners.
+        let (fanout, dht) = self.best_fanout(p, 2.0 * d_local);
+        // Distinct aggregate is at most the global pair count.
+        let aggregate = global_candidates as f64;
+        let shared = dht.plus(predict::allreduce(p, 1.0));
+        let counts_only = shared
+            .plus(selection_cost(p, aggregate))
+            .plus(predict::allgather(p, 2.0 * k as f64 / p.max(1) as f64));
+        let full_gather = shared.plus(predict::allgather(p, 2.0 * aggregate / p.max(1) as f64));
+        let use_counts_only =
+            self.cost.predicted_cost(&counts_only) <= self.cost.predicted_cost(&full_gather);
+        let predicted = if use_counts_only {
+            counts_only
+        } else {
+            full_gather
+        };
+        RefreshPlan {
+            p,
+            k,
+            global_candidates,
+            fanout,
+            counts_only: use_counts_only,
+            predicted,
+            counts_only_predicted: counts_only,
+            full_gather_predicted: full_gather,
+            modeled_seconds: self.cost.predicted_cost(&predicted),
+        }
+    }
+
+    /// Price one algorithm, with the fan-out optimised under the model.
+    fn candidate(&self, algorithm: Algorithm, i: &PlanInputs) -> PlanCandidate {
+        let (predicted, fanout, sample_target, k_star) = self.predict_algorithm(algorithm, i);
+        PlanCandidate {
+            algorithm,
+            fanout,
+            predicted,
+            modeled_seconds: self.cost.predicted_cost(&predicted),
+            sample_target,
+            k_star,
+        }
+    }
+
+    /// The per-algorithm closed-form prediction (see the module docs for the
+    /// formula provenance).  Returns (prediction, fanout, sample, k*).
+    fn predict_algorithm(
+        &self,
+        algorithm: Algorithm,
+        i: &PlanInputs,
+    ) -> (PredictedComm, DhtFanout, u64, u64) {
+        let p = i.p;
+        let n = i.n.max(1);
+        let k = i.k as f64;
+        let params = FrequentParams::new(i.k, i.epsilon, i.delta, 0);
+        // Expected distinct keys in a sample of size `s` (global) or `s/p`
+        // (one PE's share) under the fitted Zipf model.
+        let d = |s: f64| expected_distinct(s, i.skew.universe, i.skew.exponent);
+        let d_loc = |s: u64| d(s as f64 / p as f64);
+
+        match algorithm {
+            Algorithm::Pac => {
+                let s = pac::required_sample_size(n, i.k, i.epsilon, i.delta);
+                let (fanout, dht) = self.best_fanout(p, 2.0 * d_loc(s));
+                let comm = predict::allreduce(p, 1.0) // global n
+                    .plus(dht)
+                    .plus(predict::allreduce(p, 1.0)) // global sample size
+                    .plus(self.top_counts_cost(p, d(s as f64), k));
+                (comm, fanout, s, i.k as u64)
+            }
+            Algorithm::Ec => {
+                let k_star = ec::optimal_k_star(n, p, &params);
+                let s = ec::required_sample_size(n, k_star, i.epsilon, i.delta);
+                let comm = self.ec_stage_cost(p, s, k_star, d_loc(s), d(s as f64));
+                let (fanout, _) = self.best_fanout(p, 2.0 * d_loc(s));
+                (comm, fanout, s, k_star as u64)
+            }
+            Algorithm::Pec => {
+                // Stage 1: the PAC machinery at the coarse ε₀.
+                let epsilon0 = (i.epsilon * 20.0).min(0.05);
+                let s0 = pac::required_sample_size(n, i.k, epsilon0, i.delta);
+                let (_, dht0) = self.best_fanout(p, 2.0 * d_loc(s0));
+                let stage1 = predict::allreduce(p, 1.0)
+                    .plus(dht0)
+                    .plus(predict::allreduce(p, 1.0))
+                    .plus(self.top_counts_cost(p, d(s0 as f64), k))
+                    // one more allreduce: the k* count reduction
+                    .plus(predict::allreduce(p, 1.0));
+                // Stage 2: EC with the Theorem-14 Zipf prediction of k*.
+                let z = i.skew.exponent.max(0.2);
+                let k_star = ((2.0 + std::f64::consts::SQRT_2).powf(1.0 / z) * k)
+                    .ceil()
+                    .min(n as f64) as usize;
+                let k_star = k_star.max(i.k);
+                let s = ec::required_sample_size(n, k_star, i.epsilon, i.delta);
+                let stage2 = self.ec_stage_cost(p, s, k_star, d_loc(s), d(s as f64));
+                let (fanout, _) = self.best_fanout(p, 2.0 * d_loc(s));
+                (stage1.plus(stage2), fanout, s0 + s, k_star as u64)
+            }
+            Algorithm::Naive => {
+                let s = pac::required_sample_size(n, i.k, i.epsilon, i.delta);
+                let dl = d_loc(s);
+                // The coordinator receives every PE's aggregated sample
+                // directly and broadcasts the winners.
+                let coordinator =
+                    PredictedComm::new((p as f64 - 1.0) * (2.0 * dl + 1.0), p as f64 - 1.0);
+                let comm = predict::allreduce(p, 1.0)
+                    .plus(coordinator)
+                    .plus(predict::broadcast(p, 2.0 * k + 1.0));
+                (comm, DhtFanout::Auto, s, i.k as u64)
+            }
+            Algorithm::NaiveTree => {
+                let s = pac::required_sample_size(n, i.k, i.epsilon, i.delta);
+                // Binomial merging tree: the root's child at level j carries
+                // the merged aggregate of a 2^j-PE subtree.
+                let l = predict::rounds(p) as u32;
+                let mut root_recv = 0.0;
+                for j in 0..l {
+                    let subtree = (1u64 << j).min(p as u64) as f64;
+                    root_recv += 2.0 * d(s as f64 * subtree / p as f64) + 1.0;
+                }
+                let tree = PredictedComm::new(root_recv, l as f64);
+                let comm = predict::allreduce(p, 1.0)
+                    .plus(tree)
+                    .plus(predict::broadcast(p, 2.0 * k + 1.0));
+                (comm, DhtFanout::Auto, s, i.k as u64)
+            }
+        }
+    }
+
+    /// The EC machinery at a given `k*`: sample, DHT, candidate selection,
+    /// candidate all-gather, and the exact-count vector all-reduction.
+    fn ec_stage_cost(
+        &self,
+        p: usize,
+        sample: u64,
+        k_star: usize,
+        d_local: f64,
+        d_global: f64,
+    ) -> PredictedComm {
+        let (_, dht) = self.best_fanout(p, 2.0 * d_local);
+        let aggregate = d_global.min(sample as f64);
+        // `select_top_counts` clamps `k` to the aggregate's distinct count,
+        // and the exact-count all-reduction is over the clamped candidate
+        // set — model the same clamp or k* ≫ distinct over-charges EC badly.
+        let k_eff = (k_star as f64).min(aggregate);
+        predict::allreduce(p, 1.0)
+            .plus(dht)
+            .plus(predict::allreduce(p, 1.0))
+            .plus(self.top_counts_cost(p, aggregate, k_eff))
+            .plus(predict::allreduce(p, k_eff + 1.0))
+    }
+
+    /// `select_top_counts`: distinct-count all-reduction, the §4.1 unsorted
+    /// selection over the aggregate, and the winners' all-gather.  When `k`
+    /// covers the whole aggregate the selection short-circuits to one
+    /// max-reduction and the winners' all-gather *is* the aggregate.
+    fn top_counts_cost(&self, p: usize, aggregate: f64, k: f64) -> PredictedComm {
+        let pf = p.max(1) as f64;
+        if k >= aggregate {
+            return predict::allreduce(p, 1.0)
+                .plus(predict::allreduce(p, 2.0))
+                .plus(predict::allgather(p, 2.0 * aggregate / pf));
+        }
+        predict::allreduce(p, 1.0)
+            .plus(selection_cost(p, aggregate))
+            .plus(predict::allgather(p, 2.0 * k / pf))
+    }
+
+    /// Choose the cheaper DHT routing for `m_total` payload words per PE and
+    /// return its prediction.
+    fn best_fanout(&self, p: usize, m_total: f64) -> (DhtFanout, PredictedComm) {
+        let direct = predict::alltoall_direct(p, m_total);
+        let hypercube = predict::alltoall_hypercube(p, m_total);
+        if self.cost.predicted_cost(&direct) <= self.cost.predicted_cost(&hypercube) {
+            (DhtFanout::Direct, direct)
+        } else {
+            (DhtFanout::Hypercube, hypercube)
+        }
+    }
+}
+
+/// The §4.1 unsorted selection over `total` 2-word items spread across `p`
+/// PEs: per level one count all-reduction, the ~√p̄-element Bernoulli-sample
+/// all-gather and the partition-count vector all-reduction; the ≤ 1024
+/// survivors are all-gathered in the base case.
+fn selection_cost(p: usize, total: f64) -> PredictedComm {
+    const BASE_CASE: f64 = 1024.0;
+    let pf = p.max(1) as f64;
+    let mut comm = PredictedComm::zero();
+    let mut t = total.max(0.0);
+    let mut levels = 0;
+    while t > BASE_CASE && levels < 16 {
+        let sample = pf.sqrt();
+        comm = comm
+            .plus(predict::allreduce(p, 1.0))
+            .plus(predict::allgather(p, 2.0 * sample / pf))
+            .plus(predict::allreduce(p, 4.0));
+        // One level narrows the candidates to the bracket between adjacent
+        // sample elements around the target rank: ≈ total/√p̄ in expectation
+        // (bracket_exponent keeps a safety margin; model the same slack).
+        t = (2.0 * t / sample.max(1.5)).max(BASE_CASE / 2.0);
+        levels += 1;
+    }
+    comm.plus(predict::allgather(p, 2.0 * t.min(BASE_CASE) / pf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: u64, k: usize, p: usize, exponent: f64, universe: u64) -> PlanInputs {
+        PlanInputs {
+            n,
+            k,
+            p,
+            epsilon: 0.05,
+            delta: 1e-4,
+            skew: SkewEstimate::known(exponent, universe),
+        }
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs() {
+        let planner = Planner::default();
+        let i = inputs(1 << 20, 32, 16, 1.0, 1 << 18);
+        let a = planner.plan(i);
+        let b = planner.plan(i);
+        assert_eq!(a, b);
+        assert_eq!(a.explain(), b.explain());
+        assert_eq!(a.candidates.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn the_chosen_candidate_is_the_predicted_words_argmin() {
+        let plan = Planner::default().plan(inputs(1 << 18, 32, 8, 1.1, 1 << 16));
+        for c in &plan.candidates {
+            assert!(plan.predicted.words <= c.predicted.words + 1e-9);
+            if plan.predicted.words == c.predicted.words {
+                assert!(plan.modeled_seconds <= c.modeled_seconds + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn large_p_abandons_the_centralized_baseline() {
+        // At p = 256 the Naive coordinator's (p−1)·aggregate volume dwarfs
+        // every sampling algorithm; the planner must not pick it.
+        let plan = Planner::default().plan(inputs(1 << 26, 32, 256, 1.0, 1 << 20));
+        assert!(
+            !matches!(plan.algorithm, Algorithm::Naive),
+            "picked {:?}",
+            plan.algorithm
+        );
+        let naive = plan.candidates[3];
+        assert_eq!(naive.algorithm, Algorithm::Naive);
+        assert!(naive.predicted.words > 1.5 * plan.predicted.words);
+    }
+
+    #[test]
+    fn audit_lines_round_trip_through_parse() {
+        let audit = PlanAudit {
+            algorithm: Algorithm::NaiveTree,
+            fanout: DhtFanout::Hypercube,
+            p: 16,
+            n: 123_456,
+            k: 32,
+            predicted: PredictedComm::new(1234.5, 42.0),
+            measured_words: 1500,
+            measured_startups: 55,
+        };
+        let line = audit.audit_line();
+        let parsed = PlanAudit::parse(&line).expect("audit line must parse");
+        assert_eq!(parsed.algorithm, audit.algorithm);
+        assert_eq!(parsed.fanout, audit.fanout);
+        assert_eq!((parsed.p, parsed.n, parsed.k), (16, 123_456, 32));
+        assert_eq!(parsed.measured_words, 1500);
+        assert_eq!(parsed.measured_startups, 55);
+        assert!((parsed.predicted.words - 1234.5).abs() < 0.06);
+        assert!((parsed.predicted.startups - 42.0).abs() < 0.06);
+        assert!(PlanAudit::parse("not an audit line").is_none());
+        assert!(PlanAudit::parse("plan-audit algo=pac").is_none());
+    }
+
+    #[test]
+    fn algorithm_tokens_round_trip() {
+        for &a in &Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.token()), Some(a));
+            assert_eq!(Algorithm::parse(&a.token().to_uppercase()), Some(a));
+        }
+        assert_eq!(Algorithm::parse("auto"), None);
+        assert_eq!(Algorithm::parse("tree"), Some(Algorithm::NaiveTree));
+    }
+
+    #[test]
+    fn refresh_plan_prefers_full_gather_for_tiny_aggregates() {
+        let planner = Planner::default();
+        // A handful of candidates: gathering everything beats running the
+        // whole selection kernel.
+        let tiny = planner.plan_refresh(8, 64, 10);
+        assert!(!tiny.counts_only);
+        // A huge aggregate: the counts-only threshold kernel moves fewer
+        // words than all-gathering the aggregate.
+        let huge = planner.plan_refresh(8, 2_000_000, 10);
+        assert!(huge.counts_only);
+        assert!(
+            huge.counts_only_predicted.words < huge.full_gather_predicted.words,
+            "counts-only {} vs full {}",
+            huge.counts_only_predicted.words,
+            huge.full_gather_predicted.words
+        );
+    }
+
+    #[test]
+    fn skew_estimate_known_is_communication_free_metadata() {
+        let s = SkewEstimate::known(1.3, 0);
+        assert_eq!(s.universe, 1);
+        assert_eq!(s.sampled, 0);
+    }
+}

@@ -24,6 +24,9 @@
 //!   never-terminating streaming top-k service,
 //! * [`hashagg`] — hash-based key aggregation used for local counting in the
 //!   frequent-objects and sum-aggregation algorithms (Sections 7 and 8),
+//! * [`skew`] — one-pass sampled Zipf-exponent and universe-size estimation,
+//!   the input-side half of the cost-model planner (`topk::planner`): callers
+//!   that do not know their distribution fit one from the data,
 //! * [`intern`] — dense string ↔ `u64` id interning, the sequential half of
 //!   the real-text word-frequency pipeline (the paper's Figure 4 scenario):
 //!   string keys are interned once so the distributed machinery can keep
@@ -37,6 +40,7 @@ pub mod heavy_hitters;
 pub mod intern;
 pub mod sampling;
 pub mod select;
+pub mod skew;
 pub mod sorted;
 pub mod threshold;
 pub mod treap;
@@ -49,6 +53,7 @@ pub use select::{
     floyd_rivest_select, partition_three_way, partition_three_way_counts,
     partition_three_way_in_place, quickselect, select_kth_smallest,
 };
+pub use skew::{expected_distinct, fit_zipf_exponent, SkewFit};
 pub use sorted::{merge_sorted, rank_in_sorted, select_in_sorted_union};
 pub use threshold::{ScoreList, ThresholdAlgorithm, ThresholdResult};
 pub use treap::Treap;

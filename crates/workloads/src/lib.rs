@@ -45,6 +45,6 @@ pub use stream::{
     BatchReport, ReplicaShard, StreamConfig, StreamReport, StreamService, StreamVocab,
 };
 pub use text::{
-    distributed_intern, resolve_items, split_text_shards, tokenize, InternedShard, TextAlgorithm,
-    WordFrequencyScore,
+    distributed_intern, plan_word_frequency, resolve_items, run_planned_scored, split_text_shards,
+    tokenize, InternedShard, TextAlgorithm, WordFrequencyScore,
 };

@@ -39,14 +39,17 @@ use commsim::{CommError, Communicator, CostModel, Rank, StatsSnapshot, SubComm, 
 use datagen::{StreamProfile, TextCorpus};
 use seqkit::{DecayingTopK, SlidingWindowTopK};
 use topk::frequent::dht;
+use topk::planner::{Planner, RefreshAudit};
 use topk::select_threshold;
 use topk::util::{owner_of, splitmix64};
 
 use crate::text::tokenize;
 
-/// User tag of the per-batch membership heartbeat (`u64` suspicion bitmap).
+/// User tag of the per-batch membership heartbeat (multi-word `Vec<u64>`
+/// suspicion bitmap — see [`RankMask`]).
 const ALIVE_TAG: Tag = 0xF17A;
-/// User tag of the coordinator's membership verdict (`u64` live bitmap).
+/// User tag of the coordinator's membership verdict (multi-word `Vec<u64>`
+/// live bitmap).
 const MASK_TAG: Tag = 0xF17B;
 /// User tag of a replica push's numeric part (epoch, log base, counts).
 const REPLICA_META_TAG: Tag = 0xF17C;
@@ -60,9 +63,68 @@ const REPLICA_VOCAB_TAG: Tag = 0xF17D;
 /// backend this bounds the wall-clock cost of a dead-slow peer.
 const MEMBERSHIP_RETRIES: usize = 4;
 
+/// Consecutive [`CommError::Timeout`] verdicts a *member* tolerates while
+/// waiting for the coordinator's verdict before presuming the coordinator
+/// dead and rotating.  This must comfortably exceed the coordinator's whole
+/// heartbeat budget: when the replay scheduler resolves a whole-world stall
+/// it times out *every* parked failure-detecting receive at once, so while
+/// the coordinator burns its `MEMBERSHIP_RETRIES` budget on one lost
+/// heartbeat (a dropped message, say), every member waiting for the verdict
+/// accrues the same number of timeouts.  A member must outlast several such
+/// episodes — the verdict always arrives once the coordinator finishes,
+/// and a genuinely *crashed* coordinator is detected by the definitive
+/// `PeerDead` verdict long before this budget is touched.
+const MEMBERSHIP_VERDICT_RETRIES: usize = 4 * (MEMBERSHIP_RETRIES + 1);
+
 /// Modeled payload of a remote point-query response, in machine words
 /// (word id, count, epoch, staleness).
 const REMOTE_QUERY_WORDS: f64 = 4.0;
+
+/// A set of world ranks as a multi-word bitmap — the wire format of the
+/// membership protocol (`Vec<u64>`, one bit per rank), sized to the world.
+/// Earlier revisions used a single `u64`, which capped the failure-tolerant
+/// mode at `p ≤ 64`; the mask now grows with the world.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct RankMask {
+    bits: Vec<u64>,
+}
+
+impl RankMask {
+    /// An empty mask sized for a `p`-PE world.
+    fn for_world(p: usize) -> Self {
+        RankMask {
+            bits: vec![0; p.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, r: Rank) {
+        let w = r / 64;
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        self.bits[w] |= 1 << (r % 64);
+    }
+
+    fn contains(&self, r: Rank) -> bool {
+        self.bits
+            .get(r / 64)
+            .is_some_and(|w| w & (1 << (r % 64)) != 0)
+    }
+
+    fn union(&mut self, words: &[u64]) {
+        if words.len() > self.bits.len() {
+            self.bits.resize(words.len(), 0);
+        }
+        for (b, w) in self.bits.iter_mut().zip(words) {
+            *b |= w;
+        }
+    }
+
+    /// The wire representation.
+    fn words(&self) -> Vec<u64> {
+        self.bits.clone()
+    }
+}
 
 /// Tuning knobs of the streaming service.
 #[derive(Debug, Clone, Copy)]
@@ -89,12 +151,22 @@ pub struct StreamConfig {
     /// whole failure-tolerance machinery: no membership round, no replica
     /// traffic, communication bit-identical to the pre-FT service.
     /// Non-zero enables per-batch membership, degraded refreshes over the
-    /// survivor subgroup, and replica failover; requires `p ≤ 64`.
+    /// survivor subgroup, and replica failover (any world size — the
+    /// membership bitmaps grow with `p`).
     pub replication: usize,
     /// Mean arrivals per batch of the modeled Poisson point-query stream
     /// (scored analytically against the α/β cost model — zero communication,
     /// so enabling it never perturbs the metered words).  `0.0` disables it.
     pub query_lambda: f64,
+    /// Let the cost-model planner ([`topk::planner::Planner::plan_refresh`])
+    /// drive each periodic refresh: it picks the DHT fan-out and chooses
+    /// between the counts-only threshold cut and a full aggregate gather,
+    /// and every planned refresh records a [`RefreshAudit`] (prediction vs
+    /// metered words) retrievable via [`StreamService::refresh_audits`].
+    /// `false` — the default — keeps the fixed pre-planner refresh path,
+    /// bit-identical to earlier revisions.  Either path publishes the same
+    /// snapshot.
+    pub planned_refresh: bool,
 }
 
 impl Default for StreamConfig {
@@ -110,6 +182,7 @@ impl Default for StreamConfig {
             seed: 0x5EED,
             replication: 0,
             query_lambda: 0.0,
+            planned_refresh: false,
         }
     }
 }
@@ -333,12 +406,19 @@ pub struct StreamService {
     /// Metering baseline for the next batch; set *after* the per-batch
     /// `allreduce_max` so the metering collective itself is not scored.
     meter_base: Option<StatsSnapshot>,
+    /// Audit rows of the planned refreshes (empty unless
+    /// [`StreamConfig::planned_refresh`] is set).
+    refresh_audits: Vec<RefreshAudit>,
     // ----- failure-tolerance state (inert while `replication == 0`) -----
     /// Presumed-alive world ranks, sorted (empty until the first FT batch
     /// initialises it to the full world).
     group: Vec<Rank>,
     /// Bitmap of world ranks this PE has proven dead.
-    suspected: u64,
+    suspected: RankMask,
+    /// Set when the coordinator declared this (live) PE dead — a lost
+    /// heartbeat, not a crash.  An evicted service goes quiescent: every
+    /// later `ingest_batch` is a communication-free no-op.
+    evicted: bool,
     /// The live group at the last refresh — the ownership map the serving
     /// shards (and their replicas) were built against.
     snapshot_group: Vec<Rank>,
@@ -384,8 +464,10 @@ impl StreamService {
             batch_reports: Vec::new(),
             total_bottleneck_words: 0,
             meter_base: None,
+            refresh_audits: Vec::new(),
             group: Vec::new(),
-            suspected: 0,
+            suspected: RankMask::default(),
+            evicted: false,
             snapshot_group: Vec::new(),
             degraded: false,
             coverage: 1.0,
@@ -509,6 +591,12 @@ impl StreamService {
         profile: &StreamProfile,
     ) -> &BatchReport {
         let t = self.batches_done;
+        if self.evicted {
+            // A previously evicted service stays quiescent: the live group
+            // neither waits for nor sends to this PE anymore, so any
+            // communication here would wedge the protocol.
+            return self.evicted_report(comm, t);
+        }
         let before = self
             .meter_base
             .take()
@@ -516,6 +604,11 @@ impl StreamService {
 
         // 1. Membership: agree on the live group before any data traffic.
         let group = self.membership_round(comm);
+        if self.evicted {
+            // Evicted *this* round: the verdict excluded us, the survivors
+            // are already running their subgroup collectives without us.
+            return self.evicted_report(comm, t);
+        }
         let sub = SubComm::new(comm, group.clone(), t as u64);
 
         // 2. Ingest over the survivors (the vocabulary allgather and all
@@ -603,36 +696,35 @@ impl StreamService {
     ///
     /// [`FaultPlan::seeded_crashes`]: commsim::FaultPlan::seeded_crashes
     fn membership_round<C: Communicator>(&mut self, comm: &C) -> Vec<Rank> {
-        assert!(
-            comm.size() <= 64,
-            "failure-tolerant mode needs p <= 64 (membership bitmaps are u64)"
-        );
         let me = comm.rank();
         if self.group.is_empty() {
             self.group = (0..comm.size()).collect();
+        }
+        if self.suspected.bits.is_empty() {
+            self.suspected = RankMask::for_world(comm.size());
         }
         let mut presumed = self.group.clone();
         loop {
             let coord = *presumed.first().expect("this PE is alive and presumed");
             if coord == me {
                 // Coordinator: collect one heartbeat per presumed member.
-                let mut dead = self.suspected;
+                let mut dead = self.suspected.clone();
                 for &r in presumed.iter().filter(|&&r| r != me) {
                     let mut timeouts = 0;
                     loop {
-                        match comm.recv_failable::<u64>(r, ALIVE_TAG) {
+                        match comm.recv_failable::<Vec<u64>>(r, ALIVE_TAG) {
                             Ok(suspicion) => {
-                                dead |= suspicion;
+                                dead.union(&suspicion);
                                 break;
                             }
                             Err(CommError::PeerDead { .. }) => {
-                                dead |= 1 << r;
+                                dead.set(r);
                                 break;
                             }
                             Err(CommError::Timeout { .. }) => {
                                 timeouts += 1;
                                 if timeouts > MEMBERSHIP_RETRIES {
-                                    dead |= 1 << r;
+                                    dead.set(r);
                                     break;
                                 }
                             }
@@ -643,29 +735,33 @@ impl StreamService {
                 let group: Vec<Rank> = presumed
                     .iter()
                     .copied()
-                    .filter(|&r| dead & (1 << r) == 0)
+                    .filter(|&r| !dead.contains(r))
                     .collect();
-                let mask: u64 = group.iter().fold(0, |m, &r| m | (1 << r));
-                // The verdict goes to every *presumed* member (sends to the
-                // just-declared-dead are lost in flight, which is fine); a
-                // live member must be in the group, and asserts so.
+                let mut mask = RankMask::for_world(comm.size());
+                for &r in &group {
+                    mask.set(r);
+                }
+                // The verdict goes to every *presumed* member — including a
+                // member just declared dead, whose copy tells it (if it is
+                // in fact alive and merely lost a heartbeat) that it has
+                // been evicted.
                 for &r in presumed.iter().filter(|&&r| r != me) {
-                    comm.send(r, MASK_TAG, mask);
+                    comm.send(r, MASK_TAG, mask.words());
                 }
                 self.suspected = dead;
                 self.group = group.clone();
                 return group;
             }
             // Member: heartbeat, then wait for the coordinator's verdict.
-            comm.send(coord, ALIVE_TAG, self.suspected);
+            comm.send(coord, ALIVE_TAG, self.suspected.words());
             let mut timeouts = 0;
             let verdict = loop {
-                match comm.recv_failable::<u64>(coord, MASK_TAG) {
-                    Ok(mask) => break Some(mask),
+                match comm.recv_failable::<Vec<u64>>(coord, MASK_TAG) {
+                    Ok(words) => break Some(RankMask { bits: words }),
                     Err(CommError::PeerDead { .. }) => break None,
                     Err(CommError::Timeout { .. }) => {
                         timeouts += 1;
-                        if timeouts > MEMBERSHIP_RETRIES {
+                        if timeouts > MEMBERSHIP_VERDICT_RETRIES {
                             break None;
                         }
                     }
@@ -674,24 +770,28 @@ impl StreamService {
             };
             match verdict {
                 Some(mask) => {
-                    assert!(
-                        mask & (1 << me) != 0,
-                        "PE {me} was evicted from the live group while alive \
-                         (a slow PE exhausted the coordinator's timeout budget)"
-                    );
                     for &r in &presumed {
-                        if mask & (1 << r) == 0 {
-                            self.suspected |= 1 << r;
+                        if !mask.contains(r) {
+                            self.suspected.set(r);
                         }
                     }
-                    let group: Vec<Rank> =
-                        (0..comm.size()).filter(|&r| mask & (1 << r) != 0).collect();
+                    if !mask.contains(me) {
+                        // Survivable eviction: a lost heartbeat (a dropped
+                        // message, or a slow PE exhausting the coordinator's
+                        // timeout budget) made the group move on without
+                        // this live PE.  Rejoining on the spot with stale
+                        // window state would corrupt the published counts,
+                        // so the service goes quiescent instead of dying;
+                        // the caller observes it via `is_evicted`.
+                        self.evicted = true;
+                    }
+                    let group: Vec<Rank> = (0..comm.size()).filter(|&r| mask.contains(r)).collect();
                     self.group = group.clone();
                     return group;
                 }
                 None => {
                     // Coordinator is dead: rotate to the next-lowest rank.
-                    self.suspected |= 1 << coord;
+                    self.suspected.set(coord);
                     presumed.retain(|&r| r != coord);
                 }
             }
@@ -818,10 +918,22 @@ impl StreamService {
     }
 
     /// Publish a fresh global top-k: DHT-aggregate the per-PE window
-    /// candidates, cut at rank k with the counts-only threshold kernel, and
-    /// gather the winners.
+    /// candidates, cut at rank k, and gather the winners.  The fixed path
+    /// always cuts with the counts-only threshold kernel; with
+    /// [`StreamConfig::planned_refresh`] the cost-model planner picks the
+    /// routing and the cut strategy per refresh and records an audit row.
+    /// Both paths publish the identical snapshot.
     fn refresh<C: Communicator>(&mut self, comm: &C, t: usize) {
-        let owned = dht::aggregate_counts(comm, self.sliding.candidate_counts());
+        let before = comm.stats_snapshot();
+        let candidates = self.sliding.candidate_counts();
+        let plan = if self.config.planned_refresh {
+            let global_candidates = comm.allreduce_sum(candidates.len() as u64);
+            Some(Planner::default().plan_refresh(comm.size(), global_candidates, self.config.k))
+        } else {
+            None
+        };
+        let fanout = plan.map_or(topk::DhtFanout::Auto, |pl| pl.fanout);
+        let owned = dht::aggregate_counts_with(comm, candidates, fanout);
         // Deterministic order before selection: the kernel's Bernoulli
         // sampling is position-based, so hash-map iteration order must not
         // leak into the buffer it samples.
@@ -832,9 +944,10 @@ impl StreamService {
         self.shard = items.iter().map(|&(c, id)| (id, c)).collect();
         let distinct = comm.allreduce_sum(items.len() as u64) as usize;
         let take = self.config.k.min(distinct);
+        let counts_only = plan.is_none_or(|pl| pl.counts_only);
         let winners: Vec<(u64, u64)> = if take == 0 {
             Vec::new()
-        } else {
+        } else if counts_only {
             let reversed: Vec<Reverse<(u64, u64)>> = items.iter().map(|&it| Reverse(it)).collect();
             let threshold = select_threshold(
                 comm,
@@ -848,9 +961,15 @@ impl StreamService {
                 .into_iter()
                 .filter(|&it| Reverse(it) <= threshold)
                 .collect()
+        } else {
+            // Full gather: the aggregate is small enough that shipping all
+            // of it beats running the selection kernel; the local cut below
+            // yields the same global top-`take`.
+            items
         };
         let mut all: Vec<(u64, u64)> = comm.allgather(winners).into_iter().flatten().collect();
         all.sort_unstable_by(|a, b| b.cmp(a));
+        all.truncate(take);
         self.snapshot = all
             .into_iter()
             .map(|(c, id)| {
@@ -863,6 +982,38 @@ impl StreamService {
             })
             .collect();
         self.snapshot_items = self.items_global;
+        if let Some(pl) = plan {
+            let delta = comm.stats_snapshot().since(&before);
+            self.refresh_audits.push(RefreshAudit {
+                batch: t,
+                counts_only: pl.counts_only,
+                fanout: pl.fanout,
+                predicted: pl.predicted,
+                measured_words: delta.bottleneck_words(),
+                measured_startups: delta.bottleneck_messages(),
+            });
+        }
+    }
+
+    /// The communication-free batch record of an evicted service (see
+    /// [`Self::is_evicted`]): nothing is ingested, nothing is sent, and
+    /// `live_pes` reports the group that moved on without this PE.
+    fn evicted_report<C: Communicator>(&mut self, comm: &C, t: usize) -> &BatchReport {
+        self.meter_base = None;
+        self.batches_done += 1;
+        self.batch_reports.push(BatchReport {
+            batch: t,
+            new_vocab: 0,
+            refreshed: false,
+            staleness_items: self.items_global - self.snapshot_items,
+            sent_words: 0,
+            sent_messages: 0,
+            bottleneck_words: 0,
+            live_pes: self.group.len(),
+            replication_words: 0,
+            sends_total: comm.stats_snapshot().sent_messages,
+        });
+        self.batch_reports.last().expect("just pushed")
     }
 
     /// Serve a "current top-k" query from the published snapshot.  Returns
@@ -911,6 +1062,18 @@ impl StreamService {
     /// Per-batch records so far.
     pub fn batch_reports(&self) -> &[BatchReport] {
         &self.batch_reports
+    }
+
+    /// Audit rows of the planned refreshes, in batch order (empty unless
+    /// [`StreamConfig::planned_refresh`] is enabled).
+    pub fn refresh_audits(&self) -> &[RefreshAudit] {
+        &self.refresh_audits
+    }
+
+    /// `true` if the membership coordinator declared this live PE dead (a
+    /// lost heartbeat, not a crash) and the service went quiescent.
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
     }
 
     /// The live group as of the last membership round (the full world until
@@ -1170,6 +1333,50 @@ mod tests {
             top.iter().any(|(w, _)| w == burst_word),
             "burst word {burst_word:?} missing from published top-k {top:?}"
         );
+    }
+
+    #[test]
+    fn planned_refresh_publishes_the_same_snapshot_and_audits() {
+        let profile = StreamProfile::stationary();
+        let fixed = drive(4, 7, quick_config(), profile);
+        let planned_config = StreamConfig {
+            planned_refresh: true,
+            ..quick_config()
+        };
+        let planned = run_spmd_seq(4, move |comm| {
+            let corpus = TextCorpus::new(500, 1.05, 42);
+            let mut service = StreamService::new(planned_config);
+            for _ in 0..7 {
+                service.ingest_batch(comm, &corpus, &profile);
+            }
+            (
+                service.serving_topk().to_vec(),
+                service.refresh_audits().to_vec(),
+            )
+        })
+        .results;
+        let (_, _, fixed_top) = &fixed[0];
+        let (planned_top, audits) = &planned[0];
+        assert_eq!(planned_top, fixed_top, "both paths publish the same top-k");
+        // Batches 0, 3 and 6 refresh (refresh_every = 3) — one audit each.
+        assert_eq!(audits.len(), 3);
+        for (audit, expect_batch) in audits.iter().zip([0usize, 3, 6]) {
+            assert_eq!(audit.batch, expect_batch);
+            assert!(audit.measured_words > 0);
+            assert!(audit.predicted.words > 0.0);
+            assert!(audit.audit_line().starts_with("refresh-audit "));
+        }
+        // The audits are deterministic per PE pair-wise across ranks' plans
+        // (the plan inputs are global), though measured words are per-PE.
+        for (top, a) in planned.iter() {
+            assert_eq!(top, planned_top);
+            assert_eq!(a.len(), 3);
+            for (x, y) in a.iter().zip(audits.iter()) {
+                assert_eq!(x.counts_only, y.counts_only);
+                assert_eq!(x.fanout, y.fanout);
+                assert_eq!(x.predicted, y.predicted);
+            }
+        }
     }
 
     #[test]

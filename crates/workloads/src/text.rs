@@ -27,11 +27,8 @@ use std::collections::HashMap;
 
 use commsim::Communicator;
 use seqkit::Interner;
-use topk::frequent::ec::ec_top_k;
-use topk::frequent::naive::{naive_top_k, naive_tree_top_k};
-use topk::frequent::pac::pac_top_k;
-use topk::frequent::pec::pec_top_k;
 use topk::frequent::{absolute_error, exact_global_counts, relative_error};
+use topk::planner::{Algorithm, Plan, PlanAudit, Planner};
 use topk::{FrequentParams, TopKFrequentResult};
 
 /// Split `text` into lowercase ASCII-alphabetic words.
@@ -125,15 +122,18 @@ pub fn resolve_items(vocab: &[String], result: &TopKFrequentResult) -> Vec<(Stri
 
 /// The §7 algorithms the text workload can drive, as a value (so drivers can
 /// sweep over [`TextAlgorithm::ALL`] uniformly).
+///
+/// Since the planner refactor this is a thin façade over
+/// [`topk::planner::Algorithm`] — the dispatch itself (including the PEC
+/// ε₀ = `min(20·ε, 0.05)` convention) lives in one place and the text
+/// workload, the streaming service and the bench bins all share it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TextAlgorithm {
     /// Probably approximately correct (Section 7.1).
     Pac,
     /// Exact counting of sampled candidates (Section 7.2).
     Ec,
-    /// Probably exactly correct (Section 7.3); the coarse first-stage ε₀ is
-    /// derived as `min(20·ε, 0.05)`, matching the convention of the existing
-    /// experiments.
+    /// Probably exactly correct (Section 7.3).
     Pec,
     /// Centralized baseline: every PE ships its aggregate to a coordinator.
     Naive,
@@ -151,34 +151,42 @@ impl TextAlgorithm {
         TextAlgorithm::NaiveTree,
     ];
 
-    /// Display name (matches the paper's figure legends).
-    pub fn name(self) -> &'static str {
+    /// The planner-layer algorithm this variant dispatches to.
+    pub fn core(self) -> Algorithm {
         match self {
-            TextAlgorithm::Pac => "PAC",
-            TextAlgorithm::Ec => "EC",
-            TextAlgorithm::Pec => "PEC",
-            TextAlgorithm::Naive => "Naive",
-            TextAlgorithm::NaiveTree => "Naive Tree",
+            TextAlgorithm::Pac => Algorithm::Pac,
+            TextAlgorithm::Ec => Algorithm::Ec,
+            TextAlgorithm::Pec => Algorithm::Pec,
+            TextAlgorithm::Naive => Algorithm::Naive,
+            TextAlgorithm::NaiveTree => Algorithm::NaiveTree,
         }
     }
 
-    /// Run this algorithm on an interned id stream (collective).
+    /// The façade variant for a planner-layer algorithm.
+    pub fn from_core(algorithm: Algorithm) -> Self {
+        match algorithm {
+            Algorithm::Pac => TextAlgorithm::Pac,
+            Algorithm::Ec => TextAlgorithm::Ec,
+            Algorithm::Pec => TextAlgorithm::Pec,
+            Algorithm::Naive => TextAlgorithm::Naive,
+            Algorithm::NaiveTree => TextAlgorithm::NaiveTree,
+        }
+    }
+
+    /// Display name (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        self.core().name()
+    }
+
+    /// Run this algorithm on an interned id stream (collective); dispatches
+    /// through [`topk::planner::Algorithm::run`].
     pub fn run<C: Communicator>(
         self,
         comm: &C,
         ids: &[u64],
         params: &FrequentParams,
     ) -> TopKFrequentResult {
-        match self {
-            TextAlgorithm::Pac => pac_top_k(comm, ids, params),
-            TextAlgorithm::Ec => ec_top_k(comm, ids, params),
-            TextAlgorithm::Pec => {
-                let epsilon0 = (params.epsilon * 20.0).min(0.05);
-                pec_top_k(comm, ids, params, epsilon0)
-            }
-            TextAlgorithm::Naive => naive_top_k(comm, ids, params),
-            TextAlgorithm::NaiveTree => naive_tree_top_k(comm, ids, params),
-        }
+        self.core().run(comm, ids, params)
     }
 
     /// Run this algorithm and score it against the exact oracle, metering the
@@ -199,6 +207,46 @@ impl TextAlgorithm {
         let words_per_pe = comm.stats_snapshot().since(&before).bottleneck_words();
         WordFrequencyScore::new(self, &exact, &result, &shard.vocab, n, words_per_pe)
     }
+}
+
+/// Plan the word-frequency run from the data itself (collective): global `n`
+/// and a measured [`topk::planner::SkewEstimate`] feed the planner, which
+/// picks the algorithm, the DHT routing and the sample shape.  The returned
+/// plan is identical on every PE and backend.
+pub fn plan_word_frequency<C: Communicator>(
+    comm: &C,
+    shard: &InternedShard,
+    k: usize,
+    epsilon: f64,
+    delta: f64,
+) -> Plan {
+    Planner::default().plan_for_data(comm, &shard.ids, k, epsilon, delta)
+}
+
+/// Execute a plan on an interned shard and score the answer against the
+/// exact oracle (collective).  Returns the oracle score together with the
+/// plan's [`PlanAudit`] — predicted vs metered words/PE and start-ups of the
+/// algorithm phase.  Unlike [`TextAlgorithm::run_scored`], `words_per_pe` in
+/// the score is the *world* bottleneck (the audit's measured words), so the
+/// score, too, is identical on every PE.
+pub fn run_planned_scored<C: Communicator>(
+    comm: &C,
+    shard: &InternedShard,
+    plan: &Plan,
+    seed: u64,
+) -> (WordFrequencyScore, PlanAudit) {
+    let exact = exact_global_counts(comm, &shard.ids);
+    let n = comm.allreduce_sum(shard.ids.len() as u64);
+    let (result, audit) = plan.execute(comm, &shard.ids, seed);
+    let score = WordFrequencyScore::new(
+        TextAlgorithm::from_core(plan.algorithm),
+        &exact,
+        &result,
+        &shard.vocab,
+        n,
+        audit.measured_words,
+    );
+    (score, audit)
 }
 
 /// An oracle-scored word-frequency answer.
@@ -344,6 +392,41 @@ mod tests {
         assert_eq!(score.top[0].0, "the");
         assert!(score.rel_error <= 2e-2, "rel error {}", score.rel_error);
         assert!(score.words_per_pe > 0);
+    }
+
+    #[test]
+    fn planned_run_is_scored_and_audited() {
+        let corpus = TextCorpus::new(300, 1.1, 9);
+        let shards: Vec<Vec<String>> = (0..4)
+            .map(|r| tokenize(&corpus.shard_text(r, 2000)))
+            .collect();
+        let out = run_spmd_seq(4, |comm| {
+            let shard = distributed_intern(comm, &shards[comm.rank()]);
+            let plan = plan_word_frequency(comm, &shard, 4, 0.02, 1e-3);
+            let (score, audit) = run_planned_scored(comm, &shard, &plan, 77);
+            (plan, score, audit)
+        });
+        let (plan, score, audit) = &out.results[0];
+        // The plan (and therefore the score and audit) is identical on
+        // every PE.
+        for (p, s, a) in out.results.iter() {
+            assert_eq!(p, plan);
+            assert_eq!(s, score);
+            assert_eq!(a, audit);
+        }
+        assert_eq!(score.algorithm, TextAlgorithm::from_core(plan.algorithm));
+        assert_eq!(score.top[0].0, "the");
+        assert!(audit.measured_words > 0);
+        assert!(audit.predicted.words > 0.0);
+        assert!(topk::planner::PlanAudit::parse(&audit.audit_line()).is_some());
+    }
+
+    #[test]
+    fn facade_round_trips_through_the_planner_layer() {
+        for &a in &TextAlgorithm::ALL {
+            assert_eq!(TextAlgorithm::from_core(a.core()), a);
+            assert_eq!(a.name(), a.core().name());
+        }
     }
 
     #[test]

@@ -321,9 +321,7 @@ fn seeded_crash_plans_build_and_replay_deterministically() {
 
     // And the induced executions replay bit-identically on the replay
     // backend: results *and* metered traffic.
-    let run = |plan: FaultPlan| {
-        run_spmd_seq_faulty(SeqConfig::new(8).with_faults(plan), probe_all)
-    };
+    let run = |plan: FaultPlan| run_spmd_seq_faulty(SeqConfig::new(8).with_faults(plan), probe_all);
     let x = run(a);
     let y = run(b);
     assert_eq!(x.results, y.results, "replay must be deterministic");

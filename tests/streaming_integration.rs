@@ -45,6 +45,7 @@ fn config() -> StreamConfig {
         seed: 0xBEEF,
         replication: 0,
         query_lambda: 0.0,
+        planned_refresh: false,
     }
 }
 
@@ -356,6 +357,166 @@ fn empty_fault_plan_does_not_perturb_fault_free_streaming() {
             (b.sent_messages, b.sent_words),
             (f.sent_messages, f.sent_words),
             "rank {rank}: fault-free words/PE must be bit-identical"
+        );
+    }
+}
+
+/// One PE's failure-tolerant run under an arbitrary config; returns the run
+/// summary, the per-batch reports (for crash calibration), whether this PE
+/// was evicted, the final live group and the published top-k.
+#[allow(clippy::type_complexity)]
+fn ft_body_with<C: Communicator>(
+    comm: &C,
+    cfg: StreamConfig,
+    batches: usize,
+) -> (
+    StreamReport,
+    Vec<BatchReport>,
+    bool,
+    Vec<usize>,
+    Vec<(String, u64)>,
+) {
+    let corpus = corpus();
+    let profile = profile();
+    let mut service = StreamService::new(cfg);
+    for _ in 0..batches {
+        service.ingest_batch(comm, &corpus, &profile);
+    }
+    (
+        service.report(),
+        service.batch_reports().to_vec(),
+        service.is_evicted(),
+        service.live_group().to_vec(),
+        service.serving_topk().to_vec(),
+    )
+}
+
+/// Satellite pin for the lifted `p ≤ 64` cap: the membership mask is now a
+/// multi-word bit vector, and a 128-PE world — with a lost heartbeat at
+/// rank 100, whose bit lives in the mask's *second* word — detects the
+/// silence, evicts exactly that rank, and keeps answering every routed
+/// query from the replica.
+///
+/// The 128-PE seq world replays every PE's closure each scheduling round,
+/// which is too slow unoptimised — CI runs this in its release fault-
+/// injection step instead.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "128-PE seq replay needs optimised code; CI runs this with --release"
+)]
+fn membership_masks_scale_to_one_hundred_twenty_eight_pes() {
+    let (p, batches, victim) = (128usize, 3usize, 100usize);
+    let cfg = StreamConfig {
+        k: 4,
+        window: 2,
+        sketch_capacity: 12,
+        refresh_every: 2,
+        queries_per_batch: 1,
+        words_per_batch: 12,
+        replication: 1,
+        query_lambda: 0.5,
+        ..config()
+    };
+
+    // Drop rank 100's very first heartbeat: to the coordinator that is
+    // indistinguishable from a death, so no crash calibration run is needed.
+    let plan = FaultPlan::new().drop_message(victim, 0, 0);
+    let out = run_spmd_seq_faulty(SeqConfig::new(p).with_faults(plan), move |comm| {
+        ft_body_with(comm, cfg, batches)
+    });
+
+    for rank in 0..p {
+        assert!(out.results[rank].is_some(), "rank {rank} must finish");
+    }
+    let (_, _, victim_evicted, _, _) = out.results[victim].as_ref().unwrap();
+    assert!(victim_evicted, "rank 100 must observe its own eviction");
+    let survivors: Vec<usize> = (0..p).filter(|r| *r != victim).collect();
+    let (report, _, _, group, _) = out.results[0].as_ref().unwrap();
+    assert_eq!(
+        group, &survivors,
+        "the live group must drop exactly rank 100 (mask word 1, bit 36)"
+    );
+    assert!(
+        report.degraded,
+        "the post-eviction refresh must flag degradation"
+    );
+    assert!(
+        (report.coverage - 127.0 / 128.0).abs() < 1e-12,
+        "coverage must be 127/128, got {}",
+        report.coverage
+    );
+    assert!(report.routed_queries > 0);
+    assert_eq!(
+        report.answered_queries, report.routed_queries,
+        "rank 100's replica (on its ring successor) must answer its queries"
+    );
+    for &rank in &survivors {
+        let (r, _, evicted, g, _) = out.results[rank].as_ref().unwrap();
+        assert!(!evicted, "rank {rank} must not be evicted");
+        assert_eq!(g, group, "rank {rank}: live group diverges");
+        assert_eq!(r, report, "rank {rank}: run summary diverges");
+    }
+}
+
+/// A dropped batch-0 heartbeat is indistinguishable from a death to the
+/// coordinator: the (live!) victim is evicted, goes quiescent, and still
+/// finishes the run — while the survivors keep full availability through
+/// the replicas and publish a reduced-coverage snapshot.
+#[test]
+fn a_dropped_heartbeat_evicts_a_live_pe_but_keeps_availability() {
+    let (p, batches, victim) = (4usize, 6usize, 3usize);
+    let cfg = ft_config();
+    let plan = FaultPlan::new().drop_message(victim, 0, 0);
+    let out = run_spmd_seq_faulty(SeqConfig::new(p).with_faults(plan), move |comm| {
+        ft_body_with(comm, cfg, batches)
+    });
+
+    // Nobody crashed: every PE — including the evicted one — finishes.
+    for rank in 0..p {
+        assert!(out.results[rank].is_some(), "rank {rank} must finish");
+    }
+    let (_, _, victim_evicted, _, _) = out.results[victim].as_ref().unwrap();
+    assert!(victim_evicted, "the victim must observe its own eviction");
+
+    let survivors: Vec<usize> = (0..p).filter(|r| *r != victim).collect();
+    let (report, _, _, group, _) = out.results[0].as_ref().unwrap();
+    assert_eq!(group, &survivors, "the live group must exclude the victim");
+    assert!(
+        report.coverage < 1.0,
+        "evicting a live PE must cost coverage (a false positive, not a free lunch)"
+    );
+    assert!(report.routed_queries > 0);
+    assert_eq!(
+        report.answered_queries, report.routed_queries,
+        "the victim's replicas must keep its shard answerable"
+    );
+    assert_eq!(report.availability, 1.0);
+}
+
+/// A one-send-tick delay — the largest hold the lock-step collectives can
+/// absorb — must not perturb anything: service outputs and raw transport
+/// counters stay bit-identical to the fault-free run.
+#[test]
+fn a_one_tick_delay_does_not_perturb_streaming() {
+    let (p, batches) = (4usize, 12usize);
+    let base = run_spmd_seq(p, move |comm| service_body(comm, batches));
+    let plan = FaultPlan::new().delay_pair(0, 1, 1).delay_pair(0, 3, 1);
+    let delayed = run_spmd_seq_faulty(SeqConfig::new(p).with_faults(plan), move |comm| {
+        service_body(comm, batches)
+    });
+    for rank in 0..p {
+        assert_eq!(
+            Some(&base.results[rank]),
+            delayed.results[rank].as_ref(),
+            "rank {rank}: outputs diverge under a one-tick delay"
+        );
+        let b = base.stats.pe(rank);
+        let d = delayed.stats.pe(rank);
+        assert_eq!(
+            (b.sent_messages, b.sent_words),
+            (d.sent_messages, d.sent_words),
+            "rank {rank}: a sub-threshold delay must not move a word"
         );
     }
 }
