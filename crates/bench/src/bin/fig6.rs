@@ -18,12 +18,21 @@
 //! words/PE and startups/PE columns are bit-identical across backends
 //! (regression-tested in `tests/mux_backend.rs`).  `--min-pes` skips the
 //! small rows of the sweep, so a single big-p row can be produced in CI.
+//!
+//! `--chaos [--crashes N] [--chaos-seed S] [--ckpt-every C]` runs the
+//! selection under the `commsim::recovery` layer instead: a calibration
+//! pass places `N` crash-stops at a phase boundary, the chaos pass
+//! detects them, regroups the survivors, rolls back to the last
+//! checkpoint, and the result is checked against a brute-force oracle
+//! over the surviving data.  Prints a parseable `recovery-audit` row.
 
 use bench::report::fmt_duration;
 use bench::scaling::{pe_sweep, Backend, Measurement};
-use bench::{run_on, Table};
-use commsim::Communicator;
+use bench::{run_on, run_on_faulty, Table};
+use commsim::recovery::{RecoveryConfig, RecoveryOutcome};
+use commsim::{Communicator, FaultPlan, Rank};
 use datagen::SkewedSelectionInput;
+use topk::recover::{select_k_smallest_recoverable, SelectionCheckpoint};
 use topk::unsorted::select_k_smallest;
 
 /// One PE's share of the figure-6 workload: generate the skewed local
@@ -40,8 +49,126 @@ fn fig6_body<C: Communicator>(comm: &C, generator: &SkewedSelectionInput, per_pe
     );
 }
 
+/// The chaos-mode body: the same selection, repeated `phases` times under
+/// the crash-stop recovery driver.
+fn fig6_chaos_body<C: Communicator>(
+    comm: &C,
+    generator: &SkewedSelectionInput,
+    per_pe: usize,
+    k: usize,
+    phases: usize,
+    cfg: RecoveryConfig,
+) -> RecoveryOutcome<SelectionCheckpoint> {
+    let local: Vec<u64> = generator
+        .generate(comm.rank(), per_pe)
+        .iter()
+        .map(|&v| u64::MAX - v)
+        .collect();
+    select_k_smallest_recoverable(comm, &local, k, 0xF166 + comm.size() as u64, phases, cfg)
+        .expect("membership protocol violation")
+}
+
+/// `--chaos`: run the selection with recovery enabled, crash `--crashes`
+/// PEs at a phase boundary, print the `recovery-audit` row, and check the
+/// surviving threshold against a brute-force oracle over the survivors'
+/// data.
+fn run_chaos(args: &Args) {
+    let per_pe = 1usize << args.log_per_pe;
+    let p = args.max_pes;
+    assert!(p >= 2, "--chaos needs at least 2 PEs");
+    assert!(
+        args.crashes < p,
+        "--crashes must leave at least one survivor"
+    );
+    let k = args.k.unwrap_or(1 << 6).clamp(1, per_pe);
+    let phases = args.reps.max(2);
+    let cfg = RecoveryConfig::enabled().with_checkpoint_every(args.ckpt_every);
+    let generator = SkewedSelectionInput::default();
+
+    println!("Figure 6 chaos mode: unsorted selection under injected crash-stops");
+    println!(
+        "p = {p}, n/p = {per_pe}, k = {k}, phases = {phases}, crashes = {}, \
+         checkpoint every {} phase(s), backend = {}\n",
+        args.crashes,
+        args.ckpt_every,
+        args.backend.name()
+    );
+
+    // 1. Calibration: a fault-free recovery-enabled run records each PE's
+    //    send count at every phase boundary; a victim whose crash count
+    //    equals its phase-0 boundary dies at its first send of phase 1 —
+    //    its membership heartbeat.  Rank 0 (the initial coordinator) is
+    //    kept out of the candidate pool so the audit row has a stable home.
+    let baseline = run_on!(args.backend, p, |comm| {
+        fig6_chaos_body(comm, &generator, per_pe, k, phases, cfg)
+    });
+    let candidates: Vec<(Rank, u64)> = baseline
+        .results
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(r, out)| (r, out.sends_at_phase_end[0]))
+        .collect();
+    let plan = FaultPlan::seeded_crashes(args.chaos_seed, &candidates, args.crashes);
+
+    // 2. The chaos run.
+    let out = run_on_faulty!(args.backend, p, plan, |comm| {
+        fig6_chaos_body(comm, &generator, per_pe, k, phases, cfg)
+    });
+    let victims: Vec<Rank> = out
+        .results
+        .iter()
+        .enumerate()
+        .filter_map(|(r, res)| res.is_none().then_some(r))
+        .collect();
+    let survivor = out.results[0]
+        .as_ref()
+        .expect("rank 0 is never a victim candidate");
+    let audit = survivor
+        .audit
+        .as_ref()
+        .expect("recovery-enabled runs audit");
+    println!("{}", audit.audit_line());
+
+    // 3. Brute-force oracle: the final phase's threshold must be the k-th
+    //    smallest (dual order) of the survivors' pooled data.
+    let live = survivor.group.clone();
+    assert_eq!(
+        live.len() + victims.len(),
+        p,
+        "every PE is live or a victim"
+    );
+    let mut pooled: Vec<u64> = Vec::with_capacity(live.len() * per_pe);
+    for &r in &live {
+        pooled.extend(generator.generate(r, per_pe).iter().map(|&v| u64::MAX - v));
+    }
+    pooled.sort_unstable();
+    let expected = pooled[k - 1];
+    for &r in &live {
+        let res = out.results[r].as_ref().expect("live PE completed");
+        assert!(!res.evicted, "no live PE is evicted in this harness");
+        let last = *res.state.thresholds.last().expect("at least one phase ran");
+        assert_eq!(
+            last, expected,
+            "PE {r}: final threshold must equal the brute-force k-th smallest \
+             over the surviving data"
+        );
+    }
+    println!(
+        "fig6-chaos: OK — {} victim(s) {victims:?}, {} survivor(s) completed \
+         {phases} phases; final threshold matches the brute-force oracle over \
+         the surviving data (k = {k})",
+        victims.len(),
+        live.len(),
+    );
+}
+
 fn main() {
     let args = Args::parse();
+    if args.chaos {
+        run_chaos(&args);
+        return;
+    }
     let per_pe = 1usize << args.log_per_pe;
     // The paper's k values span tiny to a large fraction of n/p; keep the
     // same spirit relative to the scaled-down input.  `--k` pins a single
@@ -117,6 +244,10 @@ struct Args {
     reps: usize,
     k: Option<usize>,
     backend: Backend,
+    chaos: bool,
+    crashes: usize,
+    chaos_seed: u64,
+    ckpt_every: usize,
 }
 
 impl Args {
@@ -128,6 +259,10 @@ impl Args {
             reps: 3,
             k: None,
             backend: Backend::Threaded,
+            chaos: false,
+            crashes: 1,
+            chaos_seed: 0xC7A05,
+            ckpt_every: 2,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -155,6 +290,24 @@ impl Args {
                 }
                 "--backend" => {
                     args.backend = Backend::parse(&argv[i + 1]);
+                    i += 2;
+                }
+                "--chaos" => {
+                    args.chaos = true;
+                    i += 1;
+                }
+                "--crashes" => {
+                    args.crashes = argv[i + 1].parse().expect("--crashes takes a number");
+                    i += 2;
+                }
+                "--chaos-seed" => {
+                    args.chaos_seed = argv[i + 1].parse().expect("--chaos-seed takes a number");
+                    i += 2;
+                }
+                "--ckpt-every" => {
+                    args.ckpt_every = argv[i + 1]
+                        .parse()
+                        .expect("--ckpt-every takes a phase count");
                     i += 2;
                 }
                 other => panic!("unknown argument {other}"),

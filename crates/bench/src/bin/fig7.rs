@@ -25,17 +25,160 @@
 //! runs the argmin, and prints a `plan-audit` row (prediction vs metered
 //! reality); `--plan-explain` additionally prints each cell's full candidate
 //! table.
+//!
+//! `--chaos [--crashes N] [--chaos-seed S] [--ckpt-every C]` runs the
+//! frequent-objects facade under the `commsim::recovery` layer (default
+//! algorithm EC, whose exact counts admit a brute-force oracle): a
+//! calibration pass places `N` crash-stops at a phase boundary, the chaos
+//! pass regroups the survivors and rolls back to the last checkpoint, and
+//! the published counts are checked against a brute-force count over the
+//! surviving data.  Prints a parseable `recovery-audit` row.
 
 use bench::planning::{print_audit, print_plan};
 use bench::report::fmt_duration;
 use bench::scaling::{pe_sweep, scaled_epsilon, Backend, Measurement};
-use bench::{run_on, AlgoChoice, Table};
-use commsim::Communicator;
+use bench::{run_on, run_on_faulty, AlgoChoice, Table};
+use commsim::recovery::{RecoveryConfig, RecoveryOutcome};
+use commsim::{Communicator, FaultPlan, Rank};
 use datagen::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use topk::planner::{Algorithm, Planner};
+use topk::recover::{run_frequent_recoverable, FrequentCheckpoint};
 use topk::FrequentParams;
+
+/// The chaos-mode body: the frequent-objects facade, repeated `phases`
+/// times under the crash-stop recovery driver.
+fn fig7_chaos_body<C: Communicator>(
+    comm: &C,
+    algo: Algorithm,
+    per_pe: usize,
+    params: &FrequentParams,
+    phases: usize,
+    cfg: RecoveryConfig,
+) -> RecoveryOutcome<FrequentCheckpoint> {
+    let local = local_input(comm.rank(), per_pe);
+    run_frequent_recoverable(comm, algo, &local, params, phases, cfg)
+        .expect("membership protocol violation")
+}
+
+/// `--chaos`: run the frequent-objects facade with recovery enabled, crash
+/// `--crashes` PEs at a phase boundary, print the `recovery-audit` row,
+/// and (for the exact-counting algorithms) check the published counts
+/// against a brute-force count over the survivors' data.
+fn run_chaos(args: &Args, per_pe: usize, params: &FrequentParams) {
+    let p = args.max_pes;
+    assert!(p >= 2, "--chaos needs at least 2 PEs");
+    assert!(
+        args.crashes < p,
+        "--crashes must leave at least one survivor"
+    );
+    // EC by default: its exact counts make the brute-force oracle apply to
+    // every published item regardless of which candidates were sampled.
+    let algo = match args.algo {
+        AlgoChoice::Fixed(a) => a,
+        _ => Algorithm::Ec,
+    };
+    let phases = args.reps.max(2);
+    let cfg = RecoveryConfig::enabled().with_checkpoint_every(args.ckpt_every);
+
+    println!("Figure 7 chaos mode: top-k frequent objects under injected crash-stops");
+    println!(
+        "algorithm = {}, p = {p}, n/p = {per_pe}, k = {}, phases = {phases}, \
+         crashes = {}, checkpoint every {} phase(s), backend = {}\n",
+        algo.name(),
+        params.k,
+        args.crashes,
+        args.ckpt_every,
+        args.backend.name()
+    );
+
+    // 1. Calibration: a fault-free recovery-enabled run records each PE's
+    //    send count at every phase boundary; victims die at their first
+    //    send of phase 1 (the membership heartbeat).  Rank 0 is kept out
+    //    of the candidate pool so the audit row has a stable home.
+    let baseline = run_on!(args.backend, p, |comm| {
+        fig7_chaos_body(comm, algo, per_pe, params, phases, cfg)
+    });
+    let candidates: Vec<(Rank, u64)> = baseline
+        .results
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(r, out)| (r, out.sends_at_phase_end[0]))
+        .collect();
+    let plan = FaultPlan::seeded_crashes(args.chaos_seed, &candidates, args.crashes);
+
+    // 2. The chaos run.
+    let out = run_on_faulty!(args.backend, p, plan, |comm| {
+        fig7_chaos_body(comm, algo, per_pe, params, phases, cfg)
+    });
+    let victims: Vec<Rank> = out
+        .results
+        .iter()
+        .enumerate()
+        .filter_map(|(r, res)| res.is_none().then_some(r))
+        .collect();
+    let survivor = out.results[0]
+        .as_ref()
+        .expect("rank 0 is never a victim candidate");
+    let audit = survivor
+        .audit
+        .as_ref()
+        .expect("recovery-enabled runs audit");
+    println!("{}", audit.audit_line());
+
+    // 3. Oracles.  Completion + agreement always: every live PE ran all
+    //    phases and the final published list is identical group-wide.
+    let live = survivor.group.clone();
+    assert_eq!(
+        live.len() + victims.len(),
+        p,
+        "every PE is live or a victim"
+    );
+    let last = survivor.state.published.last().expect("at least one phase");
+    for &r in &live {
+        let res = out.results[r].as_ref().expect("live PE completed");
+        assert!(!res.evicted, "no live PE is evicted in this harness");
+        assert_eq!(res.state.published.len(), phases, "PE {r} ran all phases");
+        assert_eq!(
+            res.state.published.last().expect("at least one phase"),
+            last,
+            "PE {r}: final published list must agree group-wide"
+        );
+    }
+    // Exact-count oracle (EC/PEC): each published count must equal the
+    // brute-force count over the survivors' pooled data.
+    if matches!(algo, Algorithm::Ec | Algorithm::Pec) {
+        let mut brute: HashMap<u64, u64> = HashMap::new();
+        for &r in &live {
+            for v in local_input(r, per_pe) {
+                *brute.entry(v).or_insert(0) += 1;
+            }
+        }
+        for &(id, count) in last {
+            assert_eq!(
+                brute.get(&id).copied().unwrap_or(0),
+                count,
+                "object {id}: published count must equal the brute-force \
+                 count over the surviving data"
+            );
+        }
+    }
+    println!(
+        "fig7-chaos: OK — {} victim(s) {victims:?}, {} survivor(s) completed \
+         {phases} phases with a group-wide identical top-{} list{}",
+        victims.len(),
+        live.len(),
+        params.k,
+        if matches!(algo, Algorithm::Ec | Algorithm::Pec) {
+            "; exact counts match the brute-force oracle over the surviving data"
+        } else {
+            ""
+        },
+    );
+}
 
 fn main() {
     let args = Args::parse();
@@ -54,6 +197,10 @@ fn main() {
         }
     };
     let params = FrequentParams::new(32, epsilon, 1e-4, 0xF17);
+    if args.chaos {
+        run_chaos(&args, per_pe, &params);
+        return;
+    }
 
     println!("Figure 7 reproduction: top-32 most frequent objects, moderate accuracy");
     println!(
@@ -180,6 +327,10 @@ struct Args {
     backend: Backend,
     algo: AlgoChoice,
     plan_explain: bool,
+    chaos: bool,
+    crashes: usize,
+    chaos_seed: u64,
+    ckpt_every: usize,
 }
 
 impl Args {
@@ -194,6 +345,10 @@ impl Args {
             backend: Backend::Threaded,
             algo: AlgoChoice::All,
             plan_explain: false,
+            chaos: false,
+            crashes: 1,
+            chaos_seed: 0xC7A05,
+            ckpt_every: 2,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -234,6 +389,24 @@ impl Args {
                 "--plan-explain" => {
                     args.plan_explain = true;
                     i += 1;
+                }
+                "--chaos" => {
+                    args.chaos = true;
+                    i += 1;
+                }
+                "--crashes" => {
+                    args.crashes = argv[i + 1].parse().expect("--crashes takes a number");
+                    i += 2;
+                }
+                "--chaos-seed" => {
+                    args.chaos_seed = argv[i + 1].parse().expect("--chaos-seed takes a number");
+                    i += 2;
+                }
+                "--ckpt-every" => {
+                    args.ckpt_every = argv[i + 1]
+                        .parse()
+                        .expect("--ckpt-every takes a phase count");
+                    i += 2;
                 }
                 other => panic!("unknown argument {other}"),
             }

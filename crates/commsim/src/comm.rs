@@ -24,13 +24,15 @@ use crate::metrics::{StatsRegistry, StatsSnapshot};
 use crate::transport::{BufferPool, Envelope, Mailbox};
 use crate::{Rank, Tag};
 
-/// Detection window of [`Communicator::recv_failable`] on the threaded
-/// backend.  Real threads have no global quiescence point the way the replay
-/// backends do, so "the message has not arrived yet" is only ever a verdict
-/// about a wall-clock window; a quarter second is several orders of magnitude
-/// above any scheduling hiccup this repo's test loads produce, and a
-/// [`CommError::Timeout`] is retryable by contract anyway.
-const FAILABLE_WINDOW: Duration = Duration::from_millis(250);
+/// Default detection window of [`Communicator::recv_failable`] on the
+/// threaded backend.  Real threads have no global quiescence point the way
+/// the replay backends do, so "the message has not arrived yet" is only ever
+/// a verdict about a wall-clock window; a quarter second is several orders of
+/// magnitude above any scheduling hiccup this repo's test loads produce, and
+/// a [`CommError::Timeout`] is retryable by contract anyway.  Overridable per
+/// run via [`crate::SpmdConfig::with_recv_failable_window`] — slow CI
+/// runners widen it, tests of the timeout path shrink it.
+pub(crate) const DEFAULT_FAILABLE_WINDOW: Duration = Duration::from_millis(250);
 
 /// Per-PE fault-injection state of the threaded backend (present only when
 /// the run carries a non-empty [`crate::FaultPlan`]; the fault-free hot path
@@ -69,6 +71,9 @@ pub struct Comm {
     collective_seq: Cell<u64>,
     /// Fault-injection state; `None` on fault-free runs.
     faults: Option<FaultState>,
+    /// Wall-clock detection window of [`Communicator::recv_failable`]
+    /// (only consulted when a fault plan is attached).
+    failable_window: Duration,
 }
 
 impl Comm {
@@ -81,6 +86,7 @@ impl Comm {
             pool: BufferPool::new(),
             collective_seq: Cell::new(0),
             faults: None,
+            failable_window: DEFAULT_FAILABLE_WINDOW,
         }
     }
 
@@ -91,6 +97,7 @@ impl Comm {
         stats: StatsRegistry,
         plan: Arc<CompiledFaults>,
         crashed: Arc<Vec<AtomicBool>>,
+        failable_window: Duration,
     ) -> Self {
         let p = mailbox.size();
         Comm {
@@ -98,6 +105,7 @@ impl Comm {
             stats,
             pool: BufferPool::new(),
             collective_seq: Cell::new(0),
+            failable_window,
             faults: Some(FaultState {
                 plan,
                 crashed,
@@ -277,7 +285,7 @@ impl Communicator for Comm {
             // plain metering) of `recv_raw`.
             return Ok(self.recv_raw(src, tag));
         }
-        match self.mailbox.recv_deadline(src, FAILABLE_WINDOW) {
+        match self.mailbox.recv_deadline(src, self.failable_window) {
             Ok(env) => {
                 if env.tag != tag {
                     let err = CommError::TagMismatch {

@@ -90,6 +90,7 @@ pub mod faults;
 pub mod message;
 pub mod metrics;
 pub mod mux;
+pub mod recovery;
 pub mod runner;
 pub mod seq;
 mod spsc;
@@ -107,6 +108,10 @@ pub use faults::{FaultEvent, FaultPlan};
 pub use message::CommData;
 pub use metrics::{PeStats, StatsSnapshot, WorldStats};
 pub use mux::{run_spmd_mux, run_spmd_mux_faulty, run_spmd_mux_with, MuxComm, MuxConfig};
+pub use recovery::{
+    run_recoverable, Checkpoint, Membership, MembershipConfig, RankMask, RecoveryAudit,
+    RecoveryConfig, RecoveryCtx, RecoveryError, RecoveryOutcome,
+};
 pub use runner::{run_spmd, run_spmd_faulty, run_spmd_with, SpmdConfig, SpmdOutput};
 pub use seq::{run_spmd_seq, run_spmd_seq_faulty, SeqComm, SeqConfig};
 pub use subgroup::SubComm;

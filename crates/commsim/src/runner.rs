@@ -35,6 +35,16 @@ pub struct SpmdConfig {
     /// Fault schedule to inject (see [`crate::faults`]).  `None` — and an
     /// empty plan — leave the run bit-identical to a fault-free one.
     pub faults: Option<FaultPlan>,
+    /// Wall-clock detection window of
+    /// [`crate::Communicator::recv_failable`] on fault-injecting runs
+    /// (fault-free runs use plain blocking receives and never consult it).
+    /// The 250 ms default is far above any scheduling hiccup this repo's
+    /// test loads produce; slow CI runners can widen it instead of flaking,
+    /// and tests of the timeout path shrink it to keep retries cheap.
+    /// Timeout verdicts are retryable by contract, so the knob trades
+    /// detection latency against spurious retries — it cannot change what a
+    /// correct protocol computes.
+    pub recv_failable_window: Duration,
 }
 
 impl SpmdConfig {
@@ -44,6 +54,7 @@ impl SpmdConfig {
             num_pes,
             stack_size: 8 * 1024 * 1024,
             faults: None,
+            recv_failable_window: crate::comm::DEFAULT_FAILABLE_WINDOW,
         }
     }
 
@@ -56,6 +67,12 @@ impl SpmdConfig {
     /// Attach a fault schedule (used with [`run_spmd_faulty`]).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Override the [`crate::Communicator::recv_failable`] detection window.
+    pub fn with_recv_failable_window(mut self, window: Duration) -> Self {
+        self.recv_failable_window = window;
         self
     }
 }
@@ -175,6 +192,7 @@ where
     let registry = StatsRegistry::new(p);
     let mailboxes = Mailbox::full_mesh(p);
     let crashed: Arc<Vec<AtomicBool>> = Arc::new((0..p).map(|_| AtomicBool::new(false)).collect());
+    let failable_window = config.recv_failable_window;
     let f = &f;
 
     let start = Instant::now();
@@ -190,9 +208,13 @@ where
             let handle = builder
                 .spawn_scoped(scope, move || {
                     let comm = match faults {
-                        Some(plan) => {
-                            Comm::new_faulty(mailbox, registry, plan, Arc::clone(&crashed))
-                        }
+                        Some(plan) => Comm::new_faulty(
+                            mailbox,
+                            registry,
+                            plan,
+                            Arc::clone(&crashed),
+                            failable_window,
+                        ),
                         None => Comm::new(mailbox, registry),
                     };
                     match catch_unwind(AssertUnwindSafe(|| f(&comm))) {

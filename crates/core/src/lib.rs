@@ -49,6 +49,7 @@ pub mod frequent;
 pub mod msselect;
 pub mod multicriteria;
 pub mod planner;
+pub mod recover;
 pub mod redistribute;
 pub mod sum_agg;
 pub mod unsorted;
@@ -66,6 +67,10 @@ pub use msselect::{multisequence_select, MsSelectResult};
 pub use multicriteria::{dta_top_k, rdta_top_k, LocalMulticriteria, MulticriteriaResult};
 pub use planner::{
     Algorithm, Plan, PlanAudit, PlanInputs, Planner, RefreshAudit, RefreshPlan, SkewEstimate,
+};
+pub use recover::{
+    run_frequent_recoverable, select_k_smallest_recoverable, select_threshold_recoverable,
+    FrequentCheckpoint, SelectionCheckpoint,
 };
 pub use redistribute::{redistribute, RedistributionReport};
 pub use sum_agg::{sum_top_k, sum_top_k_exact, TopKSumResult};

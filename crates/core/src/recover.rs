@@ -1,0 +1,208 @@
+//! Crash-stop–recoverable façades over the batch algorithms.
+//!
+//! The paper's batch kernels (§4 selection, §7 frequent objects) are plain
+//! SPMD collectives: before this module, the first injected crash
+//! deadlocked or panicked them.  These wrappers run a closed sequence of
+//! phases under [`commsim::recovery::run_recoverable`] — membership round
+//! per phase, coordinated ring-buddy checkpoints, rollback-and-re-run over
+//! the survivors on a detected crash — and hand back the per-phase results
+//! plus the parseable `recovery-audit` row.
+//!
+//! With [`RecoveryConfig::disabled`] the wrappers are bit-identical
+//! passthroughs (results *and* metered words per PE) to calling
+//! [`select_k_smallest`] / [`select_threshold`] / [`Algorithm::run`]
+//! directly in a loop — pinned by `tests/recovery_integration.rs`.  The
+//! crash model is the repo-wide one: crashes land *between* phases (a
+//! victim's crash send-count calibrated to its first send of a phase, its
+//! membership heartbeat); a PE dying mid-collective fails fast instead.
+
+use commsim::recovery::{
+    run_recoverable, Checkpoint, RecoveryConfig, RecoveryError, RecoveryOutcome,
+};
+use commsim::Communicator;
+
+use crate::frequent::FrequentParams;
+use crate::planner::Algorithm;
+use crate::unsorted::{select_k_smallest, select_threshold};
+
+/// Per-phase seed salt.  Phase 0 keeps the caller's seed verbatim, so a
+/// single-phase disabled run is RNG-identical to the direct call.
+fn phase_seed(seed: u64, phase: usize) -> u64 {
+    seed ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Checkpointable state of a recoverable selection run: the per-phase
+/// selection thresholds accumulated so far.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelectionCheckpoint {
+    /// `thresholds[i]` is phase `i`'s k-th smallest element over the live
+    /// group that executed the phase.
+    pub thresholds: Vec<u64>,
+}
+
+impl Checkpoint for SelectionCheckpoint {
+    fn save(&self) -> Vec<u64> {
+        self.thresholds.clone()
+    }
+    fn restore(words: &[u64]) -> Self {
+        SelectionCheckpoint {
+            thresholds: words.to_vec(),
+        }
+    }
+}
+
+/// Run `phases` repetitions of [`select_k_smallest`] with crash-stop
+/// recovery (the fig6 path).  Each phase selects over the survivor
+/// subgroup with a per-phase salted seed; the checkpointed state is the
+/// accumulated threshold log.
+///
+/// # Errors
+///
+/// Returns [`RecoveryError`] only for membership-protocol violations; an
+/// eviction or a successful recovery is reported in the
+/// [`RecoveryOutcome`].
+pub fn select_k_smallest_recoverable<C: Communicator>(
+    comm: &C,
+    local: &[u64],
+    k: usize,
+    seed: u64,
+    phases: usize,
+    cfg: RecoveryConfig,
+) -> Result<RecoveryOutcome<SelectionCheckpoint>, RecoveryError> {
+    run_recoverable(
+        comm,
+        cfg,
+        phases,
+        SelectionCheckpoint::default(),
+        |sub, state, i| {
+            let result = select_k_smallest(sub, local, k, phase_seed(seed, i));
+            state.thresholds.push(result.threshold);
+        },
+    )
+}
+
+/// Run `phases` repetitions of the counts-only [`select_threshold`] kernel
+/// with crash-stop recovery.  Same shape as
+/// [`select_k_smallest_recoverable`] without the element redistribution.
+///
+/// # Errors
+///
+/// Returns [`RecoveryError`] only for membership-protocol violations.
+pub fn select_threshold_recoverable<C: Communicator>(
+    comm: &C,
+    local: &[u64],
+    k: usize,
+    seed: u64,
+    phases: usize,
+    cfg: RecoveryConfig,
+) -> Result<RecoveryOutcome<SelectionCheckpoint>, RecoveryError> {
+    run_recoverable(
+        comm,
+        cfg,
+        phases,
+        SelectionCheckpoint::default(),
+        |sub, state, i| {
+            state
+                .thresholds
+                .push(select_threshold(sub, local, k, phase_seed(seed, i)));
+        },
+    )
+}
+
+/// Checkpointable state of a recoverable frequent-objects run: the
+/// per-phase published top-k lists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FrequentCheckpoint {
+    /// `published[i]` is phase `i`'s reported `(object, count)` list,
+    /// descending by count, identical on every PE of the live group.
+    pub published: Vec<Vec<(u64, u64)>>,
+}
+
+impl Checkpoint for FrequentCheckpoint {
+    fn save(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(1 + self.published.len());
+        words.push(self.published.len() as u64);
+        for phase in &self.published {
+            words.push(phase.len() as u64);
+            for &(id, count) in phase {
+                words.push(id);
+                words.push(count);
+            }
+        }
+        words
+    }
+
+    fn restore(words: &[u64]) -> Self {
+        let mut published = Vec::new();
+        let mut at = 0;
+        let phases = words[at] as usize;
+        at += 1;
+        for _ in 0..phases {
+            let len = words[at] as usize;
+            at += 1;
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push((words[at], words[at + 1]));
+                at += 2;
+            }
+            published.push(items);
+        }
+        FrequentCheckpoint { published }
+    }
+}
+
+/// Run `phases` repetitions of a §7 top-k most-frequent-objects algorithm
+/// ([`Algorithm::run`], the single dispatch point every frequent-objects
+/// caller goes through) with crash-stop recovery (the fig7 path).
+///
+/// # Errors
+///
+/// Returns [`RecoveryError`] only for membership-protocol violations.
+pub fn run_frequent_recoverable<C: Communicator>(
+    comm: &C,
+    algo: Algorithm,
+    local: &[u64],
+    params: &FrequentParams,
+    phases: usize,
+    cfg: RecoveryConfig,
+) -> Result<RecoveryOutcome<FrequentCheckpoint>, RecoveryError> {
+    run_recoverable(
+        comm,
+        cfg,
+        phases,
+        FrequentCheckpoint::default(),
+        |sub, state, _i| {
+            let result = algo.run(sub, local, params);
+            state.published.push(result.items);
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_zero_keeps_the_seed_verbatim() {
+        assert_eq!(phase_seed(0xF166, 0), 0xF166);
+        assert_ne!(phase_seed(0xF166, 1), 0xF166);
+    }
+
+    #[test]
+    fn frequent_checkpoint_round_trips() {
+        let state = FrequentCheckpoint {
+            published: vec![vec![(7, 40), (3, 12)], vec![], vec![(9, 5)]],
+        };
+        assert_eq!(FrequentCheckpoint::restore(&state.save()), state);
+        let empty = FrequentCheckpoint::default();
+        assert_eq!(FrequentCheckpoint::restore(&empty.save()), empty);
+    }
+
+    #[test]
+    fn selection_checkpoint_round_trips() {
+        let state = SelectionCheckpoint {
+            thresholds: vec![10, 20, 30],
+        };
+        assert_eq!(SelectionCheckpoint::restore(&state.save()), state);
+    }
+}

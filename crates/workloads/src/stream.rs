@@ -35,7 +35,8 @@
 use std::cmp::Reverse;
 use std::collections::HashMap;
 
-use commsim::{CommError, Communicator, CostModel, Rank, StatsSnapshot, SubComm, Tag};
+use commsim::recovery::Membership;
+use commsim::{Communicator, CostModel, Rank, StatsSnapshot, SubComm, Tag};
 use datagen::{StreamProfile, TextCorpus};
 use seqkit::{DecayingTopK, SlidingWindowTopK};
 use topk::frequent::dht;
@@ -45,86 +46,16 @@ use topk::util::{owner_of, splitmix64};
 
 use crate::text::tokenize;
 
-/// User tag of the per-batch membership heartbeat (multi-word `Vec<u64>`
-/// suspicion bitmap — see [`RankMask`]).
-const ALIVE_TAG: Tag = 0xF17A;
-/// User tag of the coordinator's membership verdict (multi-word `Vec<u64>`
-/// live bitmap).
-const MASK_TAG: Tag = 0xF17B;
 /// User tag of a replica push's numeric part (epoch, log base, counts).
+/// (`0xF17A`/`0xF17B` belong to the shared membership protocol of
+/// [`commsim::recovery`], `0xF17E` to its checkpoint pushes.)
 const REPLICA_META_TAG: Tag = 0xF17C;
 /// User tag of a replica push's vocabulary delta (`Vec<String>`).
 const REPLICA_VOCAB_TAG: Tag = 0xF17D;
 
-/// Consecutive [`CommError::Timeout`] verdicts tolerated per membership
-/// receive before the peer is treated as dead.  On the replay backends a
-/// timeout is forced only at whole-world quiescence, so a live member that
-/// follows the protocol can never exhaust the budget; on the threaded
-/// backend this bounds the wall-clock cost of a dead-slow peer.
-const MEMBERSHIP_RETRIES: usize = 4;
-
-/// Consecutive [`CommError::Timeout`] verdicts a *member* tolerates while
-/// waiting for the coordinator's verdict before presuming the coordinator
-/// dead and rotating.  This must comfortably exceed the coordinator's whole
-/// heartbeat budget: when the replay scheduler resolves a whole-world stall
-/// it times out *every* parked failure-detecting receive at once, so while
-/// the coordinator burns its `MEMBERSHIP_RETRIES` budget on one lost
-/// heartbeat (a dropped message, say), every member waiting for the verdict
-/// accrues the same number of timeouts.  A member must outlast several such
-/// episodes — the verdict always arrives once the coordinator finishes,
-/// and a genuinely *crashed* coordinator is detected by the definitive
-/// `PeerDead` verdict long before this budget is touched.
-const MEMBERSHIP_VERDICT_RETRIES: usize = 4 * (MEMBERSHIP_RETRIES + 1);
-
 /// Modeled payload of a remote point-query response, in machine words
 /// (word id, count, epoch, staleness).
 const REMOTE_QUERY_WORDS: f64 = 4.0;
-
-/// A set of world ranks as a multi-word bitmap — the wire format of the
-/// membership protocol (`Vec<u64>`, one bit per rank), sized to the world.
-/// Earlier revisions used a single `u64`, which capped the failure-tolerant
-/// mode at `p ≤ 64`; the mask now grows with the world.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-struct RankMask {
-    bits: Vec<u64>,
-}
-
-impl RankMask {
-    /// An empty mask sized for a `p`-PE world.
-    fn for_world(p: usize) -> Self {
-        RankMask {
-            bits: vec![0; p.div_ceil(64)],
-        }
-    }
-
-    fn set(&mut self, r: Rank) {
-        let w = r / 64;
-        if w >= self.bits.len() {
-            self.bits.resize(w + 1, 0);
-        }
-        self.bits[w] |= 1 << (r % 64);
-    }
-
-    fn contains(&self, r: Rank) -> bool {
-        self.bits
-            .get(r / 64)
-            .is_some_and(|w| w & (1 << (r % 64)) != 0)
-    }
-
-    fn union(&mut self, words: &[u64]) {
-        if words.len() > self.bits.len() {
-            self.bits.resize(words.len(), 0);
-        }
-        for (b, w) in self.bits.iter_mut().zip(words) {
-            *b |= w;
-        }
-    }
-
-    /// The wire representation.
-    fn words(&self) -> Vec<u64> {
-        self.bits.clone()
-    }
-}
 
 /// Tuning knobs of the streaming service.
 #[derive(Debug, Clone, Copy)]
@@ -410,14 +341,15 @@ pub struct StreamService {
     /// [`StreamConfig::planned_refresh`] is set).
     refresh_audits: Vec<RefreshAudit>,
     // ----- failure-tolerance state (inert while `replication == 0`) -----
-    /// Presumed-alive world ranks, sorted (empty until the first FT batch
-    /// initialises it to the full world).
-    group: Vec<Rank>,
-    /// Bitmap of world ranks this PE has proven dead.
-    suspected: RankMask,
+    /// The shared membership protocol ([`commsim::recovery::Membership`]):
+    /// presumed-live group, suspicion bitmap, and eviction flag.  The group
+    /// is empty until the first FT batch initialises it to the full world.
+    membership: Membership,
     /// Set when the coordinator declared this (live) PE dead — a lost
-    /// heartbeat, not a crash.  An evicted service goes quiescent: every
-    /// later `ingest_batch` is a communication-free no-op.
+    /// heartbeat, not a crash — or when a membership round failed with a
+    /// [`commsim::recovery::RecoveryError`] (degrade, don't abort).  An
+    /// evicted service goes quiescent: every later `ingest_batch` is a
+    /// communication-free no-op.
     evicted: bool,
     /// The live group at the last refresh — the ownership map the serving
     /// shards (and their replicas) were built against.
@@ -465,8 +397,7 @@ impl StreamService {
             total_bottleneck_words: 0,
             meter_base: None,
             refresh_audits: Vec::new(),
-            group: Vec::new(),
-            suspected: RankMask::default(),
+            membership: Membership::new(),
             evicted: false,
             snapshot_group: Vec::new(),
             degraded: false,
@@ -678,15 +609,10 @@ impl StreamService {
         self.batch_reports.last().expect("just pushed")
     }
 
-    /// One round of the heartbeat/coordinator membership protocol.
-    ///
-    /// Every presumed-alive member sends an ALIVE heartbeat (its suspicion
-    /// bitmap) to the lowest presumed-alive rank, which collects the
-    /// heartbeats with failure-detecting receives, unions the definitive
-    /// [`CommError::PeerDead`] verdicts into the dead set, and broadcasts
-    /// the resulting live bitmap.  If the coordinator itself is dead, every
-    /// member observes `PeerDead` on the verdict receive and retries with
-    /// the next-lowest rank — the classic rotating-coordinator loop.
+    /// One round of the heartbeat/coordinator membership protocol — now the
+    /// shared [`commsim::recovery::Membership`] extracted from this very
+    /// service, so batch algorithms regroup with the identical wire
+    /// protocol (same tags, same retry budgets, same message sequence).
     ///
     /// Crashes are assumed to fall *between* service batches (a PE's crash
     /// send-count calibrated to its first send of a batch — exactly what
@@ -696,104 +622,25 @@ impl StreamService {
     ///
     /// [`FaultPlan::seeded_crashes`]: commsim::FaultPlan::seeded_crashes
     fn membership_round<C: Communicator>(&mut self, comm: &C) -> Vec<Rank> {
-        let me = comm.rank();
-        if self.group.is_empty() {
-            self.group = (0..comm.size()).collect();
-        }
-        if self.suspected.bits.is_empty() {
-            self.suspected = RankMask::for_world(comm.size());
-        }
-        let mut presumed = self.group.clone();
-        loop {
-            let coord = *presumed.first().expect("this PE is alive and presumed");
-            if coord == me {
-                // Coordinator: collect one heartbeat per presumed member.
-                let mut dead = self.suspected.clone();
-                for &r in presumed.iter().filter(|&&r| r != me) {
-                    let mut timeouts = 0;
-                    loop {
-                        match comm.recv_failable::<Vec<u64>>(r, ALIVE_TAG) {
-                            Ok(suspicion) => {
-                                dead.union(&suspicion);
-                                break;
-                            }
-                            Err(CommError::PeerDead { .. }) => {
-                                dead.set(r);
-                                break;
-                            }
-                            Err(CommError::Timeout { .. }) => {
-                                timeouts += 1;
-                                if timeouts > MEMBERSHIP_RETRIES {
-                                    dead.set(r);
-                                    break;
-                                }
-                            }
-                            Err(e) => panic!("membership heartbeat from {r}: {e}"),
-                        }
-                    }
-                }
-                let group: Vec<Rank> = presumed
-                    .iter()
-                    .copied()
-                    .filter(|&r| !dead.contains(r))
-                    .collect();
-                let mut mask = RankMask::for_world(comm.size());
-                for &r in &group {
-                    mask.set(r);
-                }
-                // The verdict goes to every *presumed* member — including a
-                // member just declared dead, whose copy tells it (if it is
-                // in fact alive and merely lost a heartbeat) that it has
-                // been evicted.
-                for &r in presumed.iter().filter(|&&r| r != me) {
-                    comm.send(r, MASK_TAG, mask.words());
-                }
-                self.suspected = dead;
-                self.group = group.clone();
-                return group;
+        match self.membership.round(comm) {
+            Ok(group) => {
+                // Survivable eviction: a lost heartbeat (a dropped message,
+                // or a slow PE exhausting the coordinator's timeout budget)
+                // made the group move on without this live PE.  Rejoining
+                // on the spot with stale window state would corrupt the
+                // published counts, so the service goes quiescent instead
+                // of dying; the caller observes it via `is_evicted`.
+                self.evicted = self.membership.is_evicted();
+                group
             }
-            // Member: heartbeat, then wait for the coordinator's verdict.
-            comm.send(coord, ALIVE_TAG, self.suspected.words());
-            let mut timeouts = 0;
-            let verdict = loop {
-                match comm.recv_failable::<Vec<u64>>(coord, MASK_TAG) {
-                    Ok(words) => break Some(RankMask { bits: words }),
-                    Err(CommError::PeerDead { .. }) => break None,
-                    Err(CommError::Timeout { .. }) => {
-                        timeouts += 1;
-                        if timeouts > MEMBERSHIP_VERDICT_RETRIES {
-                            break None;
-                        }
-                    }
-                    Err(e) => panic!("membership verdict from {coord}: {e}"),
-                }
-            };
-            match verdict {
-                Some(mask) => {
-                    for &r in &presumed {
-                        if !mask.contains(r) {
-                            self.suspected.set(r);
-                        }
-                    }
-                    if !mask.contains(me) {
-                        // Survivable eviction: a lost heartbeat (a dropped
-                        // message, or a slow PE exhausting the coordinator's
-                        // timeout budget) made the group move on without
-                        // this live PE.  Rejoining on the spot with stale
-                        // window state would corrupt the published counts,
-                        // so the service goes quiescent instead of dying;
-                        // the caller observes it via `is_evicted`.
-                        self.evicted = true;
-                    }
-                    let group: Vec<Rank> = (0..comm.size()).filter(|&r| mask.contains(r)).collect();
-                    self.group = group.clone();
-                    return group;
-                }
-                None => {
-                    // Coordinator is dead: rotate to the next-lowest rank.
-                    self.suspected.set(coord);
-                    presumed.retain(|&r| r != coord);
-                }
+            Err(_) => {
+                // A protocol violation poisons the round (the pre-extraction
+                // code aborted the world here).  Degrade: this PE drops out
+                // of the group and goes quiescent; the survivors evict it
+                // on their next round.
+                self.membership.quiesce();
+                self.evicted = true;
+                self.membership.group().to_vec()
             }
         }
     }
@@ -1009,7 +856,7 @@ impl StreamService {
             sent_words: 0,
             sent_messages: 0,
             bottleneck_words: 0,
-            live_pes: self.group.len(),
+            live_pes: self.membership.group().len(),
             replication_words: 0,
             sends_total: comm.stats_snapshot().sent_messages,
         });
@@ -1079,7 +926,7 @@ impl StreamService {
     /// The live group as of the last membership round (the full world until
     /// a crash is detected; meaningful only with `replication > 0`).
     pub fn live_group(&self) -> &[Rank] {
-        &self.group
+        self.membership.group()
     }
 
     /// Whether the serving snapshot came from a degraded refresh.

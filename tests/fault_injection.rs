@@ -406,3 +406,76 @@ fn plain_recv_from_a_crashed_peer_names_the_crash_not_a_deadlock() {
     assert!(msg.contains("crashed"), "got: {msg}");
     assert!(msg.contains("recv_failable"), "got: {msg}");
 }
+
+#[test]
+fn threaded_recv_failable_times_out_retries_then_suspects_a_slow_peer() {
+    use std::time::Duration;
+    let p = 2;
+    // A drop event that never fires keeps the run on the fault-injecting
+    // path (wall-clock windowed receives) without perturbing any message —
+    // the same trick slow CI runners use, in reverse: here the window is
+    // *narrowed* so a deliberately slow sender forces observable timeouts.
+    let plan = FaultPlan::new().drop_message(1, 0, 1_000);
+    let config = SpmdConfig::new(p)
+        .with_faults(plan)
+        .with_recv_failable_window(Duration::from_millis(5));
+
+    // Per PE: (timeouts before the slow payload arrived, timeouts on the
+    // suspect probe, payload received).
+    let out = run_spmd_faulty(config, |comm| -> (u32, u32, u64) {
+        if comm.rank() == 1 {
+            // The slow sender: outlast several 5 ms windows, then deliver.
+            std::thread::sleep(Duration::from_millis(60));
+            comm.send(0, 7, 42u64);
+            loop {
+                // Wait for PE 0's done-token, tolerating timeouts.
+                match comm.recv_failable::<u64>(0, 8) {
+                    Ok(v) => return (0, 0, v),
+                    Err(CommError::Timeout { .. }) => continue,
+                    Err(e) => panic!("unexpected error: {e:?}"),
+                }
+            }
+        }
+        // PE 0, step 1 — Timeout → retry → Ok: the 5 ms window expires at
+        // least once before the 60 ms-late payload lands, and a timeout is
+        // retryable, not fatal.
+        let mut timeouts = 0u32;
+        let got = loop {
+            match comm.recv_failable::<u64>(1, 7) {
+                Ok(v) => break v,
+                Err(CommError::Timeout { .. }) => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        };
+        // Step 2 — exhausted retries → suspect: a tag the (live) peer never
+        // sends keeps timing out; after a bounded budget the caller must
+        // conclude "suspect" on its own, because no definitive PeerDead
+        // verdict will ever arrive for a healthy-but-silent peer.
+        let budget = 4u32;
+        let mut probe_timeouts = 0u32;
+        for _ in 0..budget {
+            match comm.recv_failable::<u64>(1, 9) {
+                Err(CommError::Timeout { .. }) => probe_timeouts += 1,
+                other => panic!("expected a timeout from the silent tag, got {other:?}"),
+            }
+        }
+        comm.send(1, 8, got);
+        (timeouts, probe_timeouts, got)
+    });
+
+    let (timeouts, probe_timeouts, got) = out.results[0].expect("PE 0 completes");
+    assert!(
+        timeouts >= 1,
+        "the narrowed window must expire at least once before the slow send"
+    );
+    assert_eq!(got, 42, "the late payload still arrives after the retries");
+    assert_eq!(
+        probe_timeouts, 4,
+        "every probe of the silent tag times out — the suspect verdict is the caller's"
+    );
+    assert_eq!(
+        out.results[1],
+        Some((0, 0, 42)),
+        "the slow-but-live peer completes normally"
+    );
+}

@@ -1,0 +1,258 @@
+//! Integration pins for the crash-stop recovery layer (`commsim::recovery`
+//! plus the `topk::recover` façades).
+//!
+//! Two properties carry the subsystem — they are the PR's acceptance
+//! criteria:
+//!
+//! 1. **Zero-cost when disabled** — a recoverable batch run with
+//!    [`RecoveryConfig::disabled`] is bit-identical (results *and* per-PE
+//!    metered traffic) to calling the underlying kernel directly, on all
+//!    three backends.  This is what keeps every fault-free experiment in
+//!    EXPERIMENTS.md valid verbatim.
+//! 2. **Crash-stop survival** — with recovery enabled and one PE crashed
+//!    at a phase boundary, the surviving group detects the crash, regroups,
+//!    rolls back to the last checkpoint, and finishes with results a
+//!    brute-force oracle confirms over the *surviving* data — again on all
+//!    three backends.
+
+use topk_selection::commsim::recovery::{RecoveryConfig, RecoveryOutcome};
+use topk_selection::commsim::{
+    run_spmd, run_spmd_faulty, run_spmd_mux, run_spmd_mux_faulty, run_spmd_seq,
+    run_spmd_seq_faulty, Communicator, FaultPlan, MuxConfig, SeqConfig, SpmdConfig,
+};
+use topk_selection::datagen::SkewedSelectionInput;
+use topk_selection::topk::planner::Algorithm;
+use topk_selection::topk::recover::{
+    run_frequent_recoverable, select_k_smallest_recoverable, SelectionCheckpoint,
+};
+use topk_selection::topk::{select_k_smallest, FrequentParams};
+
+const P: usize = 4;
+const PER_PE: usize = 512;
+const K: usize = 32;
+const SEED: u64 = 0xF166 + P as u64; // the fig6 seed at this world size
+
+fn local_data(rank: usize) -> Vec<u64> {
+    SkewedSelectionInput::default()
+        .generate(rank, PER_PE)
+        .iter()
+        .map(|&v| u64::MAX - v) // fig6's dual order (select the k largest)
+        .collect()
+}
+
+/// The k-th smallest of the pooled data of `ranks` — the brute-force oracle.
+fn oracle_threshold(ranks: &[usize]) -> u64 {
+    let mut all: Vec<u64> = ranks.iter().flat_map(|&r| local_data(r)).collect();
+    all.sort_unstable();
+    all[K - 1]
+}
+
+// ---------------------------------------------------------------------------
+// 1. Zero-cost when disabled.
+// ---------------------------------------------------------------------------
+
+fn wrapped_selection<C: Communicator>(comm: &C) -> u64 {
+    select_k_smallest_recoverable(
+        comm,
+        &local_data(comm.rank()),
+        K,
+        SEED,
+        1,
+        RecoveryConfig::disabled(),
+    )
+    .expect("fault-free")
+    .state
+    .thresholds[0]
+}
+
+fn direct_selection<C: Communicator>(comm: &C) -> u64 {
+    select_k_smallest(comm, &local_data(comm.rank()), K, SEED).threshold
+}
+
+#[test]
+fn disabled_recoverable_selection_is_bit_identical_to_the_direct_call() {
+    // A single disabled phase keeps the caller's seed verbatim, so it must
+    // reproduce the pre-recovery `select_k_smallest` call exactly: same
+    // threshold AND the same per-PE metered traffic.
+    let runs = [
+        (
+            "threaded",
+            run_spmd(P, wrapped_selection),
+            run_spmd(P, direct_selection),
+        ),
+        (
+            "seq",
+            run_spmd_seq(P, wrapped_selection),
+            run_spmd_seq(P, direct_selection),
+        ),
+        (
+            "mux",
+            run_spmd_mux(P, wrapped_selection),
+            run_spmd_mux(P, direct_selection),
+        ),
+    ];
+    let expected = oracle_threshold(&[0, 1, 2, 3]);
+    for (name, wrapped, direct) in &runs {
+        for r in 0..P {
+            assert_eq!(
+                wrapped.results[r], direct.results[r],
+                "{name}: disabled wrapper must return the direct result"
+            );
+            assert_eq!(wrapped.results[r], expected, "{name}: oracle threshold");
+            assert_eq!(
+                wrapped.stats.pe(r),
+                direct.stats.pe(r),
+                "{name} PE {r}: disabled wrapper must meter identical traffic"
+            );
+        }
+    }
+}
+
+const FREQUENT_PHASES: usize = 2;
+
+fn frequent_params() -> FrequentParams {
+    FrequentParams::new(8, 0.05, 1e-4, 0xF17)
+}
+
+fn wrapped_frequent<C: Communicator>(comm: &C) -> Vec<Vec<(u64, u64)>> {
+    run_frequent_recoverable(
+        comm,
+        Algorithm::Ec,
+        &local_data(comm.rank()),
+        &frequent_params(),
+        FREQUENT_PHASES,
+        RecoveryConfig::disabled(),
+    )
+    .expect("fault-free")
+    .state
+    .published
+}
+
+fn direct_frequent<C: Communicator>(comm: &C) -> Vec<Vec<(u64, u64)>> {
+    (0..FREQUENT_PHASES)
+        .map(|_| {
+            Algorithm::Ec
+                .run(comm, &local_data(comm.rank()), &frequent_params())
+                .items
+        })
+        .collect()
+}
+
+#[test]
+fn disabled_recoverable_frequent_is_bit_identical_to_the_direct_loop() {
+    // Two disabled phases of the frequent-objects façade (params verbatim
+    // each phase) versus the same two direct `Algorithm::run` calls.
+    let runs = [
+        (
+            "threaded",
+            run_spmd(P, wrapped_frequent),
+            run_spmd(P, direct_frequent),
+        ),
+        (
+            "seq",
+            run_spmd_seq(P, wrapped_frequent),
+            run_spmd_seq(P, direct_frequent),
+        ),
+        (
+            "mux",
+            run_spmd_mux(P, wrapped_frequent),
+            run_spmd_mux(P, direct_frequent),
+        ),
+    ];
+    for (name, wrapped, direct) in &runs {
+        for r in 0..P {
+            assert_eq!(
+                wrapped.results[r], direct.results[r],
+                "{name}: disabled wrapper must publish the direct results"
+            );
+            assert_eq!(
+                wrapped.stats.pe(r),
+                direct.stats.pe(r),
+                "{name} PE {r}: disabled wrapper must meter identical traffic"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Crash-stop survival (the fig6 chaos path, pinned as a test).
+// ---------------------------------------------------------------------------
+
+fn chaos_body<C: Communicator>(comm: &C, phases: usize) -> RecoveryOutcome<SelectionCheckpoint> {
+    select_k_smallest_recoverable(
+        comm,
+        &local_data(comm.rank()),
+        K,
+        SEED,
+        phases,
+        RecoveryConfig::enabled().with_checkpoint_every(2),
+    )
+    .expect("membership protocol violation")
+}
+
+/// Shared assertions over a one-crash chaos run: the victim is gone, every
+/// survivor finished all phases, and the final threshold matches the
+/// brute-force oracle over the surviving data.
+fn assert_survivors_correct(
+    name: &str,
+    out: &[Option<RecoveryOutcome<SelectionCheckpoint>>],
+    phases: usize,
+) {
+    let victims: Vec<usize> = (0..P).filter(|&r| out[r].is_none()).collect();
+    assert_eq!(victims.len(), 1, "{name}: exactly one injected crash");
+    let survivor = out[0].as_ref().expect("rank 0 is never a candidate");
+    let live = survivor.group.clone();
+    assert_eq!(live.len(), P - 1, "{name}: survivors regrouped");
+    assert!(!live.contains(&victims[0]), "{name}: victim left the group");
+
+    let audit = survivor.audit.as_ref().expect("enabled runs audit");
+    assert_eq!(audit.victims, 1, "{name}: audit counts the victim");
+    assert_eq!(audit.survivors, P - 1, "{name}: audit counts survivors");
+    assert!(audit.detect_batch.is_some(), "{name}: crash was detected");
+    assert!(audit.rerun_phases >= 1, "{name}: rollback re-ran work");
+
+    let expected = oracle_threshold(&live);
+    for &r in &live {
+        let res = out[r].as_ref().expect("live PE completed");
+        assert!(!res.evicted, "{name}: no live PE evicted");
+        assert_eq!(
+            res.state.thresholds.len(),
+            phases,
+            "{name} PE {r}: all phases completed"
+        );
+        assert_eq!(
+            *res.state.thresholds.last().expect("phases > 0"),
+            expected,
+            "{name} PE {r}: final threshold matches the oracle over survivors"
+        );
+    }
+}
+
+#[test]
+fn one_crash_selection_recovers_over_survivors_on_all_three_backends() {
+    let phases = 3;
+    // Calibrate once on the replay backend: a victim whose crash send-count
+    // equals its phase-0 boundary dies at its first send of phase 1 (its
+    // membership heartbeat).  The boundaries are bit-identical across
+    // backends, so the same plan is valid on all three.
+    let baseline = run_spmd_seq(P, |c| chaos_body(c, phases));
+    let candidates: Vec<(usize, u64)> = (1..P)
+        .map(|r| (r, baseline.results[r].sends_at_phase_end[0]))
+        .collect();
+    let plan = FaultPlan::seeded_crashes(0xC7A05, &candidates, 1);
+
+    let seq = run_spmd_seq_faulty(SeqConfig::new(P).with_faults(plan.clone()), |c| {
+        chaos_body(c, phases)
+    });
+    assert_survivors_correct("seq", &seq.results, phases);
+
+    let mux = run_spmd_mux_faulty(MuxConfig::new(P).with_faults(plan.clone()), |c| {
+        chaos_body(c, phases)
+    });
+    assert_survivors_correct("mux", &mux.results, phases);
+
+    let threaded = run_spmd_faulty(SpmdConfig::new(P).with_faults(plan), |c| {
+        chaos_body(c, phases)
+    });
+    assert_survivors_correct("threaded", &threaded.results, phases);
+}
